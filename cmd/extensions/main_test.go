@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestRunExtensionsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	if err := run(true /* quick */, false /* csv */); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestRunFigure1(t *testing.T) {
+	if err := run(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(true); err != nil {
+		t.Fatal(err)
+	}
+}

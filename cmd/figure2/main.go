@@ -1,0 +1,51 @@
+// Command figure2 regenerates the paper's Figure 2: speedup for the
+// task-management application (one producer, 1024 tasks, shared queue
+// under mutual exclusion) for the ideal zero-delay network, Sesame GWC
+// with eagersharing, and the fast version of entry consistency, on
+// network sizes 3, 5, 9, ..., 129.
+//
+// Usage:
+//
+//	figure2 [-quick] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optsync/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run a reduced sweep (fewer tasks)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+	if err := run(*quick, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "figure2:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick, csv bool) error {
+	fig, err := exp.Figure2(exp.Options{Quick: quick})
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Print(fig.CSV())
+	} else {
+		fmt.Print(fig.Table())
+	}
+	if err := exp.CheckFigure2(fig); err != nil {
+		return fmt.Errorf("shape check failed: %w", err)
+	}
+	gwc, _ := fig.Get("gwc")
+	ent, _ := fig.Get("entry")
+	fmt.Printf("\nshape check: OK — gwc peak %.1f @ %d (paper %.1f @ %d), entry peak %.1f @ %d (paper %.1f @ %d)\n",
+		gwc.Peak().Power, gwc.Peak().N,
+		exp.PaperFigure2["gwc-peak"].Power, exp.PaperFigure2["gwc-peak"].N,
+		ent.Peak().Power, ent.Peak().N,
+		exp.PaperFigure2["entry-peak"].Power, exp.PaperFigure2["entry-peak"].N)
+	return nil
+}

@@ -1,0 +1,54 @@
+// Command figure8 regenerates the paper's Figure 8: network power of the
+// constructed pipeline example (data size 1024, mutual exclusion to local
+// computation ratio 1/8) under the zero-delay ceiling, optimistic GWC
+// locking, regular GWC locking, and entry consistency, on 2 to 128 CPUs.
+// It also prints Section 4.1's headline speedup ratios.
+//
+// Usage:
+//
+//	figure8 [-quick] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optsync/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run a reduced sweep (shorter pipeline)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+	if err := run(*quick, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "figure8:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick, csv bool) error {
+	fig, err := exp.Figure8(exp.Options{Quick: quick})
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Print(fig.CSV())
+	} else {
+		fmt.Print(fig.Table())
+	}
+	ratios, err := exp.HeadlineRatios(fig)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nheadline ratios at N=%d:\n", fig.Sizes()[0])
+	fmt.Printf("  optimistic / non-optimistic GWC = %.2f  (paper: %.1f)\n",
+		ratios["optimistic/gwc"], exp.PaperHeadlineRatios["optimistic/gwc"])
+	fmt.Printf("  optimistic / entry consistency  = %.2f  (paper: %.1f)\n",
+		ratios["optimistic/entry"], exp.PaperHeadlineRatios["optimistic/entry"])
+	if err := exp.CheckFigure8(fig); err != nil {
+		return fmt.Errorf("shape check failed: %w", err)
+	}
+	fmt.Println("shape check: OK (max > optimistic > gwc > entry; decay with size)")
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command optsim runs one of the paper's workloads under a chosen
+// consistency model with custom parameters — the general driver behind
+// the per-figure commands.
+//
+// Usage:
+//
+//	optsim -workload pipeline  -model gwc-optimistic -n 64
+//	optsim -workload taskmgmt  -model entry -n 33 -tasks 512
+//	optsim -workload mutex3    -model release -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optsync/internal/model"
+	"optsync/internal/sim"
+	"optsync/internal/trace"
+	"optsync/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "pipeline", "workload: pipeline, taskmgmt, or mutex3")
+		modelName = flag.String("model", "gwc", "model: gwc, gwc-optimistic, entry, or release")
+		n         = flag.Int("n", 8, "network size (CPUs); mutex3 is fixed at 3")
+		tasks     = flag.Int("tasks", 0, "taskmgmt: override task count")
+		dataSize  = flag.Int("datasize", 0, "pipeline: override data size (ring handoffs)")
+		zeroDelay = flag.Bool("zerodelay", false, "use a zero-delay network (ideal line)")
+		withTrace = flag.Bool("trace", false, "print the protocol event trace (mutex3 only)")
+	)
+	flag.Parse()
+	if err := run(*wl, *modelName, *n, *tasks, *dataSize, *zeroDelay, *withTrace); err != nil {
+		fmt.Fprintln(os.Stderr, "optsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, modelName string, n, tasks, dataSize int, zeroDelay, withTrace bool) error {
+	kind, err := workload.ParseKind(modelName)
+	if err != nil {
+		return err
+	}
+	k := sim.NewKernel()
+	switch wl {
+	case "pipeline":
+		p := workload.DefaultPipelineParams(n)
+		if dataSize > 0 {
+			p.DataSize = dataSize
+		}
+		cfg := baseConfig(n, zeroDelay)
+		if kind == workload.KindEntry {
+			cfg.ViaManager = true
+		}
+		p.Configure(&cfg)
+		m, err := workload.NewMachine(k, kind, cfg)
+		if err != nil {
+			return err
+		}
+		r, err := workload.RunPipeline(k, m, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pipeline  model=%s n=%d power=%.3f makespan=%dns\n", r.Model, r.N, r.Power, r.Makespan)
+		printStats(r.Stats)
+	case "taskmgmt":
+		p := workload.DefaultTaskMgmtParams(n, kind)
+		if tasks > 0 {
+			p.Tasks = tasks
+		}
+		cfg := baseConfig(n, zeroDelay)
+		p.Configure(&cfg)
+		m, err := workload.NewMachine(k, kind, cfg)
+		if err != nil {
+			return err
+		}
+		r, err := workload.RunTaskMgmt(k, m, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("taskmgmt  model=%s n=%d power=%.2f makespan=%dns executed=%d\n",
+			r.Model, r.N, r.Power, r.Makespan, r.Executed)
+		printStats(r.Stats)
+	case "mutex3":
+		p := workload.DefaultMutex3Params()
+		cfg := baseConfig(3, zeroDelay)
+		tr := &trace.Log{}
+		if withTrace {
+			cfg.Trace = tr
+		}
+		p.Configure(&cfg)
+		if kind == workload.KindEntry {
+			cfg.Invalidate = true
+		}
+		m, err := workload.NewMachine(k, kind, cfg)
+		if err != nil {
+			return err
+		}
+		if e, ok := m.(*model.Entry); ok {
+			e.SetReaders(0, []int{1, 2})
+		}
+		r, err := workload.RunMutex3(k, m, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mutex3  model=%s total=%dns totalIdle=%dns\n", r.Model, r.Total, r.TotalIdle)
+		for i, c := range r.CPU {
+			fmt.Printf("  CPU%d: request=%d grant=%d release=%d idle=%d\n", i+1, c.Request, c.Grant, c.Release, c.Idle)
+		}
+		printStats(r.Stats)
+		if withTrace {
+			fmt.Println(tr)
+		}
+	default:
+		return fmt.Errorf("unknown workload %q (want pipeline, taskmgmt, or mutex3)", wl)
+	}
+	return nil
+}
+
+func baseConfig(n int, zeroDelay bool) model.Config {
+	cfg := model.DefaultConfig(n)
+	if zeroDelay {
+		cfg.Net.HopLatency = 0
+		cfg.Net.BytesPerNS = 1e12
+		cfg.RootProc = 0
+	}
+	return cfg
+}
+
+func printStats(s model.Stats) {
+	fmt.Printf("  messages=%d bytes=%d suppressed=%d rollbacks=%d optimisticOK=%d regularPath=%d demandFetch=%d invalidations=%d\n",
+		s.Messages, s.Bytes, s.Suppressed, s.Rollbacks, s.OptimisticOK, s.RegularPath, s.DemandFetch, s.Invalidation)
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestRunWorkloads(t *testing.T) {
+	tests := []struct {
+		wl, model string
+		n         int
+	}{
+		{"pipeline", "gwc-optimistic", 4},
+		{"pipeline", "entry", 4},
+		{"taskmgmt", "gwc", 5},
+		{"taskmgmt", "release", 3},
+		{"mutex3", "gwc", 3},
+		{"mutex3", "entry", 3},
+	}
+	for _, tt := range tests {
+		if err := run(tt.wl, tt.model, tt.n, 64, 64, false, tt.wl == "mutex3"); err != nil {
+			t.Errorf("run(%s, %s, %d): %v", tt.wl, tt.model, tt.n, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run("bogus", "gwc", 3, 0, 0, false, false); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("pipeline", "bogus", 3, 0, 0, false, false); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package optsync_test
+
+import (
+	"fmt"
+	"log"
+
+	"optsync"
+)
+
+// The basic shape of a cluster: a group of eagerly shared variables with
+// a queue-based lock managed by the group root.
+func Example() {
+	cluster, err := optsync.NewCluster(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+
+	group, err := cluster.NewGroup("demo", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lock := group.Mutex("lock")
+	counter := group.Int("counter", lock)
+
+	h := cluster.Handle(1)
+	if err := h.Do(lock, func() error {
+		cur, err := h.Read(counter)
+		if err != nil {
+			return err
+		}
+		return h.Write(counter, cur+1)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Eagersharing: node 2 receives the update without asking.
+	h2 := cluster.Handle(2)
+	if err := h2.WaitGE(counter, 1); err != nil {
+		log.Fatal(err)
+	}
+	v, _ := h2.Read(counter)
+	fmt.Println("counter =", v)
+	// Output: counter = 1
+}
+
+// Optimistic mutual exclusion: the critical section runs while the lock
+// request is still travelling to the group root. With no contention it
+// commits without ever having waited.
+func ExampleHandle_OptimisticDo() {
+	cluster, err := optsync.NewCluster(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+
+	group, _ := cluster.NewGroup("accounts", 0)
+	lock := group.Mutex("lock")
+	balance := group.Int("balance", lock)
+
+	h := cluster.Handle(2)
+	err = h.OptimisticDo(lock, func(tx *optsync.Tx) error {
+		cur, err := tx.Read(balance)
+		if err != nil {
+			return err
+		}
+		return tx.Write(balance, cur+100)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := h.Stats().Optimistic
+	fmt.Printf("committed optimistically: %v\n", s.Commits == 1 && s.Rollbacks == 0)
+	// Output: committed optimistically: true
+}
+
+// The single-writer publication pattern: one node publishes multi-word
+// values; readers snapshot them without locks and never see a torn pair.
+func ExampleHandle_Publish() {
+	cluster, err := optsync.NewCluster(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+
+	group, _ := cluster.NewGroup("feed", 0)
+	price := group.Int("price")
+	size := group.Int("size")
+	ticker, err := group.Published("ticker", price, size)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	writer := cluster.Handle(0)
+	if err := writer.Publish(ticker, func() error {
+		if err := writer.Write(price, 101); err != nil {
+			return err
+		}
+		return writer.Write(size, 300)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	reader := cluster.Handle(1)
+	vals, err := reader.SnapshotAfter(ticker, 2) // after the first publication
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("price:", vals[0], "size:", vals[1])
+	// Output: price: 101 size: 300
+}
+
+// Locks from two sharing groups (two different lock managers) held
+// together: the paper's multi-group mutual exclusion.
+func ExampleHandle_DoAll() {
+	cluster, err := optsync.NewCluster(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+
+	ga, _ := cluster.NewGroup("spot", 0)
+	gb, _ := cluster.NewGroup("margin", 3)
+	la := ga.Mutex("lock")
+	lb := gb.Mutex("lock")
+	a := ga.Int("acct", la)
+	b := gb.Int("acct", lb)
+
+	h := cluster.Handle(1)
+	err = h.DoAll(func() error {
+		if err := h.Write(a, 90); err != nil {
+			return err
+		}
+		return h.Write(b, 10)
+	}, la, lb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	av, _ := h.Read(a)
+	bv, _ := h.Read(b)
+	fmt.Println("total:", av+bv)
+	// Output: total: 100
+}

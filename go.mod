@@ -1,0 +1,3 @@
+module optsync
+
+go 1.22

@@ -1,0 +1,308 @@
+// Package core implements the paper's contribution — optimistic mutual
+// exclusion (Section 4) — on the live GWC runtime:
+//
+//   - a usage-frequency history filter (old = 0.95*old + 0.05*new with a
+//     0.30 threshold) decides between the optimistic and regular paths;
+//   - on the optimistic path the engine sends a non-blocking lock request
+//     and runs the critical section speculatively while the request
+//     propagates, saving each changed variable for rollback (the
+//     compiler-generated saved_ copies of Figure 4);
+//   - speculative shared writes flow to the group root, which discards
+//     them if another node holds the lock;
+//   - if the lock goes to another processor first, the interrupt hook
+//     (Figure 5) atomically suspends insharing; the engine restores the
+//     saved values, resumes insharing, waits for its queued grant, and
+//     re-executes the section.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"optsync/internal/gwc"
+)
+
+// ErrNested is returned when a section tries to re-enter a lock it is
+// already speculating on or holding (the paper's line 28: "ERROR(Cannot
+// safely nest mutex lock requests)").
+var ErrNested = errors.New("core: cannot safely nest mutex lock requests")
+
+// Config tunes the optimistic engine.
+type Config struct {
+	// HistoryDecay is the EWMA factor: hist = decay*hist + (1-decay)*new.
+	HistoryDecay float64
+	// HistoryThreshold is the usage level above which the engine takes
+	// the regular path ("e.g. 0.30").
+	HistoryThreshold float64
+}
+
+// DefaultConfig returns the paper's constants.
+func DefaultConfig() Config {
+	return Config{HistoryDecay: 0.95, HistoryThreshold: 0.30}
+}
+
+// Stats counts engine outcomes.
+type Stats struct {
+	// Optimistic counts sections that started speculatively.
+	Optimistic int
+	// Commits counts speculative sections that won the lock.
+	Commits int
+	// Rollbacks counts speculative sections that lost and re-executed.
+	Rollbacks int
+	// Regular counts sections routed to the regular (blocking) path by
+	// the local lock copy or the usage history.
+	Regular int
+}
+
+// lockKey identifies a lock within a group.
+type lockKey struct {
+	g gwc.GroupID
+	l gwc.LockID
+}
+
+// Engine runs optimistic mutual exclusion for one node.
+type Engine struct {
+	node *gwc.Node
+	cfg  Config
+
+	mu     sync.Mutex
+	hist   map[lockKey]float64
+	active map[lockKey]bool
+	stats  Stats
+}
+
+// NewEngine builds an engine over a GWC node.
+func NewEngine(node *gwc.Node, cfg Config) *Engine {
+	if cfg.HistoryDecay <= 0 || cfg.HistoryDecay >= 1 {
+		cfg.HistoryDecay = 0.95
+	}
+	if cfg.HistoryThreshold <= 0 {
+		cfg.HistoryThreshold = 0.30
+	}
+	return &Engine{
+		node:   node,
+		cfg:    cfg,
+		hist:   make(map[lockKey]float64),
+		active: make(map[lockKey]bool),
+	}
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// History reports the current usage-frequency estimate for a lock
+// (0 = always free, 1 = always held by another CPU).
+func (e *Engine) History(g gwc.GroupID, l gwc.LockID) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hist[lockKey{g, l}]
+}
+
+// Tx is the engine's view of one critical section. Writes through the
+// transaction are tracked so a rollback can restore the prior values.
+// Sections run through Do may execute more than once (speculative run
+// plus a re-execution after rollback), so bodies must confine their side
+// effects to the transaction.
+type Tx struct {
+	eng         *Engine
+	gid         gwc.GroupID
+	speculative bool
+	saved       map[gwc.VarID]int64
+	order       []gwc.VarID
+}
+
+// Read returns the local copy of a shared variable. During speculation
+// the value may prove invalid, in which case the section is rolled back
+// and re-executed with valid data.
+func (tx *Tx) Read(v gwc.VarID) (int64, error) {
+	return tx.eng.node.Read(tx.gid, v)
+}
+
+// Write stores a shared value. On the speculative path the first write to
+// each variable saves its prior value for rollback before anything is
+// altered (Figure 4 lines 14-16).
+func (tx *Tx) Write(v gwc.VarID, val int64) error {
+	if tx.speculative {
+		if _, ok := tx.saved[v]; !ok {
+			old, err := tx.eng.node.Read(tx.gid, v)
+			if err != nil {
+				return err
+			}
+			tx.saved[v] = old
+			tx.order = append(tx.order, v)
+		}
+	}
+	return tx.eng.node.Write(tx.gid, v, val)
+}
+
+// sample updates the usage-frequency history from the current local lock
+// value and reports the (sampled value, updated history).
+func (e *Engine) sample(k lockKey, self int) (int64, float64, error) {
+	val, err := e.node.LockValue(k.g, k.l)
+	if err != nil {
+		return 0, 0, err
+	}
+	inUse := 0.0
+	if val != gwc.Free && val != gwc.GrantValue(self) {
+		inUse = 1.0
+	}
+	e.mu.Lock()
+	h := e.cfg.HistoryDecay*e.hist[k] + (1-e.cfg.HistoryDecay)*inUse
+	e.hist[k] = h
+	e.mu.Unlock()
+	return val, h, nil
+}
+
+// bumpHistory records "lock held by another CPU" — the P9 interrupt-path
+// history update.
+func (e *Engine) bumpHistory(k lockKey) {
+	e.mu.Lock()
+	e.hist[k] = e.cfg.HistoryDecay*e.hist[k] + (1 - e.cfg.HistoryDecay)
+	e.mu.Unlock()
+}
+
+// Do runs body under the group lock, optimistically when the local lock
+// copy and its usage history suggest the lock is free. The body may run
+// twice (speculatively, then again after a rollback); it must confine its
+// shared-state effects to the transaction.
+func (e *Engine) Do(gid gwc.GroupID, l gwc.LockID, body func(tx *Tx) error) error {
+	k := lockKey{gid, l}
+	e.mu.Lock()
+	if e.active[k] {
+		e.mu.Unlock()
+		return ErrNested
+	}
+	e.active[k] = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.active, k)
+		e.mu.Unlock()
+	}()
+
+	self := e.node.ID()
+	val, hist, err := e.sample(k, self)
+	if err != nil {
+		return err
+	}
+	if val != gwc.Free || hist > e.cfg.HistoryThreshold {
+		// Regular path (Figure 4 lines 08-12): the local copy or the
+		// history indicate usage.
+		e.mu.Lock()
+		e.stats.Regular++
+		e.mu.Unlock()
+		return e.regular(gid, l, body)
+	}
+	return e.optimistic(k, body)
+}
+
+// regular is the conventional blocking acquire/run/release.
+func (e *Engine) regular(gid gwc.GroupID, l gwc.LockID, body func(tx *Tx) error) error {
+	if err := e.node.Acquire(gid, l); err != nil {
+		return err
+	}
+	tx := &Tx{eng: e, gid: gid}
+	bodyErr := body(tx)
+	if err := e.node.Release(gid, l); err != nil {
+		return err
+	}
+	return bodyErr
+}
+
+// optimistic sends a non-blocking request and speculates.
+func (e *Engine) optimistic(k lockKey, body func(tx *Tx) error) error {
+	gid, l := k.g, k.l
+	self := e.node.ID()
+	grant := gwc.GrantValue(self)
+
+	e.mu.Lock()
+	e.stats.Optimistic++
+	e.mu.Unlock()
+
+	// Arm the interrupt before speculating: if the lock goes to another
+	// CPU, suspend insharing atomically with the observation.
+	var rolled, decided atomic.Bool
+	unregister, err := e.node.OnLockChange(gid, l, func(v int64) gwc.HookAction {
+		if decided.Load() || rolled.Load() {
+			return gwc.HookNone
+		}
+		if v != gwc.Free && v != grant {
+			rolled.Store(true)
+			return gwc.HookSuspend
+		}
+		return gwc.HookNone
+	})
+	if err != nil {
+		return err
+	}
+	defer unregister()
+
+	if err := e.node.SendLockRequest(gid, l); err != nil {
+		return err
+	}
+
+	// Speculative execution while the request propagates (lines 14-18).
+	tx := &Tx{eng: e, gid: gid, speculative: true, saved: make(map[gwc.VarID]int64)}
+	bodyErr := body(tx)
+
+	// Line 19: wait until the lock answer decides our fate. A positive
+	// lock value is either our grant (commit) or another CPU's (the hook
+	// has already rolled us back).
+	ok, err := e.node.WaitLockCond(gid, l, func(v int64) bool {
+		return v == grant || rolled.Load()
+	})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("core: node %d closed while awaiting lock %d", self, l)
+	}
+
+	if !rolled.Load() {
+		// Success: the root granted us the lock; every speculative write
+		// reached it after our request on the same FIFO path, so all of
+		// them were accepted. Release and go.
+		decided.Store(true)
+		e.mu.Lock()
+		e.stats.Commits++
+		e.mu.Unlock()
+		if err := e.node.Release(gid, l); err != nil {
+			return err
+		}
+		return bodyErr
+	}
+
+	// Rollback (lines 22-26): restore saved values locally, resume
+	// insharing (replaying the valid data that arrived meanwhile), then
+	// wait for our queued request to be granted and re-execute.
+	e.mu.Lock()
+	e.stats.Rollbacks++
+	e.mu.Unlock()
+	e.bumpHistory(k)
+	if err := e.node.RestoreLocal(gid, tx.saved); err != nil {
+		return err
+	}
+	if err := e.node.ResumeInsharing(gid); err != nil {
+		return err
+	}
+	okGrant, err := e.node.WaitLockGrant(gid, l)
+	if err != nil {
+		return err
+	}
+	if !okGrant {
+		return fmt.Errorf("core: node %d closed while awaiting lock %d after rollback", self, l)
+	}
+	decided.Store(true)
+	tx2 := &Tx{eng: e, gid: gid}
+	bodyErr = body(tx2)
+	if err := e.node.Release(gid, l); err != nil {
+		return err
+	}
+	return bodyErr
+}

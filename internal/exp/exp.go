@@ -1,0 +1,146 @@
+// Package exp is the experiment harness: it regenerates the paper's
+// figures from the protocol models and workloads, renders them as tables
+// or CSV, and checks that the qualitative shape of each result matches the
+// published one (who wins, by roughly what factor, where the peaks fall).
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one (network size, network power) measurement.
+type Point struct {
+	N     int
+	Power float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// At returns the series value at network size n, and whether it exists.
+func (s Series) At(n int) (float64, bool) {
+	for _, p := range s.Points {
+		if p.N == n {
+			return p.Power, true
+		}
+	}
+	return 0, false
+}
+
+// Peak returns the series' maximum point.
+func (s Series) Peak() Point {
+	var best Point
+	for _, p := range s.Points {
+		if p.Power > best.Power {
+			best = p
+		}
+	}
+	return best
+}
+
+// Figure is a regenerated paper figure: several series over network size.
+type Figure struct {
+	ID     string
+	Title  string
+	Series []Series
+	Notes  []string
+}
+
+// Get returns the series with the given label.
+func (f Figure) Get(label string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// Sizes lists the network sizes of the first series (all series share the
+// same sweep).
+func (f Figure) Sizes() []int {
+	if len(f.Series) == 0 {
+		return nil
+	}
+	sizes := make([]int, len(f.Series[0].Points))
+	for i, p := range f.Series[0].Points {
+		sizes[i] = p.N
+	}
+	return sizes
+}
+
+// Table renders the figure as an aligned text table, one row per network
+// size and one column per series.
+func (f Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%6s", "CPUs")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %16s", s.Label)
+	}
+	b.WriteString("\n")
+	for _, n := range f.Sizes() {
+		fmt.Fprintf(&b, "%6d", n)
+		for _, s := range f.Series {
+			if v, ok := s.At(n); ok {
+				fmt.Fprintf(&b, "  %16.3f", v)
+			} else {
+				fmt.Fprintf(&b, "  %16s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, note := range f.Notes {
+		fmt.Fprintf(&b, "\n%s\n", note)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values with a header row.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("cpus")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, ",%s", s.Label)
+	}
+	b.WriteString("\n")
+	for _, n := range f.Sizes() {
+		fmt.Fprintf(&b, "%d", n)
+		for _, s := range f.Series {
+			if v, ok := s.At(n); ok {
+				fmt.Fprintf(&b, ",%.4f", v)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// PaperFigure2 holds the values the paper reports (or that can be read
+// off its Figure 2) for comparison in EXPERIMENTS.md: the GWC curve peaks
+// at 84.1 on 129 processors, entry consistency at 22.5 on 33.
+var PaperFigure2 = map[string]Point{
+	"gwc-peak":   {N: 129, Power: 84.1},
+	"entry-peak": {N: 33, Power: 22.5},
+}
+
+// PaperFigure8 holds the endpoint values the paper reports for Figure 8.
+var PaperFigure8 = map[string]map[int]float64{
+	"max":            {2: 1.89, 128: 1.89},
+	"gwc-optimistic": {2: 1.68, 128: 1.15},
+	"gwc":            {2: 1.53, 128: 1.03},
+	"entry":          {2: 0.81, 128: 0.64},
+}
+
+// PaperHeadlineRatios are Section 4.1's summary numbers: optimistic
+// synchronization is 1.1x non-optimistic GWC and 2.1x entry consistency.
+var PaperHeadlineRatios = map[string]float64{
+	"optimistic/gwc":   1.1,
+	"optimistic/entry": 2.1,
+}

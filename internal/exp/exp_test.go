@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesAtAndPeak(t *testing.T) {
+	s := Series{Label: "x", Points: []Point{{2, 1.5}, {4, 1.8}, {8, 1.2}}}
+	if v, ok := s.At(4); !ok || v != 1.8 {
+		t.Errorf("At(4) = %v,%v; want 1.8,true", v, ok)
+	}
+	if _, ok := s.At(3); ok {
+		t.Error("At(3) reported ok for a missing size")
+	}
+	if p := s.Peak(); p.N != 4 || p.Power != 1.8 {
+		t.Errorf("Peak() = %+v, want {4 1.8}", p)
+	}
+}
+
+func TestFigureTableAndCSV(t *testing.T) {
+	fig := Figure{
+		ID:    "Figure T",
+		Title: "test",
+		Series: []Series{
+			{Label: "a", Points: []Point{{2, 1.0}, {4, 2.0}}},
+			{Label: "b", Points: []Point{{2, 0.5}, {4, 0.25}}},
+		},
+		Notes: []string{"a note"},
+	}
+	table := fig.Table()
+	for _, want := range []string{"Figure T", "CPUs", "a", "b", "1.000", "0.250", "a note"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("Table() missing %q:\n%s", want, table)
+		}
+	}
+	csv := fig.CSV()
+	if !strings.HasPrefix(csv, "cpus,a,b\n") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "4,2.0000,0.2500") {
+		t.Errorf("CSV rows wrong:\n%s", csv)
+	}
+}
+
+func TestFigure1ShapeMatchesPaper(t *testing.T) {
+	res, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Errorf("%v\n%s", err, res.Report(false))
+	}
+	report := res.Report(true)
+	for _, want := range []string{"gwc", "entry", "release", "timeline", "idle"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestFigure2QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep in -short mode")
+	}
+	fig, err := Figure2(Options{Quick: true, Sizes: []int{3, 5, 9, 17, 33}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFigure2(fig); err != nil {
+		t.Errorf("%v\n%s", err, fig.Table())
+	}
+}
+
+func TestFigure8QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep in -short mode")
+	}
+	fig, err := Figure8(Options{Quick: true, Sizes: []int{2, 8, 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFigure8(fig); err != nil {
+		t.Errorf("%v\n%s", err, fig.Table())
+	}
+	ratios, err := HeadlineRatios(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratios["optimistic/gwc"] <= 1.0 {
+		t.Errorf("optimistic/gwc ratio %.3f <= 1", ratios["optimistic/gwc"])
+	}
+}
+
+func TestOptionsSizesOverride(t *testing.T) {
+	o := Options{Sizes: []int{7}}
+	got := o.sizes([]int{1, 2, 3})
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("sizes override = %v, want [7]", got)
+	}
+	o = Options{}
+	got = o.sizes([]int{1, 2, 3})
+	if len(got) != 3 {
+		t.Errorf("default sizes = %v, want [1 2 3]", got)
+	}
+}
+
+func TestPaperReferenceValues(t *testing.T) {
+	// Guard against accidental edits to the embedded paper numbers that
+	// EXPERIMENTS.md and the shape checks rely on.
+	if PaperFigure2["gwc-peak"].Power != 84.1 || PaperFigure2["gwc-peak"].N != 129 {
+		t.Error("paper Figure 2 GWC peak must be 84.1 @ 129")
+	}
+	if PaperFigure8["gwc-optimistic"][2] != 1.68 {
+		t.Error("paper Figure 8 optimistic @ 2 must be 1.68")
+	}
+	if PaperHeadlineRatios["optimistic/entry"] != 2.1 {
+		t.Error("paper headline optimistic/entry ratio must be 2.1")
+	}
+}
+
+func TestExtensionAShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	fig, err := ExtOptimisticTaskMgmt(Options{Quick: true, Sizes: []int{3, 9, 17}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckExtOptimisticTaskMgmt(fig); err != nil {
+		t.Errorf("%v\n%s", err, fig.Table())
+	}
+}
+
+func TestExtensionBShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	fig, err := ExtMXRatioSweep(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckExtMXRatioSweep(fig); err != nil {
+		t.Errorf("%v\n%s", err, fig.Table())
+	}
+}

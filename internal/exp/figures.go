@@ -1,0 +1,352 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"optsync/internal/model"
+	"optsync/internal/sim"
+	"optsync/internal/trace"
+	"optsync/internal/workload"
+)
+
+// Figure2Sizes are the paper's network sizes ("a power of two plus one
+// (3,5,9,...) to eliminate load balancing effects").
+var Figure2Sizes = []int{3, 5, 9, 17, 33, 65, 129}
+
+// Figure8Sizes are the paper's pipeline sizes, 2 up to 128 processors.
+var Figure8Sizes = []int{2, 4, 8, 16, 32, 64, 128}
+
+// Options tune how much work the experiment harness does.
+type Options struct {
+	// Quick shrinks the workloads (fewer tasks / shorter pipelines) for
+	// use in tests; the full paper parameters are used when false.
+	Quick bool
+	// Sizes overrides the default network-size sweep.
+	Sizes []int
+}
+
+func (o Options) sizes(def []int) []int {
+	if len(o.Sizes) > 0 {
+		return o.Sizes
+	}
+	return def
+}
+
+// Figure1Run is the Figure 1 scenario under one consistency model.
+type Figure1Run struct {
+	Result workload.Mutex3Result
+	Trace  *trace.Log
+}
+
+// Figure1Result compares idle times for the three-CPU lock scenario
+// across GWC, entry, and weak/release consistency.
+type Figure1Result struct {
+	Runs map[string]Figure1Run // keyed gwc / entry / release
+}
+
+// Figure1 reproduces the paper's Figure 1: three successive sets of
+// mutually exclusive accesses under each consistency model.
+func Figure1() (Figure1Result, error) {
+	res := Figure1Result{Runs: make(map[string]Figure1Run, 3)}
+	for _, kind := range []workload.Kind{workload.KindGWC, workload.KindEntry, workload.KindRelease} {
+		k := sim.NewKernel()
+		p := workload.DefaultMutex3Params()
+		tr := &trace.Log{}
+		cfg := model.DefaultConfig(3)
+		cfg.Trace = tr
+		p.Configure(&cfg)
+		if kind == workload.KindEntry {
+			cfg.Invalidate = true
+		}
+		m, err := workload.NewMachine(k, kind, cfg)
+		if err != nil {
+			return Figure1Result{}, fmt.Errorf("figure1: %w", err)
+		}
+		if e, ok := m.(*model.Entry); ok {
+			// The figure starts with the data held non-exclusively on
+			// CPU2 and CPU3; CPU1's exclusive request triggers the
+			// invalidation round trip shown in Figure 1(b).
+			e.SetReaders(0, []int{1, 2})
+		}
+		r, err := workload.RunMutex3(k, m, p)
+		if err != nil {
+			return Figure1Result{}, fmt.Errorf("figure1 (%v): %w", kind, err)
+		}
+		res.Runs[r.Model] = Figure1Run{Result: r, Trace: tr}
+	}
+	return res, nil
+}
+
+// Report renders the Figure 1 comparison as text: a summary table of
+// request/grant/release/idle times plus a per-model event timeline.
+func (r Figure1Result) Report(withTimelines bool) string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — Locking Comparison (3 CPUs, one lock; CPU2 is root/manager)\n\n")
+	fmt.Fprintf(&b, "%-10s %-6s %12s %12s %12s %12s\n", "model", "cpu", "request(ns)", "grant(ns)", "release(ns)", "idle(ns)")
+	for _, name := range []string{"gwc", "entry", "release"} {
+		run, ok := r.Runs[name]
+		if !ok {
+			continue
+		}
+		for i, c := range run.Result.CPU {
+			fmt.Fprintf(&b, "%-10s CPU%-3d %12d %12d %12d %12d\n", name, i+1, c.Request, c.Grant, c.Release, c.Idle)
+		}
+		fmt.Fprintf(&b, "%-10s %-6s total=%dns   total idle=%dns   messages=%d\n\n",
+			name, "", run.Result.Total, run.Result.TotalIdle, run.Result.Stats.Messages)
+	}
+	if withTimelines {
+		for _, name := range []string{"gwc", "entry", "release"} {
+			if run, ok := r.Runs[name]; ok {
+				fmt.Fprintf(&b, "--- %s timeline ---\n%s\n", name, run.Trace.Timeline(3))
+			}
+		}
+	}
+	return b.String()
+}
+
+// Check verifies the figure's qualitative claims: GWC completes sooner and
+// idles less than entry consistency, which beats weak/release.
+func (r Figure1Result) Check() error {
+	gwc, ok1 := r.Runs["gwc"]
+	ent, ok2 := r.Runs["entry"]
+	rel, ok3 := r.Runs["release"]
+	if !ok1 || !ok2 || !ok3 {
+		return fmt.Errorf("figure1: missing runs (have %d)", len(r.Runs))
+	}
+	if !(gwc.Result.Total < ent.Result.Total && ent.Result.Total < rel.Result.Total) {
+		return fmt.Errorf("figure1: total times gwc=%d entry=%d release=%d, want gwc < entry < release",
+			gwc.Result.Total, ent.Result.Total, rel.Result.Total)
+	}
+	if gwc.Result.TotalIdle >= ent.Result.TotalIdle {
+		return fmt.Errorf("figure1: gwc idle %d >= entry idle %d", gwc.Result.TotalIdle, ent.Result.TotalIdle)
+	}
+	return nil
+}
+
+// Figure2 reproduces the task-management speedup sweep: the ideal
+// (zero-network-delay) line, Sesame GWC with eagersharing, and the fast
+// version of entry consistency.
+func Figure2(opts Options) (Figure, error) {
+	fig := Figure{
+		ID:    "Figure 2",
+		Title: "Speedup for Task Management (1 producer, 1024 tasks, produce:execute = 1:128)",
+		Notes: []string{
+			"paper: GWC peaks at 84.1 on 129 CPUs; entry consistency peaks at 22.5 on 33 CPUs (3.7x slower)",
+		},
+	}
+	type variant struct {
+		label     string
+		kind      workload.Kind
+		zeroDelay bool
+	}
+	variants := []variant{
+		{"max", workload.KindGWC, true},
+		{"gwc", workload.KindGWC, false},
+		{"entry", workload.KindEntry, false},
+	}
+	for _, v := range variants {
+		s := Series{Label: v.label}
+		for _, n := range opts.sizes(Figure2Sizes) {
+			k := sim.NewKernel()
+			p := workload.DefaultTaskMgmtParams(n, v.kind)
+			if opts.Quick {
+				p.Tasks = 128
+			}
+			cfg := model.DefaultConfig(n)
+			if v.zeroDelay {
+				cfg.Net.HopLatency = 0
+				cfg.Net.BytesPerNS = 1e12
+				cfg.RootProc = 0
+			}
+			p.Configure(&cfg)
+			m, err := workload.NewMachine(k, v.kind, cfg)
+			if err != nil {
+				return Figure{}, fmt.Errorf("figure2: %w", err)
+			}
+			r, err := workload.RunTaskMgmt(k, m, p)
+			if err != nil {
+				return Figure{}, fmt.Errorf("figure2 (%s, N=%d): %w", v.label, n, err)
+			}
+			s.Points = append(s.Points, Point{N: n, Power: r.Power})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// CheckFigure2 verifies the sweep's qualitative shape against the paper.
+func CheckFigure2(fig Figure) error {
+	maxS, ok1 := fig.Get("max")
+	gwc, ok2 := fig.Get("gwc")
+	ent, ok3 := fig.Get("entry")
+	if !ok1 || !ok2 || !ok3 {
+		return fmt.Errorf("figure2: missing series")
+	}
+	sizes := fig.Sizes()
+	for _, n := range sizes {
+		mv, _ := maxS.At(n)
+		gv, _ := gwc.At(n)
+		ev, _ := ent.At(n)
+		if gv > mv+0.01 {
+			return fmt.Errorf("figure2: gwc %.2f exceeds ideal %.2f at N=%d", gv, mv, n)
+		}
+		if n >= 17 && gv <= ev {
+			return fmt.Errorf("figure2: gwc %.2f <= entry %.2f at N=%d; eagersharing must win at scale", gv, ev, n)
+		}
+	}
+	last := sizes[len(sizes)-1]
+	// The paper's GWC peak is at the largest size (129). Quick sweeps run
+	// fewer tasks and may starve the largest size, so accept the top two.
+	if gp := gwc.Peak(); gp.N != last && (len(sizes) < 2 || gp.N != sizes[len(sizes)-2]) {
+		return fmt.Errorf("figure2: gwc peaks at N=%d, want the top of the sweep (paper: 129)", gp.N)
+	}
+	if last >= 65 {
+		// Entry's peak falls strictly inside a full sweep (the paper: 33
+		// of 129), showing the early saturation GWC avoids.
+		if ep := ent.Peak(); ep.N == last {
+			return fmt.Errorf("figure2: entry peak at the largest size %d; the paper shows early saturation", ep.N)
+		}
+		// Peak-to-peak advantage roughly the paper's 3.7x (band 2x-8x);
+		// only meaningful once the sweep reaches GWC's peak region.
+		ratio := gwc.Peak().Power / ent.Peak().Power
+		if ratio < 2 || ratio > 8 {
+			return fmt.Errorf("figure2: gwc/entry peak ratio %.2f outside [2,8] (paper: 3.7)", ratio)
+		}
+	}
+	return nil
+}
+
+// Figure8 reproduces the pipeline network-power sweep: the zero-delay
+// ceiling, optimistic GWC, regular GWC, and entry consistency.
+func Figure8(opts Options) (Figure, error) {
+	fig := Figure{
+		ID:    "Figure 8",
+		Title: "Mutex Methods — network power for the linear pipeline (data size 1024, MX:local = 1:8)",
+		Notes: []string{
+			"paper: max 1.89; optimistic 1.68 -> 1.15; non-optimistic GWC 1.53 -> 1.03; entry 0.81 -> 0.64 (2 -> 128 CPUs)",
+		},
+	}
+	type variant struct {
+		label     string
+		kind      workload.Kind
+		zeroDelay bool
+	}
+	variants := []variant{
+		{"max", workload.KindGWC, true},
+		{"gwc-optimistic", workload.KindGWCOptimistic, false},
+		{"gwc", workload.KindGWC, false},
+		{"entry", workload.KindEntry, false},
+	}
+	for _, v := range variants {
+		s := Series{Label: v.label}
+		for _, n := range opts.sizes(Figure8Sizes) {
+			k := sim.NewKernel()
+			p := workload.DefaultPipelineParams(n)
+			if opts.Quick {
+				p.DataSize = 128
+			}
+			cfg := model.DefaultConfig(n)
+			if v.zeroDelay {
+				cfg.Net.HopLatency = 0
+				cfg.Net.BytesPerNS = 1e12
+				cfg.RootProc = 0
+			}
+			if v.kind == workload.KindEntry {
+				// Figure 8 is the light-contention case where "a new
+				// requestor may often guess the wrong lock owner".
+				cfg.ViaManager = true
+			}
+			p.Configure(&cfg)
+			m, err := workload.NewMachine(k, v.kind, cfg)
+			if err != nil {
+				return Figure{}, fmt.Errorf("figure8: %w", err)
+			}
+			r, err := workload.RunPipeline(k, m, p)
+			if err != nil {
+				return Figure{}, fmt.Errorf("figure8 (%s, N=%d): %w", v.label, n, err)
+			}
+			s.Points = append(s.Points, Point{N: n, Power: r.Power})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// HeadlineRatios computes Section 4.1's summary speedups from a Figure 8
+// sweep at its smallest size: optimistic over non-optimistic GWC, and
+// optimistic over entry consistency.
+func HeadlineRatios(fig Figure) (map[string]float64, error) {
+	opt, ok1 := fig.Get("gwc-optimistic")
+	gwc, ok2 := fig.Get("gwc")
+	ent, ok3 := fig.Get("entry")
+	if !ok1 || !ok2 || !ok3 {
+		return nil, fmt.Errorf("headline ratios: missing series")
+	}
+	sizes := fig.Sizes()
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("headline ratios: empty figure")
+	}
+	n := sizes[0]
+	o, _ := opt.At(n)
+	g, _ := gwc.At(n)
+	e, _ := ent.At(n)
+	if g == 0 || e == 0 {
+		return nil, fmt.Errorf("headline ratios: zero power at N=%d", n)
+	}
+	return map[string]float64{
+		"optimistic/gwc":   o / g,
+		"optimistic/entry": o / e,
+	}, nil
+}
+
+// CheckFigure8 verifies the pipeline sweep's qualitative shape.
+func CheckFigure8(fig Figure) error {
+	maxS, ok0 := fig.Get("max")
+	opt, ok1 := fig.Get("gwc-optimistic")
+	gwc, ok2 := fig.Get("gwc")
+	ent, ok3 := fig.Get("entry")
+	if !ok0 || !ok1 || !ok2 || !ok3 {
+		return fmt.Errorf("figure8: missing series")
+	}
+	sizes := fig.Sizes()
+	for _, n := range sizes {
+		mv, _ := maxS.At(n)
+		ov, _ := opt.At(n)
+		gv, _ := gwc.At(n)
+		ev, _ := ent.At(n)
+		if mv < 1.80 || mv > 1.90 {
+			return fmt.Errorf("figure8: ceiling %.3f at N=%d outside [1.80,1.90] (paper: 1.89)", mv, n)
+		}
+		if !(ov > gv && gv > ev) {
+			return fmt.Errorf("figure8: ordering at N=%d is opt=%.3f gwc=%.3f entry=%.3f, want opt > gwc > entry", n, ov, gv, ev)
+		}
+		if ov > mv+0.01 {
+			return fmt.Errorf("figure8: optimistic %.3f exceeds ceiling %.3f at N=%d", ov, mv, n)
+		}
+	}
+	// Power decays with network size for the real lines.
+	for _, s := range []Series{opt, gwc} {
+		first, _ := s.At(sizes[0])
+		last, _ := s.At(sizes[len(sizes)-1])
+		if last >= first {
+			return fmt.Errorf("figure8: %s power grew with size (%.3f -> %.3f)", s.Label, first, last)
+		}
+	}
+	// Entry consistency below 1.0 at the smallest size (the paper: 0.81):
+	// slower than a single processor.
+	if ev, _ := ent.At(sizes[0]); ev >= 1.0 {
+		return fmt.Errorf("figure8: entry at N=%d is %.3f, want < 1.0", sizes[0], ev)
+	}
+	ratios, err := HeadlineRatios(fig)
+	if err != nil {
+		return err
+	}
+	if r := ratios["optimistic/gwc"]; r < 1.02 || r > 1.3 {
+		return fmt.Errorf("figure8: optimistic/gwc ratio %.3f outside [1.02,1.3] (paper: 1.1)", r)
+	}
+	if r := ratios["optimistic/entry"]; r < 1.5 || r > 2.7 {
+		return fmt.Errorf("figure8: optimistic/entry ratio %.3f outside [1.5,2.7] (paper: 2.1)", r)
+	}
+	return nil
+}

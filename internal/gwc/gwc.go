@@ -1,0 +1,305 @@
+// Package gwc is the live (really concurrent, not simulated) runtime for
+// Sesame-style eagersharing with group write consistency:
+//
+//   - every shared write is applied locally at once and shipped to the
+//     group root;
+//   - the root sequences all writes in a group and multicasts them, so
+//     every member applies the same total order (GWC);
+//   - the root doubles as the queue-based lock manager of Section 2: a
+//     request writes the negated node ID, the grant writes the positive
+//     ID, and -99..99 (Free) means free;
+//   - sequence gaps are detected by members and repaired with NACK-driven
+//     retransmission from the root's history buffer, standing in for the
+//     reliable tree multicast of the Sesame hardware interfaces.
+//
+// The optimistic mutual exclusion of Section 4 is built on these hooks by
+// package core.
+package gwc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"optsync/internal/transport"
+	"optsync/internal/wire"
+)
+
+// GroupID names a sharing group.
+type GroupID uint32
+
+// VarID names an eagerly shared variable within a group.
+type VarID uint32
+
+// LockID names a queue-based lock within a group.
+type LockID uint32
+
+// Free is the distinguished "lock free" value (the paper's -99..99: a
+// unique negative number not matching any processor ID).
+const Free int64 = math.MinInt64 / 2
+
+// GrantValue encodes "node holds the lock" as the paper's positive
+// processor ID (offset by one so node 0 is nonzero).
+func GrantValue(node int) int64 { return int64(node + 1) }
+
+// RequestValue is the negated request form a requester writes into its
+// local lock copy.
+func RequestValue(node int) int64 { return -int64(node + 1) }
+
+// GroupConfig describes one sharing group. All members (and the root)
+// must join with identical configuration.
+type GroupConfig struct {
+	ID      GroupID
+	Root    int
+	Members []int
+	// Guards maps variables in mutex data groups to their lock: the root
+	// discards writes to them from non-holders, and origins drop their
+	// echoes (hardware blocking).
+	Guards map[VarID]LockID
+	// HistorySize bounds the root's retransmission buffer (default 4096
+	// sequenced messages).
+	HistorySize int
+	// TreeFanout distributes sequenced messages along the BFS spanning
+	// tree of the group's torus embedding (Sesame's tree multicast): the
+	// root sends to its tree children only and every member forwards
+	// fresh messages to its own children. Retransmissions still travel
+	// directly from the root to the NACKing member. Requires members
+	// 0..N-1.
+	TreeFanout bool
+}
+
+// memberOf reports whether node id belongs to the group.
+func (c GroupConfig) memberOf(id int) bool {
+	for _, m := range c.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats counts protocol events at one node.
+type Stats struct {
+	Suppressed   int // root: speculative writes discarded
+	Forwarded    int // member: sequenced messages relayed down the tree
+	Duplicates   int // member: re-delivered sequenced messages dropped
+	Gaps         int // member: sequence gaps detected
+	Nacks        int // member: retransmit requests sent
+	Retransmits  int // root: sequenced messages re-sent
+	EchoDropped  int // member: own guarded echoes dropped (hardware blocking)
+	LostHistory  int // root: NACKs it could no longer serve
+	LockRequests int
+	LockGrants   int
+}
+
+// Node is one processor's memory-sharing interface: it owns the local
+// copies of every group it joined, applies sequenced updates in order,
+// and (if it is a group's root) sequences traffic and manages locks.
+type Node struct {
+	id int
+	ep transport.Endpoint
+
+	mu      sync.Mutex
+	groups  map[GroupID]*memberGroup
+	roots   map[GroupID]*rootGroup
+	stats   Stats
+	errs    []error
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	retryIn time.Duration // lock request/release retry interval
+}
+
+// NewNode attaches a sharing interface to an endpoint and starts its
+// receive loop. Callers must Close the node when done.
+func NewNode(id int, ep transport.Endpoint) *Node {
+	n := &Node{
+		id:      id,
+		ep:      ep,
+		groups:  make(map[GroupID]*memberGroup),
+		roots:   make(map[GroupID]*rootGroup),
+		stop:    make(chan struct{}),
+		retryIn: 50 * time.Millisecond,
+	}
+	n.wg.Add(2)
+	go n.recvLoop()
+	go n.resyncLoop()
+	return n
+}
+
+// ID reports the node's identifier.
+func (n *Node) ID() int { return n.id }
+
+// Join registers the node in a sharing group. If the node is the group's
+// root it also becomes the group's sequencer and lock manager.
+func (n *Node) Join(cfg GroupConfig) error {
+	if !cfg.memberOf(n.id) {
+		return fmt.Errorf("gwc: node %d is not a member of group %d", n.id, cfg.ID)
+	}
+	if cfg.HistorySize <= 0 {
+		cfg.HistorySize = 4096
+	}
+	if cfg.Guards == nil {
+		cfg.Guards = make(map[VarID]LockID)
+	}
+	if cfg.TreeFanout {
+		for i, m := range cfg.Members {
+			if m != i {
+				return fmt.Errorf("gwc: tree fanout requires members 0..N-1, got %v", cfg.Members)
+			}
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return fmt.Errorf("gwc: node %d is closed", n.id)
+	}
+	if _, ok := n.groups[cfg.ID]; ok {
+		return fmt.Errorf("gwc: node %d already joined group %d", n.id, cfg.ID)
+	}
+	n.groups[cfg.ID] = newMemberGroup(n.id, cfg)
+	if cfg.Root == n.id {
+		n.roots[cfg.ID] = newRootGroup(cfg)
+	}
+	return nil
+}
+
+// Close shuts the node down: the endpoint closes and the receive loop
+// exits. Blocked waiters are woken with their operations unsatisfied.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	groups := make([]*memberGroup, 0, len(n.groups))
+	for _, g := range n.groups {
+		groups = append(groups, g)
+	}
+	n.mu.Unlock()
+
+	close(n.stop)
+	err := n.ep.Close()
+	n.wg.Wait()
+	n.mu.Lock()
+	for _, g := range groups {
+		g.data.closeAll()
+		g.lock.closeAll()
+	}
+	n.mu.Unlock()
+	return err
+}
+
+// Stats returns a snapshot of the node's protocol counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Errors returns protocol errors observed so far (e.g. unknown groups on
+// incoming traffic).
+func (n *Node) Errors() []error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]error(nil), n.errs...)
+}
+
+// protoErr records a protocol error for later inspection. It must be
+// called with n.mu held.
+func (n *Node) protoErr(format string, args ...any) {
+	if len(n.errs) < 100 {
+		n.errs = append(n.errs, fmt.Errorf(format, args...))
+	}
+}
+
+// recvLoop is the sharing interface proper: it applies every incoming
+// message under the node lock.
+func (n *Node) recvLoop() {
+	defer n.wg.Done()
+	for {
+		m, ok := n.ep.Recv()
+		if !ok {
+			return
+		}
+		n.handle(m)
+	}
+}
+
+// resyncLoop periodically probes each group's root with an open-ended
+// NACK. If this member is behind — even when the trailing messages of a
+// burst were lost, which gap detection alone cannot notice — the root
+// retransmits everything from the next expected sequence number. An
+// up-to-date member costs one small message per interval and triggers no
+// response.
+func (n *Node) resyncLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.retryIn)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+		}
+		n.mu.Lock()
+		type probe struct {
+			root int
+			m    wire.Message
+		}
+		var probes []probe
+		for _, g := range n.groups {
+			if g.cfg.Root == n.id {
+				continue // the root's member state is fed directly
+			}
+			probes = append(probes, probe{root: g.cfg.Root, m: wire.Message{
+				Type:  wire.TNack,
+				Group: uint32(g.cfg.ID),
+				Src:   int32(n.id),
+				Seq:   g.nextSeq,
+				Val:   int64(math.MaxInt64),
+			}})
+		}
+		n.mu.Unlock()
+		for _, p := range probes {
+			if err := n.ep.Send(p.root, p.m); err != nil {
+				return // endpoint closed
+			}
+		}
+	}
+}
+
+// handle dispatches one message.
+func (n *Node) handle(m wire.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch m.Type {
+	case wire.TUpdate, wire.TLockReq, wire.TLockRel, wire.TNack:
+		r, ok := n.roots[GroupID(m.Group)]
+		if !ok {
+			n.protoErr("gwc: node %d got %v for group %d but is not its root", n.id, m.Type, m.Group)
+			return
+		}
+		n.rootHandle(r, m)
+	case wire.TSeqUpdate, wire.TSeqLock:
+		g, ok := n.groups[GroupID(m.Group)]
+		if !ok {
+			n.protoErr("gwc: node %d got %v for unknown group %d", n.id, m.Type, m.Group)
+			return
+		}
+		n.ingest(g, m)
+	default:
+		n.protoErr("gwc: node %d got unexpected message type %v", n.id, m.Type)
+	}
+}
+
+// send ships a message, recording (not returning) transport errors: the
+// caller is often the recvLoop, and the sequence/NACK machinery recovers
+// from losses.
+func (n *Node) send(to int, m wire.Message) {
+	if err := n.ep.Send(to, m); err != nil {
+		n.protoErr("gwc: node %d send to %d: %w", n.id, to, err)
+	}
+}

@@ -1,0 +1,740 @@
+package gwc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"optsync/internal/transport"
+	"optsync/internal/wire"
+)
+
+const (
+	tGroup GroupID = 1
+	tVar   VarID   = 10
+	tVarB  VarID   = 11
+	tLock  LockID  = 0
+)
+
+// cluster is a test harness: n nodes joined to one group rooted at 0.
+type cluster struct {
+	net   transport.Network
+	nodes []*Node
+}
+
+// newCluster builds a cluster over the given network with tVar/tVarB
+// guarded by tLock when guarded is true.
+func newCluster(t *testing.T, net transport.Network, guarded bool) *cluster {
+	t.Helper()
+	n := net.Size()
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	guards := map[VarID]LockID{}
+	if guarded {
+		guards[tVar] = tLock
+		guards[tVarB] = tLock
+	}
+	c := &cluster{net: net, nodes: make([]*Node, n)}
+	for i := 0; i < n; i++ {
+		ep, err := net.Endpoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes[i] = NewNode(i, ep)
+		if err := c.nodes[i].Join(GroupConfig{
+			ID:      tGroup,
+			Root:    0,
+			Members: members,
+			Guards:  guards,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, nd := range c.nodes {
+			_ = nd.Close()
+		}
+		_ = net.Close()
+	})
+	return c
+}
+
+func newInProcCluster(t *testing.T, n int, guarded bool) *cluster {
+	t.Helper()
+	net, err := transport.NewInProc(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newCluster(t, net, guarded)
+}
+
+// waitValue polls until node's copy of v equals want, or fails.
+func waitValue(t *testing.T, n *Node, v VarID, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		got, err := n.Read(tGroup, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got, _ := n.Read(tGroup, v)
+	t.Fatalf("node %d: var %d = %d, want %d (stats %+v)", n.ID(), v, got, want, n.Stats())
+}
+
+func TestWritePropagatesToAllNodes(t *testing.T) {
+	c := newInProcCluster(t, 5, false)
+	if err := c.nodes[2].Write(tGroup, tVar, 42); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.nodes {
+		waitValue(t, n, tVar, 42)
+	}
+}
+
+func TestWaitGEWakesOnRemoteWrite(t *testing.T) {
+	c := newInProcCluster(t, 3, false)
+	done := make(chan bool, 1)
+	go func() {
+		ok, err := c.nodes[2].WaitGE(tGroup, tVar, 7)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- ok
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := c.nodes[1].Write(tGroup, tVar, 7); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Error("WaitGE returned not-ok")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitGE never woke")
+	}
+}
+
+func TestConcurrentWritersConverge(t *testing.T) {
+	c := newInProcCluster(t, 4, false)
+	var wg sync.WaitGroup
+	for w := 1; w <= 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := c.nodes[w].Write(tGroup, tVar, int64(w*1000+i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Let the last sequenced update reach everyone, then compare: the
+	// root's order is authoritative, so all nodes converge identically.
+	time.Sleep(200 * time.Millisecond)
+	want, err := c.nodes[0].Read(tGroup, tVar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.nodes[1:] {
+		got, err := n.Read(tGroup, tVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("node %d converged on %d, node 0 on %d", n.ID(), got, want)
+		}
+	}
+}
+
+func TestMutualExclusionCounter(t *testing.T) {
+	c := newInProcCluster(t, 4, true)
+	const reps = 10
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := c.nodes[id]
+			for i := 0; i < reps; i++ {
+				if err := n.Acquire(tGroup, tLock); err != nil {
+					t.Error(err)
+					return
+				}
+				cur, err := n.Read(tGroup, tVar)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Widen the race window: without mutual exclusion this
+				// read-modify-write would lose updates.
+				time.Sleep(time.Millisecond)
+				if err := n.Write(tGroup, tVar, cur+1); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := n.Release(tGroup, tLock); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	waitValue(t, c.nodes[0], tVar, 4*reps)
+	for _, n := range c.nodes {
+		waitValue(t, n, tVar, 4*reps)
+	}
+}
+
+func TestDataValidWhenGrantArrives(t *testing.T) {
+	// GWC's guarantee: when the lock arrives, the previous holder's
+	// writes are already in local memory (data precedes grant in the
+	// sequenced stream).
+	c := newInProcCluster(t, 3, true)
+	n1, n2 := c.nodes[1], c.nodes[2]
+	if err := n1.Acquire(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan int64, 1)
+	go func() {
+		if err := n2.Acquire(tGroup, tLock); err != nil {
+			t.Error(err)
+			acquired <- -1
+			return
+		}
+		v, err := n2.Read(tGroup, tVar) // must already be valid
+		if err != nil {
+			t.Error(err)
+		}
+		acquired <- v
+	}()
+	time.Sleep(30 * time.Millisecond) // let node 2's request queue up
+	if err := n1.Write(tGroup, tVar, 555); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Release(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-acquired:
+		if v != 555 {
+			t.Errorf("node 2 read %d at grant time, want 555", v)
+		}
+		_ = n2.Release(tGroup, tLock)
+	case <-time.After(5 * time.Second):
+		t.Fatal("node 2 never acquired")
+	}
+}
+
+func TestHardwareBlockingDropsEchoes(t *testing.T) {
+	c := newInProcCluster(t, 2, true)
+	n1 := c.nodes[1]
+	if err := n1.Acquire(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Write(tGroup, tVar, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Release(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	waitValue(t, c.nodes[0], tVar, 1)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if n1.Stats().EchoDropped >= 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("EchoDropped = %d, want >= 1 (guarded echo must be blocked)", n1.Stats().EchoDropped)
+}
+
+func TestRootSuppressesNonHolderGuardedWrite(t *testing.T) {
+	c := newInProcCluster(t, 3, true)
+	// Node 1 holds the lock; node 2 writes the guarded variable without
+	// it (an optimistic write racing a competing holder). The root must
+	// discard node 2's write.
+	if err := c.nodes[1].Acquire(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.nodes[1].Write(tGroup, tVar, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.nodes[2].Write(tGroup, tVar, 999); err != nil {
+		t.Fatal(err)
+	}
+	waitValue(t, c.nodes[0], tVar, 100)
+	time.Sleep(50 * time.Millisecond)
+	if got, _ := c.nodes[0].Read(tGroup, tVar); got != 100 {
+		t.Errorf("root memory = %d, want 100 (999 must be suppressed)", got)
+	}
+	if sup := c.nodes[0].Stats().Suppressed; sup != 1 {
+		t.Errorf("Suppressed = %d, want 1", sup)
+	}
+	_ = c.nodes[1].Release(tGroup, tLock)
+}
+
+func TestReleaseWithoutHoldingFails(t *testing.T) {
+	c := newInProcCluster(t, 2, true)
+	if err := c.nodes[1].Release(tGroup, tLock); err == nil {
+		t.Error("release of unheld lock succeeded, want error")
+	}
+}
+
+func TestUnknownGroupErrors(t *testing.T) {
+	c := newInProcCluster(t, 2, false)
+	if err := c.nodes[0].Write(99, tVar, 1); err == nil {
+		t.Error("Write to unknown group succeeded")
+	}
+	if _, err := c.nodes[0].Read(99, tVar); err == nil {
+		t.Error("Read of unknown group succeeded")
+	}
+	if err := c.nodes[0].Acquire(99, tLock); err == nil {
+		t.Error("Acquire on unknown group succeeded")
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	net, _ := transport.NewInProc(2)
+	defer func() { _ = net.Close() }()
+	ep, _ := net.Endpoint(0)
+	n := NewNode(0, ep)
+	defer func() { _ = n.Close() }()
+	if err := n.Join(GroupConfig{ID: 1, Root: 1, Members: []int{1}}); err == nil {
+		t.Error("joining a group we are not a member of succeeded")
+	}
+	if err := n.Join(GroupConfig{ID: 1, Root: 0, Members: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Join(GroupConfig{ID: 1, Root: 0, Members: []int{0, 1}}); err == nil {
+		t.Error("double join succeeded")
+	}
+}
+
+func TestLockChangeHooks(t *testing.T) {
+	c := newInProcCluster(t, 3, true)
+	var mu sync.Mutex
+	var seen []int64
+	unreg, err := c.nodes[2].OnLockChange(tGroup, tLock, func(val int64) HookAction {
+		mu.Lock()
+		seen = append(seen, val)
+		mu.Unlock()
+		return HookNone
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.nodes[1].Acquire(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.nodes[1].Release(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) < 2 || seen[0] != GrantValue(1) || seen[len(seen)-1] != Free {
+		t.Errorf("hook saw %v, want [grant(1) ... free]", seen)
+	}
+	unreg()
+}
+
+func TestSuspendInsharingBuffersData(t *testing.T) {
+	c := newInProcCluster(t, 3, false)
+	n2 := c.nodes[2]
+	if err := n2.SuspendInsharing(tGroup); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.nodes[1].Write(tGroup, tVar, 77); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if got, _ := n2.Read(tGroup, tVar); got != 0 {
+		t.Fatalf("suspended node saw %d, want 0 until resume", got)
+	}
+	if err := n2.ResumeInsharing(tGroup); err != nil {
+		t.Fatal(err)
+	}
+	waitValue(t, n2, tVar, 77)
+}
+
+func TestRestoreLocalDoesNotPropagate(t *testing.T) {
+	c := newInProcCluster(t, 3, false)
+	if err := c.nodes[1].Write(tGroup, tVar, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.nodes {
+		waitValue(t, n, tVar, 5)
+	}
+	if err := c.nodes[1].RestoreLocal(tGroup, map[VarID]int64{tVar: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.nodes[1].Read(tGroup, tVar); got != 3 {
+		t.Errorf("local restore not applied: %d", got)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got, _ := c.nodes[2].Read(tGroup, tVar); got != 5 {
+		t.Errorf("restore leaked to node 2: %d, want 5", got)
+	}
+}
+
+func TestNackRecoveryUnderLoss(t *testing.T) {
+	inner, err := transport.NewInProc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := transport.NewFlaky(inner, transport.FaultPlan{
+		DropRate: 0.25,
+		Seed:     1234,
+		DownOnly: true,
+		Spare:    wire.TNack,
+	})
+	c := newCluster(t, flaky, false)
+	const writes = 200
+	for i := 1; i <= writes; i++ {
+		if err := c.nodes[1].Write(tGroup, tVar, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range c.nodes {
+		waitValue(t, n, tVar, writes)
+	}
+	dropped, _, _ := flaky.Stats()
+	if dropped == 0 {
+		t.Fatal("fault injection never dropped anything; test is vacuous")
+	}
+	var nacks, retrans int
+	for _, n := range c.nodes {
+		s := n.Stats()
+		nacks += s.Nacks
+		retrans += s.Retransmits
+	}
+	if nacks == 0 || retrans == 0 {
+		t.Errorf("nacks=%d retransmits=%d after %d drops; recovery machinery unused", nacks, retrans, dropped)
+	}
+}
+
+func TestMutualExclusionUnderLossyLockPlane(t *testing.T) {
+	inner, err := transport.NewInProc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := transport.NewFlaky(inner, transport.FaultPlan{
+		DropRate: 0.15,
+		Seed:     99,
+		DownOnly: true,
+		Spare:    wire.TNack,
+	})
+	c := newCluster(t, flaky, true)
+	const reps = 5
+	var wg sync.WaitGroup
+	for id := 1; id <= 2; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := c.nodes[id]
+			for i := 0; i < reps; i++ {
+				if err := n.Acquire(tGroup, tLock); err != nil {
+					t.Error(err)
+					return
+				}
+				cur, _ := n.Read(tGroup, tVar)
+				if err := n.Write(tGroup, tVar, cur+1); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := n.Release(tGroup, tLock); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	waitValue(t, c.nodes[0], tVar, 2*reps)
+}
+
+func TestDuplicateReleaseIgnoredByEpoch(t *testing.T) {
+	c := newInProcCluster(t, 3, true)
+	n1, n2 := c.nodes[1], c.nodes[2]
+	if err := n1.Acquire(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	// Forge the duplicate release a lost-ack retry could produce: quote
+	// the epoch of n1's current grant, release properly, let n2 acquire,
+	// then replay the stale release. n2's grant must survive.
+	n1.mu.Lock()
+	staleEpoch := n1.groups[tGroup].grantEpoch[tLock]
+	n1.mu.Unlock()
+	if err := n1.Release(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.Acquire(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	ep := n1.ep
+	if err := ep.Send(0, wire.Message{
+		Type: wire.TLockRel, Group: uint32(tGroup), Src: 1, Origin: 1,
+		Lock: uint32(tLock), Var: staleEpoch,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if got, _ := c.nodes[0].LockValue(tGroup, tLock); got != GrantValue(2) {
+		t.Errorf("lock value = %d after stale release replay, want grant(2)=%d", got, GrantValue(2))
+	}
+	_ = n2.Release(tGroup, tLock)
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	c := newInProcCluster(t, 2, true)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ok, _ := c.nodes[1].WaitGE(tGroup, tVar, 100)
+		if ok {
+			t.Error("WaitGE satisfied after close")
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_ = c.nodes[1].Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitGE did not unblock on close")
+	}
+}
+
+func TestTCPClusterEndToEnd(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"}
+	net, err := transport.NewTCP(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCluster(t, net, true)
+	if err := c.nodes[1].Acquire(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.nodes[1].Write(tGroup, tVar, 2024); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.nodes[1].Release(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.nodes {
+		waitValue(t, n, tVar, 2024)
+	}
+}
+
+func TestManyNodesManyLocks(t *testing.T) {
+	c := newInProcCluster(t, 8, true)
+	var wg sync.WaitGroup
+	for id := 0; id < 8; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := c.nodes[id]
+			for i := 0; i < 5; i++ {
+				if err := n.Acquire(tGroup, tLock); err != nil {
+					t.Error(err)
+					return
+				}
+				a, _ := n.Read(tGroup, tVar)
+				b, _ := n.Read(tGroup, tVarB)
+				if a != b {
+					t.Errorf("invariant broken inside critical section: %d != %d", a, b)
+				}
+				_ = n.Write(tGroup, tVar, a+1)
+				_ = n.Write(tGroup, tVarB, b+1)
+				if err := n.Release(tGroup, tLock); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	waitValue(t, c.nodes[0], tVar, 40)
+	waitValue(t, c.nodes[0], tVarB, 40)
+}
+
+func TestStatsString(t *testing.T) {
+	// Compile-time style check that Stats is a plain value usable in logs.
+	s := Stats{Suppressed: 1, Nacks: 2}
+	if fmt.Sprintf("%+v", s) == "" {
+		t.Error("unformattable stats")
+	}
+}
+
+// newTreeCluster is newCluster over a tree-fanout group.
+func newTreeCluster(t *testing.T, n int, guarded bool) *cluster {
+	t.Helper()
+	net, err := transport.NewInProc(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	guards := map[VarID]LockID{}
+	if guarded {
+		guards[tVar] = tLock
+	}
+	c := &cluster{net: net, nodes: make([]*Node, n)}
+	for i := 0; i < n; i++ {
+		ep, err := net.Endpoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes[i] = NewNode(i, ep)
+		if err := c.nodes[i].Join(GroupConfig{
+			ID: tGroup, Root: 0, Members: members, Guards: guards, TreeFanout: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, nd := range c.nodes {
+			_ = nd.Close()
+		}
+		_ = net.Close()
+	})
+	return c
+}
+
+func TestTreeFanoutPropagation(t *testing.T) {
+	c := newTreeCluster(t, 9, false)
+	for i := 1; i <= 20; i++ {
+		if err := c.nodes[3].Write(tGroup, tVar, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range c.nodes {
+		waitValue(t, n, tVar, 20)
+	}
+	// Interior tree nodes must actually have relayed traffic.
+	forwarded := 0
+	for _, n := range c.nodes {
+		forwarded += n.Stats().Forwarded
+	}
+	if forwarded == 0 {
+		t.Error("no messages were forwarded down the tree")
+	}
+}
+
+func TestTreeFanoutMutualExclusion(t *testing.T) {
+	c := newTreeCluster(t, 9, true)
+	const reps = 5
+	var wg sync.WaitGroup
+	for id := 0; id < 9; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := c.nodes[id]
+			for i := 0; i < reps; i++ {
+				if err := n.Acquire(tGroup, tLock); err != nil {
+					t.Error(err)
+					return
+				}
+				cur, _ := n.Read(tGroup, tVar)
+				if err := n.Write(tGroup, tVar, cur+1); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := n.Release(tGroup, tLock); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, n := range c.nodes {
+		waitValue(t, n, tVar, 9*reps)
+	}
+}
+
+func TestTreeFanoutRecoversFromLoss(t *testing.T) {
+	inner, err := transport.NewInProc(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := transport.NewFlaky(inner, transport.FaultPlan{
+		DropRate: 0.2,
+		Seed:     5,
+		DownOnly: true,
+		Spare:    wire.TNack,
+	})
+	members := make([]int, 9)
+	for i := range members {
+		members[i] = i
+	}
+	c := &cluster{net: flaky, nodes: make([]*Node, 9)}
+	for i := 0; i < 9; i++ {
+		ep, err := flaky.Endpoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes[i] = NewNode(i, ep)
+		if err := c.nodes[i].Join(GroupConfig{
+			ID: tGroup, Root: 0, Members: members, TreeFanout: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, nd := range c.nodes {
+			_ = nd.Close()
+		}
+		_ = flaky.Close()
+	})
+	const writes = 100
+	for i := 1; i <= writes; i++ {
+		if err := c.nodes[1].Write(tGroup, tVar, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A drop at an interior tree node loses the message for its whole
+	// subtree; every descendant must recover via direct NACKs.
+	for _, n := range c.nodes {
+		waitValue(t, n, tVar, writes)
+	}
+}
+
+func TestTreeFanoutRequiresContiguousMembers(t *testing.T) {
+	net, _ := transport.NewInProc(3)
+	defer func() { _ = net.Close() }()
+	ep, _ := net.Endpoint(0)
+	n := NewNode(0, ep)
+	defer func() { _ = n.Close() }()
+	err := n.Join(GroupConfig{ID: 1, Root: 0, Members: []int{0, 2}, TreeFanout: true})
+	if err == nil {
+		t.Error("tree fanout with non-contiguous members succeeded")
+	}
+}

@@ -1,0 +1,633 @@
+package gwc
+
+import (
+	"fmt"
+	"time"
+
+	"optsync/internal/topo"
+	"optsync/internal/wire"
+)
+
+// notifyList wakes blocked waiters when state they watch may have
+// changed. Waiters hold a buffered channel; notifications are lossy
+// (waiters re-check their predicate), which keeps notifiers non-blocking
+// even from the receive loop.
+type notifyList struct {
+	waiters map[chan struct{}]struct{}
+	closed  bool
+}
+
+func newNotifyList() *notifyList {
+	return &notifyList{waiters: make(map[chan struct{}]struct{})}
+}
+
+// register adds a waiter channel. The caller must unregister it.
+func (nl *notifyList) register() chan struct{} {
+	ch := make(chan struct{}, 1)
+	if nl.closed {
+		close(ch)
+		return ch
+	}
+	nl.waiters[ch] = struct{}{}
+	return ch
+}
+
+func (nl *notifyList) unregister(ch chan struct{}) {
+	delete(nl.waiters, ch)
+}
+
+// notifyAll pokes every waiter without blocking.
+func (nl *notifyList) notifyAll() {
+	for ch := range nl.waiters {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// closeAll permanently wakes all current and future waiters (node
+// shutdown).
+func (nl *notifyList) closeAll() {
+	if nl.closed {
+		return
+	}
+	nl.closed = true
+	for ch := range nl.waiters {
+		close(ch)
+		delete(nl.waiters, ch)
+	}
+}
+
+// memberGroup is one node's member-side state for a sharing group.
+type memberGroup struct {
+	cfg GroupConfig
+
+	mem     map[VarID]int64
+	lockVal map[LockID]int64
+	// grantEpoch counts grants observed for each lock; releases quote it
+	// so the root can discard stale duplicates.
+	grantEpoch map[LockID]uint32
+
+	// Sequenced-stream reassembly.
+	nextSeq  uint64
+	pending  map[uint64]wire.Message
+	lastNack time.Time
+
+	// Insharing suspension (optimistic rollback window): data updates are
+	// parked, lock updates still flow.
+	suspended bool
+	suspendQ  []wire.Message
+
+	// lockHooks run (under the node lock) on every lock-value change;
+	// the optimistic engine uses them as the paper's interrupt. A hook
+	// returning HookSuspend parks insharing atomically with the interrupt.
+	lockHooks map[LockID]map[uint64]LockHook
+	// varHooks observe applied data updates (Watch).
+	varHooks map[VarID]map[uint64]func(int64)
+	hookSeq  uint64
+
+	// children are this node's spanning-tree children when the group
+	// uses tree fanout.
+	children []int
+
+	data *notifyList
+	lock *notifyList
+}
+
+func newMemberGroup(id int, cfg GroupConfig) *memberGroup {
+	var children []int
+	if cfg.TreeFanout {
+		// The config was validated at Join time; the tree over the torus
+		// embedding is deterministic, so every member derives the same
+		// one.
+		tree, err := topo.SpanningTree(topo.MustNew(len(cfg.Members)), cfg.Root)
+		if err != nil {
+			panic(fmt.Sprintf("gwc: spanning tree: %v", err))
+		}
+		children = tree.Children[id]
+	}
+	return &memberGroup{
+		children:   children,
+		cfg:        cfg,
+		mem:        make(map[VarID]int64),
+		lockVal:    make(map[LockID]int64),
+		grantEpoch: make(map[LockID]uint32),
+		nextSeq:    1,
+		pending:    make(map[uint64]wire.Message),
+		lockHooks:  make(map[LockID]map[uint64]LockHook),
+		varHooks:   make(map[VarID]map[uint64]func(int64)),
+		data:       newNotifyList(),
+		lock:       newNotifyList(),
+	}
+}
+
+func (g *memberGroup) lockValue(l LockID) int64 {
+	if v, ok := g.lockVal[l]; ok {
+		return v
+	}
+	return Free
+}
+
+// guardOf returns the lock guarding v, or false.
+func (g *memberGroup) guardOf(v VarID) (LockID, bool) {
+	l, ok := g.cfg.Guards[v]
+	return l, ok
+}
+
+// forwardDown relays a fresh sequenced message to this node's tree
+// children. Caller holds n.mu.
+func (n *Node) forwardDown(g *memberGroup, m wire.Message) {
+	for _, child := range g.children {
+		n.stats.Forwarded++
+		n.send(child, m)
+	}
+}
+
+// ingest performs sequence reassembly for a sequenced message, then
+// applies in-order messages. Caller holds n.mu. Fresh messages are
+// relayed down the spanning tree before local processing when the group
+// uses tree fanout; duplicates (including retransmissions of messages the
+// subtree already has) are not re-forwarded — descendants that are still
+// missing them NACK the root directly.
+func (n *Node) ingest(g *memberGroup, m wire.Message) {
+	switch {
+	case m.Seq < g.nextSeq:
+		n.stats.Duplicates++
+		return
+	case m.Seq > g.nextSeq:
+		if _, dup := g.pending[m.Seq]; !dup {
+			g.pending[m.Seq] = m
+			n.stats.Gaps++
+			n.forwardDown(g, m)
+		}
+		n.maybeNack(g)
+		return
+	}
+	n.forwardDown(g, m)
+	n.applySeq(g, m)
+	g.nextSeq++
+	for {
+		next, ok := g.pending[g.nextSeq]
+		if !ok {
+			break
+		}
+		delete(g.pending, g.nextSeq)
+		n.applySeq(g, next)
+		g.nextSeq++
+	}
+}
+
+// maybeNack asks the root to retransmit the missing range, rate-limited
+// so a burst of out-of-order arrivals produces one request.
+func (n *Node) maybeNack(g *memberGroup) {
+	if len(g.pending) == 0 {
+		return
+	}
+	now := time.Now()
+	if now.Sub(g.lastNack) < 5*time.Millisecond {
+		return
+	}
+	g.lastNack = now
+	// Request everything from the first missing seq up to the highest
+	// buffered one; the root re-sends the whole range and duplicates are
+	// dropped here.
+	maxSeq := g.nextSeq
+	for s := range g.pending {
+		if s > maxSeq {
+			maxSeq = s
+		}
+	}
+	n.stats.Nacks++
+	n.send(g.cfg.Root, wire.Message{
+		Type:  wire.TNack,
+		Group: uint32(g.cfg.ID),
+		Src:   int32(n.id),
+		Seq:   g.nextSeq,
+		Val:   int64(maxSeq),
+	})
+}
+
+// applySeq applies one in-order sequenced message. Caller holds n.mu.
+func (n *Node) applySeq(g *memberGroup, m wire.Message) {
+	switch m.Type {
+	case wire.TSeqUpdate:
+		if g.suspended {
+			// Insharing suspension: hold data back until the rollback
+			// finishes so restored values are not clobbered.
+			g.suspendQ = append(g.suspendQ, m)
+			return
+		}
+		n.applyData(g, m)
+	case wire.TSeqLock:
+		l := LockID(m.Lock)
+		g.lockVal[l] = m.Val
+		if m.Val != Free {
+			g.grantEpoch[l] = m.Var // root stamps the grant epoch in Var
+		}
+		for _, hook := range g.lockHooks[l] {
+			if hook(m.Val) == HookSuspend {
+				// The paper's atomic interrupt-and-sharing-suspension:
+				// no data update can slip in between the lock change
+				// that triggers the rollback and the suspension.
+				g.suspended = true
+			}
+		}
+		g.lock.notifyAll()
+	}
+}
+
+// applyData installs a data update, honouring hardware blocking.
+func (n *Node) applyData(g *memberGroup, m wire.Message) {
+	if m.Guarded && int(m.Origin) == n.id {
+		// Hardware blocking (Figure 6): drop root-echoed copies of our own
+		// mutex-group writes. The local store already happened at write
+		// time; applying the echo could overwrite rollback state.
+		n.stats.EchoDropped++
+		return
+	}
+	g.mem[VarID(m.Var)] = m.Val
+	for _, hook := range g.varHooks[VarID(m.Var)] {
+		hook(m.Val)
+	}
+	g.data.notifyAll()
+}
+
+// group looks a member group up. Caller holds n.mu.
+func (n *Node) group(id GroupID) (*memberGroup, error) {
+	g, ok := n.groups[id]
+	if !ok {
+		return nil, fmt.Errorf("gwc: node %d has not joined group %d", n.id, id)
+	}
+	return g, nil
+}
+
+// Write stores val to the group variable, applying locally at once (the
+// writer never blocks under eagersharing) and shipping the change to the
+// root for sequencing.
+func (n *Node) Write(gid GroupID, v VarID, val int64) error {
+	n.mu.Lock()
+	g, err := n.group(gid)
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	g.mem[v] = val
+	guard, guarded := g.guardOf(v)
+	g.data.notifyAll()
+	root := g.cfg.Root
+	msg := wire.Message{
+		Type:    wire.TUpdate,
+		Group:   uint32(gid),
+		Src:     int32(n.id),
+		Origin:  int32(n.id),
+		Var:     uint32(v),
+		Val:     val,
+		Guarded: guarded,
+	}
+	if guarded {
+		// Epoch tag: the root accepts this write only if it is post-grant
+		// (tag == current epoch) or a clean speculation (tag+1 == current
+		// epoch). A clean speculation provably never rolls back, so a
+		// rolled-back section's stale writes can never slip in behind its
+		// queued grant — a hole the paper's unconditional critical
+		// sections never exposed.
+		msg.Seq = uint64(g.grantEpoch[guard])
+	}
+	n.mu.Unlock()
+	return n.ep.Send(root, msg)
+}
+
+// Read returns the local copy of the group variable (zero if never
+// written). Reads are always local under eagersharing.
+func (n *Node) Read(gid GroupID, v VarID) (int64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g, err := n.group(gid)
+	if err != nil {
+		return 0, err
+	}
+	return g.mem[v], nil
+}
+
+// LockValue returns the local copy of the lock variable.
+func (n *Node) LockValue(gid GroupID, l LockID) (int64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g, err := n.group(gid)
+	if err != nil {
+		return 0, err
+	}
+	return g.lockValue(l), nil
+}
+
+// WaitGE blocks until the local copy of v reaches at least min. It
+// returns false if the node closes first.
+func (n *Node) WaitGE(gid GroupID, v VarID, min int64) (bool, error) {
+	n.mu.Lock()
+	g, err := n.group(gid)
+	if err != nil {
+		n.mu.Unlock()
+		return false, err
+	}
+	ch := g.data.register()
+	defer func() {
+		n.mu.Lock()
+		g.data.unregister(ch)
+		n.mu.Unlock()
+	}()
+	for {
+		if g.mem[v] >= min {
+			n.mu.Unlock()
+			return true, nil
+		}
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return false, nil
+		}
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return false, nil
+			}
+		case <-time.After(n.retryIn):
+			// Periodic wake: if a sequence gap is stalling us and the
+			// NACK was lost, ask again.
+			n.mu.Lock()
+			g.lastNack = time.Time{}
+			n.maybeNack(g)
+			n.mu.Unlock()
+		}
+		n.mu.Lock()
+	}
+}
+
+// SendLockRequest issues the non-blocking half of an acquisition: it
+// writes the negated ID into the local lock copy and ships the request.
+// The optimistic engine pairs it with WaitLockGrant.
+func (n *Node) SendLockRequest(gid GroupID, l LockID) error {
+	n.mu.Lock()
+	g, err := n.group(gid)
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	if g.lockValue(l) != GrantValue(n.id) {
+		g.lockVal[l] = RequestValue(n.id)
+	}
+	n.stats.LockRequests++
+	root := g.cfg.Root
+	msg := wire.Message{
+		Type:   wire.TLockReq,
+		Group:  uint32(gid),
+		Src:    int32(n.id),
+		Origin: int32(n.id),
+		Lock:   uint32(l),
+	}
+	n.mu.Unlock()
+	return n.ep.Send(root, msg)
+}
+
+// WaitLockGrant blocks until this node's positive ID arrives in the local
+// lock copy, re-sending the request periodically in case it was lost (the
+// root ignores duplicates). It returns false if the node closes first.
+func (n *Node) WaitLockGrant(gid GroupID, l LockID) (bool, error) {
+	n.mu.Lock()
+	g, err := n.group(gid)
+	if err != nil {
+		n.mu.Unlock()
+		return false, err
+	}
+	ch := g.lock.register()
+	defer func() {
+		n.mu.Lock()
+		g.lock.unregister(ch)
+		n.mu.Unlock()
+	}()
+	for {
+		if g.lockValue(l) == GrantValue(n.id) {
+			n.mu.Unlock()
+			return true, nil
+		}
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return false, nil
+		}
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return false, nil
+			}
+		case <-time.After(n.retryIn):
+			if err := n.SendLockRequest(gid, l); err != nil {
+				return false, err
+			}
+		}
+		n.mu.Lock()
+	}
+}
+
+// WaitLockCond blocks until cond is satisfied by the local lock value
+// (checked immediately and after every change). It returns false if the
+// node closes first. Unlike WaitLockGrant it never re-sends requests.
+func (n *Node) WaitLockCond(gid GroupID, l LockID, cond func(val int64) bool) (bool, error) {
+	n.mu.Lock()
+	g, err := n.group(gid)
+	if err != nil {
+		n.mu.Unlock()
+		return false, err
+	}
+	ch := g.lock.register()
+	defer func() {
+		n.mu.Lock()
+		g.lock.unregister(ch)
+		n.mu.Unlock()
+	}()
+	for {
+		if cond(g.lockValue(l)) {
+			n.mu.Unlock()
+			return true, nil
+		}
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return false, nil
+		}
+		if _, ok := <-ch; !ok {
+			return false, nil
+		}
+		n.mu.Lock()
+	}
+}
+
+// Acquire blocks until this node holds the lock.
+func (n *Node) Acquire(gid GroupID, l LockID) error {
+	if err := n.SendLockRequest(gid, l); err != nil {
+		return err
+	}
+	ok, err := n.WaitLockGrant(gid, l)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("gwc: node %d closed while waiting for lock %d", n.id, l)
+	}
+	return nil
+}
+
+// Release frees the lock. The release follows the critical section's last
+// shared write on the same path, so GWC ordering guarantees every member
+// sees the data before the lock changes.
+func (n *Node) Release(gid GroupID, l LockID) error {
+	n.mu.Lock()
+	g, err := n.group(gid)
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	if g.lockValue(l) != GrantValue(n.id) {
+		n.mu.Unlock()
+		return fmt.Errorf("gwc: node %d releasing lock %d it does not hold", n.id, l)
+	}
+	epoch := g.grantEpoch[l]
+	g.lockVal[l] = Free
+	root := g.cfg.Root
+	msg := wire.Message{
+		Type:   wire.TLockRel,
+		Group:  uint32(gid),
+		Src:    int32(n.id),
+		Origin: int32(n.id),
+		Lock:   uint32(l),
+		Var:    epoch, // quoted so the root can discard stale duplicates
+	}
+	n.mu.Unlock()
+	return n.ep.Send(root, msg)
+}
+
+// HookAction is a lock-change hook's verdict.
+type HookAction int
+
+// Hook verdicts.
+const (
+	// HookNone takes no protocol action.
+	HookNone HookAction = iota
+	// HookSuspend atomically suspends insharing for the group, the
+	// paper's interrupt-and-sharing-suspension (Figure 5).
+	HookSuspend
+)
+
+// LockHook observes a lock-value change. It runs under the node's
+// internal lock and must not block or call back into the node.
+type LockHook func(val int64) HookAction
+
+// OnLockChange registers a hook invoked whenever the lock's value
+// changes. The returned function unregisters it.
+func (n *Node) OnLockChange(gid GroupID, l LockID, hook LockHook) (func(), error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g, err := n.group(gid)
+	if err != nil {
+		return nil, err
+	}
+	g.hookSeq++
+	token := g.hookSeq
+	if g.lockHooks[l] == nil {
+		g.lockHooks[l] = make(map[uint64]LockHook)
+	}
+	g.lockHooks[l][token] = hook
+	return func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		delete(g.lockHooks[l], token)
+	}, nil
+}
+
+// SuspendInsharing parks incoming data updates for the group (lock
+// changes still flow), the atomic interrupt-and-suspension of Figure 5.
+func (n *Node) SuspendInsharing(gid GroupID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g, err := n.group(gid)
+	if err != nil {
+		return err
+	}
+	g.suspended = true
+	return nil
+}
+
+// ResumeInsharing replays parked updates and resumes normal delivery.
+func (n *Node) ResumeInsharing(gid GroupID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g, err := n.group(gid)
+	if err != nil {
+		return err
+	}
+	g.suspended = false
+	q := g.suspendQ
+	g.suspendQ = nil
+	for _, m := range q {
+		n.applyData(g, m)
+	}
+	return nil
+}
+
+// RestoreLocal writes saved values back into local memory without
+// propagating them — the rollback of Figure 4 lines 22-23.
+func (n *Node) RestoreLocal(gid GroupID, saved map[VarID]int64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g, err := n.group(gid)
+	if err != nil {
+		return err
+	}
+	for v, val := range saved {
+		g.mem[v] = val
+	}
+	g.data.notifyAll()
+	return nil
+}
+
+// OnVarChange registers a hook invoked (under the node's internal lock,
+// so it must not block) whenever a sequenced update to v is applied. The
+// origin's own writes trigger it when their (unguarded) echoes apply;
+// guarded echoes are hardware-blocked and do not. The returned function
+// unregisters the hook.
+func (n *Node) OnVarChange(gid GroupID, v VarID, hook func(val int64)) (func(), error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g, err := n.group(gid)
+	if err != nil {
+		return nil, err
+	}
+	g.hookSeq++
+	token := g.hookSeq
+	if g.varHooks[v] == nil {
+		g.varHooks[v] = make(map[uint64]func(int64))
+	}
+	g.varHooks[v][token] = hook
+	return func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		delete(g.varHooks[v], token)
+	}, nil
+}
+
+// SetGuard binds variable v to lock l in the group's mutex data map. The
+// cluster layer calls this on every member when a guarded variable is
+// declared, before the variable is first used.
+func (n *Node) SetGuard(gid GroupID, v VarID, l LockID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g, err := n.group(gid)
+	if err != nil {
+		return err
+	}
+	g.cfg.Guards[v] = l
+	if r, ok := n.roots[gid]; ok {
+		r.cfg.Guards[v] = l
+	}
+	return nil
+}

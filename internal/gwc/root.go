@@ -1,0 +1,208 @@
+package gwc
+
+import "optsync/internal/wire"
+
+// rootGroup is the authoritative state the group root keeps: the write
+// sequencer, the retransmission history, and the lock manager.
+type rootGroup struct {
+	cfg GroupConfig
+
+	seq  uint64
+	auth map[VarID]int64
+
+	// history retains the last HistorySize sequenced messages for
+	// NACK-driven retransmission; history[(s-1)%len] holds seq s when
+	// still buffered.
+	history []wire.Message
+
+	locks map[LockID]*lockState
+}
+
+// lockState is the manager's view of one queue-based lock.
+type lockState struct {
+	holder int // -1 when free
+	epoch  uint32
+	queue  []int
+}
+
+func newRootGroup(cfg GroupConfig) *rootGroup {
+	return &rootGroup{
+		cfg:     cfg,
+		auth:    make(map[VarID]int64),
+		history: make([]wire.Message, cfg.HistorySize),
+		locks:   make(map[LockID]*lockState),
+	}
+}
+
+func (r *rootGroup) lock(l LockID) *lockState {
+	ls, ok := r.locks[l]
+	if !ok {
+		ls = &lockState{holder: -1}
+		r.locks[l] = ls
+	}
+	return ls
+}
+
+// queued reports whether node id is already waiting for the lock.
+func (ls *lockState) queued(id int) bool {
+	for _, q := range ls.queue {
+		if q == id {
+			return true
+		}
+	}
+	return false
+}
+
+// rootHandle processes an up-message at the group root. Caller holds
+// n.mu.
+func (n *Node) rootHandle(r *rootGroup, m wire.Message) {
+	switch m.Type {
+	case wire.TUpdate:
+		n.rootUpdate(r, m)
+	case wire.TLockReq:
+		n.rootLockReq(r, m)
+	case wire.TLockRel:
+		n.rootLockRel(r, m)
+	case wire.TNack:
+		n.rootNack(r, m)
+	}
+}
+
+// rootUpdate sequences a shared write, discarding speculative writes to
+// guarded variables from nodes that do not hold the lock — the root "is
+// both the lock owner and the sequencing arbiter for all data changes
+// within the group", so improper changes never enter the group.
+func (n *Node) rootUpdate(r *rootGroup, m wire.Message) {
+	if m.Guarded {
+		guard, ok := r.cfg.Guards[VarID(m.Var)]
+		if !ok {
+			n.stats.Suppressed++
+			return
+		}
+		ls := r.lock(guard)
+		// Accept only from the holder, and only when the write is
+		// post-grant (epoch tag == current) or a clean speculation
+		// (tag+1 == current); anything else is a stale speculative write
+		// whose section has rolled back (or will), so it must not enter
+		// the group.
+		if ls.holder != int(m.Origin) || (m.Seq != uint64(ls.epoch) && m.Seq+1 != uint64(ls.epoch)) {
+			n.stats.Suppressed++
+			return
+		}
+	}
+	r.auth[VarID(m.Var)] = m.Val
+	n.multicast(r, wire.Message{
+		Type:    wire.TSeqUpdate,
+		Group:   m.Group,
+		Src:     int32(n.id),
+		Origin:  m.Origin,
+		Var:     m.Var,
+		Val:     m.Val,
+		Guarded: m.Guarded,
+	})
+}
+
+// rootLockReq queues or grants a lock request. Duplicate requests (from
+// the requester's retry timer) are ignored.
+func (n *Node) rootLockReq(r *rootGroup, m wire.Message) {
+	l := LockID(m.Lock)
+	ls := r.lock(l)
+	origin := int(m.Origin)
+	if ls.holder == origin || ls.queued(origin) {
+		return // duplicate
+	}
+	if ls.holder != -1 {
+		ls.queue = append(ls.queue, origin)
+		return
+	}
+	n.grant(r, l, ls, origin)
+}
+
+// rootLockRel releases the lock, validating the quoted grant epoch so a
+// duplicated release cannot free a later holder's grant, and immediately
+// appends the next grant behind the releaser's (already sequenced) data.
+func (n *Node) rootLockRel(r *rootGroup, m wire.Message) {
+	l := LockID(m.Lock)
+	ls := r.lock(l)
+	if ls.holder != int(m.Origin) || ls.epoch != m.Var {
+		return // stale or duplicate release
+	}
+	ls.holder = -1
+	if len(ls.queue) > 0 {
+		next := ls.queue[0]
+		ls.queue = ls.queue[1:]
+		n.grant(r, l, ls, next)
+		return
+	}
+	// Nobody waiting: propagate the free value to all group memories.
+	n.multicast(r, wire.Message{
+		Type:  wire.TSeqLock,
+		Group: uint32(r.cfg.ID),
+		Src:   int32(n.id),
+		Lock:  uint32(l),
+		Var:   ls.epoch,
+		Val:   Free,
+	})
+}
+
+// grant writes the winner's positive ID into the lock variable and
+// multicasts it.
+func (n *Node) grant(r *rootGroup, l LockID, ls *lockState, winner int) {
+	ls.holder = winner
+	ls.epoch++
+	n.stats.LockGrants++
+	n.multicast(r, wire.Message{
+		Type:  wire.TSeqLock,
+		Group: uint32(r.cfg.ID),
+		Src:   int32(n.id),
+		Lock:  uint32(l),
+		Var:   ls.epoch,
+		Val:   GrantValue(winner),
+	})
+}
+
+// rootNack retransmits the sequenced range [m.Seq, m.Val] to the
+// requester, as far back as the history buffer still reaches.
+func (n *Node) rootNack(r *rootGroup, m wire.Message) {
+	from, to := m.Seq, uint64(m.Val)
+	if to > r.seq {
+		to = r.seq
+	}
+	for s := from; s <= to; s++ {
+		if r.seq > uint64(len(r.history)) && s <= r.seq-uint64(len(r.history)) {
+			// Older than the retained window.
+			n.stats.LostHistory++
+			continue
+		}
+		h := r.history[(s-1)%uint64(len(r.history))]
+		if h.Seq != s {
+			n.stats.LostHistory++
+			continue
+		}
+		n.stats.Retransmits++
+		n.send(int(m.Src), h)
+	}
+}
+
+// multicast stamps the next sequence number on a down-message, records it
+// for retransmission, and fans it out — to every member directly, or to
+// the root's tree children when the group uses tree fanout (members relay
+// onward in ingest). The root applies locally through the same path, so
+// its own member state stays in order.
+func (n *Node) multicast(r *rootGroup, m wire.Message) {
+	r.seq++
+	m.Seq = r.seq
+	r.history[(r.seq-1)%uint64(len(r.history))] = m
+	if !r.cfg.TreeFanout {
+		for _, member := range r.cfg.Members {
+			if member == n.id {
+				continue
+			}
+			n.send(member, m)
+		}
+	}
+	if g, ok := n.groups[r.cfg.ID]; ok {
+		// Tree mode: ingest forwards to the root's children.
+		n.ingest(g, m)
+	}
+}

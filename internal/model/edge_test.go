@@ -1,0 +1,241 @@
+package model
+
+import (
+	"testing"
+
+	"optsync/internal/sim"
+	"optsync/internal/trace"
+)
+
+// TestEntryRequestChasesMovingLock: a request issued while the lock is
+// being transferred must chase it through forwards and still be served.
+func TestEntryRequestChasesMovingLock(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig(4)
+	cfg.Guard = map[VarID]LockID{varA: testLock}
+	m, err := NewEntry(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	// Node 1 takes the lock from initial owner 0 and keeps it briefly;
+	// node 2 requests mid-transfer; node 3 requests even later.
+	m.Start(1, func(a App) {
+		a.Acquire(testLock)
+		a.Compute(3000)
+		a.Write(varA, 11)
+		a.Release(testLock)
+	})
+	m.Start(2, func(a App) {
+		a.Compute(100) // lands while the grant to node 1 is in flight
+		a.Acquire(testLock)
+		a.Write(varA, 22)
+		a.Release(testLock)
+	})
+	m.Start(3, func(a App) {
+		a.Compute(5000)
+		a.Acquire(testLock)
+		got = a.Read(varA)
+		a.Release(testLock)
+	})
+	k.Run()
+	if got != 22 {
+		t.Errorf("node 3 read %d inside the section, want 22 (data follows the lock)", got)
+	}
+}
+
+// TestReleaseForwardBounce: the weak/release machine must survive a
+// forwarded request arriving at a node that has already passed the lock
+// on (the bounce-to-manager path).
+func TestReleaseForwardBounce(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig(4)
+	cfg.Guard = map[VarID]LockID{varA: testLock}
+	m, err := NewRelease(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grants := 0
+	for id := 1; id <= 3; id++ {
+		id := id
+		m.Start(id, func(a App) {
+			a.Compute(sim.Time(id) * 10) // tightly staggered requests
+			a.Acquire(testLock)
+			grants++
+			a.Write(varA, int64(id))
+			a.Release(testLock)
+		})
+	}
+	k.Run()
+	if grants != 3 {
+		t.Errorf("grants = %d, want 3 (a request was lost in forwarding)", grants)
+	}
+}
+
+// TestGWCOptimisticSuspensionReplaysData: during a rollback window,
+// insharing suspension must park the competing holder's data and replay
+// it before the re-execution reads.
+func TestGWCOptimisticSuspensionReplaysData(t *testing.T) {
+	tr := &trace.Log{}
+	k := sim.NewKernel()
+	cfg := DefaultConfig(3)
+	cfg.Optimistic = true
+	cfg.Guard = map[VarID]LockID{varA: testLock, varB: testLock}
+	cfg.Trace = tr
+	m, err := NewGWC(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 wins and writes BOTH variables; node 2's re-execution must
+	// see both of node 1's values, proving the parked updates replayed.
+	var seenA, seenB int64
+	m.Start(1, func(a App) {
+		a.MutexDo(testLock, func() {
+			a.Compute(400)
+			a.Write(varA, 100)
+			a.Write(varB, 200)
+		})
+	})
+	m.Start(2, func(a App) {
+		a.Compute(5)
+		a.MutexDo(testLock, func() {
+			a.Compute(100)
+			seenA = a.Read(varA)
+			seenB = a.Read(varB)
+			a.Write(varA, seenA+1)
+		})
+	})
+	k.Run()
+	if m.Stats().Rollbacks != 1 {
+		t.Skipf("timing did not force a rollback: %+v", m.Stats())
+	}
+	if seenA != 100 || seenB != 200 {
+		t.Errorf("re-execution saw a=%d b=%d, want 100 and 200\n%s", seenA, seenB, tr)
+	}
+	for id := 0; id < 3; id++ {
+		if got := m.Value(id, varA); got != 101 {
+			t.Errorf("node %d converged on %d, want 101", id, got)
+		}
+	}
+}
+
+// TestGWCUnguardedEchoConverges: for unguarded variables the origin's
+// echo must be applied (not hardware-blocked) so interleaved writers
+// converge — the divergence scenario hardware blocking would cause if it
+// applied to ordinary variables.
+func TestGWCUnguardedEchoConverges(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig(3)
+	m, err := NewGWC(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two writers interleave on one unguarded variable with sub-RTT
+	// spacing, the adversarial case for echo handling.
+	for w := 1; w <= 2; w++ {
+		w := w
+		m.Start(w, func(a App) {
+			for i := 0; i < 20; i++ {
+				a.Write(500, int64(w*1000+i))
+				a.Compute(90)
+			}
+		})
+	}
+	k.Run()
+	want := m.Value(0, 500)
+	for id := 1; id < 3; id++ {
+		if got := m.Value(id, 500); got != want {
+			t.Errorf("node %d = %d, node 0 = %d: unguarded echoes must restore total order", id, got, want)
+		}
+	}
+}
+
+// TestMessageCountsScaleWithGroupSize: sanity for the paper's traffic
+// argument — one eagershared write costs N-1 sequenced deliveries.
+func TestMessageCountsScaleWithGroupSize(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		k := sim.NewKernel()
+		cfg := DefaultConfig(n)
+		m, err := NewGWC(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Start(1, func(a App) {
+			a.Write(500, 1)
+		})
+		k.Run()
+		// 1 up message + (n-1) down messages.
+		want := 1 + (n - 1)
+		if got := m.Stats().Messages; got != want {
+			t.Errorf("n=%d: messages = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestEntryGrantCarriesOnlyGroupData: grant size grows with the guarded
+// set, the cost Figure 1(b) charges entry consistency for.
+func TestEntryGrantBytesGrowWithGuardedSet(t *testing.T) {
+	run := func(guarded int) int {
+		k := sim.NewKernel()
+		cfg := DefaultConfig(2)
+		for v := 0; v < guarded; v++ {
+			cfg.Guard[VarID(10+v)] = testLock
+		}
+		m, err := NewEntry(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Start(1, func(a App) {
+			a.Acquire(testLock) // one transfer 0 -> 1
+			a.Release(testLock)
+		})
+		k.Run()
+		return m.Stats().Bytes
+	}
+	small, big := run(1), run(10)
+	if big <= small {
+		t.Errorf("grant bytes did not grow with the guarded set: %d vs %d", small, big)
+	}
+}
+
+// TestGWCHandoffWithinOneRoundTrip checks Section 2's latency claim: "A
+// processor always receives exclusive access within one or one half
+// round-trip time of the lock being freed" — the handoff is one one-way
+// release (holder to root) plus one one-way grant (root to waiter).
+func TestGWCHandoffWithinOneRoundTrip(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig(9)
+	cfg.Guard = map[VarID]LockID{varA: testLock}
+	m, err := NewGWC(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var releaseAt, grantAt sim.Time
+	m.Start(4, func(a App) {
+		a.Acquire(testLock)
+		a.Compute(50_000) // hold long enough for node 8 to queue
+		releaseAt = a.Now()
+		a.Release(testLock)
+	})
+	m.Start(8, func(a App) {
+		a.Compute(1000)
+		a.Acquire(testLock)
+		grantAt = a.Now()
+		a.Release(testLock)
+	})
+	k.Run()
+	if grantAt <= releaseAt {
+		t.Fatalf("grant at %d not after release at %d", grantAt, releaseAt)
+	}
+	// One-way release 4->root(0) plus one-way grant root->8, plus the
+	// root's processing: strictly less than a full round trip between the
+	// farthest nodes plus slack.
+	tor := m.net.Torus()
+	oneWay := func(a, b int) sim.Time {
+		return cfg.Net.Delay(tor.Hops(a, b), cfg.LockMsgBytes)
+	}
+	bound := oneWay(4, 0) + oneWay(0, 8) + 2*cfg.RootProc
+	if got := grantAt - releaseAt; got > bound {
+		t.Errorf("handoff took %dns, want <= %dns (release + grant one-ways)", got, bound)
+	}
+}

@@ -1,0 +1,348 @@
+package model
+
+import (
+	"fmt"
+
+	"optsync/internal/netsim"
+	"optsync/internal/sim"
+	"optsync/internal/trace"
+)
+
+// Wire payloads for the entry-consistency machine.
+type (
+	// eLockReq asks the lock's current owner (directly, or via the
+	// manager when the requester guesses wrong) for the lock.
+	eLockReq struct {
+		origin int
+		l      LockID
+	}
+	// eGrant transfers the lock and the guarded data to the winner.
+	eGrant struct {
+		l    LockID
+		from int
+		data map[VarID]int64
+	}
+	// eFetchReq demand-fetches an unguarded variable from its home node.
+	eFetchReq struct {
+		origin int
+		v      VarID
+	}
+	// eFetchResp answers a demand fetch.
+	eFetchResp struct {
+		v   VarID
+		val int64
+	}
+)
+
+// Entry models entry consistency (Midway): consistency is enforced only
+// when entering a guarded section; the guarded data travels with the lock
+// grant; releases are local; and reads of unguarded shared data are demand
+// fetches to the variable's home node.
+//
+// This is the paper's "fast version of entry consistency": lock requests
+// are routed to the actual current owner unless cfg.ViaManager forces the
+// wrong-guess path through the manager.
+type Entry struct {
+	k     *sim.Kernel
+	net   *netsim.Net
+	cfg   Config
+	nodes []*entryNode
+	stats Stats
+
+	// Global lock directory (the "always knows the owner" idealisation).
+	owner    map[LockID]int
+	held     map[LockID]bool
+	inflight map[LockID]bool // grant sent, not yet arrived
+	queue    map[LockID][]int
+	readers  map[LockID][]int // nodes caching guarded data non-exclusively
+}
+
+// entryNode is one node's local state.
+type entryNode struct {
+	m        *Entry
+	id       int
+	mem      map[VarID]int64
+	wakeLock signal
+	fetchCh  *sim.Chan[eFetchResp]
+}
+
+// NewEntry builds an entry-consistency machine.
+func NewEntry(k *sim.Kernel, cfg Config) (*Entry, error) {
+	net, err := netsim.New(k, cfg.N, cfg.Net)
+	if err != nil {
+		return nil, fmt.Errorf("entry: %w", err)
+	}
+	if cfg.Root < 0 || cfg.Root >= cfg.N {
+		return nil, fmt.Errorf("entry: root %d out of range for %d nodes", cfg.Root, cfg.N)
+	}
+	m := &Entry{
+		k:        k,
+		net:      net,
+		cfg:      cfg,
+		owner:    make(map[LockID]int),
+		held:     make(map[LockID]bool),
+		inflight: make(map[LockID]bool),
+		queue:    make(map[LockID][]int),
+		readers:  make(map[LockID][]int),
+	}
+	m.nodes = make([]*entryNode, cfg.N)
+	for i := range m.nodes {
+		n := &entryNode{
+			m:        m,
+			id:       i,
+			mem:      make(map[VarID]int64),
+			wakeLock: newSignal(k),
+			fetchCh:  sim.NewChan[eFetchResp](k),
+		}
+		m.nodes[i] = n
+		k.Spawn(fmt.Sprintf("entry.iface.%d", i), n.ifaceLoop)
+	}
+	return m, nil
+}
+
+// Name implements Machine.
+func (m *Entry) Name() string { return "entry" }
+
+// N implements Machine.
+func (m *Entry) N() int { return m.cfg.N }
+
+// Value implements Machine.
+func (m *Entry) Value(id int, v VarID) int64 { return m.nodes[id].mem[v] }
+
+// Stats implements Machine.
+func (m *Entry) Stats() Stats {
+	s := m.stats
+	s.Messages = m.net.Messages()
+	s.Bytes = m.net.BytesSent()
+	return s
+}
+
+// Start implements Machine.
+func (m *Entry) Start(id int, body func(a App)) {
+	n := m.nodes[id]
+	m.k.Spawn(fmt.Sprintf("entry.app.%d", id), func(p *sim.Proc) {
+		body(&entryApp{n: n, p: p})
+	})
+}
+
+// SetReaders seeds the non-exclusive reader set for a lock's data, for
+// scenarios (Figure 1) that begin with data cached on several nodes.
+func (m *Entry) SetReaders(l LockID, nodes []int) {
+	m.readers[l] = append([]int(nil), nodes...)
+}
+
+// lockOwner reports the lock's current owner (cfg.Root if never moved).
+func (m *Entry) lockOwner(l LockID) int {
+	if o, ok := m.owner[l]; ok {
+		return o
+	}
+	return m.cfg.Root
+}
+
+// guardedVars lists the variables in lock l's data group, in VarID order.
+func (m *Entry) guardedVars(l LockID) []VarID {
+	var vs []VarID
+	for v, g := range m.cfg.Guard {
+		if g == l {
+			vs = append(vs, v)
+		}
+	}
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+	return vs
+}
+
+// grantBytes is the wire size of a grant: lock metadata plus the guarded
+// data that must be shipped with it (entry consistency's defining cost).
+func (m *Entry) grantBytes(l LockID) int {
+	b := m.cfg.LockMsgBytes
+	for _, v := range m.guardedVars(l) {
+		b += m.cfg.varBytes(v)
+	}
+	return b
+}
+
+// transfer hands lock l from node `from` to node `to`, charging an
+// invalidation round trip first when non-exclusive copies exist.
+func (m *Entry) transfer(l LockID, from, to int) {
+	var delay sim.Time
+	if m.cfg.Invalidate && len(m.readers[l]) > 0 {
+		// Invalidate every non-exclusive copy and wait for the slowest
+		// acknowledgement before the grant can leave.
+		worst := sim.Time(0)
+		for _, r := range m.readers[l] {
+			if r == to {
+				continue
+			}
+			d := 2 * m.cfg.Net.Delay(m.net.Torus().Hops(from, r), m.cfg.LockMsgBytes)
+			if d > worst {
+				worst = d
+			}
+			m.stats.Invalidation++
+			m.cfg.Trace.Addf(m.k.Now(), from, trace.Invalidate, "lock %d data at CPU%d", l, r+1)
+		}
+		m.readers[l] = nil
+		delay = worst
+	}
+	m.inflight[l] = true
+	data := make(map[VarID]int64, len(m.cfg.Guard))
+	for _, v := range m.guardedVars(l) {
+		data[v] = m.nodes[from].mem[v]
+	}
+	m.cfg.Trace.Addf(m.k.Now()+delay, from, trace.LockGrant, "lock %d -> CPU%d (with data)", l, to+1)
+	m.net.SendAfter(delay, from, to, m.grantBytes(l), eGrant{l: l, from: from, data: data})
+}
+
+// ifaceLoop serves lock and fetch traffic at one node.
+func (n *entryNode) ifaceLoop(p *sim.Proc) {
+	m := n.m
+	for {
+		msg := m.net.Inbox(n.id).Recv(p)
+		switch pl := msg.Payload.(type) {
+		case eLockReq:
+			n.handleLockReq(pl)
+		case eGrant:
+			for v, val := range pl.data {
+				n.mem[v] = val
+			}
+			m.owner[pl.l] = n.id
+			m.held[pl.l] = true
+			m.inflight[pl.l] = false
+			n.wakeLock.notify()
+		case eFetchReq:
+			m.net.Send(n.id, pl.origin, m.cfg.varBytes(pl.v), eFetchResp{v: pl.v, val: n.mem[pl.v]})
+		case eFetchResp:
+			n.fetchCh.Post(pl)
+		default:
+			panic(fmt.Sprintf("entry: node %d got unexpected payload %T", n.id, msg.Payload))
+		}
+	}
+}
+
+// handleLockReq queues, forwards, or grants a request arriving at this
+// node.
+func (n *entryNode) handleLockReq(req eLockReq) {
+	m := n.m
+	cur := m.lockOwner(req.l)
+	if cur != n.id {
+		// We no longer own it (or we are the manager relaying a wrong
+		// guess): forward to the current owner.
+		m.cfg.Trace.Addf(m.k.Now(), n.id, trace.LockRequest, "lock %d from CPU%d forwarded to CPU%d", req.l, req.origin+1, cur+1)
+		m.net.Send(n.id, cur, m.cfg.LockMsgBytes, req)
+		return
+	}
+	if m.held[req.l] || m.inflight[req.l] {
+		// Busy, or the grant is still travelling to us: queue the request
+		// behind the current/next holder.
+		m.queue[req.l] = append(m.queue[req.l], req.origin)
+		m.cfg.Trace.Addf(m.k.Now(), n.id, trace.LockRequest, "lock %d from CPU%d queued", req.l, req.origin+1)
+		return
+	}
+	// Idle owner: transfer immediately. Ownership moves when the grant
+	// arrives; until then requests keep finding us and are forwarded.
+	m.owner[req.l] = req.origin // in-flight: route later requests onward
+	m.transfer(req.l, n.id, req.origin)
+}
+
+// entryApp implements App on the entry machine.
+type entryApp struct {
+	n *entryNode
+	p *sim.Proc
+}
+
+var _ App = (*entryApp)(nil)
+
+func (a *entryApp) ID() int            { return a.n.id }
+func (a *entryApp) N() int             { return a.n.m.cfg.N }
+func (a *entryApp) Now() sim.Time      { return a.p.Now() }
+func (a *entryApp) Compute(d sim.Time) { a.p.Sleep(d) }
+
+// Read is local for guarded data we hold and for variables homed here;
+// any other shared read is a demand fetch (entry consistency does not
+// update remote copies until a lock is requested).
+func (a *entryApp) Read(v VarID) int64 {
+	m := a.n.m
+	if g, ok := m.cfg.Guard[v]; ok && m.lockOwner(g) == a.n.id {
+		a.p.Sleep(m.cfg.LocalRead)
+		return a.n.mem[v]
+	}
+	home, ok := m.cfg.Home[v]
+	if !ok || home == a.n.id {
+		a.p.Sleep(m.cfg.LocalRead)
+		return a.n.mem[v]
+	}
+	m.stats.DemandFetch++
+	m.cfg.Trace.Addf(a.p.Now(), a.n.id, trace.DemandFetch, "var %d from CPU%d", v, home+1)
+	m.net.Send(a.n.id, home, m.cfg.LockMsgBytes, eFetchReq{origin: a.n.id, v: v})
+	resp := a.n.fetchCh.Recv(a.p)
+	a.n.mem[resp.v] = resp.val
+	return resp.val
+}
+
+// Write updates the local copy only; guarded data propagates with the
+// next lock transfer, unguarded data is served to demand fetches.
+func (a *entryApp) Write(v VarID, val int64) {
+	a.p.Sleep(a.n.m.cfg.LocalWrite)
+	a.n.mem[v] = val
+}
+
+// Acquire requests the lock in exclusive mode and blocks until the grant
+// (with its data) arrives. Re-acquiring a lock we still own is local.
+func (a *entryApp) Acquire(l LockID) {
+	m := a.n.m
+	if m.lockOwner(l) == a.n.id && !m.held[l] && !m.inflight[l] {
+		m.held[l] = true
+		a.p.Sleep(m.cfg.LocalRead)
+		m.cfg.Trace.Addf(a.p.Now(), a.n.id, trace.EnterMX, "lock %d (already owner)", l)
+		return
+	}
+	dest := m.lockOwner(l)
+	if m.cfg.ViaManager && a.n.id != m.cfg.Root {
+		// Wrong owner guess: the request goes to the manager first.
+		dest = m.cfg.Root
+	}
+	m.cfg.Trace.Addf(a.p.Now(), a.n.id, trace.LockRequest, "lock %d via CPU%d", l, dest+1)
+	m.net.Send(a.n.id, dest, m.cfg.LockMsgBytes, eLockReq{origin: a.n.id, l: l})
+	for !(m.lockOwner(l) == a.n.id && m.held[l]) {
+		a.n.wakeLock.wait(a.p)
+	}
+	m.cfg.Trace.Addf(a.p.Now(), a.n.id, trace.EnterMX, "lock %d", l)
+}
+
+// Release is local under entry consistency; if requests are queued here
+// the lock (and data) leave immediately.
+func (a *entryApp) Release(l LockID) {
+	m := a.n.m
+	a.p.Sleep(m.cfg.LocalWrite)
+	m.cfg.Trace.Addf(a.p.Now(), a.n.id, trace.LockRelease, "lock %d (local)", l)
+	m.held[l] = false
+	q := m.queue[l]
+	if len(q) > 0 {
+		next := q[0]
+		m.queue[l] = q[1:]
+		m.owner[l] = next
+		m.transfer(l, a.n.id, next)
+	}
+}
+
+// MutexDo on the entry machine is the conventional acquire/run/release.
+func (a *entryApp) MutexDo(l LockID, body func()) {
+	a.Acquire(l)
+	body()
+	a.Release(l)
+}
+
+// AwaitGE polls the variable with demand fetches until it reaches min —
+// the paper's "processors must fetch and test a variable written by the
+// producer ... causing network traffic and delays".
+func (a *entryApp) AwaitGE(v VarID, min int64) {
+	for {
+		if a.Read(v) >= min {
+			return
+		}
+		a.p.Sleep(a.n.m.cfg.PollInterval)
+	}
+}

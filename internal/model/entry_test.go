@@ -1,0 +1,245 @@
+package model
+
+import (
+	"testing"
+
+	"optsync/internal/sim"
+)
+
+func newEntryTest(t *testing.T, n int) (*sim.Kernel, *Entry) {
+	t.Helper()
+	k := sim.NewKernel()
+	cfg := DefaultConfig(n)
+	cfg.Guard = map[VarID]LockID{varA: testLock, varB: testLock}
+	m, err := NewEntry(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, m
+}
+
+func TestEntryDataTravelsWithLock(t *testing.T) {
+	k, m := newEntryTest(t, 3)
+	var seen int64
+	m.Start(0, func(a App) { // node 0 is the initial owner
+		a.Acquire(testLock)
+		a.Write(varA, 31337)
+		a.Release(testLock)
+	})
+	m.Start(2, func(a App) {
+		a.Compute(50000) // after node 0 has released
+		a.Acquire(testLock)
+		seen = a.Read(varA)
+		a.Release(testLock)
+	})
+	k.Run()
+	if seen != 31337 {
+		t.Errorf("node 2 saw %d after acquiring, want 31337", seen)
+	}
+	// Without the lock, node 1 must NOT have received the update (no
+	// eager propagation under entry consistency).
+	if got := m.Value(1, varA); got != 0 {
+		t.Errorf("bystander node 1 has varA=%d, want 0 (no eager sharing)", got)
+	}
+}
+
+func TestEntryReleaseIsLocalAndCheap(t *testing.T) {
+	k, m := newEntryTest(t, 3)
+	var relDur sim.Time
+	m.Start(0, func(a App) {
+		a.Acquire(testLock)
+		a.Write(varA, 1)
+		start := a.Now()
+		a.Release(testLock)
+		relDur = a.Now() - start
+	})
+	k.Run()
+	if relDur > 100 {
+		t.Errorf("entry release took %dns, want local (tiny)", relDur)
+	}
+}
+
+func TestEntryReacquireOwnLockFree(t *testing.T) {
+	k, m := newEntryTest(t, 3)
+	var dur sim.Time
+	m.Start(0, func(a App) {
+		a.Acquire(testLock)
+		a.Release(testLock)
+		start := a.Now()
+		a.Acquire(testLock) // still owner: no messages
+		dur = a.Now() - start
+		a.Release(testLock)
+	})
+	k.Run()
+	if dur > 100 {
+		t.Errorf("re-acquiring owned lock took %dns, want local", dur)
+	}
+	if msgs := m.Stats().Messages; msgs != 0 {
+		t.Errorf("owner re-acquire sent %d messages, want 0", msgs)
+	}
+}
+
+func TestEntryDemandFetchCounted(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig(3)
+	cfg.Home = map[VarID]int{200: 0}
+	m, err := NewEntry(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	m.Start(0, func(a App) {
+		a.Write(200, 88)
+	})
+	m.Start(2, func(a App) {
+		a.Compute(10000)
+		got = a.Read(200) // remote: demand fetch
+		a.Read(200)       // fetches again (no caching between syncs)
+	})
+	k.Run()
+	if got != 88 {
+		t.Errorf("fetched %d, want 88", got)
+	}
+	if df := m.Stats().DemandFetch; df != 2 {
+		t.Errorf("DemandFetch = %d, want 2", df)
+	}
+}
+
+func TestEntryAwaitGEPollsWithFetches(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig(2)
+	cfg.Home = map[VarID]int{200: 0}
+	cfg.PollInterval = 1000
+	m, err := NewEntry(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt sim.Time
+	m.Start(0, func(a App) {
+		a.Compute(20000)
+		a.Write(200, 3)
+	})
+	m.Start(1, func(a App) {
+		a.AwaitGE(200, 3)
+		doneAt = a.Now()
+	})
+	k.Run()
+	if doneAt < 20000 {
+		t.Fatalf("AwaitGE returned at %d before the write at 20000", doneAt)
+	}
+	if df := m.Stats().DemandFetch; df < 5 {
+		t.Errorf("DemandFetch = %d, want many polls over 20000ns at 1000ns interval", df)
+	}
+}
+
+func TestEntryMutualExclusion(t *testing.T) {
+	k, m := newEntryTest(t, 4)
+	type span struct {
+		node       int
+		start, end sim.Time
+	}
+	var spans []span
+	for id := 0; id < 4; id++ {
+		id := id
+		m.Start(id, func(a App) {
+			for i := 0; i < 3; i++ {
+				a.Acquire(testLock)
+				start := a.Now()
+				a.Compute(700)
+				a.Write(varA, int64(id))
+				spans = append(spans, span{node: id, start: start, end: a.Now()})
+				a.Release(testLock)
+				a.Compute(1500)
+			}
+		})
+	}
+	k.Run()
+	if len(spans) != 12 {
+		t.Fatalf("completed %d critical sections, want 12", len(spans))
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.start < b.end && b.start < a.end {
+				t.Errorf("overlap: node %d [%d,%d] vs node %d [%d,%d]",
+					a.node, a.start, a.end, b.node, b.start, b.end)
+			}
+		}
+	}
+}
+
+func TestEntryCounterCorrectness(t *testing.T) {
+	k, m := newEntryTest(t, 4)
+	const reps = 5
+	for id := 0; id < 4; id++ {
+		m.Start(id, func(a App) {
+			for i := 0; i < reps; i++ {
+				a.MutexDo(testLock, func() {
+					cur := a.Read(varA)
+					a.Compute(300)
+					a.Write(varA, cur+1)
+				})
+				a.Compute(4000)
+			}
+		})
+	}
+	k.Run()
+	// Only the final owner is guaranteed current; find it via the lock.
+	owner := m.lockOwner(testLock)
+	if got := m.Value(owner, varA); got != 4*reps {
+		t.Errorf("final owner %d sees counter %d, want %d", owner, got, 4*reps)
+	}
+}
+
+func TestEntryInvalidationCharged(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig(3)
+	cfg.Guard = map[VarID]LockID{varA: testLock}
+	cfg.Invalidate = true
+	m, err := NewEntry(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetReaders(testLock, []int{1, 2})
+	m.Start(1, func(a App) {
+		a.Acquire(testLock) // ownership transfer 0 -> 1 must invalidate
+		a.Release(testLock)
+	})
+	k.Run()
+	if inv := m.Stats().Invalidation; inv < 1 {
+		t.Errorf("Invalidation = %d, want >= 1", inv)
+	}
+}
+
+func TestEntryViaManagerSlower(t *testing.T) {
+	// Routing requests via the manager (wrong owner guess) must delay
+	// acquisition relative to asking the owner directly.
+	run := func(via bool) sim.Time {
+		k := sim.NewKernel()
+		cfg := DefaultConfig(9)
+		cfg.Guard = map[VarID]LockID{varA: testLock}
+		cfg.ViaManager = via
+		m, err := NewEntry(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var end sim.Time
+		// Move ownership to node 4 first, then have node 8 acquire.
+		m.Start(4, func(a App) {
+			a.Acquire(testLock)
+			a.Release(testLock)
+		})
+		m.Start(8, func(a App) {
+			a.Compute(100000)
+			a.Acquire(testLock)
+			end = a.Now()
+			a.Release(testLock)
+		})
+		k.Run()
+		return end
+	}
+	direct, via := run(false), run(true)
+	if via <= direct {
+		t.Errorf("via-manager acquire at %d, direct at %d: forwarding should cost time", via, direct)
+	}
+}

@@ -1,0 +1,510 @@
+package model
+
+import (
+	"fmt"
+
+	"optsync/internal/netsim"
+	"optsync/internal/sim"
+	"optsync/internal/trace"
+)
+
+// Wire payloads for the GWC machine. Everything flows through the group
+// root: nodes send up-messages, the root sequences them and multicasts
+// down-messages along the sharing tree.
+type (
+	// upWrite carries an eagerly shared write from its origin to the root.
+	upWrite struct {
+		origin int
+		v      VarID
+		val    int64
+		guard  LockID // NoGuard if the variable is not in a mutex group
+		// epoch is the last grant epoch of the guarding lock the origin
+		// had applied when it issued the write. The root validates it:
+		// a guarded write is accepted only when the origin holds the
+		// lock AND the write is post-grant (epoch == current) or a clean
+		// speculation (epoch+1 == current, which provably never rolls
+		// back). This closes a hole the paper's unconditional critical
+		// sections never hit: a rolled-back section's stale writes
+		// arriving after its queued grant.
+		epoch int
+	}
+	// upLockReq asks the root (lock manager) for exclusive access.
+	upLockReq struct {
+		origin int
+		l      LockID
+	}
+	// upLockRel returns the lock to the manager.
+	upLockRel struct {
+		origin int
+		l      LockID
+	}
+	// downWrite is a sequenced shared-variable update.
+	downWrite struct {
+		seq    int
+		origin int
+		v      VarID
+		val    int64
+		guard  LockID
+	}
+	// downLock is a sequenced lock-variable update (a grant or a free).
+	downLock struct {
+		seq   int
+		l     LockID
+		val   int64
+		epoch int // grant epoch (grants only)
+	}
+)
+
+// GWC models a Sesame sharing group: eagersharing plus group write
+// consistency, with the group root acting as sequencer and lock manager.
+// With cfg.Optimistic set, MutexDo uses the paper's optimistic mutual
+// exclusion; otherwise it uses the regular queue-based GWC lock.
+type GWC struct {
+	k     *sim.Kernel
+	net   *netsim.Net
+	cfg   Config
+	nodes []*gwcNode
+	root  *gwcRoot
+	stats Stats
+}
+
+// gwcRoot is the authoritative group state kept at the root node.
+type gwcRoot struct {
+	seq    int
+	mem    map[VarID]int64
+	holder map[LockID]int   // -1 when free
+	epoch  map[LockID]int   // grants issued so far
+	queue  map[LockID][]int // FIFO of waiting node IDs
+}
+
+// gwcNode is one node's sharing interface state.
+type gwcNode struct {
+	m       *GWC
+	id      int
+	mem     map[VarID]int64
+	lockVal map[LockID]int64
+	// epochSeen is the last grant epoch applied locally per lock; guarded
+	// writes are tagged with it for the root's epoch validation.
+	epochSeen map[LockID]int
+	hist      map[LockID]float64
+	wakeData  signal
+	wakeLock  signal
+	// spec tracks an in-flight optimistic section per lock; nil when no
+	// speculation is active.
+	spec map[LockID]*specState
+	// suspended buffers incoming data updates during rollback, modelling
+	// the paper's atomic interrupt-and-sharing-suspension.
+	suspended bool
+	pending   []downWrite
+}
+
+// specState is the rollback bookkeeping for one optimistic section: the
+// prior value of every variable written speculatively (the compiler's
+// saved_ copies of Figure 4).
+type specState struct {
+	rolledBack bool
+	saved      map[VarID]int64
+}
+
+// NewGWC builds a GWC machine and starts its sharing interfaces.
+func NewGWC(k *sim.Kernel, cfg Config) (*GWC, error) {
+	net, err := netsim.New(k, cfg.N, cfg.Net)
+	if err != nil {
+		return nil, fmt.Errorf("gwc: %w", err)
+	}
+	if cfg.Root < 0 || cfg.Root >= cfg.N {
+		return nil, fmt.Errorf("gwc: root %d out of range for %d nodes", cfg.Root, cfg.N)
+	}
+	m := &GWC{
+		k:   k,
+		net: net,
+		cfg: cfg,
+		root: &gwcRoot{
+			mem:    make(map[VarID]int64),
+			holder: make(map[LockID]int),
+			epoch:  make(map[LockID]int),
+			queue:  make(map[LockID][]int),
+		},
+	}
+	m.nodes = make([]*gwcNode, cfg.N)
+	for i := range m.nodes {
+		n := &gwcNode{
+			m:         m,
+			id:        i,
+			mem:       make(map[VarID]int64),
+			lockVal:   make(map[LockID]int64),
+			epochSeen: make(map[LockID]int),
+			hist:      make(map[LockID]float64),
+			wakeData:  newSignal(k),
+			wakeLock:  newSignal(k),
+			spec:      make(map[LockID]*specState),
+		}
+		m.nodes[i] = n
+		k.Spawn(fmt.Sprintf("gwc.iface.%d", i), n.ifaceLoop)
+	}
+	return m, nil
+}
+
+// Name implements Machine.
+func (m *GWC) Name() string {
+	if m.cfg.Optimistic {
+		return "gwc-optimistic"
+	}
+	return "gwc"
+}
+
+// N implements Machine.
+func (m *GWC) N() int { return m.cfg.N }
+
+// Value implements Machine.
+func (m *GWC) Value(id int, v VarID) int64 { return m.nodes[id].mem[v] }
+
+// LockValue reports node id's local copy of lock l (Free if never seen).
+func (m *GWC) LockValue(id int, l LockID) int64 { return m.nodes[id].localLock(l) }
+
+// Stats implements Machine.
+func (m *GWC) Stats() Stats {
+	s := m.stats
+	s.Messages = m.net.Messages()
+	s.Bytes = m.net.BytesSent()
+	return s
+}
+
+// Start implements Machine.
+func (m *GWC) Start(id int, body func(a App)) {
+	n := m.nodes[id]
+	m.k.Spawn(fmt.Sprintf("gwc.app.%d", id), func(p *sim.Proc) {
+		body(&gwcApp{n: n, p: p})
+	})
+}
+
+// members lists every node ID (the sharing group spans the machine).
+func (m *GWC) members() []int {
+	ids := make([]int, m.cfg.N)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func (n *gwcNode) localLock(l LockID) int64 {
+	if v, ok := n.lockVal[l]; ok {
+		return v
+	}
+	return Free
+}
+
+// ifaceLoop is the node's memory-sharing interface: it applies sequenced
+// updates to local memory and, on the root node, sequences up-traffic and
+// manages locks.
+func (n *gwcNode) ifaceLoop(p *sim.Proc) {
+	cfg := &n.m.cfg
+	for {
+		msg := n.m.net.Inbox(n.id).Recv(p)
+		switch pl := msg.Payload.(type) {
+		case upWrite:
+			p.Sleep(cfg.RootProc)
+			n.rootWrite(pl)
+		case upLockReq:
+			p.Sleep(cfg.RootProc)
+			n.rootLockReq(pl)
+		case upLockRel:
+			p.Sleep(cfg.RootProc)
+			n.rootLockRel(pl)
+		case downWrite:
+			n.applyWrite(pl)
+		case downLock:
+			n.applyLock(pl)
+		default:
+			panic(fmt.Sprintf("gwc: node %d got unexpected payload %T", n.id, msg.Payload))
+		}
+	}
+}
+
+// rootWrite sequences a shared write at the group root, discarding
+// speculative writes from nodes that do not hold the guarding lock.
+func (n *gwcNode) rootWrite(w upWrite) {
+	m := n.m
+	if w.guard != NoGuard {
+		cur := m.root.epoch[w.guard]
+		if m.root.lockHolder(w.guard) != w.origin || (w.epoch != cur && w.epoch+1 != cur) {
+			// The origin raced ahead optimistically and lost — either it
+			// does not hold the lock at all (Section 4: the root
+			// "discards" improper changes), or the write predates a
+			// grant sequence that will force the origin to roll back
+			// (epoch validation; see upWrite).
+			m.stats.Suppressed++
+			m.cfg.Trace.Addf(m.k.Now(), n.id, trace.WriteDropped, "var %d from CPU%d (not holder / stale epoch)", w.v, w.origin+1)
+			return
+		}
+	}
+	m.root.seq++
+	m.root.mem[w.v] = w.val
+	if w.guard != NoGuard {
+		m.cfg.Trace.Addf(m.k.Now(), n.id, trace.WriteApplied, "var %d = %d from CPU%d (seq %d)", w.v, w.val, w.origin+1, m.root.seq)
+	}
+	down := downWrite{seq: m.root.seq, origin: w.origin, v: w.v, val: w.val, guard: w.guard}
+	m.net.Multicast(n.id, m.cfg.varBytes(w.v), down, m.members())
+	// The root is itself a member; apply locally through the same path.
+	n.applyWrite(down)
+}
+
+// lockHolder reports the current holder of l, or -1.
+func (r *gwcRoot) lockHolder(l LockID) int {
+	if h, ok := r.holder[l]; ok {
+		return h
+	}
+	return -1
+}
+
+// rootLockReq handles a lock request at the manager.
+func (n *gwcNode) rootLockReq(req upLockReq) {
+	m := n.m
+	m.cfg.Trace.Addf(m.k.Now(), n.id, trace.LockRequest, "lock %d from CPU%d reaches root", req.l, req.origin+1)
+	if m.root.lockHolder(req.l) == -1 {
+		m.grant(req.l, req.origin)
+		return
+	}
+	m.root.queue[req.l] = append(m.root.queue[req.l], req.origin)
+}
+
+// rootLockRel handles a release at the manager: the next queued grant is
+// appended immediately after the releaser's data writes (already
+// sequenced, thanks to per-link FIFO), so on every node the data completes
+// before the lock changes.
+func (n *gwcNode) rootLockRel(rel upLockRel) {
+	m := n.m
+	if h := m.root.lockHolder(rel.l); h != rel.origin {
+		panic(fmt.Sprintf("gwc: release of lock %d by CPU%d but holder is %d", rel.l, rel.origin+1, h))
+	}
+	m.root.holder[rel.l] = -1
+	q := m.root.queue[rel.l]
+	if len(q) > 0 {
+		next := q[0]
+		m.root.queue[rel.l] = q[1:]
+		m.grant(rel.l, next)
+		return
+	}
+	// Nobody waiting: propagate the free value to all group memories.
+	m.root.seq++
+	down := downLock{seq: m.root.seq, l: rel.l, val: Free}
+	m.cfg.Trace.Addf(m.k.Now(), n.id, trace.LockFree, "lock %d free", rel.l)
+	m.net.Multicast(n.id, m.cfg.LockMsgBytes, down, m.members())
+	n.applyLock(down)
+}
+
+// grant writes the winner's positive ID into the lock variable and
+// multicasts it to the group.
+func (m *GWC) grant(l LockID, winner int) {
+	m.root.holder[l] = winner
+	m.root.epoch[l]++
+	m.root.seq++
+	down := downLock{seq: m.root.seq, l: l, val: grantVal(winner), epoch: m.root.epoch[l]}
+	m.cfg.Trace.Addf(m.k.Now(), m.cfg.Root, trace.LockGrant, "lock %d -> CPU%d", l, winner+1)
+	m.net.Multicast(m.cfg.Root, m.cfg.LockMsgBytes, down, m.members())
+	m.nodes[m.cfg.Root].applyLock(down)
+}
+
+// applyWrite installs a sequenced update into local memory, honouring the
+// hardware blocking rule and insharing suspension.
+func (n *gwcNode) applyWrite(w downWrite) {
+	if n.suspended {
+		n.pending = append(n.pending, w)
+		return
+	}
+	if w.origin == n.id && w.guard != NoGuard {
+		// Hardware blocking (Figure 6): drop root-echoed copies of our own
+		// mutex-group writes so they cannot overwrite rollback state. The
+		// local store already happened at write time.
+		return
+	}
+	n.mem[w.v] = w.val
+	n.wakeData.notify()
+}
+
+// applyLock installs a sequenced lock-variable update and runs the
+// paper's interrupt logic (Figure 5) if this node is speculating.
+func (n *gwcNode) applyLock(dl downLock) {
+	n.lockVal[dl.l] = dl.val
+	if dl.val != Free {
+		n.epochSeen[dl.l] = dl.epoch
+	}
+	if sp := n.spec[dl.l]; sp != nil && !sp.rolledBack {
+		if dl.val != Free && dl.val != grantVal(n.id) {
+			// Another processor now has the lock: our optimistic values
+			// may be wrong. Suspend insharing; the application process
+			// performs the rollback and resumes it.
+			sp.rolledBack = true
+			n.suspended = true
+			n.hist[dl.l] = n.m.cfg.HistoryDecay*n.hist[dl.l] + (1 - n.m.cfg.HistoryDecay)
+			n.m.cfg.Trace.Addf(n.m.k.Now(), n.id, trace.Rollback, "lock %d taken by CPU%d", dl.l, dl.val)
+		}
+	}
+	n.wakeLock.notify()
+}
+
+// resumeInsharing delivers updates buffered during a rollback.
+func (n *gwcNode) resumeInsharing() {
+	n.suspended = false
+	pend := n.pending
+	n.pending = nil
+	for _, w := range pend {
+		n.applyWrite(w)
+	}
+}
+
+// gwcApp implements App for one node's application process.
+type gwcApp struct {
+	n *gwcNode
+	p *sim.Proc
+}
+
+var _ App = (*gwcApp)(nil)
+
+func (a *gwcApp) ID() int            { return a.n.id }
+func (a *gwcApp) N() int             { return a.n.m.cfg.N }
+func (a *gwcApp) Now() sim.Time      { return a.p.Now() }
+func (a *gwcApp) Compute(d sim.Time) { a.p.Sleep(d) }
+
+func (a *gwcApp) Read(v VarID) int64 {
+	a.p.Sleep(a.n.m.cfg.LocalRead)
+	return a.n.mem[v]
+}
+
+// Write applies locally at once (the writer never blocks under
+// eagersharing) and ships the change to the root for sequencing.
+func (a *gwcApp) Write(v VarID, val int64) {
+	cfg := &a.n.m.cfg
+	a.p.Sleep(cfg.LocalWrite)
+	guard := NoGuard
+	if g, ok := cfg.Guard[v]; ok {
+		guard = g
+		if sp := a.activeSpec(guard); sp != nil {
+			if _, done := sp.saved[v]; !done {
+				// First speculative write to v: save the prior value for
+				// rollback (Figure 4 lines 14-16).
+				sp.saved[v] = a.n.mem[v]
+				a.p.Sleep(cfg.SaveCost)
+			}
+		}
+	}
+	a.n.mem[v] = val
+	epoch := 0
+	if guard != NoGuard {
+		epoch = a.n.epochSeen[guard]
+	}
+	a.n.m.net.Send(a.n.id, cfg.Root, cfg.varBytes(v), upWrite{origin: a.n.id, v: v, val: val, guard: guard, epoch: epoch})
+}
+
+// activeSpec returns the speculation state if this app is inside an
+// optimistic section for lock l.
+func (a *gwcApp) activeSpec(l LockID) *specState { return a.n.spec[l] }
+
+// Acquire takes the regular (non-optimistic) path: request, then wait for
+// the positive ID to arrive in the local lock copy.
+func (a *gwcApp) Acquire(l LockID) {
+	n := a.n
+	cfg := &n.m.cfg
+	cfg.Trace.Addf(a.p.Now(), n.id, trace.LockRequest, "lock %d (regular)", l)
+	n.lockVal[l] = requestVal(n.id)
+	n.m.net.Send(n.id, cfg.Root, cfg.LockMsgBytes, upLockReq{origin: n.id, l: l})
+	a.waitGrant(l)
+	cfg.Trace.Addf(a.p.Now(), n.id, trace.EnterMX, "lock %d", l)
+}
+
+func (a *gwcApp) waitGrant(l LockID) {
+	for a.n.localLock(l) != grantVal(a.n.id) {
+		a.n.wakeLock.wait(a.p)
+	}
+}
+
+// Release frees the lock: the release follows the section's last shared
+// write on the same path, so GWC ordering guarantees every node sees the
+// data before the lock changes.
+func (a *gwcApp) Release(l LockID) {
+	n := a.n
+	cfg := &n.m.cfg
+	cfg.Trace.Addf(a.p.Now(), n.id, trace.LockRelease, "lock %d", l)
+	n.lockVal[l] = Free
+	n.m.net.Send(n.id, cfg.Root, cfg.LockMsgBytes, upLockRel{origin: n.id, l: l})
+}
+
+// MutexDo runs body under lock l. With cfg.Optimistic it implements the
+// compiler-generated code of Figure 4: sample the local lock copy, update
+// the usage-frequency history, and either take the regular path or run
+// body speculatively while the non-blocking request propagates.
+func (a *gwcApp) MutexDo(l LockID, body func()) {
+	n := a.n
+	cfg := &n.m.cfg
+	if !cfg.Optimistic {
+		a.Acquire(l)
+		body()
+		a.Release(l)
+		return
+	}
+	if n.spec[l] != nil {
+		panic("gwc: cannot safely nest mutex lock requests") // paper line 28
+	}
+
+	// Lines 03-05: atomically sample-and-request, update history.
+	old := n.localLock(l)
+	inUse := 0.0
+	if old != Free && old != grantVal(n.id) {
+		inUse = 1.0
+	}
+	n.hist[l] = cfg.HistoryDecay*n.hist[l] + (1-cfg.HistoryDecay)*inUse
+
+	if old != Free || n.hist[l] > cfg.HistoryThreshold {
+		// Line 07: local copy or history indicate usage — regular path.
+		n.m.stats.RegularPath++
+		a.Acquire(l)
+		body()
+		a.Release(l)
+		return
+	}
+
+	// Optimistic path (lines 13-19): non-blocking request, speculate.
+	cfg.Trace.Addf(a.p.Now(), n.id, trace.OptimisticGo, "lock %d", l)
+	n.lockVal[l] = requestVal(n.id)
+	n.m.net.Send(n.id, cfg.Root, cfg.LockMsgBytes, upLockReq{origin: n.id, l: l})
+	sp := &specState{saved: make(map[VarID]int64)}
+	n.spec[l] = sp
+
+	body()
+
+	// Line 19: wait until the lock answer carries our ID (or roll back).
+	for {
+		if sp.rolledBack {
+			break
+		}
+		if n.localLock(l) == grantVal(n.id) {
+			n.m.stats.OptimisticOK++
+			n.spec[l] = nil
+			a.Release(l)
+			return
+		}
+		n.wakeLock.wait(a.p)
+	}
+
+	// Roll back (lines 22-26): restore saved variables, resume insharing,
+	// then wait for our queued request to be granted and re-execute.
+	n.m.stats.Rollbacks++
+	for v, old := range sp.saved {
+		n.mem[v] = old
+	}
+	a.p.Sleep(sim.Time(len(sp.saved)) * cfg.RestoreCost)
+	n.spec[l] = nil
+	n.resumeInsharing()
+	a.waitGrant(l)
+	cfg.Trace.Addf(a.p.Now(), n.id, trace.EnterMX, "lock %d (after rollback)", l)
+	body()
+	a.Release(l)
+}
+
+// AwaitGE blocks until the eagerly shared local copy of v reaches min.
+func (a *gwcApp) AwaitGE(v VarID, min int64) {
+	a.p.Sleep(a.n.m.cfg.LocalRead)
+	for a.n.mem[v] < min {
+		a.n.wakeData.wait(a.p)
+	}
+}

@@ -1,0 +1,406 @@
+package model
+
+import (
+	"testing"
+
+	"optsync/internal/sim"
+	"optsync/internal/trace"
+)
+
+const (
+	testLock LockID = 0
+	varA     VarID  = 0
+	varB     VarID  = 1
+)
+
+// newGWCTest builds a GWC machine with varA/varB guarded by testLock.
+func newGWCTest(t *testing.T, n int, optimistic bool) (*sim.Kernel, *GWC) {
+	t.Helper()
+	k := sim.NewKernel()
+	cfg := DefaultConfig(n)
+	cfg.Optimistic = optimistic
+	cfg.Guard = map[VarID]LockID{varA: testLock, varB: testLock}
+	m, err := NewGWC(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, m
+}
+
+func TestGWCWritePropagatesToAllNodes(t *testing.T) {
+	k, m := newGWCTest(t, 5, false)
+	m.Start(2, func(a App) {
+		a.Write(100, 42) // unguarded variable
+	})
+	k.Run()
+	for i := 0; i < 5; i++ {
+		if got := m.Value(i, 100); got != 42 {
+			t.Errorf("node %d sees %d, want 42", i, got)
+		}
+	}
+}
+
+func TestGWCAllNodesSeeSameWriteOrder(t *testing.T) {
+	// Two nodes write the same unguarded variable concurrently; every
+	// node must converge on the same final value (the root's sequence
+	// decides), and the root's authoritative copy must agree.
+	k, m := newGWCTest(t, 4, false)
+	for w := 1; w <= 2; w++ {
+		w := w
+		m.Start(w, func(a App) {
+			for i := 0; i < 10; i++ {
+				a.Write(100, int64(w*1000+i))
+				a.Compute(137 * sim.Time(w)) // deliberately misaligned
+			}
+		})
+	}
+	k.Run()
+	final := m.Value(0, 100)
+	for i := 1; i < 4; i++ {
+		if got := m.Value(i, 100); got != final {
+			t.Errorf("node %d converged on %d, node 0 on %d", i, got, final)
+		}
+	}
+}
+
+func TestGWCMutualExclusion(t *testing.T) {
+	// Track critical-section overlap using virtual timestamps.
+	k, m := newGWCTest(t, 4, false)
+	type span struct {
+		node       int
+		start, end sim.Time
+	}
+	var spans []span
+	for id := 0; id < 4; id++ {
+		id := id
+		m.Start(id, func(a App) {
+			for i := 0; i < 3; i++ {
+				a.Acquire(testLock)
+				start := a.Now()
+				a.Compute(500)
+				a.Write(varA, int64(id))
+				spans = append(spans, span{node: id, start: start, end: a.Now()})
+				a.Release(testLock)
+				a.Compute(200)
+			}
+		})
+	}
+	k.Run()
+	if len(spans) != 12 {
+		t.Fatalf("recorded %d critical sections, want 12", len(spans))
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.start < b.end && b.start < a.end {
+				t.Errorf("critical sections overlap: node %d [%d,%d] vs node %d [%d,%d]",
+					a.node, a.start, a.end, b.node, b.start, b.end)
+			}
+		}
+	}
+}
+
+func TestGWCLockGrantsFIFO(t *testing.T) {
+	tr := &trace.Log{}
+	k := sim.NewKernel()
+	cfg := DefaultConfig(5)
+	cfg.Trace = tr
+	cfg.Root = 0
+	m, err := NewGWC(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 (the root) holds the lock while 1..4 request in a staggered
+	// order; grants must follow request arrival order.
+	m.Start(0, func(a App) {
+		a.Acquire(testLock)
+		a.Compute(100000) // long enough for all requests to queue
+		a.Release(testLock)
+	})
+	for id := 1; id <= 4; id++ {
+		id := id
+		m.Start(id, func(a App) {
+			a.Compute(sim.Time(1000 * id)) // request order 1,2,3,4
+			a.Acquire(testLock)
+			a.Compute(10)
+			a.Release(testLock)
+		})
+	}
+	k.Run()
+	var order []string
+	for _, e := range tr.Events() {
+		if e.Kind == trace.LockGrant {
+			order = append(order, e.Detail)
+		}
+	}
+	want := []string{
+		"lock 0 -> CPU1",
+		"lock 0 -> CPU2",
+		"lock 0 -> CPU3",
+		"lock 0 -> CPU4",
+		"lock 0 -> CPU5",
+	}
+	if len(order) != len(want) {
+		t.Fatalf("grants = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestGWCUncontendedLockCostsThreeMessages(t *testing.T) {
+	// The paper: "There is no network traffic except three one-way
+	// messages to request, grant, and release the lock." With the grant
+	// multicast to the group, a 2-node group sees exactly 3 messages
+	// (request up, grant down, release up) plus the final free multicast.
+	k, m := newGWCTest(t, 2, false)
+	m.Start(1, func(a App) {
+		a.Acquire(testLock)
+		a.Release(testLock)
+	})
+	k.Run()
+	s := m.Stats()
+	// request(1->0), grant(0->1), release(1->0), free(0->1).
+	if s.Messages != 4 {
+		t.Errorf("uncontended acquire/release cost %d messages, want 4 (3 + free propagation)", s.Messages)
+	}
+}
+
+func TestGWCDataArrivesBeforeGrant(t *testing.T) {
+	// GWC's core guarantee: the previous holder's writes are sequenced
+	// before the next grant, so when a node sees the lock arrive, the
+	// protected data is already valid locally.
+	k, m := newGWCTest(t, 3, false)
+	var seen int64
+	m.Start(1, func(a App) {
+		a.Acquire(testLock)
+		a.Compute(1000)
+		a.Write(varA, 7777)
+		a.Release(testLock)
+	})
+	m.Start(2, func(a App) {
+		a.Compute(10) // request while node 1 holds the lock
+		a.Acquire(testLock)
+		seen = a.Read(varA) // must be valid with zero extra waiting
+		a.Release(testLock)
+	})
+	k.Run()
+	if seen != 7777 {
+		t.Errorf("node 2 read %d inside the critical section, want 7777", seen)
+	}
+}
+
+func TestGWCHardwareBlockingDropsOwnEchoes(t *testing.T) {
+	// After a local write to a guarded variable, the root's echo must not
+	// come back and overwrite a newer local value.
+	k, m := newGWCTest(t, 2, false)
+	m.Start(1, func(a App) {
+		a.Acquire(testLock)
+		a.Write(varA, 1)
+		// Overwrite locally before the echo returns; if the echo were
+		// applied it would restore 1.
+		a.Write(varA, 2)
+		a.Compute(100000) // let any echo arrive
+		if got := a.Read(varA); got != 2 {
+			t.Errorf("local guarded copy = %d after echo window, want 2", got)
+		}
+		a.Release(testLock)
+	})
+	k.Run()
+}
+
+func TestGWCOptimisticNoContentionCommits(t *testing.T) {
+	k, m := newGWCTest(t, 3, true)
+	done := false
+	m.Start(1, func(a App) {
+		a.MutexDo(testLock, func() {
+			a.Compute(500)
+			a.Write(varA, 99)
+		})
+		done = true
+	})
+	k.Run()
+	if !done {
+		t.Fatal("optimistic section never completed")
+	}
+	s := m.Stats()
+	if s.OptimisticOK != 1 || s.Rollbacks != 0 || s.RegularPath != 0 {
+		t.Errorf("stats = %+v, want exactly one committed optimistic section", s)
+	}
+	for i := 0; i < 3; i++ {
+		if got := m.Value(i, varA); got != 99 {
+			t.Errorf("node %d sees varA=%d, want 99", i, got)
+		}
+	}
+}
+
+func TestGWCOptimisticOverlapsLockLatency(t *testing.T) {
+	// The headline claim: with no contention, the optimistic section's
+	// compute time overlaps the request/grant round trip, so MutexDo
+	// completes sooner than regular acquire+run+release.
+	section := sim.Time(5000)
+	run := func(optimistic bool) sim.Time {
+		k, m := newGWCTest(t, 9, optimistic)
+		var end sim.Time
+		m.Start(8, func(a App) { // far from root 0
+			a.MutexDo(testLock, func() {
+				a.Compute(section)
+				a.Write(varA, 1)
+			})
+			end = a.Now()
+		})
+		k.Run()
+		return end
+	}
+	opt, reg := run(true), run(false)
+	if opt >= reg {
+		t.Errorf("optimistic end %d >= regular end %d: no overlap benefit", opt, reg)
+	}
+	// The benefit should be roughly the request+grant latency.
+	if reg-opt < 400 {
+		t.Errorf("benefit = %dns, suspiciously small", reg-opt)
+	}
+}
+
+func TestGWCOptimisticRollbackFigure7(t *testing.T) {
+	// The paper's Figure 7 "most complex rollback interaction": node 2
+	// optimistically updates a=x while node 1's request, update a=y, and
+	// release race ahead of it at the root. Node 2 must roll back, its
+	// speculative write must be suppressed by the root, and after its
+	// queued request is granted it re-executes and writes the correct
+	// value. Every node must converge on node 2's final value.
+	tr := &trace.Log{}
+	k := sim.NewKernel()
+	cfg := DefaultConfig(3)
+	cfg.Optimistic = true
+	cfg.Guard = map[VarID]LockID{varA: testLock}
+	cfg.Trace = tr
+	m, err := NewGWC(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 is adjacent to root 0; node 2 is further. Node 1's request
+	// beats node 2's, so node 2's optimistic write reaches the root while
+	// node 1 holds the lock.
+	m.Start(1, func(a App) {
+		a.MutexDo(testLock, func() {
+			a.Compute(200)
+			a.Write(varA, 1111) // a = y
+		})
+	})
+	m.Start(2, func(a App) {
+		a.Compute(5) // request slightly later than node 1
+		a.MutexDo(testLock, func() {
+			a.Compute(200)
+			base := a.Read(varA)
+			a.Write(varA, base+1) // a = x first time, a = r after rollback
+		})
+	})
+	k.Run()
+
+	s := m.Stats()
+	if s.Rollbacks != 1 {
+		t.Errorf("rollbacks = %d, want 1\ntrace:\n%s", s.Rollbacks, tr)
+	}
+	if s.Suppressed < 1 {
+		t.Errorf("suppressed speculative writes = %d, want >= 1", s.Suppressed)
+	}
+	// After rollback, node 2 re-reads a=1111 and writes 1112.
+	for i := 0; i < 3; i++ {
+		if got := m.Value(i, varA); got != 1112 {
+			t.Errorf("node %d converged on %d, want 1112\ntrace:\n%s", i, got, tr)
+		}
+	}
+}
+
+func TestGWCOptimisticHeavyUseTakesRegularPath(t *testing.T) {
+	// Under heavy contention the history filter must push requesters onto
+	// the regular path ("This method does not add any network traffic
+	// when the lock is heavily contended").
+	k, m := newGWCTest(t, 3, true)
+	for id := 1; id <= 2; id++ {
+		id := id
+		m.Start(id, func(a App) {
+			for i := 0; i < 30; i++ {
+				a.MutexDo(testLock, func() {
+					a.Compute(2000)
+					a.Write(varA, int64(id))
+				})
+			}
+		})
+	}
+	k.Run()
+	s := m.Stats()
+	if s.RegularPath == 0 {
+		t.Errorf("no acquisition ever took the regular path under heavy contention: %+v", s)
+	}
+}
+
+func TestGWCOptimisticNestingPanics(t *testing.T) {
+	k, m := newGWCTest(t, 2, true)
+	recovered := false
+	m.Start(1, func(a App) {
+		defer func() {
+			if r := recover(); r != nil {
+				recovered = true
+			}
+		}()
+		a.MutexDo(testLock, func() {
+			a.MutexDo(testLock, func() {}) // paper line 28: ERROR
+		})
+	})
+	k.Run()
+	if !recovered {
+		t.Error("nested MutexDo on the same lock did not panic")
+	}
+}
+
+func TestGWCSequentialCounterCorrectness(t *testing.T) {
+	// N nodes each increment a guarded counter K times under MutexDo;
+	// the final value must be N*K under both lock modes.
+	for _, optimistic := range []bool{false, true} {
+		k, m := newGWCTest(t, 4, optimistic)
+		const reps = 5
+		for id := 0; id < 4; id++ {
+			m.Start(id, func(a App) {
+				for i := 0; i < reps; i++ {
+					a.MutexDo(testLock, func() {
+						cur := a.Read(varA)
+						a.Compute(300)
+						a.Write(varA, cur+1)
+					})
+					a.Compute(5000)
+				}
+			})
+		}
+		k.Run()
+		for i := 0; i < 4; i++ {
+			if got := m.Value(i, varA); got != 4*reps {
+				t.Errorf("optimistic=%v: node %d counter = %d, want %d", optimistic, i, got, 4*reps)
+			}
+		}
+	}
+}
+
+func TestGWCAwaitGESeesEagerUpdate(t *testing.T) {
+	k, m := newGWCTest(t, 3, false)
+	var awaited sim.Time
+	m.Start(0, func(a App) {
+		a.Compute(4000)
+		a.Write(200, 5)
+	})
+	m.Start(2, func(a App) {
+		a.AwaitGE(200, 5)
+		awaited = a.Now()
+	})
+	k.Run()
+	if awaited == 0 {
+		t.Fatal("AwaitGE never returned")
+	}
+	// Node 2 should see the value roughly one root-relay after t=4000.
+	if awaited < 4000 || awaited > 20000 {
+		t.Errorf("AwaitGE returned at %d, want shortly after 4000", awaited)
+	}
+}

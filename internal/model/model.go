@@ -1,0 +1,223 @@
+// Package model contains discrete-event protocol models of the systems the
+// paper compares:
+//
+//   - GWC: Sesame eagersharing with group write consistency and queue-based
+//     locks at the group root, with both regular and optimistic mutual
+//     exclusion (Sections 2 and 4 of the paper).
+//   - Entry: entry consistency (Bershad & Zekauskas' Midway) — data shipped
+//     with the lock, demand fetch for unguarded reads, local releases.
+//   - Release: weak/release consistency — a lock manager, request
+//     forwarding to the current holder, and releases that block until all
+//     outstanding updates have reached every node.
+//
+// All three implement the same App interface, so the paper's workloads
+// (internal/workload) run unchanged under each model and the figures
+// compare like for like.
+package model
+
+import (
+	"math"
+
+	"optsync/internal/netsim"
+	"optsync/internal/sim"
+	"optsync/internal/trace"
+)
+
+// VarID identifies a shared variable.
+type VarID int
+
+// LockID identifies a mutual-exclusion lock.
+type LockID int
+
+// NoGuard marks a write to a variable outside every mutex data group.
+const NoGuard LockID = -1
+
+// Free is the distinguished "lock free" value (the paper's -99..99).
+const Free int64 = math.MinInt64 / 2
+
+// grantVal encodes "node owns the lock" as the paper's positive processor
+// ID; requestVal is its negated request form. IDs are offset by one so
+// node 0 has a nonzero encoding.
+func grantVal(node int) int64   { return int64(node + 1) }
+func requestVal(node int) int64 { return -int64(node + 1) }
+
+// App is the per-node programming interface the workloads run against.
+// Methods must be called from the node's application process only.
+type App interface {
+	// ID is this node's identifier, 0..N-1.
+	ID() int
+	// N is the machine size.
+	N() int
+	// Now is the current virtual time.
+	Now() sim.Time
+	// Compute advances virtual time by d, modelling local computation.
+	Compute(d sim.Time)
+	// Read returns the local value of v; under entry consistency an
+	// unguarded remote read demand-fetches and blocks for a round trip.
+	Read(v VarID) int64
+	// Write stores val to shared variable v and propagates it according
+	// to the machine's consistency model. It does not block beyond the
+	// local write cost.
+	Write(v VarID, val int64)
+	// Acquire blocks until this node holds lock l.
+	Acquire(l LockID)
+	// Release releases lock l.
+	Release(l LockID)
+	// MutexDo runs body with lock l held. Under the optimistic GWC
+	// machine body may run speculatively before the lock is confirmed and
+	// be re-run after a rollback, so body must be idempotent (the paper's
+	// compiler enforces this by saving and restoring every changed
+	// variable).
+	MutexDo(l LockID, body func())
+	// AwaitGE blocks until the local copy of v is >= min. Under GWC and
+	// release consistency updates arrive eagerly; under entry consistency
+	// this polls with demand fetches.
+	AwaitGE(v VarID, min int64)
+}
+
+// Machine is a simulated N-node system implementing one consistency model.
+type Machine interface {
+	// Name identifies the model in output tables.
+	Name() string
+	// N is the machine size.
+	N() int
+	// Start spawns node id's application process running body.
+	Start(id int, body func(a App))
+	// Value reports node id's current local copy of v (0 if never set).
+	Value(id int, v VarID) int64
+	// Stats reports protocol counters accumulated so far.
+	Stats() Stats
+}
+
+// Stats are protocol counters for traffic and behaviour claims.
+type Stats struct {
+	Messages     int // point-to-point network messages
+	Bytes        int // payload bytes on the network
+	Suppressed   int // speculative writes discarded by the group root
+	Rollbacks    int // optimistic sections rolled back
+	OptimisticOK int // optimistic sections that committed without rollback
+	RegularPath  int // lock acquisitions that took the regular path
+	DemandFetch  int // entry-consistency demand fetches
+	Invalidation int // entry-consistency invalidation round trips
+}
+
+// Config carries the parameters shared by all machine models. The zero
+// value is not meaningful; start from DefaultConfig.
+type Config struct {
+	// N is the number of processors.
+	N int
+	// Root is the sharing-group root (GWC) / lock manager (release) /
+	// initial lock owner and manager (entry).
+	Root int
+	// Net holds the physical network constants.
+	Net netsim.Params
+
+	// UpdateBytes is the wire size of one shared-variable update.
+	UpdateBytes int
+	// LockMsgBytes is the wire size of lock requests/grants/releases.
+	LockMsgBytes int
+	// VarBytes overrides UpdateBytes for specific (large) variables.
+	VarBytes map[VarID]int
+
+	// LocalWrite and LocalRead are node-local memory access costs
+	// (the paper's 400 MB/sec local memory).
+	LocalWrite sim.Time
+	LocalRead  sim.Time
+	// RootProc is the group root's per-message sequencing cost.
+	RootProc sim.Time
+
+	// Guard maps each variable in a mutex data group to its lock; the
+	// group root discards writes to guarded variables from non-holders,
+	// and the hardware blocking rule drops their echoes at the origin.
+	Guard map[VarID]LockID
+	// Home maps a variable to the node that owns/produces it. Entry
+	// consistency demand-fetches unguarded variables from their home.
+	Home map[VarID]int
+
+	// Optimistic enables the paper's optimistic mutual exclusion on the
+	// GWC machine.
+	Optimistic bool
+	// HistoryDecay and HistoryThreshold parameterise the lock-usage
+	// frequency filter: hist = decay*hist + (1-decay)*inUse, and the
+	// optimistic path is taken only when hist <= threshold.
+	HistoryDecay     float64
+	HistoryThreshold float64
+	// SaveCost and RestoreCost are the per-variable costs of saving
+	// rollback state on the optimistic path and restoring it on rollback.
+	SaveCost    sim.Time
+	RestoreCost sim.Time
+
+	// PollInterval is the entry-consistency AwaitGE retry interval.
+	PollInterval sim.Time
+	// ViaManager routes entry-consistency lock requests through the
+	// manager (a wrong owner guess) instead of directly to the owner.
+	ViaManager bool
+	// Invalidate charges an invalidation round trip when an entry lock
+	// moves to a node while other nodes hold the data non-exclusively.
+	Invalidate bool
+
+	// Trace receives protocol events; nil disables tracing.
+	Trace *trace.Log
+}
+
+// DefaultConfig returns the constants used across the paper's experiments:
+// paper network parameters, small control messages, 20ns local accesses
+// (8 bytes at 400 MB/sec), and the history filter from Section 4
+// (0.95/0.05 decay, 0.30 threshold).
+func DefaultConfig(n int) Config {
+	return Config{
+		N:                n,
+		Root:             0,
+		Net:              netsim.PaperParams(),
+		UpdateBytes:      24,
+		LockMsgBytes:     24,
+		VarBytes:         map[VarID]int{},
+		LocalWrite:       20,
+		LocalRead:        20,
+		RootProc:         50,
+		Guard:            map[VarID]LockID{},
+		Home:             map[VarID]int{},
+		HistoryDecay:     0.95,
+		HistoryThreshold: 0.30,
+		SaveCost:         20,
+		RestoreCost:      20,
+		PollInterval:     2000,
+	}
+}
+
+// varBytes reports the wire size for updates of v.
+func (c *Config) varBytes(v VarID) int {
+	if b, ok := c.VarBytes[v]; ok {
+		return b
+	}
+	return c.UpdateBytes
+}
+
+// signal is a latest-wins wakeup: repeated notifications collapse while
+// nobody is waiting, and a waiter may wake spuriously once, so waiters
+// must re-check their predicate in a loop.
+type signal struct {
+	ch *sim.Chan[struct{}]
+}
+
+func newSignal(k *sim.Kernel) signal {
+	return signal{ch: sim.NewChan[struct{}](k)}
+}
+
+func (s signal) notify() {
+	if s.ch.Len() == 0 {
+		s.ch.Post(struct{}{})
+	}
+}
+
+func (s signal) wait(p *sim.Proc) {
+	s.ch.Recv(p)
+}
+
+func (s signal) drain() {
+	for {
+		if _, ok := s.ch.TryRecv(); !ok {
+			return
+		}
+	}
+}

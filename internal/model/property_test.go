@@ -1,0 +1,201 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"optsync/internal/sim"
+)
+
+// schedule turns fuzz bytes into a per-node op sequence.
+type schedOp struct {
+	compute sim.Time
+	mutex   bool // increment the guarded counter under MutexDo
+}
+
+func decodeSchedule(raw []byte, maxOps int) []schedOp {
+	var ops []schedOp
+	for i := 0; i < len(raw) && len(ops) < maxOps; i += 2 {
+		op := schedOp{compute: sim.Time(raw[i]) * 37}
+		if i+1 < len(raw) {
+			op.mutex = raw[i+1]%2 == 0
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// runSchedule executes random schedules on a machine and returns the
+// number of mutex increments performed.
+func runSchedule(t *testing.T, m Machine, k *sim.Kernel, scheds [][]schedOp) int {
+	t.Helper()
+	total := 0
+	for id := 0; id < m.N() && id < len(scheds); id++ {
+		ops := scheds[id]
+		for _, op := range ops {
+			if op.mutex {
+				total++
+			}
+		}
+		id := id
+		m.Start(id, func(a App) {
+			for _, op := range ops {
+				a.Compute(op.compute)
+				if op.mutex {
+					a.MutexDo(testLock, func() {
+						cur := a.Read(varA)
+						a.Compute(50)
+						a.Write(varA, cur+1)
+					})
+				} else {
+					// An unguarded write: last sequenced value wins.
+					a.Write(500, int64(id*1000)+a.Read(500)%997)
+				}
+			}
+		})
+	}
+	k.Run()
+	return total
+}
+
+// TestRandomScheduleConvergenceProperty: under any random schedule of
+// guarded increments and unguarded writes, (a) the guarded counter ends
+// equal to the number of increments on every model, and (b) every node's
+// copy of the unguarded variable is identical — but (b) only under group
+// write consistency. Release consistency deliberately does NOT totally
+// order unsynchronized concurrent writes (update multicasts from two
+// nodes may apply in different orders at different nodes), which is
+// precisely the gap GWC's root sequencing closes; for it only (a) holds.
+func TestRandomScheduleConvergenceProperty(t *testing.T) {
+	kinds := []struct {
+		name           string
+		totallyOrdered bool
+		build          func(k *sim.Kernel, cfg Config) (Machine, error)
+	}{
+		{"gwc", true, func(k *sim.Kernel, cfg Config) (Machine, error) { return NewGWC(k, cfg) }},
+		{"gwc-opt", true, func(k *sim.Kernel, cfg Config) (Machine, error) {
+			cfg.Optimistic = true
+			return NewGWC(k, cfg)
+		}},
+		{"release", false, func(k *sim.Kernel, cfg Config) (Machine, error) { return NewRelease(k, cfg) }},
+	}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.name, func(t *testing.T) {
+			prop := func(a, b, c []byte) bool {
+				k := sim.NewKernel()
+				cfg := DefaultConfig(3)
+				cfg.Guard = map[VarID]LockID{varA: testLock}
+				m, err := kind.build(k, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scheds := [][]schedOp{
+					decodeSchedule(a, 8),
+					decodeSchedule(b, 8),
+					decodeSchedule(c, 8),
+				}
+				total := runSchedule(t, m, k, scheds)
+				for id := 0; id < 3; id++ {
+					if got := m.Value(id, varA); got != int64(total) {
+						t.Logf("%s: node %d counter = %d, want %d", kind.name, id, got, total)
+						return false
+					}
+				}
+				if kind.totallyOrdered {
+					final := m.Value(0, 500)
+					for id := 1; id < 3; id++ {
+						if m.Value(id, 500) != final {
+							t.Logf("%s: node %d diverged on unguarded var", kind.name, id)
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestOptimisticNeverLosesIncrementsProperty drives the optimistic GWC
+// machine with adversarial small compute gaps (maximum lock-request
+// overlap) and checks no increment is ever lost to a rollback bug.
+func TestOptimisticNeverLosesIncrementsProperty(t *testing.T) {
+	prop := func(gaps [6]uint8) bool {
+		k := sim.NewKernel()
+		cfg := DefaultConfig(3)
+		cfg.Optimistic = true
+		cfg.Guard = map[VarID]LockID{varA: testLock}
+		m, err := NewGWC(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perNode := 2
+		for id := 0; id < 3; id++ {
+			id := id
+			m.Start(id, func(a App) {
+				for r := 0; r < perNode; r++ {
+					a.Compute(sim.Time(gaps[id*perNode+r]))
+					a.MutexDo(testLock, func() {
+						cur := a.Read(varA)
+						a.Compute(200)
+						a.Write(varA, cur+1)
+					})
+				}
+			})
+		}
+		k.Run()
+		want := int64(3 * perNode)
+		for id := 0; id < 3; id++ {
+			if m.Value(id, varA) != want {
+				t.Logf("node %d = %d, want %d (stats %+v)", id, m.Value(id, varA), want, m.Stats())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimulationsAreDeterministic runs the same seeded workload twice and
+// requires identical virtual end times and stats — the property the
+// figure reproduction rests on.
+func TestSimulationsAreDeterministic(t *testing.T) {
+	run := func() (sim.Time, Stats) {
+		k := sim.NewKernel()
+		cfg := DefaultConfig(5)
+		cfg.Optimistic = true
+		cfg.Guard = map[VarID]LockID{varA: testLock}
+		m, err := NewGWC(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < 5; id++ {
+			id := id
+			m.Start(id, func(a App) {
+				for r := 0; r < 10; r++ {
+					a.Compute(sim.Time(100 * (id + 1)))
+					a.MutexDo(testLock, func() {
+						a.Compute(300)
+						a.Write(varA, int64(id*100+r))
+					})
+				}
+			})
+		}
+		end := k.Run()
+		return end, m.Stats()
+	}
+	end1, s1 := run()
+	end2, s2 := run()
+	if end1 != end2 {
+		t.Errorf("end times differ: %d vs %d", end1, end2)
+	}
+	if s1 != s2 {
+		t.Errorf("stats differ: %+v vs %+v", s1, s2)
+	}
+}

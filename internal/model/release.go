@@ -1,0 +1,307 @@
+package model
+
+import (
+	"fmt"
+
+	"optsync/internal/netsim"
+	"optsync/internal/sim"
+	"optsync/internal/trace"
+)
+
+// Wire payloads for the release-consistency machine.
+type (
+	// rLockReq asks the lock manager for the lock.
+	rLockReq struct {
+		origin int
+		l      LockID
+	}
+	// rGrant gives the lock to a node (from the manager or the previous
+	// holder).
+	rGrant struct {
+		l LockID
+	}
+	// rRelease returns a lock with an empty queue to the manager.
+	rRelease struct {
+		origin int
+		l      LockID
+	}
+	// rUpdate is an eager (cache-update) propagation of a shared write.
+	rUpdate struct {
+		origin int
+		v      VarID
+		val    int64
+	}
+	// rAck acknowledges application of an update at one node.
+	rAck struct {
+		v VarID
+	}
+)
+
+// Release models weak/release consistency with update-based sharing (the
+// paper's Figure 1(c) setup: "Eager sharing or cache update sharing of
+// data are used to minimize data access delays"). Its defining cost is
+// that a lock release is blocked until the holder's updates have been
+// performed on all other processors, and that a contended lock transfer
+// takes up to three one-way messages (request to manager, forward to
+// holder, grant to requester).
+//
+// The paper treats weak and release consistency as identical for its
+// workloads ("Weak and release consistency behave the same since each
+// processor locks, reads or updates, and releases only once"), so one
+// machine serves for both.
+type Release struct {
+	k     *sim.Kernel
+	net   *netsim.Net
+	cfg   Config
+	nodes []*relNode
+	stats Stats
+
+	// Manager-side directory (lives at cfg.Root; kept as machine state
+	// and mutated only by messages that arrive there or by directory
+	// piggybacks on grants, which carry no separate timing cost).
+	holder map[LockID]int
+	queue  map[LockID][]int
+}
+
+// relNode is one node's local state.
+type relNode struct {
+	m        *Release
+	id       int
+	mem      map[VarID]int64
+	heldByMe map[LockID]bool
+	// pendingAcks counts update acknowledgements this node is owed;
+	// Release blocks until it reaches zero.
+	pendingAcks int
+	wakeData    signal
+	wakeLock    signal
+	wakeAcks    signal
+}
+
+// NewRelease builds a weak/release-consistency machine.
+func NewRelease(k *sim.Kernel, cfg Config) (*Release, error) {
+	net, err := netsim.New(k, cfg.N, cfg.Net)
+	if err != nil {
+		return nil, fmt.Errorf("release: %w", err)
+	}
+	if cfg.Root < 0 || cfg.Root >= cfg.N {
+		return nil, fmt.Errorf("release: root %d out of range for %d nodes", cfg.Root, cfg.N)
+	}
+	m := &Release{
+		k:      k,
+		net:    net,
+		cfg:    cfg,
+		holder: make(map[LockID]int),
+		queue:  make(map[LockID][]int),
+	}
+	m.nodes = make([]*relNode, cfg.N)
+	for i := range m.nodes {
+		n := &relNode{
+			m:        m,
+			id:       i,
+			mem:      make(map[VarID]int64),
+			heldByMe: make(map[LockID]bool),
+			wakeData: newSignal(k),
+			wakeLock: newSignal(k),
+			wakeAcks: newSignal(k),
+		}
+		m.nodes[i] = n
+		k.Spawn(fmt.Sprintf("release.iface.%d", i), n.ifaceLoop)
+	}
+	return m, nil
+}
+
+// Name implements Machine.
+func (m *Release) Name() string { return "release" }
+
+// N implements Machine.
+func (m *Release) N() int { return m.cfg.N }
+
+// Value implements Machine.
+func (m *Release) Value(id int, v VarID) int64 { return m.nodes[id].mem[v] }
+
+// Stats implements Machine.
+func (m *Release) Stats() Stats {
+	s := m.stats
+	s.Messages = m.net.Messages()
+	s.Bytes = m.net.BytesSent()
+	return s
+}
+
+// Start implements Machine.
+func (m *Release) Start(id int, body func(a App)) {
+	n := m.nodes[id]
+	m.k.Spawn(fmt.Sprintf("release.app.%d", id), func(p *sim.Proc) {
+		body(&relApp{n: n, p: p})
+	})
+}
+
+// lockHolder reports the current holder of l at the manager, or -1.
+func (m *Release) lockHolder(l LockID) int {
+	if h, ok := m.holder[l]; ok {
+		return h
+	}
+	return -1
+}
+
+// ifaceLoop serves directory, lock, and update traffic at one node.
+func (n *relNode) ifaceLoop(p *sim.Proc) {
+	m := n.m
+	for {
+		msg := m.net.Inbox(n.id).Recv(p)
+		switch pl := msg.Payload.(type) {
+		case rLockReq:
+			n.managerLockReq(pl)
+		case rGrant:
+			n.heldByMe[pl.l] = true
+			m.cfg.Trace.Addf(m.k.Now(), n.id, trace.LockGrant, "lock %d -> CPU%d", pl.l, n.id+1)
+			n.wakeLock.notify()
+		case rRelease:
+			// Manager-side: the lock came home free.
+			m.holder[pl.l] = -1
+			m.cfg.Trace.Addf(m.k.Now(), n.id, trace.LockFree, "lock %d free at manager", pl.l)
+			// A request may have raced in and been queued with no holder.
+			if q := m.queue[pl.l]; len(q) > 0 {
+				next := q[0]
+				m.queue[pl.l] = q[1:]
+				m.holder[pl.l] = next
+				m.net.Send(n.id, next, m.cfg.LockMsgBytes, rGrant{l: pl.l})
+			}
+		case rUpdate:
+			n.mem[pl.v] = pl.val
+			n.wakeData.notify()
+			m.net.Send(n.id, pl.origin, m.cfg.LockMsgBytes, rAck{v: pl.v})
+		case rAck:
+			n.pendingAcks--
+			if n.pendingAcks == 0 {
+				n.wakeAcks.notify()
+			}
+		default:
+			panic(fmt.Sprintf("release: node %d got unexpected payload %T", n.id, msg.Payload))
+		}
+	}
+}
+
+// managerLockReq handles a lock request arriving at the manager node, or a
+// forwarded request arriving at the current holder.
+func (n *relNode) managerLockReq(req rLockReq) {
+	m := n.m
+	if n.id == m.cfg.Root {
+		h := m.lockHolder(req.l)
+		switch {
+		case h == -1:
+			m.holder[req.l] = req.origin
+			m.cfg.Trace.Addf(m.k.Now(), n.id, trace.LockGrant, "lock %d granted to CPU%d by manager", req.l, req.origin+1)
+			if req.origin == n.id {
+				n.heldByMe[req.l] = true
+				n.wakeLock.notify()
+			} else {
+				m.net.Send(n.id, req.origin, m.cfg.LockMsgBytes, rGrant{l: req.l})
+			}
+		case h == n.id:
+			// Manager itself holds it: queue locally.
+			m.queue[req.l] = append(m.queue[req.l], req.origin)
+		default:
+			// Forward to the current holder; it will hand over on release.
+			// Directory optimistically records the requester as next
+			// holder so later requests chase the right node.
+			m.cfg.Trace.Addf(m.k.Now(), n.id, trace.LockRequest, "lock %d from CPU%d forwarded to holder CPU%d", req.l, req.origin+1, h+1)
+			m.net.Send(n.id, h, m.cfg.LockMsgBytes, req)
+		}
+		return
+	}
+	// Forwarded request at the holder: queue it; the app's Release hands
+	// the lock over directly (the third one-way message). If we no longer
+	// (or do not yet) hold the lock, the request raced a transfer — bounce
+	// it to the manager, which knows the new holder.
+	if !n.heldByMe[req.l] {
+		m.net.Send(n.id, m.cfg.Root, m.cfg.LockMsgBytes, req)
+		return
+	}
+	m.queue[req.l] = append(m.queue[req.l], req.origin)
+}
+
+// relApp implements App on the release machine.
+type relApp struct {
+	n *relNode
+	p *sim.Proc
+}
+
+var _ App = (*relApp)(nil)
+
+func (a *relApp) ID() int            { return a.n.id }
+func (a *relApp) N() int             { return a.n.m.cfg.N }
+func (a *relApp) Now() sim.Time      { return a.p.Now() }
+func (a *relApp) Compute(d sim.Time) { a.p.Sleep(d) }
+
+// Read is local: updates propagate eagerly under cache-update sharing.
+func (a *relApp) Read(v VarID) int64 {
+	a.p.Sleep(a.n.m.cfg.LocalRead)
+	return a.n.mem[v]
+}
+
+// Write applies locally and multicasts the update to every other node,
+// expecting one acknowledgement each; Release waits for them.
+func (a *relApp) Write(v VarID, val int64) {
+	m := a.n.m
+	a.p.Sleep(m.cfg.LocalWrite)
+	a.n.mem[v] = val
+	for dst := 0; dst < m.cfg.N; dst++ {
+		if dst == a.n.id {
+			continue
+		}
+		a.n.pendingAcks++
+		m.net.Send(a.n.id, dst, m.cfg.varBytes(v), rUpdate{origin: a.n.id, v: v, val: val})
+	}
+}
+
+// Acquire requests the lock from the manager and blocks for the grant.
+func (a *relApp) Acquire(l LockID) {
+	m := a.n.m
+	m.cfg.Trace.Addf(a.p.Now(), a.n.id, trace.LockRequest, "lock %d to manager CPU%d", l, m.cfg.Root+1)
+	m.net.Send(a.n.id, m.cfg.Root, m.cfg.LockMsgBytes, rLockReq{origin: a.n.id, l: l})
+	for !a.n.heldByMe[l] {
+		a.n.wakeLock.wait(a.p)
+	}
+	m.cfg.Trace.Addf(a.p.Now(), a.n.id, trace.EnterMX, "lock %d", l)
+}
+
+// Release first waits until every update this node issued has been
+// performed on all other processors (the release-consistency barrier),
+// then passes the lock to the next queued requester or back to the
+// manager.
+func (a *relApp) Release(l LockID) {
+	m := a.n.m
+	for a.n.pendingAcks > 0 {
+		a.n.wakeAcks.wait(a.p)
+	}
+	m.cfg.Trace.Addf(a.p.Now(), a.n.id, trace.LockRelease, "lock %d (updates complete)", l)
+	a.n.heldByMe[l] = false
+	q := m.queue[l]
+	if len(q) > 0 {
+		next := q[0]
+		m.queue[l] = q[1:]
+		m.holder[l] = next // directory piggyback
+		m.net.Send(a.n.id, next, m.cfg.LockMsgBytes, rGrant{l: l})
+		return
+	}
+	if a.n.id == m.cfg.Root {
+		m.holder[l] = -1
+		return
+	}
+	m.net.Send(a.n.id, m.cfg.Root, m.cfg.LockMsgBytes, rRelease{origin: a.n.id, l: l})
+}
+
+// MutexDo on the release machine is the conventional acquire/run/release.
+func (a *relApp) MutexDo(l LockID, body func()) {
+	a.Acquire(l)
+	body()
+	a.Release(l)
+}
+
+// AwaitGE waits for eager updates to push the local copy up to min.
+func (a *relApp) AwaitGE(v VarID, min int64) {
+	a.p.Sleep(a.n.m.cfg.LocalRead)
+	for a.n.mem[v] < min {
+		a.n.wakeData.wait(a.p)
+	}
+}

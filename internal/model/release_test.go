@@ -1,0 +1,235 @@
+package model
+
+import (
+	"testing"
+
+	"optsync/internal/sim"
+)
+
+func newReleaseTest(t *testing.T, n int) (*sim.Kernel, *Release) {
+	t.Helper()
+	k := sim.NewKernel()
+	cfg := DefaultConfig(n)
+	cfg.Guard = map[VarID]LockID{varA: testLock}
+	m, err := NewRelease(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, m
+}
+
+func TestReleaseUpdatesPropagateEagerly(t *testing.T) {
+	k, m := newReleaseTest(t, 4)
+	m.Start(1, func(a App) {
+		a.Write(200, 55)
+	})
+	k.Run()
+	for i := 0; i < 4; i++ {
+		if got := m.Value(i, 200); got != 55 {
+			t.Errorf("node %d sees %d, want 55", i, got)
+		}
+	}
+}
+
+func TestReleaseBlocksUntilUpdatesComplete(t *testing.T) {
+	// The release-consistency barrier: Release must take at least a
+	// round trip to the farthest node (update + ack), unlike GWC where
+	// release is immediate.
+	k, m := newReleaseTest(t, 9)
+	var relDur sim.Time
+	m.Start(4, func(a App) {
+		a.Acquire(testLock)
+		a.Write(varA, 9)
+		start := a.Now()
+		a.Release(testLock)
+		relDur = a.Now() - start
+	})
+	k.Run()
+	// Farthest node from 4 on a 3x3 torus is 2 hops: update (2*200+ser)
+	// plus ack back. Release must have waited at least ~1 RTT.
+	if relDur < 800 {
+		t.Errorf("release completed in %dns, want >= one update round trip", relDur)
+	}
+}
+
+func TestReleaseThreeMessageHandoff(t *testing.T) {
+	// Contended transfer: request -> manager, forward -> holder,
+	// grant -> requester (the paper's "three one-way messages").
+	k, m := newReleaseTest(t, 4)
+	var acquired sim.Time
+	m.Start(1, func(a App) {
+		a.Acquire(testLock)
+		a.Compute(50000)
+		a.Release(testLock)
+	})
+	m.Start(2, func(a App) {
+		a.Compute(5000) // request while node 1 holds it
+		a.Acquire(testLock)
+		acquired = a.Now()
+		a.Release(testLock)
+	})
+	k.Run()
+	if acquired < 50000 {
+		t.Errorf("node 2 acquired at %d while node 1 still held the lock", acquired)
+	}
+}
+
+func TestReleaseMutualExclusion(t *testing.T) {
+	k, m := newReleaseTest(t, 4)
+	type span struct {
+		node       int
+		start, end sim.Time
+	}
+	var spans []span
+	for id := 0; id < 4; id++ {
+		id := id
+		m.Start(id, func(a App) {
+			for i := 0; i < 3; i++ {
+				a.Acquire(testLock)
+				start := a.Now()
+				a.Compute(600)
+				a.Write(varA, int64(id))
+				spans = append(spans, span{node: id, start: start, end: a.Now()})
+				a.Release(testLock)
+				a.Compute(900)
+			}
+		})
+	}
+	k.Run()
+	if len(spans) != 12 {
+		t.Fatalf("completed %d critical sections, want 12", len(spans))
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.start < b.end && b.start < a.end {
+				t.Errorf("overlap: node %d [%d,%d] vs node %d [%d,%d]",
+					a.node, a.start, a.end, b.node, b.start, b.end)
+			}
+		}
+	}
+}
+
+func TestReleaseCounterCorrectness(t *testing.T) {
+	k, m := newReleaseTest(t, 4)
+	const reps = 5
+	for id := 0; id < 4; id++ {
+		m.Start(id, func(a App) {
+			for i := 0; i < reps; i++ {
+				a.MutexDo(testLock, func() {
+					cur := a.Read(varA)
+					a.Compute(300)
+					a.Write(varA, cur+1)
+				})
+				a.Compute(4000)
+			}
+		})
+	}
+	k.Run()
+	for i := 0; i < 4; i++ {
+		if got := m.Value(i, varA); got != 4*reps {
+			t.Errorf("node %d counter = %d, want %d", i, got, 4*reps)
+		}
+	}
+}
+
+func TestReleaseManagerSelfAcquire(t *testing.T) {
+	k, m := newReleaseTest(t, 3)
+	done := false
+	m.Start(0, func(a App) { // node 0 is the manager
+		a.Acquire(testLock)
+		a.Write(varA, 1)
+		a.Release(testLock)
+		a.Acquire(testLock) // again, after a free release
+		a.Release(testLock)
+		done = true
+	})
+	k.Run()
+	if !done {
+		t.Error("manager could not acquire its own lock twice")
+	}
+}
+
+func TestReleaseAwaitGE(t *testing.T) {
+	k, m := newReleaseTest(t, 3)
+	var doneAt sim.Time
+	m.Start(0, func(a App) {
+		a.Compute(3000)
+		a.Write(200, 10)
+	})
+	m.Start(2, func(a App) {
+		a.AwaitGE(200, 10)
+		doneAt = a.Now()
+	})
+	k.Run()
+	if doneAt < 3000 || doneAt > 10000 {
+		t.Errorf("AwaitGE returned at %d, want shortly after 3000", doneAt)
+	}
+}
+
+// TestCrossMachineEquivalence runs the same mutex counter program on all
+// three machines; the converged result must be identical — the models
+// differ in timing, never in outcome.
+func TestCrossMachineEquivalence(t *testing.T) {
+	build := func(name string, k *sim.Kernel, cfg Config) Machine {
+		switch name {
+		case "gwc":
+			m, err := NewGWC(k, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		case "gwc-opt":
+			cfg.Optimistic = true
+			m, err := NewGWC(k, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		case "entry":
+			m, err := NewEntry(k, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		default:
+			m, err := NewRelease(k, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+	}
+	for _, name := range []string{"gwc", "gwc-opt", "entry", "release"} {
+		k := sim.NewKernel()
+		cfg := DefaultConfig(5)
+		cfg.Guard = map[VarID]LockID{varA: testLock}
+		m := build(name, k, cfg)
+		const reps = 4
+		for id := 0; id < 5; id++ {
+			m.Start(id, func(a App) {
+				for i := 0; i < reps; i++ {
+					a.MutexDo(testLock, func() {
+						cur := a.Read(varA)
+						a.Compute(250)
+						a.Write(varA, cur+1)
+					})
+					a.Compute(3000)
+				}
+			})
+		}
+		k.Run()
+		// Check the value at a node guaranteed current under every model:
+		// under entry only the last owner is current, so check via owner
+		// for entry and node 0 otherwise.
+		var got int64
+		if e, ok := m.(*Entry); ok {
+			got = e.Value(e.lockOwner(testLock), varA)
+		} else {
+			got = m.Value(0, varA)
+		}
+		if got != 5*reps {
+			t.Errorf("%s: counter = %d, want %d", name, got, 5*reps)
+		}
+	}
+}

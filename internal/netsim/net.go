@@ -1,0 +1,141 @@
+// Package netsim is the network timing model used by the paper's
+// simulations: a square mesh torus where "each data sharing hop ... takes
+// 200ns, and each point to point fiber link is 1 gigabit/sec".
+//
+// Messages are delivered into per-node inboxes on the discrete-event
+// kernel after a delay of hops*HopLatency plus one serialization time
+// (cut-through routing: the serialization cost is paid once, not per hop,
+// matching the low per-hop latency the paper assumes for its fiber links).
+package netsim
+
+import (
+	"fmt"
+
+	"optsync/internal/sim"
+	"optsync/internal/topo"
+)
+
+// Params are the physical network constants.
+type Params struct {
+	// HopLatency is the per-hop forwarding delay.
+	HopLatency sim.Time
+	// BytesPerNS is the link bandwidth in bytes per nanosecond.
+	// 1 gigabit/sec = 0.125 bytes/ns.
+	BytesPerNS float64
+}
+
+// PaperParams returns the constants from the paper's Figure 8 setup:
+// 200ns per hop, 1 gigabit/sec links.
+func PaperParams() Params {
+	return Params{HopLatency: 200, BytesPerNS: 0.125}
+}
+
+// Delay computes the one-way latency for a message of the given size over
+// the given number of hops. Zero-hop (self) delivery is free.
+func (p Params) Delay(hops, bytes int) sim.Time {
+	if hops == 0 {
+		return 0
+	}
+	ser := sim.Time(float64(bytes) / p.BytesPerNS)
+	return sim.Time(hops)*p.HopLatency + ser
+}
+
+// Msg is a network message in flight or delivered.
+type Msg struct {
+	Src, Dst int
+	Bytes    int
+	Payload  any
+}
+
+// Net connects the nodes of a torus with delayed inbox delivery.
+//
+// Delivery on each (src,dst) pair is FIFO: a later, smaller message never
+// overtakes an earlier, larger one. The paper's lock protocol depends on
+// this (a lock request must reach the root before the shared writes that
+// optimistically follow it on the same path).
+type Net struct {
+	k      *sim.Kernel
+	torus  topo.Torus
+	params Params
+	inbox  []*sim.Chan[Msg]
+	lastAt map[[2]int]sim.Time // per-pair FIFO watermark
+
+	// Counters for traffic accounting (the paper argues GWC locks cost
+	// exactly three one-way messages).
+	msgs     int
+	bytesSum int
+}
+
+// New builds a network over n nodes on kernel k.
+func New(k *sim.Kernel, n int, params Params) (*Net, error) {
+	t, err := topo.New(n)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+	net := &Net{
+		k:      k,
+		torus:  t,
+		params: params,
+		inbox:  make([]*sim.Chan[Msg], n),
+		lastAt: make(map[[2]int]sim.Time),
+	}
+	for i := range net.inbox {
+		net.inbox[i] = sim.NewChan[Msg](k)
+	}
+	return net, nil
+}
+
+// Size reports the node count.
+func (n *Net) Size() int { return n.torus.Size() }
+
+// Torus exposes the underlying topology.
+func (n *Net) Torus() topo.Torus { return n.torus }
+
+// Params exposes the physical constants.
+func (n *Net) Params() Params { return n.params }
+
+// Inbox returns node id's delivery channel.
+func (n *Net) Inbox(id int) *sim.Chan[Msg] { return n.inbox[id] }
+
+// Send delivers a message from src to dst after the modelled delay.
+// A message to self is delivered immediately (it never leaves the node).
+func (n *Net) Send(src, dst, bytes int, payload any) {
+	n.SendAfter(0, src, dst, bytes, payload)
+}
+
+// SendAfter is Send with an extra sender-side delay (e.g. the origin's
+// sharing interface dequeuing time).
+func (n *Net) SendAfter(extra sim.Time, src, dst, bytes int, payload any) {
+	m := Msg{Src: src, Dst: dst, Bytes: bytes, Payload: payload}
+	arrive := n.k.Now() + extra + n.params.Delay(n.torus.Hops(src, dst), bytes)
+	key := [2]int{src, dst}
+	if prev := n.lastAt[key]; arrive < prev {
+		arrive = prev // FIFO: never overtake an earlier message
+	}
+	n.lastAt[key] = arrive
+	if src != dst {
+		n.msgs++
+		n.bytesSum += bytes
+	}
+	n.inbox[dst].PostAfter(arrive-n.k.Now(), m)
+}
+
+// Multicast delivers a message from src to every node in dsts (skipping
+// src itself), modelling Sesame's spanning-tree redistribution: each
+// destination receives after its own tree-path delay from src. One
+// message per destination is counted, matching a tree where every edge
+// carries the update once per subtree.
+func (n *Net) Multicast(src, bytes int, payload any, dsts []int) {
+	for _, d := range dsts {
+		if d == src {
+			continue
+		}
+		n.Send(src, d, bytes, payload)
+	}
+}
+
+// Messages reports how many point-to-point messages have been sent.
+func (n *Net) Messages() int { return n.msgs }
+
+// BytesSent reports the total payload bytes sent.
+func (n *Net) BytesSent() int { return n.bytesSum }

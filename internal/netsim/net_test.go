@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"testing"
+
+	"optsync/internal/sim"
+)
+
+func TestDelayFormula(t *testing.T) {
+	p := PaperParams()
+	tests := []struct {
+		hops, bytes int
+		want        sim.Time
+	}{
+		{0, 1000, 0},     // self delivery is free
+		{1, 0, 200},      // pure hop latency
+		{1, 125, 1200},   // 200 + 125B/0.125B-per-ns = 200+1000
+		{3, 125, 1600},   // cut-through: serialization paid once
+		{10, 0, 2000},    // latency scales linearly with hops
+		{2, 1250, 10400}, // big message dominated by serialization
+	}
+	for _, tt := range tests {
+		if got := p.Delay(tt.hops, tt.bytes); got != tt.want {
+			t.Errorf("Delay(%d,%d) = %d, want %d", tt.hops, tt.bytes, got, tt.want)
+		}
+	}
+}
+
+func TestSendArrivesAfterDelay(t *testing.T) {
+	k := sim.NewKernel()
+	net, err := New(k, 16, PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrived sim.Time
+	var got Msg
+	k.Spawn("recv", func(p *sim.Proc) {
+		got = net.Inbox(10).Recv(p)
+		arrived = p.Now()
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		net.Send(0, 10, 125, "hello")
+	})
+	k.Run()
+	// 0 -> 10 on a 4x4 torus is 4 hops: 4*200 + 1000 = 1800.
+	if arrived != 1800 {
+		t.Errorf("arrived at %d, want 1800", arrived)
+	}
+	if got.Src != 0 || got.Dst != 10 || got.Payload != "hello" {
+		t.Errorf("message corrupted: %+v", got)
+	}
+}
+
+func TestSelfSendImmediate(t *testing.T) {
+	k := sim.NewKernel()
+	net, _ := New(k, 4, PaperParams())
+	var arrived sim.Time = -1
+	k.Spawn("n0", func(p *sim.Proc) {
+		p.Sleep(50)
+		net.Send(0, 0, 64, nil)
+		net.Inbox(0).Recv(p)
+		arrived = p.Now()
+	})
+	k.Run()
+	if arrived != 50 {
+		t.Errorf("self message arrived at %d, want 50", arrived)
+	}
+	if net.Messages() != 0 {
+		t.Errorf("self message counted as network traffic: %d", net.Messages())
+	}
+}
+
+func TestSendAfterAddsSenderDelay(t *testing.T) {
+	k := sim.NewKernel()
+	net, _ := New(k, 4, Params{HopLatency: 100, BytesPerNS: 1})
+	var arrived sim.Time
+	k.Spawn("recv", func(p *sim.Proc) {
+		net.Inbox(1).Recv(p)
+		arrived = p.Now()
+	})
+	net.SendAfter(500, 0, 1, 10, nil)
+	k.Run()
+	// 500 extra + 1 hop * 100 + 10 bytes / 1 B-per-ns = 610.
+	if arrived != 610 {
+		t.Errorf("arrived at %d, want 610", arrived)
+	}
+}
+
+func TestMulticastPerDestinationDelays(t *testing.T) {
+	k := sim.NewKernel()
+	net, _ := New(k, 9, Params{HopLatency: 100, BytesPerNS: 0.125})
+	arrivals := make(map[int]sim.Time)
+	for i := 1; i < 9; i++ {
+		i := i
+		k.Spawn("recv", func(p *sim.Proc) {
+			net.Inbox(i).Recv(p)
+			arrivals[i] = p.Now()
+		})
+	}
+	dsts := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	net.Multicast(0, 0, nil, dsts)
+	k.Run()
+	tor := net.Torus()
+	for i := 1; i < 9; i++ {
+		want := sim.Time(tor.Hops(0, i)) * 100
+		if arrivals[i] != want {
+			t.Errorf("node %d received at %d, want %d", i, arrivals[i], want)
+		}
+	}
+	if net.Messages() != 8 {
+		t.Errorf("Messages() = %d, want 8 (src skipped)", net.Messages())
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	k := sim.NewKernel()
+	net, _ := New(k, 4, PaperParams())
+	net.Send(0, 1, 64, nil)
+	net.Send(1, 2, 36, nil)
+	net.Send(2, 2, 1000, nil) // self: not counted
+	if net.Messages() != 2 {
+		t.Errorf("Messages() = %d, want 2", net.Messages())
+	}
+	if net.BytesSent() != 100 {
+		t.Errorf("BytesSent() = %d, want 100", net.BytesSent())
+	}
+}
+
+func TestNewRejectsBadSize(t *testing.T) {
+	if _, err := New(sim.NewKernel(), 0, PaperParams()); err == nil {
+		t.Error("New(0) succeeded, want error")
+	}
+}
+
+func TestPerLinkFIFO(t *testing.T) {
+	k := sim.NewKernel()
+	net, _ := New(k, 4, Params{HopLatency: 100, BytesPerNS: 0.125})
+	var order []string
+	k.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			m := net.Inbox(1).Recv(p)
+			order = append(order, m.Payload.(string))
+		}
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		net.Send(0, 1, 1000, "big") // 100 + 8000 = arrives 8100
+		p.Sleep(10)
+		net.Send(0, 1, 0, "small") // would arrive 110; FIFO holds it to 8100
+	})
+	k.Run()
+	if order[0] != "big" || order[1] != "small" {
+		t.Errorf("order = %v: small message overtook big one on the same link", order)
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+// Chan is a simulated message channel with an unbounded buffer. Posting
+// never blocks (it models a hardware queue); receiving blocks the calling
+// process until a value is available. Values posted at the same virtual
+// time are received in post order.
+type Chan[T any] struct {
+	k    *Kernel
+	buf  []T
+	wait []*waiter[T]
+}
+
+// waiter records a process parked in Recv or RecvTimeout.
+type waiter[T any] struct {
+	p   *Proc
+	val T
+	got bool
+}
+
+// NewChan creates a simulated channel on kernel k.
+func NewChan[T any](k *Kernel) *Chan[T] {
+	return &Chan[T]{k: k}
+}
+
+// Post enqueues v at the current virtual time. It may be called from
+// process context or from kernel callbacks (e.g. delayed delivery via
+// Kernel.At), and never blocks.
+func (c *Chan[T]) Post(v T) {
+	if len(c.wait) > 0 {
+		w := c.wait[0]
+		c.wait = c.wait[1:]
+		w.val = v
+		w.got = true
+		w.p.unpark()
+		return
+	}
+	c.buf = append(c.buf, v)
+}
+
+// PostAfter enqueues v after a delay of d nanoseconds.
+func (c *Chan[T]) PostAfter(d Time, v T) {
+	c.k.After(d, func() { c.Post(v) })
+}
+
+// Len reports the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// TryRecv returns a buffered value without blocking. ok is false if the
+// channel is empty.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.buf) == 0 {
+		return v, false
+	}
+	v = c.buf[0]
+	c.buf = c.buf[1:]
+	return v, true
+}
+
+// Recv blocks process p until a value is available and returns it.
+func (c *Chan[T]) Recv(p *Proc) T {
+	if v, ok := c.TryRecv(); ok {
+		return v
+	}
+	w := &waiter[T]{p: p}
+	c.wait = append(c.wait, w)
+	p.parkBlocked()
+	return w.val
+}
+
+// RecvTimeout blocks process p until a value is available or d nanoseconds
+// of virtual time elapse. ok is false on timeout.
+func (c *Chan[T]) RecvTimeout(p *Proc, d Time) (v T, ok bool) {
+	if v, ok := c.TryRecv(); ok {
+		return v, true
+	}
+	w := &waiter[T]{p: p}
+	c.wait = append(c.wait, w)
+	// Schedule the timeout wakeup; a delivery in the meantime re-arms
+	// wakeSeq so this event goes stale.
+	e := &event{at: p.k.now + d, seq: p.k.nextSeq(), proc: p}
+	p.wakeSeq = e.seq
+	p.k.schedule(e)
+	p.park()
+	if !w.got {
+		// Timed out: remove ourselves from the wait list.
+		for i, cand := range c.wait {
+			if cand == w {
+				c.wait = append(c.wait[:i], c.wait[i+1:]...)
+				break
+			}
+		}
+		return v, false
+	}
+	return w.val, true
+}

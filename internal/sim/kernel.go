@@ -1,0 +1,219 @@
+// Package sim provides a deterministic, process-based discrete-event
+// simulation kernel with a virtual clock.
+//
+// Simulated processes are ordinary goroutines, but the kernel hands
+// execution to exactly one process at a time, so simulations are fully
+// deterministic: the same program always produces the same event order and
+// the same virtual timings. Processes communicate through simulated
+// channels (Chan) and advance virtual time with Proc.Sleep.
+//
+// This kernel exists because the paper's results are timing results (idle
+// time, speedup, network power). Real goroutine scheduling is
+// nondeterministic and wall-clock timing is noisy; a virtual clock
+// reproduces the paper's simulation methodology exactly.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in nanoseconds since the start of the simulation.
+type Time int64
+
+// event is a scheduled occurrence: either a process wakeup or a kernel
+// callback.
+type event struct {
+	at   Time
+	seq  uint64 // tiebreaker: FIFO among simultaneous events
+	proc *Proc  // non-nil: wake this process
+	fn   func() // non-nil: run this callback in kernel context
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation scheduler. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	yield   chan struct{} // running proc -> kernel handoff
+	live    int           // spawned procs that have not finished
+	blocked int           // procs parked with no pending wakeup
+	limit   Time          // horizon; 0 means none
+	stopped bool
+}
+
+// NewKernel returns an empty simulation at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// SetLimit sets a simulation horizon. Events scheduled after the horizon
+// are not executed and Run returns once the horizon is reached. A limit of
+// zero (the default) means no horizon.
+func (k *Kernel) SetLimit(t Time) { k.limit = t }
+
+// Stop makes Run return after the currently running process yields.
+// It may be called from process or callback context.
+func (k *Kernel) Stop() { k.stopped = true }
+
+func (k *Kernel) nextSeq() uint64 {
+	k.seq++
+	return k.seq
+}
+
+func (k *Kernel) schedule(e *event) {
+	heap.Push(&k.queue, e)
+}
+
+// At schedules fn to run in kernel context at virtual time t (clamped to
+// now if t is in the past). Callbacks must not block; they may post to
+// channels and schedule further events.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.schedule(&event{at: t, seq: k.nextSeq(), fn: fn})
+}
+
+// After schedules fn to run in kernel context d nanoseconds from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Spawn starts a new simulated process running body at the current virtual
+// time. The name is used in diagnostics only.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	k.live++
+	go func() {
+		<-p.resume // wait until the kernel first schedules us
+		defer func() {
+			p.done = true
+			k.live--
+			k.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+	e := &event{at: k.now, seq: k.nextSeq(), proc: p}
+	p.wakeSeq = e.seq
+	k.schedule(e)
+	return p
+}
+
+// Run processes events until the queue is empty, the horizon is reached,
+// or Stop is called. It returns the final virtual time. Processes still
+// parked on channels when the queue drains remain parked (use Blocked to
+// detect them).
+func (k *Kernel) Run() Time {
+	for len(k.queue) > 0 && !k.stopped {
+		e := heap.Pop(&k.queue).(*event)
+		if k.limit > 0 && e.at > k.limit {
+			k.now = k.limit
+			return k.now
+		}
+		k.now = e.at
+		switch {
+		case e.fn != nil:
+			e.fn()
+		case e.proc != nil:
+			if e.proc.done || e.proc.wakeSeq != e.seq {
+				// Stale wakeup: the process finished, or a competing
+				// event (e.g. a message beating a timeout) already
+				// claimed the next resume.
+				continue
+			}
+			e.proc.wakeSeq = 0
+			e.proc.resume <- struct{}{}
+			<-k.yield
+		}
+	}
+	return k.now
+}
+
+// Blocked reports how many live processes are currently parked with no
+// pending wakeup — useful for asserting that a simulation drained cleanly.
+func (k *Kernel) Blocked() int { return k.blocked }
+
+// Live reports how many spawned processes have not yet finished.
+func (k *Kernel) Live() int { return k.live }
+
+// Proc is a simulated process. All methods must be called from the
+// process's own body function.
+type Proc struct {
+	k       *Kernel
+	name    string
+	resume  chan struct{}
+	done    bool
+	wakeSeq uint64 // seq of the event allowed to wake us; 0 = any
+}
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Sleep advances this process's virtual time by d nanoseconds, modelling
+// computation or an imposed delay. Other processes run in the meantime.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s slept negative duration %d", p.name, d))
+	}
+	e := &event{at: p.k.now + d, seq: p.k.nextSeq(), proc: p}
+	p.wakeSeq = e.seq
+	p.k.schedule(e)
+	p.park()
+}
+
+// park hands control back to the kernel and blocks until resumed.
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// parkBlocked is park for processes with no scheduled wakeup: some other
+// process or callback must unpark them.
+func (p *Proc) parkBlocked() {
+	p.k.blocked++
+	p.park()
+	p.k.blocked--
+}
+
+// unpark schedules p to resume at the current virtual time. It must only
+// be called for a parked process.
+func (p *Proc) unpark() {
+	e := &event{at: p.k.now, seq: p.k.nextSeq(), proc: p}
+	p.wakeSeq = e.seq
+	p.k.schedule(e)
+}

@@ -1,0 +1,445 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	k := NewKernel()
+	var woke Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(1500)
+		woke = p.Now()
+	})
+	end := k.Run()
+	if woke != 1500 {
+		t.Errorf("woke at %d, want 1500", woke)
+	}
+	if end != 1500 {
+		t.Errorf("simulation ended at %d, want 1500", end)
+	}
+}
+
+func TestZeroSleepRunsOthersFirst(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	k.Run()
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(100, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events at equal time ran out of order: %v", order)
+		}
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.After(250, func() { at = k.Now() })
+	k.Run()
+	if at != 250 {
+		t.Errorf("callback ran at %d, want 250", at)
+	}
+}
+
+func TestChanPostRecv(t *testing.T) {
+	k := NewKernel()
+	ch := NewChan[int](k)
+	var got []int
+	k.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, ch.Recv(p))
+		}
+	})
+	k.Spawn("send", func(p *Proc) {
+		ch.Post(1)
+		p.Sleep(10)
+		ch.Post(2)
+		ch.Post(3)
+	})
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("got %v, want [1 2 3]", got)
+	}
+	if k.Blocked() != 0 {
+		t.Errorf("Blocked() = %d, want 0", k.Blocked())
+	}
+}
+
+func TestChanRecvBlocksUntilPost(t *testing.T) {
+	k := NewKernel()
+	ch := NewChan[string](k)
+	var recvAt Time
+	k.Spawn("recv", func(p *Proc) {
+		ch.Recv(p)
+		recvAt = p.Now()
+	})
+	k.Spawn("send", func(p *Proc) {
+		p.Sleep(777)
+		ch.Post("hi")
+	})
+	k.Run()
+	if recvAt != 777 {
+		t.Errorf("receive completed at %d, want 777", recvAt)
+	}
+}
+
+func TestChanPostAfterDelay(t *testing.T) {
+	k := NewKernel()
+	ch := NewChan[int](k)
+	var recvAt Time
+	k.Spawn("recv", func(p *Proc) {
+		ch.Recv(p)
+		recvAt = p.Now()
+	})
+	k.Spawn("send", func(p *Proc) {
+		p.Sleep(100)
+		ch.PostAfter(400, 9)
+	})
+	k.Run()
+	if recvAt != 500 {
+		t.Errorf("receive completed at %d, want 500", recvAt)
+	}
+}
+
+func TestRecvTimeoutExpires(t *testing.T) {
+	k := NewKernel()
+	ch := NewChan[int](k)
+	var (
+		ok     bool
+		wokeAt Time
+	)
+	k.Spawn("recv", func(p *Proc) {
+		_, ok = ch.RecvTimeout(p, 300)
+		wokeAt = p.Now()
+	})
+	k.Run()
+	if ok {
+		t.Error("RecvTimeout reported ok on an empty channel")
+	}
+	if wokeAt != 300 {
+		t.Errorf("timed out at %d, want 300", wokeAt)
+	}
+}
+
+func TestRecvTimeoutDeliveredBeforeDeadline(t *testing.T) {
+	k := NewKernel()
+	ch := NewChan[int](k)
+	var (
+		v      int
+		ok     bool
+		wokeAt Time
+	)
+	k.Spawn("recv", func(p *Proc) {
+		v, ok = ch.RecvTimeout(p, 300)
+		wokeAt = p.Now()
+		// The stale timeout event at t=300 must not disturb later ops.
+		p.Sleep(1000)
+	})
+	k.Spawn("send", func(p *Proc) {
+		p.Sleep(100)
+		ch.Post(42)
+	})
+	end := k.Run()
+	if !ok || v != 42 {
+		t.Errorf("got (%d,%v), want (42,true)", v, ok)
+	}
+	if wokeAt != 100 {
+		t.Errorf("received at %d, want 100", wokeAt)
+	}
+	if end != 1100 {
+		t.Errorf("end = %d, want 1100 (stale timeout must not cut the sleep short)", end)
+	}
+}
+
+func TestRecvTimeoutRemovesWaiterAfterTimeout(t *testing.T) {
+	k := NewKernel()
+	ch := NewChan[int](k)
+	var late []int
+	k.Spawn("recv", func(p *Proc) {
+		if _, ok := ch.RecvTimeout(p, 50); ok {
+			t.Error("unexpected delivery before timeout")
+		}
+		p.Sleep(100) // now a post happens at t=120; we are not waiting
+		if v, ok := ch.TryRecv(); ok {
+			late = append(late, v)
+		}
+	})
+	k.Spawn("send", func(p *Proc) {
+		p.Sleep(120)
+		ch.Post(7)
+	})
+	k.Run()
+	if len(late) != 1 || late[0] != 7 {
+		t.Errorf("late = %v, want [7]: post after timeout must buffer, not wake a stale waiter", late)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	k.Spawn("loop", func(p *Proc) {
+		for {
+			p.Sleep(10)
+			n++
+			if n == 5 {
+				k.Stop()
+				return
+			}
+		}
+	})
+	end := k.Run()
+	if n != 5 {
+		t.Errorf("iterations = %d, want 5", n)
+	}
+	if end != 50 {
+		t.Errorf("end = %d, want 50", end)
+	}
+}
+
+func TestSetLimitHorizon(t *testing.T) {
+	k := NewKernel()
+	k.SetLimit(95)
+	n := 0
+	k.Spawn("loop", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(10)
+			n++
+		}
+	})
+	end := k.Run()
+	if end != 95 {
+		t.Errorf("end = %d, want 95", end)
+	}
+	if n != 9 {
+		t.Errorf("iterations = %d, want 9", n)
+	}
+}
+
+func TestManyProcsDeterministic(t *testing.T) {
+	run := func() []int {
+		k := NewKernel()
+		ch := NewChan[int](k)
+		var order []int
+		for i := 0; i < 20; i++ {
+			i := i
+			k.Spawn("p", func(p *Proc) {
+				p.Sleep(Time(100 - i)) // later procs wake earlier
+				ch.Post(i)
+			})
+		}
+		k.Spawn("collect", func(p *Proc) {
+			for j := 0; j < 20; j++ {
+				order = append(order, ch.Recv(p))
+			}
+		})
+		k.Run()
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("two identical simulations diverged: %v vs %v", a, b)
+		}
+		if a[i] != 19-i {
+			t.Fatalf("wakeup order wrong: %v", a)
+		}
+	}
+}
+
+func TestLiveCountsFinishedProcs(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 4; i++ {
+		k.Spawn("p", func(p *Proc) { p.Sleep(5) })
+	}
+	if k.Live() != 4 {
+		t.Errorf("Live() before run = %d, want 4", k.Live())
+	}
+	k.Run()
+	if k.Live() != 0 {
+		t.Errorf("Live() after run = %d, want 0", k.Live())
+	}
+}
+
+// Property: for any sequence of sleep durations, a process's finish time is
+// the sum of the durations, and kernel time never runs backwards.
+func TestSleepSumProperty(t *testing.T) {
+	prop := func(durs []uint16) bool {
+		k := NewKernel()
+		var total, finish Time
+		k.Spawn("p", func(p *Proc) {
+			last := p.Now()
+			for _, d := range durs {
+				p.Sleep(Time(d))
+				if p.Now() < last {
+					t.Error("virtual time ran backwards")
+				}
+				last = p.Now()
+				total += Time(d)
+			}
+			finish = p.Now()
+		})
+		k.Run()
+		return finish == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: values posted to a channel are received in post order
+// regardless of the posting schedule.
+func TestChanFIFOProperty(t *testing.T) {
+	prop := func(gaps []uint8) bool {
+		k := NewKernel()
+		ch := NewChan[int](k)
+		var got []int
+		k.Spawn("send", func(p *Proc) {
+			for i, g := range gaps {
+				p.Sleep(Time(g))
+				ch.Post(i)
+			}
+		})
+		k.Spawn("recv", func(p *Proc) {
+			for range gaps {
+				got = append(got, ch.Recv(p))
+			}
+		})
+		k.Run()
+		if len(got) != len(gaps) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtInPastClampsToNow(t *testing.T) {
+	k := NewKernel()
+	var ran []string
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(100)
+		// Schedule "in the past": must run at current time, not never.
+		k.At(50, func() { ran = append(ran, "past") })
+		p.Sleep(10)
+		ran = append(ran, "after")
+	})
+	k.Run()
+	if len(ran) != 2 || ran[0] != "past" || ran[1] != "after" {
+		t.Errorf("order = %v, want [past after]", ran)
+	}
+}
+
+func TestStopFromCallback(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	k.Spawn("loop", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			p.Sleep(10)
+			n++
+		}
+	})
+	k.At(55, func() { k.Stop() })
+	k.Run()
+	if n > 6 {
+		t.Errorf("ran %d iterations after Stop at t=55", n)
+	}
+}
+
+func TestCallbackSpawnsProcess(t *testing.T) {
+	k := NewKernel()
+	var bornAt, doneAt Time
+	k.At(100, func() {
+		k.Spawn("late", func(p *Proc) {
+			bornAt = p.Now()
+			p.Sleep(20)
+			doneAt = p.Now()
+		})
+	})
+	k.Run()
+	if bornAt != 100 || doneAt != 120 {
+		t.Errorf("late process ran [%d,%d], want [100,120]", bornAt, doneAt)
+	}
+}
+
+func TestBlockedCountsParkedReceivers(t *testing.T) {
+	k := NewKernel()
+	ch := NewChan[int](k)
+	k.Spawn("stuck", func(p *Proc) {
+		ch.Recv(p) // never posted
+	})
+	k.Spawn("obs", func(p *Proc) {
+		p.Sleep(10)
+		if k.Blocked() != 1 {
+			t.Errorf("Blocked() = %d, want 1", k.Blocked())
+		}
+	})
+	k.Run()
+	if k.Blocked() != 1 {
+		t.Errorf("after drain Blocked() = %d, want 1 (stuck receiver)", k.Blocked())
+	}
+	if k.Live() != 1 {
+		t.Errorf("Live() = %d, want 1", k.Live())
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	k := NewKernel()
+	recovered := false
+	k.Spawn("bad", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				recovered = true
+			}
+		}()
+		p.Sleep(-1)
+	})
+	k.Run()
+	if !recovered {
+		t.Error("negative sleep did not panic")
+	}
+}
+
+func TestProcName(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("alpha", func(p *Proc) {
+		if p.Name() != "alpha" {
+			t.Errorf("Name() = %q", p.Name())
+		}
+		if p.Kernel() != k {
+			t.Error("Kernel() mismatch")
+		}
+	})
+	k.Run()
+}

@@ -1,0 +1,182 @@
+// Package topo models the square mesh torus interconnect assumed by the
+// paper's evaluation ("each data sharing hop in a square mesh torus takes
+// 200ns") and builds the BFS spanning trees that Sesame's reliable
+// multicast routes along.
+//
+// Node IDs are 0..N-1, laid out row-major on a W×H grid with wraparound
+// links in both dimensions. When N is not a perfect rectangle the last row
+// is partially populated; the unpopulated grid points still carry switches
+// (links exist), they just host no processor, so hop distances are computed
+// on the full W×H torus.
+package topo
+
+import "fmt"
+
+// Torus is a square-ish mesh torus hosting N processors.
+type Torus struct {
+	n, w, h int
+}
+
+// New returns a torus for n processors, n >= 1, using the most square
+// W×H grid with W*H >= n.
+func New(n int) (Torus, error) {
+	if n < 1 {
+		return Torus{}, fmt.Errorf("topo: torus size %d, want >= 1", n)
+	}
+	w := 1
+	for w*w < n {
+		w++
+	}
+	h := (n + w - 1) / w
+	return Torus{n: n, w: w, h: h}, nil
+}
+
+// MustNew is New for sizes known to be valid; it panics on error.
+func MustNew(n int) Torus {
+	t, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Size reports the number of processors.
+func (t Torus) Size() int { return t.n }
+
+// Dims reports the grid dimensions (width, height).
+func (t Torus) Dims() (w, h int) { return t.w, t.h }
+
+// coord maps a node ID to grid coordinates.
+func (t Torus) coord(id int) (x, y int) { return id % t.w, id / t.w }
+
+// wrapDist is the torus distance between coordinates a and b on an axis of
+// length n.
+func wrapDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// Hops reports the shortest-path hop count between processors a and b.
+func (t Torus) Hops(a, b int) int {
+	if a < 0 || a >= t.n || b < 0 || b >= t.n {
+		panic(fmt.Sprintf("topo: node out of range: Hops(%d,%d) on %d-node torus", a, b, t.n))
+	}
+	ax, ay := t.coord(a)
+	bx, by := t.coord(b)
+	return wrapDist(ax, bx, t.w) + wrapDist(ay, by, t.h)
+}
+
+// MaxHops reports the network diameter restricted to populated nodes.
+func (t Torus) MaxHops() int {
+	max := 0
+	for b := 1; b < t.n; b++ {
+		if h := t.Hops(0, b); h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// MeanHops reports the average hop distance from root to every other
+// populated node (0 when the torus has a single node).
+func (t Torus) MeanHops(root int) float64 {
+	if t.n <= 1 {
+		return 0
+	}
+	sum := 0
+	for b := 0; b < t.n; b++ {
+		if b != root {
+			sum += t.Hops(root, b)
+		}
+	}
+	return float64(sum) / float64(t.n-1)
+}
+
+// neighbors returns the up-to-4 populated torus neighbours of id. Grid
+// points without processors are skipped: the switch there forwards
+// transparently, which Hops already accounts for, but the spanning tree
+// only needs processor vertices.
+func (t Torus) neighbors(id int) []int {
+	x, y := t.coord(id)
+	cand := [4][2]int{
+		{(x + 1) % t.w, y},
+		{(x - 1 + t.w) % t.w, y},
+		{x, (y + 1) % t.h},
+		{x, (y - 1 + t.h) % t.h},
+	}
+	var out []int
+	for _, c := range cand {
+		n := c[1]*t.w + c[0]
+		if n != id && n < t.n {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Tree is a spanning tree over the processors of a torus, used to route,
+// sequence, and retransmit sharing messages within a group.
+type Tree struct {
+	Root     int
+	Parent   []int   // Parent[i] is i's tree parent; -1 for the root
+	Children [][]int // Children[i] lists i's tree children in ID order
+	Depth    []int   // Depth[i] is the hop distance from the root
+}
+
+// SpanningTree builds the BFS spanning tree of the torus rooted at root.
+// BFS over torus links yields shortest-path depths, so tree depth equals
+// Hops(root, i) for every node.
+func SpanningTree(t Torus, root int) (*Tree, error) {
+	if root < 0 || root >= t.n {
+		return nil, fmt.Errorf("topo: root %d out of range for %d-node torus", root, t.n)
+	}
+	tr := &Tree{
+		Root:     root,
+		Parent:   make([]int, t.n),
+		Children: make([][]int, t.n),
+		Depth:    make([]int, t.n),
+	}
+	for i := range tr.Parent {
+		tr.Parent[i] = -1
+		tr.Depth[i] = -1
+	}
+	tr.Depth[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range t.neighbors(cur) {
+			if tr.Depth[nb] >= 0 {
+				continue
+			}
+			tr.Depth[nb] = tr.Depth[cur] + 1
+			tr.Parent[nb] = cur
+			tr.Children[cur] = append(tr.Children[cur], nb)
+			queue = append(queue, nb)
+		}
+	}
+	for i, d := range tr.Depth {
+		if d < 0 {
+			return nil, fmt.Errorf("topo: node %d unreachable from root %d", i, root)
+		}
+	}
+	return tr, nil
+}
+
+// PathToRoot returns the node IDs from id up to (and including) the root.
+func (tr *Tree) PathToRoot(id int) []int {
+	var path []int
+	for cur := id; cur != -1; cur = tr.Parent[cur] {
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Size reports the number of nodes in the tree.
+func (tr *Tree) Size() int { return len(tr.Parent) }

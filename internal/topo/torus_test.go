@@ -1,0 +1,170 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestDimsNearSquare(t *testing.T) {
+	tests := []struct {
+		n, w, h int
+	}{
+		{1, 1, 1},
+		{2, 2, 1},
+		{4, 2, 2},
+		{5, 3, 2},
+		{9, 3, 3},
+		{16, 4, 4},
+		{17, 5, 4},
+		{33, 6, 6},
+		{64, 8, 8},
+		{65, 9, 8},
+		{128, 12, 11},
+		{129, 12, 11},
+	}
+	for _, tt := range tests {
+		tor := MustNew(tt.n)
+		w, h := tor.Dims()
+		if w != tt.w || h != tt.h {
+			t.Errorf("New(%d) dims = %dx%d, want %dx%d", tt.n, w, h, tt.w, tt.h)
+		}
+		if w*h < tt.n {
+			t.Errorf("New(%d): grid %dx%d too small", tt.n, w, h)
+		}
+	}
+}
+
+func TestHopsKnownValues(t *testing.T) {
+	tor := MustNew(16) // 4x4 torus
+	tests := []struct {
+		a, b, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 1},  // wraparound in x
+		{0, 12, 1}, // wraparound in y
+		{0, 5, 2},
+		{0, 10, 4}, // (2,2) away: 2+2
+		{5, 10, 2},
+	}
+	for _, tt := range tests {
+		if got := tor.Hops(tt.a, tt.b); got != tt.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestHopsSymmetricAndTriangle(t *testing.T) {
+	prop := func(n uint8, a, b, c uint16) bool {
+		size := int(n)%120 + 2
+		tor := MustNew(size)
+		x, y, z := int(a)%size, int(b)%size, int(c)%size
+		if tor.Hops(x, y) != tor.Hops(y, x) {
+			return false
+		}
+		if tor.Hops(x, x) != 0 {
+			return false
+		}
+		return tor.Hops(x, z) <= tor.Hops(x, y)+tor.Hops(y, z)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxHopsGrowsWithSize(t *testing.T) {
+	prev := 0
+	for _, n := range []int{4, 16, 64, 256} {
+		m := MustNew(n).MaxHops()
+		if m <= prev {
+			t.Errorf("MaxHops(%d) = %d, want > %d", n, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestMeanHops(t *testing.T) {
+	tor := MustNew(4) // 2x2 torus: two neighbours at 1 hop, diagonal at 2
+	if got, want := tor.MeanHops(0), 4.0/3.0; got != want {
+		t.Errorf("MeanHops = %v, want %v", got, want)
+	}
+	if got := MustNew(1).MeanHops(0); got != 0 {
+		t.Errorf("MeanHops on 1-node torus = %v, want 0", got)
+	}
+}
+
+func TestSpanningTreeProperties(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 9, 17, 33, 129} {
+		tor := MustNew(n)
+		tr, err := SpanningTree(tor, 0)
+		if err != nil {
+			t.Fatalf("SpanningTree(%d): %v", n, err)
+		}
+		if tr.Size() != n {
+			t.Errorf("tree size = %d, want %d", tr.Size(), n)
+		}
+		if tr.Parent[0] != -1 || tr.Depth[0] != 0 {
+			t.Errorf("root not at depth 0 with no parent")
+		}
+		edges := 0
+		for i := 0; i < n; i++ {
+			// BFS depth must equal torus shortest-path distance.
+			if tr.Depth[i] != tor.Hops(0, i) {
+				t.Errorf("n=%d node %d: tree depth %d != hops %d", n, i, tr.Depth[i], tor.Hops(0, i))
+			}
+			if i != 0 {
+				p := tr.Parent[i]
+				if p < 0 || tor.Hops(p, i) != 1 {
+					t.Errorf("n=%d node %d: parent %d is not a torus neighbour", n, i, p)
+				}
+				if tr.Depth[i] != tr.Depth[p]+1 {
+					t.Errorf("n=%d node %d: depth %d, parent depth %d", n, i, tr.Depth[i], tr.Depth[p])
+				}
+			}
+			edges += len(tr.Children[i])
+		}
+		if edges != n-1 {
+			t.Errorf("n=%d: tree has %d edges, want %d", n, edges, n-1)
+		}
+	}
+}
+
+func TestSpanningTreeBadRoot(t *testing.T) {
+	tor := MustNew(4)
+	if _, err := SpanningTree(tor, 4); err == nil {
+		t.Error("SpanningTree with out-of-range root succeeded, want error")
+	}
+	if _, err := SpanningTree(tor, -1); err == nil {
+		t.Error("SpanningTree with negative root succeeded, want error")
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	tor := MustNew(9)
+	tr, err := SpanningTree(tor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		path := tr.PathToRoot(i)
+		if path[0] != i || path[len(path)-1] != 0 {
+			t.Errorf("PathToRoot(%d) = %v: wrong endpoints", i, path)
+		}
+		if len(path) != tr.Depth[i]+1 {
+			t.Errorf("PathToRoot(%d) length %d, want %d", i, len(path), tr.Depth[i]+1)
+		}
+		for j := 0; j+1 < len(path); j++ {
+			if tr.Parent[path[j]] != path[j+1] {
+				t.Errorf("PathToRoot(%d): %v does not follow parent links", i, path)
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package trace records timestamped protocol events during simulations.
+// The Figure 1 reproduction prints these logs as timelines, and tests use
+// them to assert protocol-level properties (message counts, ordering).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"optsync/internal/sim"
+)
+
+// Kind classifies a protocol event.
+type Kind string
+
+// Event kinds recorded by the protocol models.
+const (
+	LockRequest  Kind = "lock-request"
+	LockGrant    Kind = "lock-grant"
+	LockRelease  Kind = "lock-release"
+	LockFree     Kind = "lock-free"
+	WriteSent    Kind = "write-sent"
+	WriteApplied Kind = "write-applied"
+	WriteDropped Kind = "write-dropped"
+	Invalidate   Kind = "invalidate"
+	DemandFetch  Kind = "demand-fetch"
+	Rollback     Kind = "rollback"
+	OptimisticGo Kind = "optimistic-start"
+	EnterMX      Kind = "enter-mx"
+	ExitMX       Kind = "exit-mx"
+	IdleStart    Kind = "idle-start"
+	IdleEnd      Kind = "idle-end"
+)
+
+// Event is one timestamped occurrence on one node.
+type Event struct {
+	T      sim.Time
+	Node   int
+	Kind   Kind
+	Detail string
+}
+
+// Log accumulates events in occurrence order. The zero value is ready to
+// use. A nil *Log discards all events, so tracing can be disabled without
+// call-site checks.
+type Log struct {
+	events []Event
+}
+
+// Add records an event. Safe on a nil receiver (no-op).
+func (l *Log) Add(t sim.Time, node int, kind Kind, detail string) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, Event{T: t, Node: node, Kind: kind, Detail: detail})
+}
+
+// Addf records an event with a formatted detail string.
+func (l *Log) Addf(t sim.Time, node int, kind Kind, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Add(t, node, kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns the recorded events in order. The returned slice is a
+// copy.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Count reports how many events of the given kind were recorded.
+func (l *Log) Count(kind Kind) int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// ByNode returns the events recorded for one node, in order.
+func (l *Log) ByNode(node int) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.events {
+		if e.Node == node {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// First returns the first event of the given kind on the given node, and
+// whether one exists. node < 0 matches any node.
+func (l *Log) First(kind Kind, node int) (Event, bool) {
+	if l == nil {
+		return Event{}, false
+	}
+	for _, e := range l.events {
+		if e.Kind == kind && (node < 0 || e.Node == node) {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Last returns the last event of the given kind on the given node, and
+// whether one exists. node < 0 matches any node.
+func (l *Log) Last(kind Kind, node int) (Event, bool) {
+	if l == nil {
+		return Event{}, false
+	}
+	for i := len(l.events) - 1; i >= 0; i-- {
+		e := l.events[i]
+		if e.Kind == kind && (node < 0 || e.Node == node) {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// String renders the log as one line per event:
+//
+//	1200ns  node 2  lock-grant      lock 0 -> CPU1
+func (l *Log) String() string {
+	if l == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range l.events {
+		fmt.Fprintf(&b, "%10dns  node %-3d %-16s %s\n", e.T, e.Node, e.Kind, e.Detail)
+	}
+	return b.String()
+}
+
+// Timeline renders a per-node column view with one row per event, which is
+// how cmd/figure1 prints the paper's timing diagrams.
+func (l *Log) Timeline(nodes int) string {
+	if l == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s", "time(ns)")
+	for n := 0; n < nodes; n++ {
+		fmt.Fprintf(&b, " | %-26s", fmt.Sprintf("CPU%d", n+1))
+	}
+	b.WriteString("\n")
+	for _, e := range l.events {
+		fmt.Fprintf(&b, "%12d", e.T)
+		for n := 0; n < nodes; n++ {
+			cell := ""
+			if e.Node == n {
+				cell = string(e.Kind)
+				if e.Detail != "" {
+					cell += " " + e.Detail
+				}
+				if len(cell) > 26 {
+					cell = cell[:26]
+				}
+			}
+			fmt.Fprintf(&b, " | %-26s", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	l := &Log{}
+	l.Add(100, 0, LockRequest, "lock 0")
+	l.Addf(200, 1, LockGrant, "lock %d -> CPU%d", 0, 1)
+	evs := l.Events()
+	if len(evs) != 2 {
+		t.Fatalf("Events() returned %d, want 2", len(evs))
+	}
+	if evs[0].T != 100 || evs[0].Kind != LockRequest {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	if evs[1].Detail != "lock 0 -> CPU1" {
+		t.Errorf("Addf detail = %q", evs[1].Detail)
+	}
+	// Events returns a copy: mutating it must not affect the log.
+	evs[0].T = 999
+	if l.Events()[0].T != 100 {
+		t.Error("Events() exposed internal storage")
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(1, 0, LockRequest, "x") // must not panic
+	l.Addf(1, 0, LockGrant, "y%d", 1)
+	if l.Events() != nil {
+		t.Error("nil log has events")
+	}
+	if l.Count(LockRequest) != 0 {
+		t.Error("nil log has counts")
+	}
+	if l.String() != "" || l.Timeline(2) != "" {
+		t.Error("nil log renders text")
+	}
+	if _, ok := l.First(LockGrant, -1); ok {
+		t.Error("nil log has a first event")
+	}
+	if _, ok := l.Last(LockGrant, -1); ok {
+		t.Error("nil log has a last event")
+	}
+	if l.ByNode(0) != nil {
+		t.Error("nil log has per-node events")
+	}
+}
+
+func TestCountAndByNode(t *testing.T) {
+	l := &Log{}
+	l.Add(1, 0, WriteSent, "a")
+	l.Add(2, 1, WriteSent, "b")
+	l.Add(3, 0, WriteApplied, "c")
+	if got := l.Count(WriteSent); got != 2 {
+		t.Errorf("Count(WriteSent) = %d, want 2", got)
+	}
+	if got := l.Count(Rollback); got != 0 {
+		t.Errorf("Count(Rollback) = %d, want 0", got)
+	}
+	n0 := l.ByNode(0)
+	if len(n0) != 2 || n0[0].Detail != "a" || n0[1].Detail != "c" {
+		t.Errorf("ByNode(0) = %+v", n0)
+	}
+}
+
+func TestFirstAndLast(t *testing.T) {
+	l := &Log{}
+	l.Add(1, 0, LockGrant, "first")
+	l.Add(2, 1, LockGrant, "second")
+	l.Add(3, 0, LockGrant, "third")
+	if e, ok := l.First(LockGrant, -1); !ok || e.Detail != "first" {
+		t.Errorf("First(any) = %+v, %v", e, ok)
+	}
+	if e, ok := l.First(LockGrant, 1); !ok || e.Detail != "second" {
+		t.Errorf("First(node 1) = %+v, %v", e, ok)
+	}
+	if e, ok := l.Last(LockGrant, -1); !ok || e.Detail != "third" {
+		t.Errorf("Last(any) = %+v, %v", e, ok)
+	}
+	if e, ok := l.Last(LockGrant, 0); !ok || e.Detail != "third" {
+		t.Errorf("Last(node 0) = %+v, %v", e, ok)
+	}
+	if _, ok := l.First(Rollback, -1); ok {
+		t.Error("First found a kind never recorded")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	l := &Log{}
+	l.Add(1200, 2, LockGrant, "lock 0 -> CPU1")
+	s := l.String()
+	for _, want := range []string{"1200ns", "node 2", "lock-grant", "lock 0 -> CPU1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTimelineColumns(t *testing.T) {
+	l := &Log{}
+	l.Add(10, 0, LockRequest, "lock 0")
+	l.Add(20, 2, LockGrant, "lock 0 -> CPU3")
+	tl := l.Timeline(3)
+	lines := strings.Split(strings.TrimRight(tl, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 events
+		t.Fatalf("timeline has %d lines, want 3:\n%s", len(lines), tl)
+	}
+	if !strings.Contains(lines[0], "CPU1") || !strings.Contains(lines[0], "CPU3") {
+		t.Errorf("header missing CPU columns: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "lock-request") {
+		t.Errorf("row 1 missing event: %q", lines[1])
+	}
+	// The event on node 2 must appear in the last column (after the
+	// second separator).
+	cols := strings.Split(lines[2], "|")
+	if len(cols) != 4 || !strings.Contains(cols[3], "lock-grant") {
+		t.Errorf("node-2 event not in CPU3 column: %q", lines[2])
+	}
+}
+
+func TestTimelineTruncatesLongDetails(t *testing.T) {
+	l := &Log{}
+	l.Add(1, 0, DemandFetch, strings.Repeat("x", 100))
+	tl := l.Timeline(1)
+	for _, line := range strings.Split(tl, "\n") {
+		if len(line) > 120 {
+			t.Errorf("timeline line too wide (%d chars)", len(line))
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"optsync/internal/wire"
+)
+
+// FaultPlan configures the Flaky wrapper's misbehaviour. Probabilities
+// are per message, in [0,1].
+type FaultPlan struct {
+	// DropRate silently discards sent messages.
+	DropRate float64
+	// DupRate delivers a second copy of a message.
+	DupRate float64
+	// DelayRate holds a message back for Delay before delivery,
+	// reordering it behind later traffic.
+	DelayRate float64
+	// Delay is how long a delayed message is held.
+	Delay time.Duration
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+	// Spare exempts a message type from faults (zero means none spared).
+	// NACKs are typically spared so loss recovery itself stays reliable
+	// when testing data-plane faults.
+	Spare wire.Type
+	// DownOnly restricts faults to the root's sequenced multicast
+	// (TSeqUpdate/TSeqLock), the path the GWC runtime repairs with
+	// NACK-driven retransmission. Up-path messages (update, lock
+	// request/release, NACK) pass through untouched, matching the
+	// paper's reliable member-to-root links.
+	DownOnly bool
+}
+
+// Flaky wraps a Network and injects faults on Send, to exercise the GWC
+// runtime's sequence-gap detection and retransmission.
+type Flaky struct {
+	inner Network
+	plan  FaultPlan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	wg  sync.WaitGroup
+
+	dropped    int
+	duplicated int
+	delayed    int
+}
+
+var _ Network = (*Flaky)(nil)
+
+// NewFlaky wraps inner with the given fault plan.
+func NewFlaky(inner Network, plan FaultPlan) *Flaky {
+	return &Flaky{
+		inner: inner,
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+	}
+}
+
+// Size implements Network.
+func (f *Flaky) Size() int { return f.inner.Size() }
+
+// Endpoint implements Network.
+func (f *Flaky) Endpoint(id int) (Endpoint, error) {
+	ep, err := f.inner.Endpoint(id)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyEndpoint{net: f, inner: ep}, nil
+}
+
+// Close implements Network. It waits for any delayed messages to flush.
+func (f *Flaky) Close() error {
+	f.wg.Wait()
+	return f.inner.Close()
+}
+
+// Stats reports how many messages were dropped, duplicated, and delayed.
+func (f *Flaky) Stats() (dropped, duplicated, delayed int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped, f.duplicated, f.delayed
+}
+
+// roll draws a uniform [0,1) sample under the lock.
+func (f *Flaky) roll() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64()
+}
+
+type flakyEndpoint struct {
+	net   *Flaky
+	inner Endpoint
+}
+
+func (e *flakyEndpoint) Send(to int, m wire.Message) error {
+	f := e.net
+	if f.plan.Spare != 0 && m.Type == f.plan.Spare {
+		return e.inner.Send(to, m)
+	}
+	if f.plan.DownOnly && m.Type != wire.TSeqUpdate && m.Type != wire.TSeqLock {
+		return e.inner.Send(to, m)
+	}
+	if f.plan.DropRate > 0 && f.roll() < f.plan.DropRate {
+		f.mu.Lock()
+		f.dropped++
+		f.mu.Unlock()
+		return nil
+	}
+	if f.plan.DelayRate > 0 && f.roll() < f.plan.DelayRate {
+		f.mu.Lock()
+		f.delayed++
+		f.mu.Unlock()
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			time.Sleep(f.plan.Delay)
+			// Delivery into a closed mailbox is a benign race during
+			// shutdown; the error is intentionally discarded.
+			_ = e.inner.Send(to, m)
+		}()
+		return nil
+	}
+	if err := e.inner.Send(to, m); err != nil {
+		return err
+	}
+	if f.plan.DupRate > 0 && f.roll() < f.plan.DupRate {
+		f.mu.Lock()
+		f.duplicated++
+		f.mu.Unlock()
+		return e.inner.Send(to, m)
+	}
+	return nil
+}
+
+func (e *flakyEndpoint) Recv() (wire.Message, bool) { return e.inner.Recv() }
+
+func (e *flakyEndpoint) Close() error { return e.inner.Close() }

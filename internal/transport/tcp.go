@@ -1,0 +1,302 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"optsync/internal/wire"
+)
+
+// TCPNet is a full mesh of TCP connections between the cluster's nodes,
+// created within one process (use Join to attach a node from its own
+// process). Listener addresses may use port 0; the actual ports are
+// resolved before any endpoint is returned.
+type TCPNet struct {
+	addrs []string
+	eps   []*tcpEndpoint
+}
+
+var _ Network = (*TCPNet)(nil)
+
+// NewTCP listens on every address and wires up an n-node TCP mesh.
+func NewTCP(addrs []string) (*TCPNet, error) {
+	if len(addrs) < 1 {
+		return nil, fmt.Errorf("transport: tcp network needs >= 1 address")
+	}
+	listeners := make([]net.Listener, len(addrs))
+	actual := make([]string, len(addrs))
+	for i, a := range addrs {
+		ln, err := net.Listen("tcp", a)
+		if err != nil {
+			for _, l := range listeners[:i] {
+				_ = l.Close()
+			}
+			return nil, fmt.Errorf("transport: listen %s: %w", a, err)
+		}
+		listeners[i] = ln
+		actual[i] = ln.Addr().String()
+	}
+	n := &TCPNet{addrs: actual, eps: make([]*tcpEndpoint, len(addrs))}
+	for i, ln := range listeners {
+		n.eps[i] = newTCPEndpoint(i, ln, actual)
+	}
+	return n, nil
+}
+
+// Join attaches node id to a multi-process cluster whose node addresses
+// are fixed in advance (no port 0). The caller owns the returned endpoint.
+func Join(id int, addrs []string) (Endpoint, error) {
+	if id < 0 || id >= len(addrs) {
+		return nil, fmt.Errorf("transport: join id %d out of range [0,%d)", id, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[id], err)
+	}
+	return newTCPEndpoint(id, ln, addrs), nil
+}
+
+// Size implements Network.
+func (t *TCPNet) Size() int { return len(t.eps) }
+
+// Endpoint implements Network.
+func (t *TCPNet) Endpoint(id int) (Endpoint, error) {
+	if id < 0 || id >= len(t.eps) {
+		return nil, fmt.Errorf("transport: endpoint %d out of range [0,%d)", id, len(t.eps))
+	}
+	return t.eps[id], nil
+}
+
+// Close implements Network.
+func (t *TCPNet) Close() error {
+	var first error
+	for _, ep := range t.eps {
+		if err := ep.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// tcpEndpoint is one node's listener, inbox, and outgoing peer links.
+type tcpEndpoint struct {
+	id    int
+	addrs []string
+	ln    net.Listener
+	inbox *mailbox
+
+	mu      sync.Mutex
+	peers   map[int]*tcpPeer
+	inbound []net.Conn
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+func newTCPEndpoint(id int, ln net.Listener, addrs []string) *tcpEndpoint {
+	ep := &tcpEndpoint{
+		id:    id,
+		addrs: append([]string(nil), addrs...),
+		ln:    ln,
+		inbox: newMailbox(),
+		peers: make(map[int]*tcpPeer),
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep
+}
+
+// acceptLoop turns every inbound connection into a frame reader feeding
+// the inbox. The sender's identity travels in each message's Src field,
+// so no handshake is needed.
+func (ep *tcpEndpoint) acceptLoop() {
+	defer ep.wg.Done()
+	for {
+		conn, err := ep.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		ep.inbound = append(ep.inbound, conn)
+		ep.mu.Unlock()
+		ep.wg.Add(1)
+		go func() {
+			defer ep.wg.Done()
+			defer func() { _ = conn.Close() }()
+			r := bufio.NewReader(conn)
+			for {
+				m, err := wire.ReadFrom(r)
+				if err != nil {
+					if err != io.EOF {
+						// A torn frame on a dying connection; the GWC
+						// layer recovers lost messages via NACK.
+						_ = err
+					}
+					return
+				}
+				if err := ep.inbox.put(m); err != nil {
+					return // endpoint closed
+				}
+			}
+		}()
+	}
+}
+
+// Send implements Endpoint, dialing peers lazily and writing through a
+// per-peer goroutine so a slow peer never blocks the caller.
+func (ep *tcpEndpoint) Send(to int, m wire.Message) error {
+	if to == ep.id {
+		return ep.inbox.put(m)
+	}
+	if to < 0 || to >= len(ep.addrs) {
+		return fmt.Errorf("transport: send to %d out of range [0,%d)", to, len(ep.addrs))
+	}
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return ErrClosed
+	}
+	peer, ok := ep.peers[to]
+	if !ok {
+		peer = &tcpPeer{addr: ep.addrs[to], out: newMailbox()}
+		ep.peers[to] = peer
+		ep.wg.Add(1)
+		go func() {
+			defer ep.wg.Done()
+			peer.writeLoop()
+		}()
+	}
+	ep.mu.Unlock()
+	return peer.out.put(m)
+}
+
+// Recv implements Endpoint.
+func (ep *tcpEndpoint) Recv() (wire.Message, bool) { return ep.inbox.get() }
+
+// Close implements Endpoint: stops the listener, peer writers, and inbox,
+// then waits for all endpoint goroutines to exit.
+func (ep *tcpEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	peers := make([]*tcpPeer, 0, len(ep.peers))
+	for _, p := range ep.peers {
+		peers = append(peers, p)
+	}
+	inbound := ep.inbound
+	ep.inbound = nil
+	ep.mu.Unlock()
+
+	err := ep.ln.Close()
+	for _, c := range inbound {
+		_ = c.Close() // unblock the frame readers
+	}
+	for _, p := range peers {
+		p.close()
+	}
+	ep.inbox.close()
+	ep.wg.Wait()
+	return err
+}
+
+// tcpPeer is one outgoing link: an unbounded outbox drained by a writer
+// goroutine.
+type tcpPeer struct {
+	addr string
+	out  *mailbox
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// writeLoop drains the outbox onto the connection, dialing on demand.
+// Messages that cannot be delivered after dial retries are dropped; the
+// GWC layer's sequence numbers detect and repair the loss.
+func (p *tcpPeer) writeLoop() {
+	var w *bufio.Writer
+	for {
+		m, ok := p.out.get()
+		if !ok {
+			p.mu.Lock()
+			if p.conn != nil {
+				_ = p.conn.Close()
+			}
+			p.mu.Unlock()
+			return
+		}
+		if p.connLocked() == nil {
+			if err := p.dial(); err != nil {
+				continue // drop; NACK recovery handles it
+			}
+			w = bufio.NewWriter(p.connLocked())
+		}
+		if err := wire.WriteTo(w, m); err != nil {
+			p.resetConn()
+			w = nil
+			continue
+		}
+		// Flush when the outbox drains so batches of messages share
+		// syscalls but nothing lingers.
+		if p.out.len() == 0 {
+			if err := w.Flush(); err != nil {
+				p.resetConn()
+				w = nil
+			}
+		}
+	}
+}
+
+func (p *tcpPeer) connLocked() net.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn
+}
+
+func (p *tcpPeer) resetConn() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		_ = p.conn.Close()
+		p.conn = nil
+	}
+}
+
+// dial connects with a short retry loop to ride out startup races where a
+// peer's listener is not yet accepting.
+func (p *tcpPeer) dial() error {
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		conn, err := net.DialTimeout("tcp", p.addr, time.Second)
+		if err == nil {
+			p.mu.Lock()
+			p.conn = conn
+			p.mu.Unlock()
+			return nil
+		}
+		lastErr = err
+		time.Sleep(time.Duration(attempt+1) * 10 * time.Millisecond)
+	}
+	return fmt.Errorf("transport: dial %s: %w", p.addr, lastErr)
+}
+
+func (p *tcpPeer) close() {
+	p.out.close()
+}
+
+// len reports the queue depth (used to decide when to flush).
+func (mb *mailbox) len() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.queue)
+}

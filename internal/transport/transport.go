@@ -1,0 +1,161 @@
+// Package transport moves wire messages between the nodes of a live GWC
+// cluster. Three implementations are provided:
+//
+//   - InProc: goroutine-to-goroutine delivery through unbounded mailboxes,
+//     the default for single-process clusters and tests.
+//   - TCP: a full mesh of TCP connections with the wire codec, for
+//     clusters spanning processes or hosts.
+//   - Flaky: a fault-injecting wrapper (drop, duplicate, reorder) used to
+//     exercise the runtime's gap detection and retransmission.
+//
+// In Sesame the spanning-tree interfaces route, sequence, and retransmit
+// sharing messages in hardware; here the transport provides point-to-point
+// delivery and the gwc package implements sequencing and retransmission in
+// software (the substitution is recorded in DESIGN.md).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"optsync/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Endpoint is one node's attachment to the network.
+type Endpoint interface {
+	// Send delivers m to node `to`. It must not block indefinitely on a
+	// slow receiver (the GWC root fans out to every member; a blocking
+	// fanout could deadlock the sequencer).
+	Send(to int, m wire.Message) error
+	// Recv blocks until a message arrives or the endpoint closes, in
+	// which case ok is false.
+	Recv() (m wire.Message, ok bool)
+	// Close shuts the endpoint; pending and future Recv calls return
+	// ok=false.
+	Close() error
+}
+
+// Network hands out the endpoints of an n-node cluster.
+type Network interface {
+	// Size is the number of nodes.
+	Size() int
+	// Endpoint returns node id's endpoint. Each node must call this
+	// exactly once.
+	Endpoint(id int) (Endpoint, error)
+	// Close shuts the whole network down.
+	Close() error
+}
+
+// mailbox is an unbounded FIFO with blocking receive. The unbounded
+// buffer is deliberate: the group root multicasts every sequenced write
+// to every member, and bounding the queue would let one slow member block
+// the sequencer for the whole group (the paper's hardware interfaces
+// buffer in memory for the same reason).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []wire.Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m wire.Message) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	mb.queue = append(mb.queue, m)
+	mb.cond.Signal()
+	return nil
+}
+
+func (mb *mailbox) get() (wire.Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 && !mb.closed {
+		mb.cond.Wait()
+	}
+	if len(mb.queue) == 0 {
+		return wire.Message{}, false
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return m, true
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.closed = true
+	mb.cond.Broadcast()
+}
+
+// InProc is an in-process network: node i's sends go straight into node
+// j's mailbox.
+type InProc struct {
+	boxes []*mailbox
+}
+
+var _ Network = (*InProc)(nil)
+
+// NewInProc builds an in-process network for n nodes.
+func NewInProc(n int) (*InProc, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: in-proc network needs >= 1 node, got %d", n)
+	}
+	boxes := make([]*mailbox, n)
+	for i := range boxes {
+		boxes[i] = newMailbox()
+	}
+	return &InProc{boxes: boxes}, nil
+}
+
+// Size implements Network.
+func (p *InProc) Size() int { return len(p.boxes) }
+
+// Endpoint implements Network.
+func (p *InProc) Endpoint(id int) (Endpoint, error) {
+	if id < 0 || id >= len(p.boxes) {
+		return nil, fmt.Errorf("transport: endpoint %d out of range [0,%d)", id, len(p.boxes))
+	}
+	return &inProcEndpoint{net: p, id: id}, nil
+}
+
+// Close implements Network.
+func (p *InProc) Close() error {
+	for _, b := range p.boxes {
+		b.close()
+	}
+	return nil
+}
+
+type inProcEndpoint struct {
+	net *InProc
+	id  int
+}
+
+func (e *inProcEndpoint) Send(to int, m wire.Message) error {
+	if to < 0 || to >= len(e.net.boxes) {
+		return fmt.Errorf("transport: send to %d out of range [0,%d)", to, len(e.net.boxes))
+	}
+	return e.net.boxes[to].put(m)
+}
+
+func (e *inProcEndpoint) Recv() (wire.Message, bool) {
+	return e.net.boxes[e.id].get()
+}
+
+func (e *inProcEndpoint) Close() error {
+	e.net.boxes[e.id].close()
+	return nil
+}

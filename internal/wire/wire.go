@@ -1,0 +1,136 @@
+// Package wire defines the messages exchanged by the live GWC runtime and
+// a fixed-size binary codec for sending them over byte-stream transports.
+//
+// Every message travels either "up" (member to group root: updates, lock
+// requests, releases, retransmit requests) or "down" (root to members:
+// sequenced updates and lock grants). Down messages carry the group
+// sequence number that establishes group write consistency.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Type discriminates message kinds.
+type Type uint8
+
+// Message kinds. Up messages flow member -> root; down messages are the
+// root's sequenced multicast.
+const (
+	// TUpdate is an eagerly shared write on its way to the root.
+	TUpdate Type = iota + 1
+	// TLockReq asks the root (lock manager) for a lock.
+	TLockReq
+	// TLockRel releases a lock at the root.
+	TLockRel
+	// TSeqUpdate is a sequenced shared write, multicast by the root.
+	TSeqUpdate
+	// TSeqLock is a sequenced lock-variable change (grant or free).
+	TSeqLock
+	// TNack asks the root to retransmit sequenced messages from Seq up to
+	// (and excluding) Val, after a receiver detected a gap.
+	TNack
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TUpdate:
+		return "update"
+	case TLockReq:
+		return "lock-req"
+	case TLockRel:
+		return "lock-rel"
+	case TSeqUpdate:
+		return "seq-update"
+	case TSeqLock:
+		return "seq-lock"
+	case TNack:
+		return "nack"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Message is one protocol message. Unused fields are zero; the codec
+// always transmits the full fixed layout (one branch-free encode/decode,
+// at the cost of a few bytes — the paper's updates are small anyway).
+type Message struct {
+	Type   Type
+	Group  uint32 // sharing group
+	Src    int32  // sending node
+	Origin int32  // original writer (survives root re-multicast)
+	// Seq is the group sequence number on down messages and the NACK
+	// start; on guarded TUpdate messages it carries the origin's last
+	// applied grant epoch for the root's epoch validation.
+	Seq  uint64
+	Var  uint32 // shared variable (TUpdate/TSeqUpdate)
+	Lock uint32 // lock ID (lock messages)
+	Val  int64  // variable value, lock value, or NACK end
+	// Guarded marks writes to variables inside a mutex data group: the
+	// root discards them from non-holders and origins drop their echoes.
+	Guarded bool
+}
+
+// EncodedSize is the fixed wire size of one message.
+const EncodedSize = 1 + 1 + 4 + 4 + 4 + 8 + 4 + 4 + 8
+
+// Encode appends the message's wire form to buf and returns the result.
+func Encode(buf []byte, m Message) []byte {
+	var tmp [EncodedSize]byte
+	tmp[0] = byte(m.Type)
+	if m.Guarded {
+		tmp[1] = 1
+	}
+	binary.BigEndian.PutUint32(tmp[2:], m.Group)
+	binary.BigEndian.PutUint32(tmp[6:], uint32(m.Src))
+	binary.BigEndian.PutUint32(tmp[10:], uint32(m.Origin))
+	binary.BigEndian.PutUint64(tmp[14:], m.Seq)
+	binary.BigEndian.PutUint32(tmp[22:], m.Var)
+	binary.BigEndian.PutUint32(tmp[26:], m.Lock)
+	binary.BigEndian.PutUint64(tmp[30:], uint64(m.Val))
+	return append(buf, tmp[:]...)
+}
+
+// Decode parses one message from b, which must hold at least EncodedSize
+// bytes.
+func Decode(b []byte) (Message, error) {
+	if len(b) < EncodedSize {
+		return Message{}, fmt.Errorf("wire: short message: %d bytes, want %d", len(b), EncodedSize)
+	}
+	m := Message{
+		Type:    Type(b[0]),
+		Guarded: b[1] != 0,
+		Group:   binary.BigEndian.Uint32(b[2:]),
+		Src:     int32(binary.BigEndian.Uint32(b[6:])),
+		Origin:  int32(binary.BigEndian.Uint32(b[10:])),
+		Seq:     binary.BigEndian.Uint64(b[14:]),
+		Var:     binary.BigEndian.Uint32(b[22:]),
+		Lock:    binary.BigEndian.Uint32(b[26:]),
+		Val:     int64(binary.BigEndian.Uint64(b[30:])),
+	}
+	if m.Type < TUpdate || m.Type > TNack {
+		return Message{}, fmt.Errorf("wire: unknown message type %d", b[0])
+	}
+	return m, nil
+}
+
+// WriteTo writes the message to w in wire form.
+func WriteTo(w io.Writer, m Message) error {
+	buf := Encode(make([]byte, 0, EncodedSize), m)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	return nil
+}
+
+// ReadFrom reads one message from r in wire form.
+func ReadFrom(r io.Reader) (Message, error) {
+	var buf [EncodedSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Message{}, err
+	}
+	return Decode(buf[:])
+}

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []Message{
+		{Type: TUpdate, Group: 1, Src: 2, Origin: 2, Var: 7, Val: 42, Guarded: true},
+		{Type: TLockReq, Group: 3, Src: 9, Origin: 9, Lock: 1},
+		{Type: TLockRel, Group: 3, Src: 9, Origin: 9, Lock: 1},
+		{Type: TSeqUpdate, Group: 1, Src: 0, Origin: 5, Seq: 1 << 40, Var: 3, Val: -1},
+		{Type: TSeqLock, Group: 2, Src: 0, Seq: 77, Lock: 4, Val: -1 << 60},
+		{Type: TNack, Group: 1, Src: 6, Seq: 100, Val: 110},
+	}
+	for _, m := range tests {
+		buf := Encode(nil, m)
+		if len(buf) != EncodedSize {
+			t.Errorf("%v: encoded %d bytes, want %d", m.Type, len(buf), EncodedSize)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Type, err)
+		}
+		if got != m {
+			t.Errorf("round trip changed message:\n got %+v\nwant %+v", got, m)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(g uint32, src, origin int32, seq uint64, v, l uint32, val int64, guarded bool, kind uint8) bool {
+		m := Message{
+			Type:    Type(kind%6) + TUpdate,
+			Group:   g,
+			Src:     src,
+			Origin:  origin,
+			Seq:     seq,
+			Var:     v,
+			Lock:    l,
+			Val:     val,
+			Guarded: guarded,
+		}
+		got, err := Decode(Encode(nil, m))
+		return err == nil && got == m
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, EncodedSize-1)); err == nil {
+		t.Error("Decode of short buffer succeeded, want error")
+	}
+	bad := Encode(nil, Message{Type: TUpdate})
+	bad[0] = 0
+	if _, err := Decode(bad); err == nil {
+		t.Error("Decode of zero type succeeded, want error")
+	}
+	bad[0] = 200
+	if _, err := Decode(bad); err == nil {
+		t.Error("Decode of unknown type succeeded, want error")
+	}
+}
+
+func TestStreamReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		{Type: TUpdate, Group: 1, Src: 1, Origin: 1, Var: 2, Val: 3},
+		{Type: TSeqLock, Group: 1, Src: 0, Seq: 9, Lock: 0, Val: 5},
+		{Type: TNack, Group: 1, Src: 4, Seq: 10, Val: 20},
+	}
+	for _, m := range msgs {
+		if err := WriteTo(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("message %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrom(&buf); err != io.EOF {
+		t.Errorf("read past end: err = %v, want io.EOF", err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	tests := []struct {
+		t    Type
+		want string
+	}{
+		{TUpdate, "update"},
+		{TLockReq, "lock-req"},
+		{TLockRel, "lock-rel"},
+		{TSeqUpdate, "seq-update"},
+		{TSeqLock, "seq-lock"},
+		{TNack, "nack"},
+		{Type(99), "type(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.t.String(); got != tt.want {
+			t.Errorf("Type(%d).String() = %q, want %q", tt.t, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"fmt"
+
+	"optsync/internal/model"
+	"optsync/internal/sim"
+	"optsync/internal/trace"
+)
+
+// Figure 1 variable/lock layout. The paper's CPU1, CPU2, CPU3 are nodes
+// 0, 1, 2; CPU2 (node 1) is the group root / lock owner / data owner.
+const (
+	m3Lock model.LockID = 0
+	m3Data model.VarID  = 1
+)
+
+// Mutex3Params configures the Figure 1 scenario: three successive sets of
+// mutually exclusive accesses to the same lock. CPU1 and CPU3 request
+// immediately (CPU1 first); CPU2 requests later. Each CPU updates the
+// shared data for UpdateTime and releases.
+type Mutex3Params struct {
+	// UpdateTime is each CPU's in-section update computation.
+	UpdateTime sim.Time
+	// Writes is how many shared writes each CPU spreads over its update.
+	Writes int
+	// CPU3Offset and CPU2Offset are the request times of CPU3 and CPU2
+	// (CPU1 requests at time zero).
+	CPU3Offset sim.Time
+	CPU2Offset sim.Time
+}
+
+// DefaultMutex3Params mirrors the figure: CPU3 contends with CPU1 almost
+// immediately; CPU2 asks only after the others are done updating.
+func DefaultMutex3Params() Mutex3Params {
+	return Mutex3Params{
+		UpdateTime: 4000,
+		Writes:     4,
+		CPU3Offset: 200,
+		CPU2Offset: 9000,
+	}
+}
+
+// Configure installs the scenario layout: the data is guarded by the
+// lock, owned (for entry-consistency demand fetches) by CPU2.
+func (p Mutex3Params) Configure(cfg *model.Config) {
+	cfg.Root = 1 // CPU2 is group root / lock owner
+	cfg.Guard[m3Data] = m3Lock
+	cfg.Home[m3Data] = 1
+}
+
+// Mutex3CPU is one processor's observed timing.
+type Mutex3CPU struct {
+	Request sim.Time
+	Grant   sim.Time
+	Release sim.Time
+	// Idle is the time the CPU wasted waiting for the lock.
+	Idle sim.Time
+}
+
+// Mutex3Result reports the Figure 1 scenario under one model.
+type Mutex3Result struct {
+	Model string
+	CPU   [3]Mutex3CPU
+	// Total is when the last CPU finished its release.
+	Total sim.Time
+	// TotalIdle sums the three CPUs' lock-wait times — the quantity
+	// Figure 1 compares across models.
+	TotalIdle sim.Time
+	Trace     *trace.Log
+	Stats     model.Stats
+}
+
+// RunMutex3 executes the Figure 1 scenario on machine m (3 nodes).
+func RunMutex3(k *sim.Kernel, m model.Machine, p Mutex3Params) (Mutex3Result, error) {
+	if m.N() != 3 {
+		return Mutex3Result{}, fmt.Errorf("mutex3: machine has %d nodes, want 3", m.N())
+	}
+	var res Mutex3Result
+	offsets := [3]sim.Time{0, p.CPU2Offset, p.CPU3Offset}
+	writeGap := p.UpdateTime / sim.Time(p.Writes)
+	for id := 0; id < 3; id++ {
+		id := id
+		m.Start(id, func(a model.App) {
+			a.Compute(offsets[id])
+			res.CPU[id].Request = a.Now()
+			a.Acquire(m3Lock)
+			res.CPU[id].Grant = a.Now()
+			res.CPU[id].Idle = res.CPU[id].Grant - res.CPU[id].Request
+			for w := 0; w < p.Writes; w++ {
+				a.Compute(writeGap)
+				a.Write(m3Data, int64(id*100+w))
+			}
+			a.Release(m3Lock)
+			res.CPU[id].Release = a.Now()
+		})
+	}
+	k.Run()
+	for id := 0; id < 3; id++ {
+		if res.CPU[id].Release == 0 {
+			return Mutex3Result{}, fmt.Errorf("mutex3: CPU%d never released", id+1)
+		}
+		if res.CPU[id].Release > res.Total {
+			res.Total = res.CPU[id].Release
+		}
+		res.TotalIdle += res.CPU[id].Idle
+	}
+	res.Model = m.Name()
+	res.Stats = m.Stats()
+	return res, nil
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"fmt"
+
+	"optsync/internal/model"
+	"optsync/internal/sim"
+)
+
+// Pipeline variable/lock layout.
+const (
+	pipeLock model.LockID = 0
+	// pipeShared is the variable updated inside the mutual exclusion
+	// section (the paper's shared_a).
+	pipeShared model.VarID = 1
+	// pipeDataBase + i is the "items produced" counter of node i, awaited
+	// by node i+1.
+	pipeDataBase model.VarID = 1000
+	// pipePayloadBase + i holds node i's produced data item, read
+	// piecewise by the successor (demand-fetched under entry consistency,
+	// already local under eagersharing).
+	pipePayloadBase model.VarID = 2000
+)
+
+// PipelineParams configures the Figure 8 linear-pipeline experiment.
+//
+// Each of N processors loops DataSize/N times: wait for the predecessor's
+// data, compute locally for LocalCalc, update shared data for
+// LocalCalc/MXRatio inside a mutual exclusion section, share new data with
+// the successor, then compute locally for LocalCalc again. With the
+// paper's ratio of 1/8 the zero-delay ceiling on network power is
+// (8+1+8)/(8+1) = 1.89, exactly the paper's top line.
+type PipelineParams struct {
+	N         int
+	DataSize  int      // total handoffs around the ring (paper: 1024)
+	LocalCalc sim.Time // the two local computation blocks (L)
+	MXRatio   int      // MX section is LocalCalc/MXRatio (paper: 8)
+	DataBytes int      // wire size of one inter-stage data item
+	// DataReads is how many reads of the predecessor's item each
+	// iteration performs. Under eagersharing these are local; under entry
+	// consistency each is a demand fetch ("demand fetch is needed when
+	// non-mutually exclusive data is read").
+	DataReads int
+}
+
+// DefaultPipelineParams returns the Figure 8 configuration for n CPUs.
+// LocalCalc is sized so the lock round trip is initially overlappable by
+// the MX section ("The time for the mutual exclusion section has also
+// been chosen so communication delay to request the lock ... can
+// initially be overlapped by calculations").
+func DefaultPipelineParams(n int) PipelineParams {
+	return PipelineParams{
+		N:         n,
+		DataSize:  1024,
+		LocalCalc: 7200, // ~240 FLOPs at 33 MFLOPS
+		MXRatio:   8,
+		DataBytes: 100,
+		DataReads: 5,
+	}
+}
+
+// mxTime is the mutual-exclusion section's compute time.
+func (p PipelineParams) mxTime() sim.Time { return p.LocalCalc / sim.Time(p.MXRatio) }
+
+// iters is the per-node main-loop count ("from 1024 to 8 iterations").
+func (p PipelineParams) iters() int {
+	it := p.DataSize / p.N
+	if it < 1 {
+		it = 1
+	}
+	return it
+}
+
+// Configure installs the pipeline's variable layout into a machine config:
+// the MX variable is guarded by the pipeline lock; each data counter is
+// homed at (and written only by) its producer.
+func (p PipelineParams) Configure(cfg *model.Config) {
+	cfg.Guard[pipeShared] = pipeLock
+	for i := 0; i < p.N; i++ {
+		v := pipeDataBase + model.VarID(i)
+		cfg.Home[v] = i
+		pay := pipePayloadBase + model.VarID(i)
+		cfg.Home[pay] = i
+		cfg.VarBytes[pay] = p.DataBytes
+	}
+}
+
+// PipelineResult reports one pipeline run.
+type PipelineResult struct {
+	Model    string
+	N        int
+	Makespan sim.Time
+	// UsefulWork is the total compute time across all nodes (the two
+	// local blocks plus the MX block, per iteration).
+	UsefulWork sim.Time
+	// Power is the paper's "network power": UsefulWork / Makespan, i.e.
+	// average sustained efficiency times network size.
+	Power float64
+	Stats model.Stats
+}
+
+// RunPipeline executes the pipeline on machine m and returns its measured
+// network power. The machine must have been configured with
+// p.Configure and built on kernel k.
+func RunPipeline(k *sim.Kernel, m model.Machine, p PipelineParams) (PipelineResult, error) {
+	if m.N() != p.N {
+		return PipelineResult{}, fmt.Errorf("pipeline: machine has %d nodes, params say %d", m.N(), p.N)
+	}
+	iters := p.iters()
+	mx := p.mxTime()
+	finish := make([]sim.Time, p.N)
+	for id := 0; id < p.N; id++ {
+		id := id
+		m.Start(id, func(a model.App) {
+			prev := (id - 1 + p.N) % p.N
+			prevVar := pipeDataBase + model.VarID(prev)
+			prevPayload := pipePayloadBase + model.VarID(prev)
+			myVar := pipeDataBase + model.VarID(id)
+			myPayload := pipePayloadBase + model.VarID(id)
+			for it := 1; it <= iters; it++ {
+				// Wait for the predecessor's item. The token starts at
+				// node 0, so node 0's iteration k needs the
+				// predecessor's item k-1 and everyone else needs item k.
+				need := int64(it)
+				if id == 0 {
+					need = int64(it - 1)
+				}
+				if need > 0 {
+					a.AwaitGE(prevVar, need)
+					for r := 0; r < p.DataReads; r++ {
+						a.Read(prevPayload)
+					}
+				}
+				a.Compute(p.LocalCalc) // first local block (A)
+				a.MutexDo(pipeLock, func() {
+					a.Compute(mx)
+					a.Write(pipeShared, int64(id*1_000_000+it))
+				})
+				// Share the new data with the successor (payload first,
+				// then the counter that announces it), then continue
+				// with the second local block (D), which overlaps the
+				// successor's work.
+				a.Write(myPayload, int64(it))
+				a.Write(myVar, int64(it))
+				a.Compute(p.LocalCalc)
+			}
+			finish[id] = a.Now()
+		})
+	}
+	end := k.Run()
+	makespan := sim.Time(0)
+	for id, f := range finish {
+		if f == 0 {
+			return PipelineResult{}, fmt.Errorf("pipeline: node %d never finished (simulation ended at %d)", id, end)
+		}
+		if f > makespan {
+			makespan = f
+		}
+	}
+	work := sim.Time(p.N*iters) * (2*p.LocalCalc + mx)
+	return PipelineResult{
+		Model:      m.Name(),
+		N:          p.N,
+		Makespan:   makespan,
+		UsefulWork: work,
+		Power:      float64(work) / float64(makespan),
+		Stats:      m.Stats(),
+	}, nil
+}

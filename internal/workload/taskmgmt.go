@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"fmt"
+
+	"optsync/internal/model"
+	"optsync/internal/sim"
+)
+
+// Task-management variable/lock layout.
+const (
+	taskLock model.LockID = 0
+	// taskHead is the consume index of the shared task queue (guarded).
+	taskHead model.VarID = 1
+	// taskTail is the produce index — the paper's eagerly shared "test
+	// variable written by the producer" that workers watch. It is
+	// deliberately unguarded so entry consistency must demand-fetch it.
+	taskTail model.VarID = 2
+	// taskSlotBase + (i mod QueueSlots) are the queue entries (guarded).
+	taskSlotBase model.VarID = 100
+)
+
+// TaskMgmtParams configures the Figure 2 task-management experiment: one
+// producer (node 0, also the group root / lock manager) generates Tasks
+// tasks, each taking ExecTime/ProduceRatio to produce and ExecTime to
+// execute; N-1 workers pop them from a lock-protected shared queue.
+type TaskMgmtParams struct {
+	N            int
+	Tasks        int
+	ExecTime     sim.Time
+	ProduceRatio int // produce time = ExecTime / ProduceRatio
+	QueueSlots   int // shared queue capacity (entries shipped with the lock)
+	PopTime      sim.Time
+	// LockFreeProducer applies the paper's single-writer GWC idiom
+	// (Section 2: "the case for one writer is simple; an ordinary
+	// variable can lock a data structure awaited by reader(s)"): the
+	// producer appends tasks with plain ordered writes and only the
+	// workers contend for the pop lock. Only sound under group write
+	// consistency, where all shared writes are totally ordered; the
+	// Configure method guards the queue accordingly.
+	LockFreeProducer bool
+}
+
+// DefaultTaskMgmtParams returns the Figure 2 configuration for n CPUs:
+// 1024 tasks and a production/execution time ratio of 1/128 (the ratio's
+// printed fraction is lost in the paper's scan; 1/128 is recovered from
+// the published curve, which peaks at 129 processors — exactly where one
+// producer at ratio 1/128 saturates 128 workers).
+func DefaultTaskMgmtParams(n int, kind Kind) TaskMgmtParams {
+	return TaskMgmtParams{
+		N:                n,
+		Tasks:            1024,
+		ExecTime:         250_000, // 250us per task
+		ProduceRatio:     128,
+		QueueSlots:       16,
+		PopTime:          200,
+		LockFreeProducer: kind == KindGWC || kind == KindGWCOptimistic,
+	}
+}
+
+// produceTime is the per-task production cost.
+func (p TaskMgmtParams) produceTime() sim.Time {
+	return p.ExecTime / sim.Time(p.ProduceRatio)
+}
+
+// Configure installs the queue layout. The head index is always in the
+// lock's data group (workers contend to advance it). With a lock-free
+// producer the slots and tail are single-writer ordinary variables (GWC
+// write ordering makes that safe); otherwise they are guarded so entry
+// consistency ships them with the lock. The tail/test variable is always
+// unguarded with the producer as its home, so entry consistency must
+// demand-fetch it.
+func (p TaskMgmtParams) Configure(cfg *model.Config) {
+	cfg.Guard[taskHead] = taskLock
+	if !p.LockFreeProducer {
+		for s := 0; s < p.QueueSlots; s++ {
+			cfg.Guard[taskSlotBase+model.VarID(s)] = taskLock
+		}
+	}
+	cfg.Home[taskTail] = 0
+	for s := 0; s < p.QueueSlots; s++ {
+		cfg.Home[taskSlotBase+model.VarID(s)] = 0
+	}
+}
+
+// TaskMgmtResult reports one task-management run.
+type TaskMgmtResult struct {
+	Model    string
+	N        int
+	Makespan sim.Time
+	// BusyTime is the total productive time: producing plus executing
+	// every task.
+	BusyTime sim.Time
+	// Power is average processor efficiency times network size
+	// (the paper's speedup axis): BusyTime / Makespan.
+	Power    float64
+	Executed int
+	Stats    model.Stats
+}
+
+// RunTaskMgmt executes the task-management workload on machine m.
+func RunTaskMgmt(k *sim.Kernel, m model.Machine, p TaskMgmtParams) (TaskMgmtResult, error) {
+	if m.N() != p.N {
+		return TaskMgmtResult{}, fmt.Errorf("taskmgmt: machine has %d nodes, params say %d", m.N(), p.N)
+	}
+	if p.N < 2 {
+		return TaskMgmtResult{}, fmt.Errorf("taskmgmt: need at least 2 nodes, got %d", p.N)
+	}
+	total := int64(p.Tasks)
+	produce := p.produceTime()
+	finish := make([]sim.Time, p.N)
+	executed := make([]int, p.N)
+
+	// Producer: generate tasks, bounded by queue capacity. Under GWC the
+	// paper's single-writer idiom applies: the append is plain ordered
+	// writes (slot first, then the tail announcement, which GWC ordering
+	// delivers in that order everywhere). Otherwise the append happens
+	// under the lock so the data travels with it.
+	m.Start(0, func(a model.App) {
+		var tail int64
+		for tail < total {
+			a.Compute(produce)
+			if p.LockFreeProducer {
+				// Bounded queue: wait for consumers when full. The head
+				// copy is eagerly shared, so this is a local test.
+				if tail-a.Read(taskHead) >= int64(p.QueueSlots) {
+					a.AwaitGE(taskHead, tail-int64(p.QueueSlots)+1)
+				}
+				tail++
+				a.Write(taskSlotBase+model.VarID(int(tail)%p.QueueSlots), tail)
+				a.Write(taskTail, tail)
+				continue
+			}
+			// Respect queue capacity: the head index is only reliably
+			// current while holding the lock (entry consistency ships it
+			// with the grant), so the fullness check happens inside the
+			// critical section and full queues retry after a beat.
+			placed := false
+			for !placed {
+				// MutexDo bodies may re-execute after an optimistic
+				// rollback, so the body is idempotent: captured state is
+				// reset on entry and the tail advances only after the
+				// section commits.
+				a.MutexDo(taskLock, func() {
+					placed = false
+					head := a.Read(taskHead)
+					if (tail+1)-head > int64(p.QueueSlots) {
+						return // queue full
+					}
+					slot := taskSlotBase + model.VarID(int(tail+1)%p.QueueSlots)
+					a.Write(slot, tail+1)
+					placed = true
+				})
+				if !placed {
+					a.Compute(produce) // back off while consumers drain
+				}
+			}
+			tail++
+			// Publish the new produce index on the eagerly shared /
+			// demand-fetched test variable.
+			a.Write(taskTail, tail)
+		}
+		finish[0] = a.Now()
+	})
+
+	// Workers: watch the test variable, pop under the lock, execute.
+	// Wake thresholds are staggered by worker rank so an idle pool does
+	// not stampede the lock manager on every produced task: worker r only
+	// wakes once production is r tasks past the head it last observed.
+	for id := 1; id < p.N; id++ {
+		id := id
+		m.Start(id, func(a model.App) {
+			rank := int64(id)
+			var lastHead int64
+			for {
+				if lastHead >= total {
+					break
+				}
+				// Wait until the producer has published enough work for
+				// this worker's turn (capped so the last tasks still wake
+				// everyone and drain).
+				need := lastHead + rank
+				if need > total {
+					need = total
+				}
+				a.AwaitGE(taskTail, need)
+				var got int64
+				a.MutexDo(taskLock, func() {
+					got = 0 // idempotent under re-execution
+					head := a.Read(taskHead)
+					lastHead = head
+					if head >= total {
+						return
+					}
+					tail := a.Read(taskTail)
+					if head >= tail {
+						return // another worker beat us to it
+					}
+					a.Compute(p.PopTime)
+					a.Read(taskSlotBase + model.VarID(int(head+1)%p.QueueSlots))
+					a.Write(taskHead, head+1)
+					lastHead = head + 1
+					got = head + 1
+				})
+				if got > 0 {
+					a.Compute(p.ExecTime)
+					executed[id]++
+				}
+			}
+			finish[id] = a.Now()
+		})
+	}
+
+	end := k.Run()
+	makespan := sim.Time(0)
+	sumExecuted := 0
+	for id, f := range finish {
+		if f == 0 {
+			return TaskMgmtResult{}, fmt.Errorf("taskmgmt: node %d never finished (simulation ended at %d, executed so far %v)", id, end, executed)
+		}
+		if f > makespan {
+			makespan = f
+		}
+		sumExecuted += executed[id]
+	}
+	if sumExecuted != p.Tasks {
+		return TaskMgmtResult{}, fmt.Errorf("taskmgmt: executed %d tasks, want %d", sumExecuted, p.Tasks)
+	}
+	busy := sim.Time(p.Tasks)*(p.ExecTime+produce) + sim.Time(p.Tasks)*p.PopTime
+	return TaskMgmtResult{
+		Model:    m.Name(),
+		N:        p.N,
+		Makespan: makespan,
+		BusyTime: busy,
+		Power:    float64(busy) / float64(makespan),
+		Executed: sumExecuted,
+		Stats:    m.Stats(),
+	}, nil
+}

@@ -1,0 +1,81 @@
+// Package workload implements the paper's three evaluation workloads
+// against the model.App interface, so each runs unchanged under every
+// consistency model:
+//
+//   - Mutex3: the Figure 1 scenario — three CPUs contending for one lock,
+//     each locking, updating shared data, and releasing once.
+//   - TaskMgmt: the Figure 2 application — one producer generates 1024
+//     tasks into a shared queue; workers pop them under mutual exclusion.
+//   - Pipeline: the Figure 8 example — a ring of processors passing data,
+//     each iteration doing local work, a mutually exclusive update, and a
+//     handoff to the successor.
+package workload
+
+import (
+	"fmt"
+
+	"optsync/internal/model"
+	"optsync/internal/sim"
+)
+
+// Kind selects a consistency-model machine.
+type Kind int
+
+// The machines under comparison.
+const (
+	KindGWC Kind = iota + 1
+	KindGWCOptimistic
+	KindEntry
+	KindRelease
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindGWC:
+		return "gwc"
+	case KindGWCOptimistic:
+		return "gwc-optimistic"
+	case KindEntry:
+		return "entry"
+	case KindRelease:
+		return "release"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a model name to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "gwc":
+		return KindGWC, nil
+	case "gwc-optimistic", "optimistic":
+		return KindGWCOptimistic, nil
+	case "entry":
+		return KindEntry, nil
+	case "release", "weak":
+		return KindRelease, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown model %q (want gwc, gwc-optimistic, entry, or release)", s)
+	}
+}
+
+// NewMachine constructs the machine for a kind. The caller prepares cfg
+// (guards, homes, variable sizes) before calling.
+func NewMachine(k *sim.Kernel, kind Kind, cfg model.Config) (model.Machine, error) {
+	switch kind {
+	case KindGWC:
+		cfg.Optimistic = false
+		return model.NewGWC(k, cfg)
+	case KindGWCOptimistic:
+		cfg.Optimistic = true
+		return model.NewGWC(k, cfg)
+	case KindEntry:
+		return model.NewEntry(k, cfg)
+	case KindRelease:
+		return model.NewRelease(k, cfg)
+	default:
+		return nil, fmt.Errorf("workload: unknown machine kind %d", kind)
+	}
+}

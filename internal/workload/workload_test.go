@@ -1,0 +1,371 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"optsync/internal/model"
+	"optsync/internal/sim"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{KindGWC, "gwc"},
+		{KindGWCOptimistic, "gwc-optimistic"},
+		{KindEntry, "entry"},
+		{KindRelease, "release"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindGWC, KindGWCOptimistic, KindEntry, KindRelease} {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) succeeded, want error")
+	}
+	if k, err := ParseKind("weak"); err != nil || k != KindRelease {
+		t.Errorf("ParseKind(weak) = %v, %v; want release", k, err)
+	}
+}
+
+func TestNewMachineAllKinds(t *testing.T) {
+	for _, kind := range []Kind{KindGWC, KindGWCOptimistic, KindEntry, KindRelease} {
+		k := sim.NewKernel()
+		m, err := NewMachine(k, kind, model.DefaultConfig(4))
+		if err != nil {
+			t.Fatalf("NewMachine(%v): %v", kind, err)
+		}
+		if m.N() != 4 {
+			t.Errorf("%v: N = %d, want 4", kind, m.N())
+		}
+	}
+	if _, err := NewMachine(sim.NewKernel(), Kind(0), model.DefaultConfig(2)); err == nil {
+		t.Error("NewMachine with invalid kind succeeded, want error")
+	}
+}
+
+// runPipelineKind runs the pipeline for a kind at size n and returns the
+// result.
+func runPipelineKind(t *testing.T, kind Kind, n int, zeroDelay bool) PipelineResult {
+	t.Helper()
+	k := sim.NewKernel()
+	p := DefaultPipelineParams(n)
+	p.DataSize = 64 // keep unit tests quick
+	cfg := model.DefaultConfig(n)
+	if zeroDelay {
+		cfg.Net.HopLatency = 0
+		cfg.Net.BytesPerNS = 1e12
+		cfg.RootProc = 0
+	}
+	if kind == KindEntry {
+		cfg.ViaManager = true
+	}
+	p.Configure(&cfg)
+	m, err := NewMachine(k, kind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunPipeline(k, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPipelineZeroDelayCeiling(t *testing.T) {
+	// With no network delay the pipeline's power must approach the
+	// paper's analytic ceiling of (8+1+8)/(8+1) = 1.889.
+	for _, n := range []int{2, 4, 8} {
+		r := runPipelineKind(t, KindGWC, n, true)
+		if r.Power < 1.80 || r.Power > 1.89 {
+			t.Errorf("N=%d: zero-delay power = %.3f, want ~1.87-1.89", n, r.Power)
+		}
+	}
+}
+
+func TestPipelineModelOrdering(t *testing.T) {
+	// For every size, optimistic GWC > regular GWC > entry consistency —
+	// the ordering of Figure 8's lines.
+	for _, n := range []int{2, 8, 16} {
+		opt := runPipelineKind(t, KindGWCOptimistic, n, false)
+		reg := runPipelineKind(t, KindGWC, n, false)
+		ent := runPipelineKind(t, KindEntry, n, false)
+		if !(opt.Power > reg.Power && reg.Power > ent.Power) {
+			t.Errorf("N=%d: power ordering opt=%.3f reg=%.3f entry=%.3f, want opt > reg > entry",
+				n, opt.Power, reg.Power, ent.Power)
+		}
+	}
+}
+
+func TestPipelinePowerDecaysWithSize(t *testing.T) {
+	small := runPipelineKind(t, KindGWC, 2, false)
+	large := runPipelineKind(t, KindGWC, 16, false)
+	if large.Power >= small.Power {
+		t.Errorf("power grew with network size: %.3f (N=2) -> %.3f (N=16)", small.Power, large.Power)
+	}
+}
+
+func TestPipelineNoRollbacksWithoutContention(t *testing.T) {
+	r := runPipelineKind(t, KindGWCOptimistic, 4, false)
+	if r.Stats.Rollbacks != 0 {
+		t.Errorf("pipeline had %d rollbacks; the paper's example has no contention", r.Stats.Rollbacks)
+	}
+	if r.Stats.OptimisticOK == 0 {
+		t.Error("no optimistic sections committed; the pipeline should always speculate")
+	}
+}
+
+func TestPipelineRejectsMismatchedMachine(t *testing.T) {
+	k := sim.NewKernel()
+	p := DefaultPipelineParams(4)
+	cfg := model.DefaultConfig(8) // wrong size
+	p.Configure(&cfg)
+	m, err := NewMachine(k, KindGWC, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPipeline(k, m, p); err == nil {
+		t.Error("RunPipeline with mismatched sizes succeeded, want error")
+	}
+}
+
+// runTaskKind runs the task-management workload for a kind at size n.
+func runTaskKind(t *testing.T, kind Kind, n, tasks int) TaskMgmtResult {
+	t.Helper()
+	k := sim.NewKernel()
+	p := DefaultTaskMgmtParams(n, kind)
+	p.Tasks = tasks
+	cfg := model.DefaultConfig(n)
+	p.Configure(&cfg)
+	m, err := NewMachine(k, kind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunTaskMgmt(k, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTaskMgmtExecutesEveryTaskOnce(t *testing.T) {
+	for _, kind := range []Kind{KindGWC, KindEntry, KindRelease} {
+		r := runTaskKind(t, kind, 5, 64)
+		if r.Executed != 64 {
+			t.Errorf("%v: executed %d tasks, want 64", kind, r.Executed)
+		}
+	}
+}
+
+func TestTaskMgmtTwoProcessorsSpeedupNearOne(t *testing.T) {
+	// Paper: "For 2 processors, minutely more than 50% is the maximum
+	// efficiency, resulting in an effective speedup of 1."
+	r := runTaskKind(t, KindGWC, 2, 64)
+	if r.Power < 0.9 || r.Power > 1.1 {
+		t.Errorf("2-processor power = %.3f, want ~1.0", r.Power)
+	}
+}
+
+func TestTaskMgmtGWCBeatsEntryAtScale(t *testing.T) {
+	gwc := runTaskKind(t, KindGWC, 17, 256)
+	ent := runTaskKind(t, KindEntry, 17, 256)
+	if gwc.Power <= ent.Power {
+		t.Errorf("GWC power %.2f <= entry power %.2f at 17 CPUs; eagersharing should win", gwc.Power, ent.Power)
+	}
+}
+
+func TestTaskMgmtSpeedupScales(t *testing.T) {
+	small := runTaskKind(t, KindGWC, 3, 128)
+	big := runTaskKind(t, KindGWC, 9, 128)
+	if big.Power < 3*small.Power {
+		t.Errorf("power did not scale: %.2f at 3 CPUs, %.2f at 9 CPUs", small.Power, big.Power)
+	}
+}
+
+func TestTaskMgmtEntryDemandFetches(t *testing.T) {
+	r := runTaskKind(t, KindEntry, 5, 64)
+	if r.Stats.DemandFetch == 0 {
+		t.Error("entry consistency ran the task queue without demand fetches; the test variable must be fetched")
+	}
+}
+
+func TestTaskMgmtRejectsTooFewNodes(t *testing.T) {
+	k := sim.NewKernel()
+	p := DefaultTaskMgmtParams(1, KindGWC)
+	cfg := model.DefaultConfig(1)
+	p.Configure(&cfg)
+	m, err := NewMachine(k, KindGWC, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTaskMgmt(k, m, p); err == nil {
+		t.Error("RunTaskMgmt with 1 node succeeded, want error")
+	}
+}
+
+// runMutex3Kind runs the Figure 1 scenario for a kind.
+func runMutex3Kind(t *testing.T, kind Kind) Mutex3Result {
+	t.Helper()
+	k := sim.NewKernel()
+	p := DefaultMutex3Params()
+	cfg := model.DefaultConfig(3)
+	p.Configure(&cfg)
+	if kind == KindEntry {
+		cfg.Invalidate = true
+	}
+	m, err := NewMachine(k, kind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := m.(*model.Entry); ok {
+		// The figure starts with CPU2 and CPU3 holding the data
+		// non-exclusively.
+		e.SetReaders(0, []int{1, 2})
+	}
+	r, err := RunMutex3(k, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMutex3AllModelsComplete(t *testing.T) {
+	for _, kind := range []Kind{KindGWC, KindEntry, KindRelease} {
+		r := runMutex3Kind(t, kind)
+		if r.Total == 0 {
+			t.Errorf("%v: scenario did not complete", kind)
+		}
+		for i, c := range r.CPU {
+			if c.Grant < c.Request || c.Release < c.Grant {
+				t.Errorf("%v CPU%d: request=%d grant=%d release=%d out of order", kind, i+1, c.Request, c.Grant, c.Release)
+			}
+		}
+	}
+}
+
+func TestMutex3GWCFastest(t *testing.T) {
+	// Figure 1's conclusion: "Sesame GWC is better than entry, weak, or
+	// release consistency, for this example."
+	gwc := runMutex3Kind(t, KindGWC)
+	ent := runMutex3Kind(t, KindEntry)
+	rel := runMutex3Kind(t, KindRelease)
+	if !(gwc.Total < ent.Total && ent.Total < rel.Total) {
+		t.Errorf("total times gwc=%d entry=%d release=%d, want gwc < entry < release",
+			gwc.Total, ent.Total, rel.Total)
+	}
+	if !(gwc.TotalIdle < ent.TotalIdle && gwc.TotalIdle < rel.TotalIdle) {
+		t.Errorf("idle times gwc=%d entry=%d release=%d, want gwc smallest",
+			gwc.TotalIdle, ent.TotalIdle, rel.TotalIdle)
+	}
+}
+
+func TestMutex3FirstRequesterWins(t *testing.T) {
+	// CPU1 requests first and must be granted first under every model.
+	for _, kind := range []Kind{KindGWC, KindEntry, KindRelease} {
+		r := runMutex3Kind(t, kind)
+		if !(r.CPU[0].Grant < r.CPU[2].Grant && r.CPU[2].Grant < r.CPU[1].Grant) {
+			t.Errorf("%v: grant order CPU1=%d CPU3=%d CPU2=%d, want CPU1 < CPU3 < CPU2",
+				kind, r.CPU[0].Grant, r.CPU[2].Grant, r.CPU[1].Grant)
+		}
+	}
+}
+
+func TestMutex3ModelNameRecorded(t *testing.T) {
+	r := runMutex3Kind(t, KindGWC)
+	if !strings.HasPrefix(r.Model, "gwc") {
+		t.Errorf("result model = %q, want gwc*", r.Model)
+	}
+}
+
+func TestPipelineItersClampedToOne(t *testing.T) {
+	p := DefaultPipelineParams(8)
+	p.DataSize = 4 // fewer handoffs than nodes
+	k := sim.NewKernel()
+	cfg := model.DefaultConfig(8)
+	p.Configure(&cfg)
+	m, err := NewMachine(k, KindGWC, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunPipeline(k, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Power <= 0 {
+		t.Errorf("power = %v on a single-iteration pipeline", r.Power)
+	}
+}
+
+func TestTaskMgmtLockFreeProducerOnlyForGWC(t *testing.T) {
+	if DefaultTaskMgmtParams(4, KindGWC).LockFreeProducer != true {
+		t.Error("GWC producer should be lock-free")
+	}
+	if DefaultTaskMgmtParams(4, KindGWCOptimistic).LockFreeProducer != true {
+		t.Error("optimistic GWC producer should be lock-free")
+	}
+	if DefaultTaskMgmtParams(4, KindEntry).LockFreeProducer {
+		t.Error("entry producer must take the lock")
+	}
+	if DefaultTaskMgmtParams(4, KindRelease).LockFreeProducer {
+		t.Error("release producer must take the lock")
+	}
+}
+
+func TestMutex3RequiresThreeNodes(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := model.DefaultConfig(4)
+	m, err := NewMachine(k, KindGWC, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunMutex3(k, m, DefaultMutex3Params()); err == nil {
+		t.Error("RunMutex3 accepted a 4-node machine")
+	}
+}
+
+// TestOptimisticContendedConditionalBodies is the regression test for two
+// protocol bugs found by the threshold ablation: (1) the model's rollback
+// must actually restore saved values, and (2) the root must epoch-validate
+// speculative writes so a rolled-back section's stale writes cannot land
+// behind its queued grant. Conditional MutexDo bodies (pop-if-nonempty)
+// lose tasks if either is broken.
+func TestOptimisticContendedConditionalBodies(t *testing.T) {
+	k := sim.NewKernel()
+	p := DefaultTaskMgmtParams(5, KindGWCOptimistic)
+	p.Tasks = 128
+	p.LockFreeProducer = false // force the producer onto the lock: hot lock
+	cfg := model.DefaultConfig(5)
+	cfg.HistoryThreshold = 0.99 // speculate even against a busy lock
+	p.Configure(&cfg)
+	m, err := NewMachine(k, KindGWCOptimistic, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunTaskMgmt(k, m, p)
+	if err != nil {
+		t.Fatalf("%v (stats %+v)", err, m.Stats())
+	}
+	if r.Executed != 128 {
+		t.Errorf("executed %d tasks, want 128", r.Executed)
+	}
+	s := m.Stats()
+	if s.Rollbacks == 0 || s.Suppressed == 0 {
+		t.Errorf("test is vacuous: rollbacks=%d suppressed=%d, want both > 0", s.Rollbacks, s.Suppressed)
+	}
+}

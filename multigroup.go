@@ -1,0 +1,78 @@
+package optsync
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Multi-group mutual exclusion (Section 2): "Mutual exclusion across
+// multiple groups requires permissions from all the involved roots."
+// AcquireAll collects the grants in a canonical global order (group ID,
+// then lock ID) so concurrent multi-group sections can never deadlock on
+// each other, and ReleaseAll returns them in the reverse order, keeping
+// each lock's data writes sequenced before its release at its own root.
+
+// sortMutexes returns the locks in canonical acquisition order,
+// rejecting duplicates.
+func sortMutexes(mutexes []*Mutex) ([]*Mutex, error) {
+	ms := append([]*Mutex(nil), mutexes...)
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].g.id != ms[j].g.id {
+			return ms[i].g.id < ms[j].g.id
+		}
+		return ms[i].id < ms[j].id
+	})
+	for i := 1; i < len(ms); i++ {
+		if ms[i].g.id == ms[i-1].g.id && ms[i].id == ms[i-1].id {
+			return nil, fmt.Errorf("optsync: duplicate mutex %q in multi-group acquisition", ms[i].name)
+		}
+	}
+	return ms, nil
+}
+
+// AcquireAll blocks until this node holds every given mutex, acquiring in
+// the canonical order regardless of argument order. On error, locks
+// already held are released.
+func (h *Handle) AcquireAll(mutexes ...*Mutex) error {
+	ms, err := sortMutexes(mutexes)
+	if err != nil {
+		return err
+	}
+	for i, m := range ms {
+		if err := h.Acquire(m); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				_ = h.Release(ms[j])
+			}
+			return fmt.Errorf("optsync: multi-group acquire %q: %w", m.name, err)
+		}
+	}
+	return nil
+}
+
+// ReleaseAll frees every given mutex in reverse canonical order.
+func (h *Handle) ReleaseAll(mutexes ...*Mutex) error {
+	ms, err := sortMutexes(mutexes)
+	if err != nil {
+		return err
+	}
+	var first error
+	for i := len(ms) - 1; i >= 0; i-- {
+		if err := h.Release(ms[i]); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// DoAll runs body with every given mutex held — mutual exclusion across
+// multiple sharing groups, each grant coming from its own group root.
+func (h *Handle) DoAll(body func() error, mutexes ...*Mutex) error {
+	if err := h.AcquireAll(mutexes...); err != nil {
+		return err
+	}
+	bodyErr := body()
+	if err := h.ReleaseAll(mutexes...); err != nil {
+		return err
+	}
+	return bodyErr
+}

@@ -1,0 +1,165 @@
+package optsync
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTwoGroupCluster builds two groups with different roots, one guarded
+// account variable in each.
+func newTwoGroupCluster(t *testing.T, n int) (*Cluster, *Mutex, *Var, *Mutex, *Var) {
+	t.Helper()
+	c, err := NewCluster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	ga, err := c.NewGroup("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := c.NewGroup("b", n-1) // different root: different lock manager
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma := ga.Mutex("lock")
+	va := ga.Int("acct", ma)
+	mb := gb.Mutex("lock")
+	vb := gb.Int("acct", mb)
+	return c, ma, va, mb, vb
+}
+
+func TestAcquireAllBothHeld(t *testing.T) {
+	c, ma, _, mb, _ := newTwoGroupCluster(t, 3)
+	h := c.Handle(1)
+	if err := h.AcquireAll(ma, mb); err != nil {
+		t.Fatal(err)
+	}
+	// Another node must not get either lock while we hold both.
+	other := c.Handle(2)
+	got := make(chan struct{})
+	go func() {
+		_ = other.Acquire(ma)
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("second node acquired a lock held by a multi-group section")
+	case <-time.After(100 * time.Millisecond):
+	}
+	if err := h.ReleaseAll(ma, mb); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+		_ = other.Release(ma)
+	case <-time.After(5 * time.Second):
+		t.Fatal("lock not released to the waiter")
+	}
+}
+
+func TestAcquireAllRejectsDuplicates(t *testing.T) {
+	c, ma, _, _, _ := newTwoGroupCluster(t, 2)
+	if err := c.Handle(0).AcquireAll(ma, ma); err == nil {
+		t.Error("duplicate mutex accepted")
+	}
+}
+
+// TestDoAllCrossGroupInvariant moves value between accounts in two
+// different sharing groups under both locks; no interleaving may create
+// or destroy value, and opposite argument orders must not deadlock.
+func TestDoAllCrossGroupInvariant(t *testing.T) {
+	c, ma, va, mb, vb := newTwoGroupCluster(t, 4)
+	const initial = 1000
+	h0 := c.Handle(0)
+	if err := h0.DoAll(func() error {
+		if err := h0.Write(va, initial); err != nil {
+			return err
+		}
+		return h0.Write(vb, initial)
+	}, ma, mb); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		id := id
+		h := c.Handle(id)
+		// Half the nodes pass (ma, mb), half (mb, ma): canonical ordering
+		// must prevent deadlock.
+		locks := []*Mutex{ma, mb}
+		if id%2 == 1 {
+			locks = []*Mutex{mb, ma}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				err := h.DoAll(func() error {
+					a, err := h.Read(va)
+					if err != nil {
+						return err
+					}
+					b, err := h.Read(vb)
+					if err != nil {
+						return err
+					}
+					if err := h.Write(va, a-1); err != nil {
+						return err
+					}
+					return h.Write(vb, b+1)
+				}, locks...)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// 40 transfers of 1: a=960, b=1040 on every node. The two groups
+	// sequence independently, so poll until both settle.
+	for i := 0; i < 4; i++ {
+		h := c.Handle(i)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			a, _ := h.Read(va)
+			b, _ := h.Read(vb)
+			if a == initial-40 && b == initial+40 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("node %d: a=%d b=%d, want %d and %d", i, a, b, initial-40, initial+40)
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestDoAllSingleLockDegenerate(t *testing.T) {
+	c, ma, va, _, _ := newTwoGroupCluster(t, 2)
+	h := c.Handle(1)
+	if err := h.DoAll(func() error {
+		return h.Write(va, 5)
+	}, ma); err != nil {
+		t.Fatal(err)
+	}
+	waitRead(t, c.Handle(0), va, 5)
+}
+
+func TestDoAllNoLocksJustRuns(t *testing.T) {
+	c, _, _, _, _ := newTwoGroupCluster(t, 2)
+	ran := false
+	if err := c.Handle(0).DoAll(func() error {
+		ran = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("body never ran")
+	}
+}

@@ -1,0 +1,498 @@
+// Package optsync is a distributed-shared-memory library implementing
+// optimistic lock synchronization under group write consistency, after
+// Hermannsson & Wittie, "Optimistic Synchronization in Distributed Shared
+// Memory" (ICDCS 1994).
+//
+// A Cluster hosts N nodes connected by an in-process or TCP transport.
+// Variables live in sharing Groups: every write is applied locally at
+// once (eagersharing) and sequenced by the group's root so all nodes
+// observe the same total write order (group write consistency). The root
+// doubles as the queue-based lock manager, and OptimisticDo runs critical
+// sections speculatively while the lock request is still in flight,
+// rolling back if another node wins the lock.
+//
+// Quickstart:
+//
+//	c, _ := optsync.NewCluster(4)
+//	defer c.Close()
+//	g, _ := c.NewGroup("accounts", 0)
+//	m := g.Mutex("lock")
+//	balance := g.Int("balance", m)
+//
+//	h := c.Handle(2) // code running "on" node 2
+//	_ = h.OptimisticDo(m, func(tx *optsync.Tx) error {
+//	    cur, _ := tx.Read(balance)
+//	    return tx.Write(balance, cur+100)
+//	})
+package optsync
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"optsync/internal/core"
+	"optsync/internal/gwc"
+	"optsync/internal/transport"
+)
+
+// ErrNested is returned when a critical section re-enters its own lock
+// (the paper's "Cannot safely nest mutex lock requests").
+var ErrNested = core.ErrNested
+
+// options collects cluster construction settings.
+type options struct {
+	tcpAddrs []string
+	faults   *transport.FaultPlan
+	history  core.Config
+	histSize int
+}
+
+// Option configures NewCluster.
+type Option interface {
+	apply(*options)
+}
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
+
+// WithTCP runs the cluster over a TCP mesh listening on the given
+// addresses (one per node; ":0" picks free ports). The default is an
+// in-process transport.
+func WithTCP(addrs []string) Option {
+	return optionFunc(func(o *options) { o.tcpAddrs = append([]string(nil), addrs...) })
+}
+
+// WithLossyNetwork injects reproducible message loss on the sequenced
+// multicast path — useful for demos and tests of the NACK-based recovery
+// machinery. dropRate is in [0,1).
+func WithLossyNetwork(dropRate float64, seed int64) Option {
+	return optionFunc(func(o *options) {
+		o.faults = &transport.FaultPlan{DropRate: dropRate, Seed: seed, DownOnly: true}
+	})
+}
+
+// WithHistory tunes the optimistic path's usage-frequency filter
+// (defaults: decay 0.95, threshold 0.30).
+func WithHistory(decay, threshold float64) Option {
+	return optionFunc(func(o *options) {
+		o.history = core.Config{HistoryDecay: decay, HistoryThreshold: threshold}
+	})
+}
+
+// WithHistoryBuffer sets the root's retransmission buffer size in
+// sequenced messages (default 4096).
+func WithHistoryBuffer(n int) Option {
+	return optionFunc(func(o *options) { o.histSize = n })
+}
+
+// Cluster is a set of DSM nodes sharing groups of variables.
+type Cluster struct {
+	net     transport.Network
+	nodes   []*gwc.Node
+	engines []*core.Engine
+	histSz  int
+
+	mu        sync.Mutex
+	groups    map[string]*Group
+	nextGroup gwc.GroupID
+	closed    bool
+}
+
+// NewCluster starts n nodes on the chosen transport.
+func NewCluster(n int, opts ...Option) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("optsync: cluster needs at least 1 node, got %d", n)
+	}
+	var o options
+	o.history = core.DefaultConfig()
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+
+	var (
+		net transport.Network
+		err error
+	)
+	if len(o.tcpAddrs) > 0 {
+		if len(o.tcpAddrs) != n {
+			return nil, fmt.Errorf("optsync: %d TCP addresses for %d nodes", len(o.tcpAddrs), n)
+		}
+		net, err = transport.NewTCP(o.tcpAddrs)
+	} else {
+		net, err = transport.NewInProc(n)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("optsync: %w", err)
+	}
+	if o.faults != nil {
+		net = transport.NewFlaky(net, *o.faults)
+	}
+
+	c := &Cluster{
+		net:       net,
+		nodes:     make([]*gwc.Node, n),
+		engines:   make([]*core.Engine, n),
+		histSz:    o.histSize,
+		groups:    make(map[string]*Group),
+		nextGroup: 1,
+	}
+	for i := 0; i < n; i++ {
+		ep, err := net.Endpoint(i)
+		if err != nil {
+			_ = net.Close()
+			return nil, fmt.Errorf("optsync: %w", err)
+		}
+		c.nodes[i] = gwc.NewNode(i, ep)
+		c.engines[i] = core.NewEngine(c.nodes[i], o.history)
+	}
+	return c, nil
+}
+
+// Size reports the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Close shuts every node and the transport down. Blocked operations are
+// woken with errors.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	var first error
+	for _, n := range c.nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := c.net.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// GroupOption configures NewGroup.
+type GroupOption interface {
+	applyGroup(*groupOptions)
+}
+
+type groupOptions struct {
+	treeFanout bool
+	members    []int
+}
+
+type groupOptionFunc func(*groupOptions)
+
+func (f groupOptionFunc) applyGroup(o *groupOptions) { f(o) }
+
+// TreeFanout distributes the group's sequenced traffic along the BFS
+// spanning tree of its torus embedding — Sesame's tree multicast — with
+// members relaying to their subtrees instead of the root sending to every
+// member directly. It requires the group to span all nodes.
+func TreeFanout() GroupOption {
+	return groupOptionFunc(func(o *groupOptions) { o.treeFanout = true })
+}
+
+// Members restricts the group to a subset of nodes. Small groups are the
+// heart of the paper's scaling argument: "Processor groups overcome the
+// total store ordering arbitration bottleneck", and "combining
+// overlapping groups into one global group can prevent scaling in large
+// networks by overloading the global root". Only member nodes hold
+// copies, receive updates, or may use the group's locks; ordering between
+// different groups is not defined (use multi-group locks where needed).
+func Members(ids ...int) GroupOption {
+	return groupOptionFunc(func(o *groupOptions) { o.members = append([]int(nil), ids...) })
+}
+
+// NewGroup creates (or returns, if the name exists with the same root) a
+// sharing group spanning all nodes, rooted at the given node. The root
+// sequences the group's writes and manages its locks, so related
+// variables and locks should share a group ("Compiler tools can
+// aggregate related variables and locks into the same sharing group").
+func (c *Cluster) NewGroup(name string, root int, opts ...GroupOption) (*Group, error) {
+	if root < 0 || root >= len(c.nodes) {
+		return nil, fmt.Errorf("optsync: group root %d out of range [0,%d)", root, len(c.nodes))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("optsync: cluster is closed")
+	}
+	if g, ok := c.groups[name]; ok {
+		if g.root != root {
+			return nil, fmt.Errorf("optsync: group %q already exists with root %d", name, g.root)
+		}
+		return g, nil
+	}
+	var gopts groupOptions
+	for _, opt := range opts {
+		opt.applyGroup(&gopts)
+	}
+	members := gopts.members
+	if len(members) == 0 {
+		members = make([]int, len(c.nodes))
+		for i := range members {
+			members[i] = i
+		}
+	} else {
+		seen := make(map[int]bool, len(members))
+		rootIn := false
+		for _, m := range members {
+			if m < 0 || m >= len(c.nodes) {
+				return nil, fmt.Errorf("optsync: group member %d out of range [0,%d)", m, len(c.nodes))
+			}
+			if seen[m] {
+				return nil, fmt.Errorf("optsync: duplicate group member %d", m)
+			}
+			seen[m] = true
+			if m == root {
+				rootIn = true
+			}
+		}
+		if !rootIn {
+			return nil, fmt.Errorf("optsync: group root %d is not among the members %v", root, members)
+		}
+		if gopts.treeFanout {
+			return nil, errors.New("optsync: TreeFanout requires the group to span all nodes")
+		}
+	}
+	id := c.nextGroup
+	c.nextGroup++
+	for _, m := range members {
+		if err := c.nodes[m].Join(gwc.GroupConfig{
+			ID:          id,
+			Root:        root,
+			Members:     members,
+			HistorySize: c.histSz,
+			TreeFanout:  gopts.treeFanout,
+		}); err != nil {
+			return nil, fmt.Errorf("optsync: join group %q: %w", name, err)
+		}
+	}
+	g := &Group{
+		c:        c,
+		id:       id,
+		name:     name,
+		root:     root,
+		members:  members,
+		vars:     make(map[string]*Var),
+		mutexes:  make(map[string]*Mutex),
+		nextVar:  1,
+		nextLock: 1,
+	}
+	c.groups[name] = g
+	return g, nil
+}
+
+// Group is a sharing group: a set of eagerly shared variables and locks
+// sequenced by one root node.
+type Group struct {
+	c       *Cluster
+	id      gwc.GroupID
+	name    string
+	root    int
+	members []int
+
+	mu       sync.Mutex
+	vars     map[string]*Var
+	mutexes  map[string]*Mutex
+	nextVar  gwc.VarID
+	nextLock gwc.LockID
+}
+
+// Name reports the group's name.
+func (g *Group) Name() string { return g.name }
+
+// Root reports the group's root node.
+func (g *Group) Root() int { return g.root }
+
+// Members lists the nodes in the group, in ID order as given.
+func (g *Group) Members() []int { return append([]int(nil), g.members...) }
+
+// Mutex declares (or returns) a named queue-based lock managed by the
+// group's root.
+func (g *Group) Mutex(name string) *Mutex {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m, ok := g.mutexes[name]; ok {
+		return m
+	}
+	m := &Mutex{g: g, id: g.nextLock, name: name}
+	g.nextLock++
+	g.mutexes[name] = m
+	return m
+}
+
+// Int declares (or returns) a named shared integer variable. Passing a
+// guard mutex puts the variable in that lock's mutex data group: the root
+// discards writes from non-holders and origins drop their echoes, which
+// is what makes optimistic execution safe for it.
+func (g *Group) Int(name string, guard ...*Mutex) *Var {
+	g.mu.Lock()
+	if v, ok := g.vars[name]; ok {
+		g.mu.Unlock()
+		return v
+	}
+	v := &Var{g: g, id: g.nextVar, name: name}
+	g.nextVar++
+	g.vars[name] = v
+	g.mu.Unlock()
+	if len(guard) > 0 && guard[0] != nil {
+		for _, m := range g.members {
+			// Registration precedes first use, so the guard is in place
+			// on every member before any write can race it.
+			_ = g.c.nodes[m].SetGuard(g.id, v.id, guard[0].id)
+		}
+		v.guard = guard[0]
+	}
+	return v
+}
+
+// Var is a shared integer variable within a group.
+type Var struct {
+	g     *Group
+	id    gwc.VarID
+	name  string
+	guard *Mutex
+}
+
+// Name reports the variable's name.
+func (v *Var) Name() string { return v.name }
+
+// Guard reports the mutex guarding the variable, or nil.
+func (v *Var) Guard() *Mutex { return v.guard }
+
+// Mutex is a queue-based lock within a group, managed by the group root.
+type Mutex struct {
+	g    *Group
+	id   gwc.LockID
+	name string
+}
+
+// Name reports the mutex's name.
+func (m *Mutex) Name() string { return m.name }
+
+// NodeStats combines the per-node protocol and optimistic-engine
+// counters.
+type NodeStats struct {
+	GWC        gwc.Stats
+	Optimistic core.Stats
+}
+
+// Handle is the programming interface for code running "on" one node.
+// Handles are cheap; methods are safe for concurrent use by multiple
+// goroutines on the same node.
+type Handle struct {
+	c      *Cluster
+	node   *gwc.Node
+	engine *core.Engine
+}
+
+// Handle returns node i's programming interface.
+func (c *Cluster) Handle(i int) *Handle {
+	return &Handle{c: c, node: c.nodes[i], engine: c.engines[i]}
+}
+
+// NodeID reports which node this handle operates on.
+func (h *Handle) NodeID() int { return h.node.ID() }
+
+// Stats snapshots this node's counters.
+func (h *Handle) Stats() NodeStats {
+	return NodeStats{GWC: h.node.Stats(), Optimistic: h.engine.Stats()}
+}
+
+// Read returns this node's local copy of v — always a local access under
+// eagersharing.
+func (h *Handle) Read(v *Var) (int64, error) {
+	return h.node.Read(v.g.id, v.id)
+}
+
+// Write stores val to v: the local copy changes immediately and the
+// update is shipped to the group root for sequencing. Writing a guarded
+// variable without holding its mutex is silently discarded by the root
+// (that is the mechanism optimistic execution relies on), so regular code
+// should hold the guard.
+func (h *Handle) Write(v *Var, val int64) error {
+	return h.node.Write(v.g.id, v.id, val)
+}
+
+// WaitGE blocks until this node's copy of v reaches at least min.
+func (h *Handle) WaitGE(v *Var, min int64) error {
+	ok, err := h.node.WaitGE(v.g.id, v.id, min)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errors.New("optsync: node closed while waiting")
+	}
+	return nil
+}
+
+// Acquire blocks until this node holds m.
+func (h *Handle) Acquire(m *Mutex) error {
+	return h.node.Acquire(m.g.id, m.id)
+}
+
+// Release frees m. The release is sequenced after the section's writes,
+// so every node sees the data before the lock changes hands.
+func (h *Handle) Release(m *Mutex) error {
+	return h.node.Release(m.g.id, m.id)
+}
+
+// Do runs body with m held (the regular, non-optimistic path).
+func (h *Handle) Do(m *Mutex, body func() error) error {
+	if err := h.Acquire(m); err != nil {
+		return err
+	}
+	bodyErr := body()
+	if err := h.Release(m); err != nil {
+		return err
+	}
+	return bodyErr
+}
+
+// Tx is the transactional view of an optimistic critical section. Writes
+// are tracked so a rollback can restore this node's prior values.
+type Tx struct {
+	inner *core.Tx
+	g     *Group
+}
+
+// Read returns the node's local copy of v. During speculation the value
+// may prove invalid; the section is then rolled back and re-executed
+// with valid data.
+func (tx *Tx) Read(v *Var) (int64, error) {
+	if v.g != tx.g {
+		return 0, fmt.Errorf("optsync: variable %q belongs to group %q, not %q", v.name, v.g.name, tx.g.name)
+	}
+	return tx.inner.Read(v.id)
+}
+
+// Write stores a shared value, saving the prior value for rollback on
+// first write during speculation.
+func (tx *Tx) Write(v *Var, val int64) error {
+	if v.g != tx.g {
+		return fmt.Errorf("optsync: variable %q belongs to group %q, not %q", v.name, v.g.name, tx.g.name)
+	}
+	return tx.inner.Write(v.id, val)
+}
+
+// OptimisticDo runs body under m using the paper's optimistic mutual
+// exclusion: when the local lock copy and its usage history suggest the
+// lock is free, body runs speculatively while the (non-blocking) lock
+// request propagates; if another node wins, the section rolls back and
+// re-executes once the queued request is granted.
+//
+// body may therefore run more than once and must confine its shared-state
+// effects to the transaction. Variables written inside body should be
+// guarded by m (declared with g.Int(name, m)); unguarded writes commit
+// immediately and cannot be suppressed on conflict.
+func (h *Handle) OptimisticDo(m *Mutex, body func(tx *Tx) error) error {
+	return h.engine.Do(m.g.id, m.id, func(inner *core.Tx) error {
+		return body(&Tx{inner: inner, g: m.g})
+	})
+}

@@ -1,0 +1,101 @@
+package optsync
+
+import "context"
+
+// Watch returns a channel that receives values of v as sequenced updates
+// apply on this node. Delivery coalesces: if the consumer lags, it skips
+// to the latest value rather than buffering history (eagersharing keeps
+// local copies current; readers who need every transition should version
+// their data or use a Published block). Call cancel to release the watch;
+// the channel closes afterwards.
+func (h *Handle) Watch(v *Var) (values <-chan int64, cancel func(), err error) {
+	ch := make(chan int64, 1)
+	unregister, err := h.node.OnVarChange(v.g.id, v.id, func(val int64) {
+		// Coalesce: drop the stale value if the consumer hasn't taken it.
+		select {
+		case ch <- val:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- val:
+			default:
+			}
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	done := make(chan struct{})
+	cancel = func() {
+		select {
+		case <-done:
+			return // already cancelled
+		default:
+		}
+		close(done)
+		unregister()
+		close(ch)
+	}
+	return ch, cancel, nil
+}
+
+// AcquireCtx is Acquire that gives up when ctx is cancelled. On
+// cancellation the pending request is disowned: if the root grants it
+// later, a background release hands the lock straight back, so the lock
+// never wedges.
+func (h *Handle) AcquireCtx(ctx context.Context, m *Mutex) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- h.Acquire(m)
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		// The request may still be queued at the root. Absorb the
+		// eventual grant and release it immediately.
+		go func() {
+			if err := <-done; err == nil {
+				_ = h.Release(m)
+			}
+		}()
+		return ctx.Err()
+	}
+}
+
+// WaitGECtx is WaitGE that gives up when ctx is cancelled.
+func (h *Handle) WaitGECtx(ctx context.Context, v *Var, min int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- h.WaitGE(v, min)
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// DoCtx is Do with a cancellable acquisition. Once the lock is held the
+// body runs to completion regardless of ctx (a half-applied critical
+// section would corrupt the shared data).
+func (h *Handle) DoCtx(ctx context.Context, m *Mutex, body func() error) error {
+	if err := h.AcquireCtx(ctx, m); err != nil {
+		return err
+	}
+	bodyErr := body()
+	if err := h.Release(m); err != nil {
+		return err
+	}
+	return bodyErr
+}
