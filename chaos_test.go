@@ -1,0 +1,200 @@
+package optsync
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestChaosRootCrashMidWorkload kills the group root while workers on the
+// surviving nodes increment a lock-guarded counter, and checks the
+// fault-tolerance contract: a new root is elected, every increment that
+// was confirmed committed survives the failover, the mutex is never held
+// by two sections at once, and all survivors converge on one final value.
+func TestChaosRootCrashMidWorkload(t *testing.T) {
+	const nodes = 5
+	c, err := NewCluster(nodes, WithChaos(),
+		WithTimers(15*time.Millisecond, 90*time.Millisecond, 40*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	g, err := c.NewGroup("chaos", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Mutex("lock")
+	v := g.Int("counter", m)
+
+	var (
+		inSection int32 // 1 while any section holds the mutex
+		overlaps  int32 // double-grant violations observed
+		confirmed int64 // increments whose commit was locally observed
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+	)
+	// Workers on every non-root node; the root (node 0) is the crash
+	// victim, so nothing holds the lock when it dies mid-reign.
+	for i := 1; i < nodes; i++ {
+		wg.Add(1)
+		go func(h *Handle) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ok, err := h.TryLockFor(m, 300*time.Millisecond)
+				if err != nil || !ok {
+					continue // outage window: retry until the new root answers
+				}
+				if !atomic.CompareAndSwapInt32(&inSection, 0, 1) {
+					atomic.AddInt32(&overlaps, 1)
+				}
+				cur, rerr := h.Read(v)
+				if rerr == nil {
+					if werr := h.Write(v, cur+1); werr == nil {
+						// Count the increment only once its sequenced echo
+						// lands locally — that is the commit point that must
+						// survive the crash.
+						ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+						if h.WaitGEContext(ctx, v, cur+1) == nil {
+							atomic.AddInt64(&confirmed, 1)
+						}
+						cancel()
+					}
+				}
+				atomic.StoreInt32(&inSection, 0)
+				_ = h.Release(m)
+			}
+		}(c.Handle(i))
+	}
+
+	// Let the workload establish itself, then kill the root.
+	deadline := time.Now().Add(2 * time.Second)
+	for atomic.LoadInt64(&confirmed) < 5 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if atomic.LoadInt64(&confirmed) < 5 {
+		t.Fatal("workload never got going before the crash")
+	}
+	c.Chaos().Crash(0)
+
+	// The lowest surviving ID must take over within the failure deadline.
+	deadline = time.Now().Add(5 * time.Second)
+	for c.Handle(1).Stats().GWC.Failovers == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if c.Handle(1).Stats().GWC.Failovers != 1 {
+		t.Fatal("node 1 never promoted itself after the root crash")
+	}
+
+	// Keep the workload running under the new root, then wind down.
+	post := atomic.LoadInt64(&confirmed)
+	deadline = time.Now().Add(5 * time.Second)
+	for atomic.LoadInt64(&confirmed) < post+5 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := atomic.LoadInt32(&overlaps); n != 0 {
+		t.Errorf("mutual exclusion violated %d times", n)
+	}
+	want := atomic.LoadInt64(&confirmed)
+	if want <= post {
+		t.Errorf("no increments committed under the new root (pre-crash %d, final %d)", post, want)
+	}
+
+	// Survivors converge on a single final value that lost none of the
+	// confirmed increments.
+	var final int64 = -1
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		vals := make([]int64, 0, nodes-1)
+		for i := 1; i < nodes; i++ {
+			got, err := c.Handle(i).Read(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals = append(vals, got)
+		}
+		agreed := true
+		for _, got := range vals[1:] {
+			if got != vals[0] {
+				agreed = false
+			}
+		}
+		if agreed {
+			final = vals[0]
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("survivors never converged: counters %v", vals)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if final < want {
+		t.Errorf("final counter %d lost committed writes (%d confirmed)", final, want)
+	}
+
+	// The deposed root, revived, must stand down and adopt the new
+	// reign's state rather than split the group.
+	c.Chaos().Revive(0)
+	deadline = time.Now().Add(5 * time.Second)
+	for c.Handle(0).Stats().GWC.Demotions == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if c.Handle(0).Stats().GWC.Demotions != 1 {
+		t.Fatal("revived old root never stood down")
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if got, err := c.Handle(0).Read(v); err == nil && got >= final {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	got, _ := c.Handle(0).Read(v)
+	t.Fatalf("revived root stuck at counter %d, group reached %d", got, final)
+}
+
+// TestChaosAcquireExpiredDeadline checks that a dead deadline fails fast
+// even when the root is unreachable.
+func TestChaosAcquireExpiredDeadline(t *testing.T) {
+	c, err := NewCluster(3, WithChaos(),
+		WithTimers(15*time.Millisecond, 90*time.Millisecond, 40*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	g, err := c.NewGroup("chaos", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Mutex("lock")
+	c.Chaos().Crash(0)
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	if err := c.Handle(1).AcquireContext(ctx, m); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AcquireContext = %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("expired-deadline acquire took %v", d)
+	}
+
+	// A short live deadline also returns promptly while the root is down.
+	ok, err := c.Handle(2).TryLockFor(m, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		_ = c.Handle(2).Release(m)
+	}
+}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -172,6 +173,22 @@ func (e *Engine) bumpHistory(k lockKey) {
 // twice (speculatively, then again after a rollback); it must confine its
 // shared-state effects to the transaction.
 func (e *Engine) Do(gid gwc.GroupID, l gwc.LockID, body func(tx *Tx) error) error {
+	return e.DoContext(context.Background(), gid, l, body)
+}
+
+// DoContext is Do with cancellation. The regular path aborts cleanly
+// whenever ctx ends, withdrawing any queued request. On the optimistic
+// path cancellation is honoured at entry and during the post-rollback
+// wait; once a section is speculating, the engine must first learn
+// whether its writes were accepted (grant) or suppressed (another
+// holder) before it can stop — aborting earlier would leave the local
+// copies unreconcilable with the group. That decision arrives within a
+// round trip of the root (or of its successor after a failover), so the
+// non-cancellable window is short and bounded by the failover deadline.
+func (e *Engine) DoContext(ctx context.Context, gid gwc.GroupID, l gwc.LockID, body func(tx *Tx) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	k := lockKey{gid, l}
 	e.mu.Lock()
 	if e.active[k] {
@@ -197,14 +214,14 @@ func (e *Engine) Do(gid gwc.GroupID, l gwc.LockID, body func(tx *Tx) error) erro
 		e.mu.Lock()
 		e.stats.Regular++
 		e.mu.Unlock()
-		return e.regular(gid, l, body)
+		return e.regular(ctx, gid, l, body)
 	}
-	return e.optimistic(k, body)
+	return e.optimistic(ctx, k, body)
 }
 
 // regular is the conventional blocking acquire/run/release.
-func (e *Engine) regular(gid gwc.GroupID, l gwc.LockID, body func(tx *Tx) error) error {
-	if err := e.node.Acquire(gid, l); err != nil {
+func (e *Engine) regular(ctx context.Context, gid gwc.GroupID, l gwc.LockID, body func(tx *Tx) error) error {
+	if err := e.node.AcquireContext(ctx, gid, l); err != nil {
 		return err
 	}
 	tx := &Tx{eng: e, gid: gid}
@@ -216,7 +233,7 @@ func (e *Engine) regular(gid gwc.GroupID, l gwc.LockID, body func(tx *Tx) error)
 }
 
 // optimistic sends a non-blocking request and speculates.
-func (e *Engine) optimistic(k lockKey, body func(tx *Tx) error) error {
+func (e *Engine) optimistic(ctx context.Context, k lockKey, body func(tx *Tx) error) error {
 	gid, l := k.g, k.l
 	self := e.node.ID()
 	grant := gwc.GrantValue(self)
@@ -253,10 +270,12 @@ func (e *Engine) optimistic(k lockKey, body func(tx *Tx) error) error {
 
 	// Line 19: wait until the lock answer decides our fate. A positive
 	// lock value is either our grant (commit) or another CPU's (the hook
-	// has already rolled us back).
-	ok, err := e.node.WaitLockCond(gid, l, func(v int64) bool {
+	// has already rolled us back). The request is re-sent periodically so
+	// a copy that died with a crashed root reaches its successor; this
+	// wait deliberately ignores ctx (see DoContext).
+	ok, err := e.node.WaitLockCondContext(context.Background(), gid, l, func(v int64) bool {
 		return v == grant || rolled.Load()
-	})
+	}, true)
 	if err != nil {
 		return err
 	}
@@ -291,8 +310,13 @@ func (e *Engine) optimistic(k lockKey, body func(tx *Tx) error) error {
 	if err := e.node.ResumeInsharing(gid); err != nil {
 		return err
 	}
-	okGrant, err := e.node.WaitLockGrant(gid, l)
+	okGrant, err := e.node.WaitLockGrantContext(ctx, gid, l)
 	if err != nil {
+		// The rollback already restored local state, so a cancelled
+		// re-execution only needs to withdraw the queued request.
+		if cerr := e.node.CancelLockRequest(gid, l); cerr != nil {
+			return cerr
+		}
 		return err
 	}
 	if !okGrant {

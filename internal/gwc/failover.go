@@ -1,0 +1,590 @@
+package gwc
+
+import (
+	"sort"
+	"time"
+
+	"optsync/internal/wire"
+)
+
+// Crash fault tolerance.
+//
+// The group root is a single point of failure: it sequences every write
+// and owns the lock queues. To survive its crash, each reign of a root is
+// numbered with an epoch (the founding root reigns in epoch 0). Roots
+// heartbeat their members every maintenance interval; a member that has
+// heard nothing from its root for failAfter suspects it and starts an
+// election for epoch+1. Elections are deterministic: the surviving member
+// with the lowest ID is the candidate, everyone else streams it a report
+// of their local state (applied sequence number, variable copies, lock
+// copies), and after electWait the candidate promotes itself, rebuilding
+// the authoritative state from the most advanced reports:
+//
+//   - variables come from the reports with the highest applied sequence
+//     number; a lone dissenting value among them is an eager local write
+//     whose up-message died with the old root and is adopted;
+//   - a lock's holder is believed only if the holder's own report still
+//     shows the grant (a holder that reported a free value has released;
+//     a suspected holder is freed, which is safe because its stale-epoch
+//     traffic can no longer enter the group);
+//   - queues are rebuilt from reporters whose local copy still shows
+//     their own pending request; anyone missed re-queues via the request
+//     retry timer.
+//
+// The new root restarts sequence numbering at 1 for its epoch and members
+// re-base through a snapshot (TSnapVar/TSnapLock/TSnapDone) requested on
+// adoption. Stale-epoch messages are rejected on both sides, so a revived
+// old root is harmlessly deposed the moment it hears from the new reign.
+
+// lockSnap is one lock's value in a state report or snapshot.
+type lockSnap struct {
+	val   int64
+	epoch uint32
+}
+
+// snapReport accumulates one sender's state stream: an election report
+// from a peer, or a catch-up snapshot from the root.
+type snapReport struct {
+	seq   uint64
+	vars  map[VarID]int64
+	locks map[LockID]lockSnap
+	done  bool
+}
+
+func newSnapReport(seq uint64) *snapReport {
+	return &snapReport{
+		seq:   seq,
+		vars:  make(map[VarID]int64),
+		locks: make(map[LockID]lockSnap),
+	}
+}
+
+// heartbeat announces this root's reign to every member. Caller holds
+// n.mu.
+func (n *Node) heartbeat(gid GroupID, r *rootGroup) {
+	for _, member := range r.cfg.Members {
+		if member == n.id {
+			continue
+		}
+		n.send(member, wire.Message{
+			Type:  wire.THeartbeat,
+			Group: uint32(gid),
+			Src:   int32(n.id),
+			Seq:   r.seq,
+			Val:   int64(n.id),
+			Epoch: r.epoch,
+		})
+	}
+}
+
+// handleHeartbeat processes a root's liveness announcement (Val carries
+// the claimed root ID). Caller holds n.mu.
+func (n *Node) handleHeartbeat(g *memberGroup, m wire.Message) {
+	claimed := int(m.Val)
+	switch {
+	case m.Epoch > g.epoch || (m.Epoch == g.epoch && claimed < g.rootID):
+		// A newer reign — or a same-epoch split, which the lower node ID
+		// wins so both halves converge on one root.
+		n.adoptEpoch(g, m.Epoch, claimed)
+	case m.Epoch < g.epoch || claimed != g.rootID:
+		// A deposed root still announcing itself: point it at this epoch.
+		n.stats.StaleEpoch++
+		n.maybeNotice(g, int(m.Src))
+	default:
+		g.lastRoot = time.Now()
+		g.electing = false
+		delete(g.suspected, g.rootID)
+	}
+}
+
+// maybeNotice tells a stale sender about the current reign, rate-limited
+// per group so floods of old-epoch traffic produce one corrective
+// heartbeat per interval. Caller holds n.mu.
+func (n *Node) maybeNotice(g *memberGroup, to int) {
+	now := time.Now()
+	if now.Sub(g.lastNotice) < n.retryIn {
+		return
+	}
+	g.lastNotice = now
+	n.send(to, wire.Message{
+		Type:  wire.THeartbeat,
+		Group: uint32(g.cfg.ID),
+		Src:   int32(n.id),
+		Val:   int64(g.rootID),
+		Epoch: g.epoch,
+	})
+}
+
+// adoptEpoch switches the member to a newer reign (or the lower-ID
+// winner of a same-epoch split): sequence reassembly restarts at 1 and a
+// state snapshot is requested from the new root. If this node was itself
+// a root for the group, it stands down. Caller holds n.mu.
+func (n *Node) adoptEpoch(g *memberGroup, epoch uint32, root int) {
+	if epoch < g.epoch || (epoch == g.epoch && root >= g.rootID) {
+		return
+	}
+	if root == n.id {
+		// Hearsay about a reign of our own that we know nothing about
+		// (promotion happens locally, never by adoption); waiting on a
+		// snapshot from ourselves would deadlock.
+		return
+	}
+	if _, wasRoot := n.roots[g.cfg.ID]; wasRoot {
+		delete(n.roots, g.cfg.ID)
+		n.stats.Demotions++
+	}
+	g.epoch = epoch
+	g.rootID = root
+	g.lastRoot = time.Now()
+	g.electing = false
+	g.snapWanted = true
+	g.snapBuf = nil
+	g.reports = nil
+	g.nextSeq = 1
+	g.pending = make(map[uint64]wire.Message)
+	// The old spanning tree was rooted at the old root; failover reigns
+	// use direct fanout.
+	g.children = nil
+	// Everyone the electorate skipped over to reach this root must have
+	// been suspected; remember that so a follow-up election agrees.
+	for _, member := range g.cfg.Members {
+		if member < root && member != n.id {
+			g.suspected[member] = true
+		}
+	}
+	delete(g.suspected, root)
+	n.send(root, wire.Message{
+		Type:  wire.TSnapReq,
+		Group: uint32(g.cfg.ID),
+		Src:   int32(n.id),
+		Epoch: epoch,
+	})
+}
+
+// candidate returns the lowest-ID member not suspected dead, or -1.
+func (g *memberGroup) candidate() int {
+	best := -1
+	for _, m := range g.cfg.Members {
+		if g.suspected[m] {
+			continue
+		}
+		if best == -1 || m < best {
+			best = m
+		}
+	}
+	return best
+}
+
+// detectFailure drives the member side of failure detection each
+// maintenance tick: suspect a silent root, report state to the election
+// candidate, promote if we are the candidate, and cascade to the next
+// candidate if the chosen one is dead too. Caller holds n.mu.
+func (n *Node) detectFailure(gid GroupID, g *memberGroup, now time.Time) {
+	if len(g.cfg.Members) < 2 {
+		return // no one to fail over to
+	}
+	if now.Sub(g.lastRoot) <= n.failAfter {
+		return
+	}
+	if !g.electing {
+		g.electing = true
+		g.electEpoch = g.epoch + 1
+		g.electBegan = now
+		g.suspected[g.rootID] = true
+	}
+	cand := g.candidate()
+	switch {
+	case cand == -1:
+		// Nobody left standing; keep waiting for a revival.
+	case cand == n.id:
+		if now.Sub(g.electBegan) >= n.electWait {
+			n.promote(gid, g)
+		}
+	case now.Sub(g.electBegan) > n.electWait+n.failAfter:
+		// The candidate had ample time to take over and has not; it must
+		// be down as well. Suspect it and restart the clock for the next.
+		g.suspected[cand] = true
+		g.electBegan = now
+	default:
+		n.sendReport(g, cand)
+	}
+}
+
+// sendReport streams this member's local state to the election
+// candidate. It is re-sent every tick while the election runs, so a lost
+// report only delays, never prevents, reconstruction. Caller holds n.mu.
+func (n *Node) sendReport(g *memberGroup, to int) {
+	base := wire.Message{
+		Group: uint32(g.cfg.ID),
+		Src:   int32(n.id),
+		Seq:   g.nextSeq - 1,
+		Epoch: g.electEpoch,
+	}
+	for v, val := range g.mem {
+		m := base
+		m.Type = wire.TSnapVar
+		m.Var = uint32(v)
+		m.Val = val
+		n.send(to, m)
+	}
+	for l, val := range g.lockVal {
+		m := base
+		m.Type = wire.TSnapLock
+		m.Lock = uint32(l)
+		m.Var = g.grantEpoch[l]
+		m.Val = val
+		n.send(to, m)
+	}
+	done := base
+	done.Type = wire.TSnapDone
+	n.send(to, done)
+}
+
+// promote makes this node the group's root for the election epoch,
+// reconstructing the authoritative state from its own copy and the peer
+// reports collected during the grace period. Caller holds n.mu.
+func (n *Node) promote(gid GroupID, g *memberGroup) {
+	epoch := g.electEpoch
+	own := newSnapReport(g.nextSeq - 1)
+	for v, val := range g.mem {
+		own.vars[v] = val
+	}
+	for l, val := range g.lockVal {
+		own.locks[l] = lockSnap{val: val, epoch: g.grantEpoch[l]}
+	}
+	own.done = true
+	reps := map[int]*snapReport{n.id: own}
+	if g.reportEpoch == epoch {
+		for src, rep := range g.reports {
+			if rep.done && src != n.id {
+				reps[src] = rep
+			}
+		}
+	}
+	auth := mergeVars(reps)
+	locks := rebuildLocks(reps, g.suspected)
+
+	cfg := g.cfg
+	cfg.Root = n.id
+	cfg.TreeFanout = false
+	guards := make(map[VarID]LockID, len(g.cfg.Guards))
+	for v, l := range g.cfg.Guards {
+		guards[v] = l
+	}
+	cfg.Guards = guards
+	r := newRootGroup(cfg)
+	r.epoch = epoch
+	for v, val := range auth {
+		r.auth[v] = val
+	}
+	r.locks = locks
+	n.roots[gid] = r
+	n.stats.Failovers++
+
+	// Re-base the member side onto the new reign: sequence numbering
+	// restarts at 1 and the merged state becomes the local copy.
+	g.epoch = epoch
+	g.rootID = n.id
+	g.lastRoot = time.Now()
+	g.electing = false
+	g.snapWanted = false
+	g.snapBuf = nil
+	g.reports = nil
+	g.nextSeq = 1
+	g.pending = make(map[uint64]wire.Message)
+	g.children = nil
+	for v, val := range auth {
+		n.applyVarValue(g, v, val)
+	}
+	for l, ls := range locks {
+		val := Free
+		if ls.holder != -1 {
+			val = GrantValue(ls.holder)
+		}
+		n.applyLockValue(g, l, val, ls.epoch)
+	}
+	// Free locks with survivors queued move on immediately; everyone
+	// else learns the holder from the grant multicast or the snapshot.
+	for l, ls := range r.locks {
+		if ls.holder == -1 && len(ls.queue) > 0 {
+			next := ls.queue[0]
+			ls.queue = ls.queue[1:]
+			n.grant(r, l, ls, next)
+		}
+	}
+	n.heartbeat(gid, r)
+}
+
+// mergeVars reconstructs the variable store from the reports with the
+// highest applied sequence number. Those reports saw the same sequenced
+// prefix, so their copies differ only by eager local writes that never
+// reached the old root; a lone dissenting value is such a write and is
+// adopted. Remaining conflicts resolve to the lowest reporter.
+func mergeVars(reps map[int]*snapReport) map[VarID]int64 {
+	var best uint64
+	for _, rep := range reps {
+		if rep.seq > best {
+			best = rep.seq
+		}
+	}
+	type vote struct {
+		val int64
+		src int
+	}
+	votes := make(map[VarID][]vote)
+	for src, rep := range reps {
+		if rep.seq != best {
+			continue
+		}
+		for v, val := range rep.vars {
+			votes[v] = append(votes[v], vote{val, src})
+		}
+	}
+	out := make(map[VarID]int64, len(votes))
+	for v, vs := range votes {
+		counts := make(map[int64]int)
+		for _, vt := range vs {
+			counts[vt.val]++
+		}
+		if len(counts) == 2 && len(vs) > 2 {
+			for _, vt := range vs {
+				if counts[vt.val] == 1 {
+					out[v] = vt.val // the lone eager write
+				}
+			}
+			if _, ok := out[v]; ok {
+				continue
+			}
+		}
+		// Unanimous — or ambiguous, where the lowest reporter wins so
+		// every would-be root reconstructs identically.
+		bestSrc := -1
+		for _, vt := range vs {
+			if bestSrc == -1 || vt.src < bestSrc {
+				bestSrc = vt.src
+				out[v] = vt.val
+			}
+		}
+	}
+	return out
+}
+
+// rebuildLocks reconstructs the lock manager's state from member
+// reports (see the package comment above for the rules).
+func rebuildLocks(reps map[int]*snapReport, suspected map[int]bool) map[LockID]*lockState {
+	ids := make(map[LockID]bool)
+	for _, rep := range reps {
+		for l := range rep.locks {
+			ids[l] = true
+		}
+	}
+	out := make(map[LockID]*lockState, len(ids))
+	for l := range ids {
+		ls := &lockState{holder: -1}
+		for _, rep := range reps {
+			if s, ok := rep.locks[l]; ok && s.epoch > ls.epoch {
+				ls.epoch = s.epoch
+			}
+		}
+		// Who was last seen holding it? Only grants from the newest grant
+		// epoch count; older ones are from already-finished sections.
+		claimed := -1
+		for _, rep := range reps {
+			s, ok := rep.locks[l]
+			if !ok || s.epoch != ls.epoch {
+				continue
+			}
+			if h := holderOf(s.val); h >= 0 {
+				claimed = h
+			}
+		}
+		if claimed >= 0 {
+			if own, ok := reps[claimed]; ok {
+				if s, ok := own.locks[l]; !ok || s.val != GrantValue(claimed) {
+					// The holder's own copy shows no grant: it released,
+					// and only the release message died with the root.
+					claimed = -1
+				}
+			} else if suspected[claimed] {
+				// The holder died with the old root. Freeing is safe: its
+				// stale-epoch traffic can no longer enter the group.
+				claimed = -1
+			}
+			// A live holder that merely failed to report stays holder —
+			// safety (no double grant) over liveness; its retries or its
+			// release resolve the lock.
+		}
+		ls.holder = claimed
+		// Reporters whose local copy still shows their own pending
+		// request re-queue in ID order (the old order died with the old
+		// root); anyone missed re-queues via the request retry timer.
+		var waiters []int
+		for src, rep := range reps {
+			if src == claimed {
+				continue
+			}
+			if s, ok := rep.locks[l]; ok && s.val == RequestValue(src) {
+				waiters = append(waiters, src)
+			}
+		}
+		sort.Ints(waiters)
+		ls.queue = waiters
+		out[l] = ls
+	}
+	return out
+}
+
+// holderOf decodes a lock value into the holding node, or -1.
+func holderOf(val int64) int {
+	if val <= 0 {
+		return -1
+	}
+	return int(val - 1)
+}
+
+// handleSnap routes a state stream message: a catch-up snapshot from the
+// current root, or an election report from a peer for a future epoch.
+// Caller holds n.mu.
+func (n *Node) handleSnap(g *memberGroup, m wire.Message) {
+	switch {
+	case m.Epoch == g.epoch && int(m.Src) == g.rootID:
+		if !g.snapWanted {
+			return // duplicate stream; already synced
+		}
+		n.snapApply(g, m)
+	case m.Epoch > g.epoch:
+		n.reportPiece(g, m)
+	default:
+		n.stats.StaleEpoch++
+	}
+}
+
+// snapApply buffers a snapshot stream from the root and applies it
+// atomically when the final piece arrives. The snapshot was taken at the
+// root's sequence m.Seq; it is discarded as stale if this member has
+// already applied past that point (the periodic re-request fetches a
+// fresher one). Caller holds n.mu.
+func (n *Node) snapApply(g *memberGroup, m wire.Message) {
+	g.lastRoot = time.Now()
+	if g.snapBuf == nil || g.snapBufSeq != m.Seq {
+		g.snapBuf = newSnapReport(m.Seq)
+		g.snapBufSeq = m.Seq
+	}
+	switch m.Type {
+	case wire.TSnapVar:
+		g.snapBuf.vars[VarID(m.Var)] = m.Val
+	case wire.TSnapLock:
+		g.snapBuf.locks[LockID(m.Lock)] = lockSnap{val: m.Val, epoch: m.Var}
+	case wire.TSnapDone:
+		snap := g.snapBuf
+		g.snapBuf = nil
+		if m.Seq+1 < g.nextSeq {
+			return // stale snapshot; keep snapWanted and re-request
+		}
+		for v, val := range snap.vars {
+			n.applyVarValue(g, v, val)
+		}
+		for l, ls := range snap.locks {
+			n.applyLockValue(g, l, ls.val, ls.epoch)
+		}
+		g.nextSeq = m.Seq + 1
+		for s := range g.pending {
+			if s < g.nextSeq {
+				delete(g.pending, s)
+			}
+		}
+		for {
+			next, ok := g.pending[g.nextSeq]
+			if !ok {
+				break
+			}
+			delete(g.pending, g.nextSeq)
+			n.applySeq(g, next)
+			g.nextSeq++
+		}
+		g.snapWanted = false
+	}
+}
+
+// reportPiece buffers one piece of a peer's election report while this
+// node is (or is about to learn it is) the candidate. Caller holds n.mu.
+func (n *Node) reportPiece(g *memberGroup, m wire.Message) {
+	if m.Epoch > g.reportEpoch {
+		g.reportEpoch = m.Epoch
+		g.reports = make(map[int]*snapReport)
+	} else if m.Epoch < g.reportEpoch {
+		return
+	}
+	if g.reports == nil {
+		g.reports = make(map[int]*snapReport)
+	}
+	src := int(m.Src)
+	rep := g.reports[src]
+	if rep == nil || rep.done {
+		// A finished report is superseded by the next tick's re-send (the
+		// reporter's state may have moved while the election runs).
+		rep = newSnapReport(m.Seq)
+		g.reports[src] = rep
+	}
+	rep.seq = m.Seq
+	switch m.Type {
+	case wire.TSnapVar:
+		rep.vars[VarID(m.Var)] = m.Val
+	case wire.TSnapLock:
+		rep.locks[LockID(m.Lock)] = lockSnap{val: m.Val, epoch: m.Var}
+	case wire.TSnapDone:
+		rep.done = true
+	}
+}
+
+// applyVarValue installs a reconstructed or snapshotted variable value
+// through the normal delivery path, so insharing suspension and Watch
+// hooks behave exactly as for sequenced updates. Caller holds n.mu.
+func (n *Node) applyVarValue(g *memberGroup, v VarID, val int64) {
+	m := wire.Message{
+		Type:   wire.TSeqUpdate,
+		Group:  uint32(g.cfg.ID),
+		Origin: -1,
+		Var:    uint32(v),
+		Val:    val,
+	}
+	if g.suspended {
+		g.suspendQ = append(g.suspendQ, m)
+		return
+	}
+	n.applyData(g, m)
+}
+
+// rootSnapSend streams the authoritative state to one member, tagged
+// with the root's current sequence number so the receiver can order it
+// against live traffic. The stream is built under n.mu, so it is a
+// consistent cut. Caller holds n.mu.
+func (n *Node) rootSnapSend(r *rootGroup, to int) {
+	base := wire.Message{
+		Group: uint32(r.cfg.ID),
+		Src:   int32(n.id),
+		Seq:   r.seq,
+		Epoch: r.epoch,
+	}
+	for v, val := range r.auth {
+		m := base
+		m.Type = wire.TSnapVar
+		m.Var = uint32(v)
+		m.Val = val
+		n.send(to, m)
+	}
+	for l, ls := range r.locks {
+		m := base
+		m.Type = wire.TSnapLock
+		m.Lock = uint32(l)
+		m.Var = ls.epoch
+		m.Val = Free
+		if ls.holder != -1 {
+			m.Val = GrantValue(ls.holder)
+		}
+		n.send(to, m)
+	}
+	done := base
+	done.Type = wire.TSnapDone
+	n.send(to, done)
+}

@@ -1,0 +1,224 @@
+package gwc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"optsync/internal/transport"
+)
+
+// newChaosCluster builds a cluster over a fault-injectable network with
+// failover timers tightened for tests.
+func newChaosCluster(t *testing.T, n int, guarded bool) (*cluster, *transport.Flaky) {
+	t.Helper()
+	inner, err := transport.NewInProc(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := transport.NewFlaky(inner, transport.FaultPlan{})
+	c := newCluster(t, fl, guarded)
+	for _, nd := range c.nodes {
+		nd.SetTimers(10*time.Millisecond, 60*time.Millisecond, 30*time.Millisecond)
+	}
+	return c, fl
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// waitAdopted waits until a member has switched to the given root. Writes
+// are fire-once up-messages, so a test must not write through a member
+// that may still be addressing the deposed root.
+func waitAdopted(t *testing.T, n *Node, root int) {
+	t.Helper()
+	waitFor(t, 5*time.Second, "member to adopt the new root", func() bool {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return n.groups[tGroup].rootID == root
+	})
+}
+
+func TestRootFailoverElectsLowestSurvivor(t *testing.T) {
+	c, fl := newChaosCluster(t, 4, false)
+	if err := c.nodes[2].Write(tGroup, tVar, 41); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.nodes {
+		waitValue(t, n, tVar, 41)
+	}
+
+	fl.Crash(0)
+	waitFor(t, 5*time.Second, "node 1 to promote itself", func() bool {
+		return c.nodes[1].Stats().Failovers == 1
+	})
+
+	// The group keeps working under the new root, and pre-crash state
+	// survived the reconstruction.
+	waitAdopted(t, c.nodes[3], 1)
+	if err := c.nodes[3].Write(tGroup, tVarB, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.nodes[1:] {
+		waitValue(t, n, tVarB, 7)
+		waitValue(t, n, tVar, 41)
+	}
+	if f := c.nodes[2].Stats().Failovers + c.nodes[3].Stats().Failovers; f != 0 {
+		t.Errorf("non-candidate nodes promoted themselves %d times", f)
+	}
+}
+
+func TestFailoverPreservesLockHolderAndQueue(t *testing.T) {
+	c, fl := newChaosCluster(t, 4, true)
+	if err := c.nodes[2].Acquire(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.nodes[3].SendLockRequest(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "node 3 to queue at the root", func() bool {
+		c.nodes[0].mu.Lock()
+		defer c.nodes[0].mu.Unlock()
+		return c.nodes[0].roots[tGroup].lock(tLock).queued(3)
+	})
+
+	fl.Crash(0)
+	waitFor(t, 5*time.Second, "node 1 to promote itself", func() bool {
+		return c.nodes[1].Stats().Failovers == 1
+	})
+	// The new root must see node 2 as holder (no double grant).
+	c.nodes[1].mu.Lock()
+	holder := c.nodes[1].roots[tGroup].lock(tLock).holder
+	c.nodes[1].mu.Unlock()
+	if holder != 2 {
+		t.Fatalf("reconstructed holder = %d, want 2", holder)
+	}
+
+	// Once the holder has adopted the new reign, its release must hand
+	// the lock to the queued waiter.
+	waitAdopted(t, c.nodes[2], 1)
+	if err := c.nodes[2].Release(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.nodes[3].WaitLockGrant(tGroup, tLock)
+	if err != nil || !ok {
+		t.Fatalf("queued waiter never granted after failover: ok=%v err=%v", ok, err)
+	}
+	if err := c.nodes[3].Release(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevivedOldRootIsDemoted(t *testing.T) {
+	c, fl := newChaosCluster(t, 3, false)
+	if err := c.nodes[0].Write(tGroup, tVar, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.nodes {
+		waitValue(t, n, tVar, 1)
+	}
+
+	fl.Crash(0)
+	waitFor(t, 5*time.Second, "node 1 to promote itself", func() bool {
+		return c.nodes[1].Stats().Failovers == 1
+	})
+	waitAdopted(t, c.nodes[2], 1)
+	if err := c.nodes[2].Write(tGroup, tVar, 99); err != nil {
+		t.Fatal(err)
+	}
+	waitValue(t, c.nodes[1], tVar, 99)
+
+	fl.Revive(0)
+	waitFor(t, 5*time.Second, "the revived root to stand down", func() bool {
+		return c.nodes[0].Stats().Demotions == 1
+	})
+	// The deposed root resyncs to the new reign's state instead of
+	// splitting the group.
+	waitValue(t, c.nodes[0], tVar, 99)
+	waitFor(t, 5*time.Second, "stale-epoch traffic to be rejected", func() bool {
+		total := 0
+		for _, n := range c.nodes {
+			total += n.Stats().StaleEpoch
+		}
+		return total > 0
+	})
+}
+
+func TestAcquireContextExpiredReturnsPromptly(t *testing.T) {
+	c := newInProcCluster(t, 2, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := c.nodes[1].AcquireContext(ctx, tGroup, tLock)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("AcquireContext with dead context = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("AcquireContext took %v with an expired context", d)
+	}
+}
+
+func TestCancelWhileQueuedLeavesNoPhantom(t *testing.T) {
+	c := newInProcCluster(t, 3, true)
+	if err := c.nodes[2].Acquire(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := c.nodes[1].AcquireContext(ctx, tGroup, tLock); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AcquireContext = %v, want context.DeadlineExceeded", err)
+	}
+	if err := c.nodes[2].Release(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	// The cancelled waiter must not inherit the lock: the root's queue
+	// entry was withdrawn, so the release frees the lock outright.
+	waitFor(t, 5*time.Second, "the lock to come to rest free", func() bool {
+		c.nodes[0].mu.Lock()
+		ls := c.nodes[0].roots[tGroup].lock(tLock)
+		holder, qlen := ls.holder, len(ls.queue)
+		c.nodes[0].mu.Unlock()
+		return holder == -1 && qlen == 0
+	})
+	// And the waiter's local copy agrees.
+	waitFor(t, 5*time.Second, "node 1's local lock copy to read free", func() bool {
+		v, err := c.nodes[1].LockValue(tGroup, tLock)
+		return err == nil && v == Free
+	})
+}
+
+func TestAcquireContextGrantRaceReleases(t *testing.T) {
+	// A cancellation that loses the race with the grant must hand the
+	// lock back rather than keep it; later acquirers proceed normally.
+	c := newInProcCluster(t, 3, true)
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i)*time.Millisecond)
+		err := c.nodes[1].AcquireContext(ctx, tGroup, tLock)
+		cancel()
+		if err == nil {
+			if err := c.nodes[1].Release(tGroup, tLock); err != nil {
+				t.Fatal(err)
+			}
+		} else if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("AcquireContext = %v", err)
+		}
+	}
+	// Whatever the races did, the lock must still be acquirable.
+	if err := c.nodes[2].Acquire(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.nodes[2].Release(tGroup, tLock); err != nil {
+		t.Fatal(err)
+	}
+}

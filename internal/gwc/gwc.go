@@ -81,16 +81,21 @@ func (c GroupConfig) memberOf(id int) bool {
 
 // Stats counts protocol events at one node.
 type Stats struct {
-	Suppressed   int // root: speculative writes discarded
-	Forwarded    int // member: sequenced messages relayed down the tree
-	Duplicates   int // member: re-delivered sequenced messages dropped
-	Gaps         int // member: sequence gaps detected
-	Nacks        int // member: retransmit requests sent
-	Retransmits  int // root: sequenced messages re-sent
-	EchoDropped  int // member: own guarded echoes dropped (hardware blocking)
-	LostHistory  int // root: NACKs it could no longer serve
-	LockRequests int
-	LockGrants   int
+	Suppressed    int // root: speculative writes discarded
+	Forwarded     int // member: sequenced messages relayed down the tree
+	Duplicates    int // member: re-delivered sequenced messages dropped
+	Gaps          int // member: sequence gaps detected
+	Nacks         int // member: retransmit requests sent
+	Retransmits   int // root: sequenced messages re-sent
+	EchoDropped   int // member: own guarded echoes dropped (hardware blocking)
+	LostHistory   int // root: NACKs it could no longer serve
+	LockRequests  int
+	LockGrants    int
+	LockCancels   int // root: lock requests withdrawn (abort/timeout)
+	StaleEpoch    int // messages rejected for carrying an old root epoch
+	Failovers     int // member: promotions of this node to group root
+	Demotions     int // root: reigns ended by a newer epoch
+	DroppedErrors int // protocol errors discarded past the retention cap
 }
 
 // Node is one processor's memory-sharing interface: it owns the local
@@ -108,19 +113,28 @@ type Node struct {
 	closed  bool
 	stop    chan struct{}
 	wg      sync.WaitGroup
-	retryIn time.Duration // lock request/release retry interval
+	retryIn time.Duration // retry/heartbeat/maintenance interval
+
+	// Crash-fault tolerance timing: a member that has not heard from its
+	// group root for failAfter starts an election, and a candidate waits
+	// electWait after detection for peer state reports before promoting
+	// itself.
+	failAfter time.Duration
+	electWait time.Duration
 }
 
 // NewNode attaches a sharing interface to an endpoint and starts its
 // receive loop. Callers must Close the node when done.
 func NewNode(id int, ep transport.Endpoint) *Node {
 	n := &Node{
-		id:      id,
-		ep:      ep,
-		groups:  make(map[GroupID]*memberGroup),
-		roots:   make(map[GroupID]*rootGroup),
-		stop:    make(chan struct{}),
-		retryIn: 50 * time.Millisecond,
+		id:        id,
+		ep:        ep,
+		groups:    make(map[GroupID]*memberGroup),
+		roots:     make(map[GroupID]*rootGroup),
+		stop:      make(chan struct{}),
+		retryIn:   50 * time.Millisecond,
+		failAfter: 2 * time.Second,
+		electWait: 200 * time.Millisecond,
 	}
 	n.wg.Add(2)
 	go n.recvLoop()
@@ -130,6 +144,32 @@ func NewNode(id int, ep transport.Endpoint) *Node {
 
 // ID reports the node's identifier.
 func (n *Node) ID() int { return n.id }
+
+// SetTimers tunes the maintenance interval (retries, heartbeats), the
+// root-failure detection deadline, and the election grace period during
+// which a candidate collects peer state reports. Zero values keep the
+// current setting. Intended for tests and aggressive deployments; the
+// defaults (50ms / 2s / 200ms) suit wide-area clusters.
+func (n *Node) SetTimers(retry, failAfter, electWait time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if retry > 0 {
+		n.retryIn = retry
+	}
+	if failAfter > 0 {
+		n.failAfter = failAfter
+	}
+	if electWait > 0 {
+		n.electWait = electWait
+	}
+}
+
+// interval reads the maintenance interval under the lock.
+func (n *Node) interval() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.retryIn
+}
 
 // Join registers the node in a sharing group. If the node is the group's
 // root it also becomes the group's sequencer and lock manager.
@@ -208,11 +248,14 @@ func (n *Node) Errors() []error {
 }
 
 // protoErr records a protocol error for later inspection. It must be
-// called with n.mu held.
+// called with n.mu held. Past the retention cap errors are counted
+// rather than stored, so saturation stays observable via Stats.
 func (n *Node) protoErr(format string, args ...any) {
 	if len(n.errs) < 100 {
 		n.errs = append(n.errs, fmt.Errorf(format, args...))
+		return
 	}
+	n.stats.DroppedErrors++
 }
 
 // recvLoop is the sharing interface proper: it applies every incoming
@@ -228,46 +271,60 @@ func (n *Node) recvLoop() {
 	}
 }
 
-// resyncLoop periodically probes each group's root with an open-ended
-// NACK. If this member is behind — even when the trailing messages of a
-// burst were lost, which gap detection alone cannot notice — the root
-// retransmits everything from the next expected sequence number. An
-// up-to-date member costs one small message per interval and triggers no
-// response.
+// resyncLoop drives the node's periodic maintenance: resync probes and
+// failure detection on the member side, heartbeats on the root side.
+// Transient send errors are recorded via protoErr and the loop carries
+// on; it exits only when the node is closed.
 func (n *Node) resyncLoop() {
 	defer n.wg.Done()
-	ticker := time.NewTicker(n.retryIn)
-	defer ticker.Stop()
 	for {
+		timer := time.NewTimer(n.interval())
 		select {
 		case <-n.stop:
+			timer.Stop()
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
-		n.mu.Lock()
-		type probe struct {
-			root int
-			m    wire.Message
+		n.tick()
+	}
+}
+
+// tick runs one maintenance round under the node lock. Sends go through
+// n.send, which records (rather than returns) transport errors, so one
+// transient failure never silences the maintenance machinery for good.
+func (n *Node) tick() {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for gid, g := range n.groups {
+		if g.rootID == n.id {
+			continue // the root's member state is fed directly
 		}
-		var probes []probe
-		for _, g := range n.groups {
-			if g.cfg.Root == n.id {
-				continue // the root's member state is fed directly
-			}
-			probes = append(probes, probe{root: g.cfg.Root, m: wire.Message{
-				Type:  wire.TNack,
-				Group: uint32(g.cfg.ID),
+		// Open-ended resync probe: if this member is behind — even when
+		// the trailing messages of a burst were lost, which gap detection
+		// alone cannot notice — the root retransmits everything from the
+		// next expected sequence number. An up-to-date member costs one
+		// small message per interval and triggers no response.
+		n.send(g.rootID, wire.Message{
+			Type:  wire.TNack,
+			Group: uint32(gid),
+			Src:   int32(n.id),
+			Seq:   g.nextSeq,
+			Val:   int64(math.MaxInt64),
+			Epoch: g.epoch,
+		})
+		if g.snapWanted {
+			n.send(g.rootID, wire.Message{
+				Type:  wire.TSnapReq,
+				Group: uint32(gid),
 				Src:   int32(n.id),
-				Seq:   g.nextSeq,
-				Val:   int64(math.MaxInt64),
-			}})
+				Epoch: g.epoch,
+			})
 		}
-		n.mu.Unlock()
-		for _, p := range probes {
-			if err := n.ep.Send(p.root, p.m); err != nil {
-				return // endpoint closed
-			}
-		}
+		n.detectFailure(gid, g, now)
+	}
+	for gid, r := range n.roots {
+		n.heartbeat(gid, r)
 	}
 }
 
@@ -276,9 +333,19 @@ func (n *Node) handle(m wire.Message) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	switch m.Type {
-	case wire.TUpdate, wire.TLockReq, wire.TLockRel, wire.TNack:
+	case wire.TUpdate, wire.TLockReq, wire.TLockRel, wire.TNack, wire.TLockCancel, wire.TSnapReq:
 		r, ok := n.roots[GroupID(m.Group)]
 		if !ok {
+			if g, member := n.groups[GroupID(m.Group)]; member {
+				// Routine during failover: a peer still (or again)
+				// believes this node is root. Point stale senders at the
+				// current root; otherwise drop and let retries converge.
+				if m.Epoch < g.epoch {
+					n.stats.StaleEpoch++
+					n.maybeNotice(g, int(m.Src))
+				}
+				return
+			}
 			n.protoErr("gwc: node %d got %v for group %d but is not its root", n.id, m.Type, m.Group)
 			return
 		}
@@ -290,6 +357,20 @@ func (n *Node) handle(m wire.Message) {
 			return
 		}
 		n.ingest(g, m)
+	case wire.THeartbeat:
+		g, ok := n.groups[GroupID(m.Group)]
+		if !ok {
+			n.protoErr("gwc: node %d got heartbeat for unknown group %d", n.id, m.Group)
+			return
+		}
+		n.handleHeartbeat(g, m)
+	case wire.TSnapVar, wire.TSnapLock, wire.TSnapDone:
+		g, ok := n.groups[GroupID(m.Group)]
+		if !ok {
+			n.protoErr("gwc: node %d got %v for unknown group %d", n.id, m.Type, m.Group)
+			return
+		}
+		n.handleSnap(g, m)
 	default:
 		n.protoErr("gwc: node %d got unexpected message type %v", n.id, m.Type)
 	}

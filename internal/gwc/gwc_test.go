@@ -409,7 +409,7 @@ func TestNackRecoveryUnderLoss(t *testing.T) {
 		DropRate: 0.25,
 		Seed:     1234,
 		DownOnly: true,
-		Spare:    wire.TNack,
+		Spare:    []wire.Type{wire.TNack},
 	})
 	c := newCluster(t, flaky, false)
 	const writes = 200
@@ -445,7 +445,7 @@ func TestMutualExclusionUnderLossyLockPlane(t *testing.T) {
 		DropRate: 0.15,
 		Seed:     99,
 		DownOnly: true,
-		Spare:    wire.TNack,
+		Spare:    []wire.Type{wire.TNack},
 	})
 	c := newCluster(t, flaky, true)
 	const reps = 5
@@ -689,7 +689,7 @@ func TestTreeFanoutRecoversFromLoss(t *testing.T) {
 		DropRate: 0.2,
 		Seed:     5,
 		DownOnly: true,
-		Spare:    wire.TNack,
+		Spare:    []wire.Type{wire.TNack},
 	})
 	members := make([]int, 9)
 	for i := range members {

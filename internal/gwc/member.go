@@ -1,6 +1,7 @@
 package gwc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -68,11 +69,47 @@ type memberGroup struct {
 	// grantEpoch counts grants observed for each lock; releases quote it
 	// so the root can discard stale duplicates.
 	grantEpoch map[LockID]uint32
+	// lockDone is the highest grant epoch this node has finished with
+	// (released or handed back). A self-grant at or below it is a stale
+	// duplicate — e.g. the root's re-announce of a grant whose original
+	// multicast this node already consumed and released — and must not
+	// be mistaken for the grant of a later acquisition.
+	lockDone map[LockID]uint32
 
 	// Sequenced-stream reassembly.
 	nextSeq  uint64
 	pending  map[uint64]wire.Message
 	lastNack time.Time
+
+	// Crash-fault tolerance (failover.go): epoch counts root reigns and
+	// rootID is the root this member currently follows; lastRoot is the
+	// last proof of life (heartbeat or sequenced traffic) from it.
+	epoch    uint32
+	rootID   int
+	lastRoot time.Time
+
+	// Election bookkeeping while the root is suspected dead.
+	suspected  map[int]bool
+	electing   bool
+	electEpoch uint32
+	electBegan time.Time
+
+	// Peer state reports collected while this node is the election
+	// candidate, keyed by reporter; reportEpoch is the election they
+	// belong to.
+	reports     map[int]*snapReport
+	reportEpoch uint32
+
+	// Snapshot catch-up after adopting a new root's epoch.
+	snapWanted bool
+	snapBuf    *snapReport
+	snapBufSeq uint64
+	lastNotice time.Time
+
+	// want tracks locks this node has requested and not yet released or
+	// cancelled. A grant arriving for an unwanted lock is auto-released,
+	// so a lost cancel message cannot strand the lock.
+	want map[LockID]bool
 
 	// Insharing suspension (optimistic rollback window): data updates are
 	// parked, lock updates still flow.
@@ -113,8 +150,13 @@ func newMemberGroup(id int, cfg GroupConfig) *memberGroup {
 		mem:        make(map[VarID]int64),
 		lockVal:    make(map[LockID]int64),
 		grantEpoch: make(map[LockID]uint32),
+		lockDone:   make(map[LockID]uint32),
 		nextSeq:    1,
 		pending:    make(map[uint64]wire.Message),
+		rootID:     cfg.Root,
+		lastRoot:   time.Now(),
+		suspected:  make(map[int]bool),
+		want:       make(map[LockID]bool),
 		lockHooks:  make(map[LockID]map[uint64]LockHook),
 		varHooks:   make(map[VarID]map[uint64]func(int64)),
 		data:       newNotifyList(),
@@ -151,6 +193,22 @@ func (n *Node) forwardDown(g *memberGroup, m wire.Message) {
 // subtree already has) are not re-forwarded — descendants that are still
 // missing them NACK the root directly.
 func (n *Node) ingest(g *memberGroup, m wire.Message) {
+	if m.Epoch != g.epoch {
+		if m.Epoch < g.epoch {
+			// A deposed root (or a retransmission from its reign) is still
+			// multicasting: its sequence numbering no longer means anything
+			// here.
+			n.stats.StaleEpoch++
+			return
+		}
+		n.adoptEpoch(g, m.Epoch, int(m.Src))
+		if m.Epoch != g.epoch {
+			return // adoption declined (e.g. hearsay self-promotion)
+		}
+	}
+	// Sequenced traffic from the current root is proof of life.
+	g.lastRoot = time.Now()
+	g.electing = false
 	switch {
 	case m.Seq < g.nextSeq:
 		n.stats.Duplicates++
@@ -199,12 +257,13 @@ func (n *Node) maybeNack(g *memberGroup) {
 		}
 	}
 	n.stats.Nacks++
-	n.send(g.cfg.Root, wire.Message{
+	n.send(g.rootID, wire.Message{
 		Type:  wire.TNack,
 		Group: uint32(g.cfg.ID),
 		Src:   int32(n.id),
 		Seq:   g.nextSeq,
 		Val:   int64(maxSeq),
+		Epoch: g.epoch,
 	})
 }
 
@@ -220,21 +279,56 @@ func (n *Node) applySeq(g *memberGroup, m wire.Message) {
 		}
 		n.applyData(g, m)
 	case wire.TSeqLock:
-		l := LockID(m.Lock)
-		g.lockVal[l] = m.Val
-		if m.Val != Free {
-			g.grantEpoch[l] = m.Var // root stamps the grant epoch in Var
-		}
-		for _, hook := range g.lockHooks[l] {
-			if hook(m.Val) == HookSuspend {
-				// The paper's atomic interrupt-and-sharing-suspension:
-				// no data update can slip in between the lock change
-				// that triggers the rollback and the suspension.
-				g.suspended = true
-			}
-		}
-		g.lock.notifyAll()
+		// The root stamps the grant epoch in Var.
+		n.applyLockValue(g, LockID(m.Lock), m.Val, m.Var)
 	}
+}
+
+// applyLockValue installs a new lock value (from the sequenced stream or
+// a failover snapshot), running hooks and waking waiters. A grant
+// arriving for a lock this node no longer wants — its cancel raced the
+// grant or was lost — is released on the spot, and the local copy stays
+// free so a later acquisition cannot mistake the stale grant for its
+// own. Caller holds n.mu.
+func (n *Node) applyLockValue(g *memberGroup, l LockID, val int64, grantEpoch uint32) {
+	if val == GrantValue(n.id) {
+		if grantEpoch <= g.lockDone[l] {
+			// Stale duplicate of a grant this node already finished with
+			// (a re-announce the root minted for a racing request retry).
+			// Taking it would let a later acquisition run unlocked, so it
+			// must not become the local lock value; the stream's next lock
+			// update supersedes it everywhere else too.
+			return
+		}
+		if !g.want[l] {
+			g.lockVal[l] = Free
+			g.lockDone[l] = grantEpoch
+			n.send(g.rootID, wire.Message{
+				Type:   wire.TLockRel,
+				Group:  uint32(g.cfg.ID),
+				Src:    int32(n.id),
+				Origin: int32(n.id),
+				Lock:   uint32(l),
+				Var:    grantEpoch,
+				Epoch:  g.epoch,
+			})
+			g.lock.notifyAll()
+			return
+		}
+	}
+	g.lockVal[l] = val
+	if val != Free {
+		g.grantEpoch[l] = grantEpoch
+	}
+	for _, hook := range g.lockHooks[l] {
+		if hook(val) == HookSuspend {
+			// The paper's atomic interrupt-and-sharing-suspension: no data
+			// update can slip in between the lock change that triggers the
+			// rollback and the suspension.
+			g.suspended = true
+		}
+	}
+	g.lock.notifyAll()
 }
 
 // applyData installs a data update, honouring hardware blocking.
@@ -275,7 +369,7 @@ func (n *Node) Write(gid GroupID, v VarID, val int64) error {
 	g.mem[v] = val
 	guard, guarded := g.guardOf(v)
 	g.data.notifyAll()
-	root := g.cfg.Root
+	root := g.rootID
 	msg := wire.Message{
 		Type:    wire.TUpdate,
 		Group:   uint32(gid),
@@ -284,6 +378,7 @@ func (n *Node) Write(gid GroupID, v VarID, val int64) error {
 		Var:     uint32(v),
 		Val:     val,
 		Guarded: guarded,
+		Epoch:   g.epoch,
 	}
 	if guarded {
 		// Epoch tag: the root accepts this write only if it is post-grant
@@ -324,6 +419,12 @@ func (n *Node) LockValue(gid GroupID, l LockID) (int64, error) {
 // WaitGE blocks until the local copy of v reaches at least min. It
 // returns false if the node closes first.
 func (n *Node) WaitGE(gid GroupID, v VarID, min int64) (bool, error) {
+	return n.WaitGEContext(context.Background(), gid, v, min)
+}
+
+// WaitGEContext is WaitGE with cancellation: it additionally returns
+// ctx's error if the context ends before the condition is met.
+func (n *Node) WaitGEContext(ctx context.Context, gid GroupID, v VarID, min int64) (bool, error) {
 	n.mu.Lock()
 	g, err := n.group(gid)
 	if err != nil {
@@ -346,12 +447,17 @@ func (n *Node) WaitGE(gid GroupID, v VarID, min int64) (bool, error) {
 		if closed {
 			return false, nil
 		}
+		timer := time.NewTimer(n.interval())
 		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return false, ctx.Err()
 		case _, ok := <-ch:
+			timer.Stop()
 			if !ok {
 				return false, nil
 			}
-		case <-time.After(n.retryIn):
+		case <-timer.C:
 			// Periodic wake: if a sequence gap is stalling us and the
 			// NACK was lost, ask again.
 			n.mu.Lock()
@@ -376,63 +482,28 @@ func (n *Node) SendLockRequest(gid GroupID, l LockID) error {
 	if g.lockValue(l) != GrantValue(n.id) {
 		g.lockVal[l] = RequestValue(n.id)
 	}
+	g.want[l] = true
 	n.stats.LockRequests++
-	root := g.cfg.Root
+	root := g.rootID
 	msg := wire.Message{
 		Type:   wire.TLockReq,
 		Group:  uint32(gid),
 		Src:    int32(n.id),
 		Origin: int32(n.id),
 		Lock:   uint32(l),
+		Epoch:  g.epoch,
 	}
 	n.mu.Unlock()
 	return n.ep.Send(root, msg)
 }
 
-// WaitLockGrant blocks until this node's positive ID arrives in the local
-// lock copy, re-sending the request periodically in case it was lost (the
-// root ignores duplicates). It returns false if the node closes first.
-func (n *Node) WaitLockGrant(gid GroupID, l LockID) (bool, error) {
-	n.mu.Lock()
-	g, err := n.group(gid)
-	if err != nil {
-		n.mu.Unlock()
-		return false, err
-	}
-	ch := g.lock.register()
-	defer func() {
-		n.mu.Lock()
-		g.lock.unregister(ch)
-		n.mu.Unlock()
-	}()
-	for {
-		if g.lockValue(l) == GrantValue(n.id) {
-			n.mu.Unlock()
-			return true, nil
-		}
-		closed := n.closed
-		n.mu.Unlock()
-		if closed {
-			return false, nil
-		}
-		select {
-		case _, ok := <-ch:
-			if !ok {
-				return false, nil
-			}
-		case <-time.After(n.retryIn):
-			if err := n.SendLockRequest(gid, l); err != nil {
-				return false, err
-			}
-		}
-		n.mu.Lock()
-	}
-}
-
-// WaitLockCond blocks until cond is satisfied by the local lock value
-// (checked immediately and after every change). It returns false if the
-// node closes first. Unlike WaitLockGrant it never re-sends requests.
-func (n *Node) WaitLockCond(gid GroupID, l LockID, cond func(val int64) bool) (bool, error) {
+// waitLock blocks until cond is satisfied by the local lock value
+// (checked immediately and after every change). It returns (false,
+// ctx.Err()) if the context ends first and (false, nil) if the node
+// closes. With resend, the pending request is re-sent every maintenance
+// interval in case it was lost (the root ignores duplicates, and after a
+// failover the retry re-registers the request with the new root).
+func (n *Node) waitLock(ctx context.Context, gid GroupID, l LockID, cond func(val int64) bool, resend bool) (bool, error) {
 	n.mu.Lock()
 	g, err := n.group(gid)
 	if err != nil {
@@ -455,26 +526,130 @@ func (n *Node) WaitLockCond(gid GroupID, l LockID, cond func(val int64) bool) (b
 		if closed {
 			return false, nil
 		}
-		if _, ok := <-ch; !ok {
-			return false, nil
+		if resend {
+			timer := time.NewTimer(n.interval())
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return false, ctx.Err()
+			case _, ok := <-ch:
+				timer.Stop()
+				if !ok {
+					return false, nil
+				}
+			case <-timer.C:
+				if err := n.SendLockRequest(gid, l); err != nil {
+					return false, err
+				}
+			}
+		} else {
+			select {
+			case <-ctx.Done():
+				return false, ctx.Err()
+			case _, ok := <-ch:
+				if !ok {
+					return false, nil
+				}
+			}
 		}
 		n.mu.Lock()
 	}
 }
 
+// grantCond reports whether this node holds the lock.
+func (n *Node) grantCond(val int64) bool { return val == GrantValue(n.id) }
+
+// WaitLockGrant blocks until this node's positive ID arrives in the local
+// lock copy, re-sending the request periodically in case it was lost (the
+// root ignores duplicates). It returns false if the node closes first.
+func (n *Node) WaitLockGrant(gid GroupID, l LockID) (bool, error) {
+	return n.waitLock(context.Background(), gid, l, n.grantCond, true)
+}
+
+// WaitLockGrantContext is WaitLockGrant with cancellation. On context
+// expiry it returns ctx's error without withdrawing the queued request;
+// use CancelLockRequest (or AcquireContext, which pairs them) for that.
+func (n *Node) WaitLockGrantContext(ctx context.Context, gid GroupID, l LockID) (bool, error) {
+	return n.waitLock(ctx, gid, l, n.grantCond, true)
+}
+
+// WaitLockCond blocks until cond is satisfied by the local lock value
+// (checked immediately and after every change). It returns false if the
+// node closes first. Unlike WaitLockGrant it never re-sends requests.
+func (n *Node) WaitLockCond(gid GroupID, l LockID, cond func(val int64) bool) (bool, error) {
+	return n.waitLock(context.Background(), gid, l, cond, false)
+}
+
+// WaitLockCondContext is WaitLockCond with cancellation and an optional
+// periodic request retry (resend), which callers racing a root failover
+// use so a request that died with the old root is re-issued to the new
+// one.
+func (n *Node) WaitLockCondContext(ctx context.Context, gid GroupID, l LockID, cond func(val int64) bool, resend bool) (bool, error) {
+	return n.waitLock(ctx, gid, l, cond, resend)
+}
+
 // Acquire blocks until this node holds the lock.
 func (n *Node) Acquire(gid GroupID, l LockID) error {
+	return n.AcquireContext(context.Background(), gid, l)
+}
+
+// AcquireContext blocks until this node holds the lock or ctx ends. On
+// cancellation or deadline it withdraws the queued request from the root
+// (releasing the lock instead if the grant raced the cancellation) and
+// returns ctx's error.
+func (n *Node) AcquireContext(ctx context.Context, gid GroupID, l LockID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := n.SendLockRequest(gid, l); err != nil {
 		return err
 	}
-	ok, err := n.WaitLockGrant(gid, l)
+	ok, err := n.WaitLockGrantContext(ctx, gid, l)
 	if err != nil {
+		if cerr := n.CancelLockRequest(gid, l); cerr != nil {
+			n.mu.Lock()
+			n.protoErr("gwc: node %d cancel lock %d: %w", n.id, l, cerr)
+			n.mu.Unlock()
+		}
 		return err
 	}
 	if !ok {
 		return fmt.Errorf("gwc: node %d closed while waiting for lock %d", n.id, l)
 	}
 	return nil
+}
+
+// CancelLockRequest withdraws an outstanding lock request. If the grant
+// has already arrived locally, the lock is released instead, so the
+// caller never retains it; if the grant is in flight, the auto-release
+// in applyLockValue hands it back when it lands.
+func (n *Node) CancelLockRequest(gid GroupID, l LockID) error {
+	n.mu.Lock()
+	g, err := n.group(gid)
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	if g.lockValue(l) == GrantValue(n.id) {
+		n.mu.Unlock()
+		return n.Release(gid, l)
+	}
+	delete(g.want, l)
+	if g.lockValue(l) == RequestValue(n.id) {
+		g.lockVal[l] = Free
+		g.lock.notifyAll()
+	}
+	root := g.rootID
+	msg := wire.Message{
+		Type:   wire.TLockCancel,
+		Group:  uint32(gid),
+		Src:    int32(n.id),
+		Origin: int32(n.id),
+		Lock:   uint32(l),
+		Epoch:  g.epoch,
+	}
+	n.mu.Unlock()
+	return n.ep.Send(root, msg)
 }
 
 // Release frees the lock. The release follows the critical section's last
@@ -493,7 +668,9 @@ func (n *Node) Release(gid GroupID, l LockID) error {
 	}
 	epoch := g.grantEpoch[l]
 	g.lockVal[l] = Free
-	root := g.cfg.Root
+	g.lockDone[l] = epoch
+	delete(g.want, l)
+	root := g.rootID
 	msg := wire.Message{
 		Type:   wire.TLockRel,
 		Group:  uint32(gid),
@@ -501,6 +678,7 @@ func (n *Node) Release(gid GroupID, l LockID) error {
 		Origin: int32(n.id),
 		Lock:   uint32(l),
 		Var:    epoch, // quoted so the root can discard stale duplicates
+		Epoch:  g.epoch,
 	}
 	n.mu.Unlock()
 	return n.ep.Send(root, msg)

@@ -210,6 +210,60 @@ func TestRootDuplicateLockRequestIgnored(t *testing.T) {
 	}
 }
 
+func TestRootLockCancelLeavesNoPhantomEntry(t *testing.T) {
+	n := rootNodeHarness(t, 16)
+	req := func(origin int32) {
+		n.handle(wire.Message{
+			Type: wire.TLockReq, Group: uint32(tGroup), Src: origin, Origin: origin, Lock: uint32(tLock),
+		})
+	}
+	cancel := func(origin int32) {
+		n.handle(wire.Message{
+			Type: wire.TLockCancel, Group: uint32(tGroup), Src: origin, Origin: origin, Lock: uint32(tLock),
+		})
+	}
+	req(1) // granted
+	req(2) // queued behind 1
+	cancel(2)
+	n.mu.Lock()
+	ls := n.roots[tGroup].lock(tLock)
+	holder, qlen := ls.holder, len(ls.queue)
+	n.mu.Unlock()
+	if holder != 1 {
+		t.Errorf("holder = %d after a waiter cancelled, want 1", holder)
+	}
+	if qlen != 0 {
+		t.Errorf("queue length = %d after cancel, want 0 (phantom entry)", qlen)
+	}
+	// The next release must free the lock outright, never granting the
+	// withdrawn waiter.
+	n.handle(wire.Message{
+		Type: wire.TLockRel, Group: uint32(tGroup), Src: 1, Origin: 1, Lock: uint32(tLock), Var: 1,
+	})
+	n.mu.Lock()
+	holder = n.roots[tGroup].lock(tLock).holder
+	n.mu.Unlock()
+	if holder != -1 {
+		t.Errorf("holder = %d after release, want -1 (cancelled waiter must not inherit)", holder)
+	}
+
+	// A cancel that loses the race with its own grant releases on the
+	// requester's behalf instead of stranding the queue.
+	req(3) // granted immediately
+	req(4) // queued
+	cancel(3)
+	n.mu.Lock()
+	ls = n.roots[tGroup].lock(tLock)
+	holder, qlen = ls.holder, len(ls.queue)
+	n.mu.Unlock()
+	if holder != 4 || qlen != 0 {
+		t.Errorf("holder = %d queue = %d after holder cancel, want lock handed to 4", holder, qlen)
+	}
+	if c := n.Stats().LockCancels; c != 2 {
+		t.Errorf("LockCancels = %d, want 2", c)
+	}
+}
+
 func TestRootStaleEpochReleaseIgnored(t *testing.T) {
 	n := rootNodeHarness(t, 16)
 	grant := func(origin int32) {

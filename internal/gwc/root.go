@@ -7,6 +7,11 @@ import "optsync/internal/wire"
 type rootGroup struct {
 	cfg GroupConfig
 
+	// epoch identifies this root's reign; every down-message carries it
+	// and up-messages from other reigns are rejected. The founding root
+	// reigns in epoch 0, each failover promotion starts a higher one.
+	epoch uint32
+
 	seq  uint64
 	auth map[VarID]int64
 
@@ -56,6 +61,25 @@ func (ls *lockState) queued(id int) bool {
 // rootHandle processes an up-message at the group root. Caller holds
 // n.mu.
 func (n *Node) rootHandle(r *rootGroup, m wire.Message) {
+	if m.Epoch != r.epoch {
+		if m.Epoch < r.epoch {
+			// The sender is following a deposed root. Tell it about this
+			// reign so it resyncs; its retry then arrives with the right
+			// epoch.
+			n.stats.StaleEpoch++
+			n.send(int(m.Src), wire.Message{
+				Type:  wire.THeartbeat,
+				Group: uint32(r.cfg.ID),
+				Src:   int32(n.id),
+				Seq:   r.seq,
+				Val:   int64(n.id),
+				Epoch: r.epoch,
+			})
+		}
+		// A higher epoch means this node has itself been deposed; the new
+		// root's heartbeat will demote it through the member path.
+		return
+	}
 	switch m.Type {
 	case wire.TUpdate:
 		n.rootUpdate(r, m)
@@ -63,8 +87,12 @@ func (n *Node) rootHandle(r *rootGroup, m wire.Message) {
 		n.rootLockReq(r, m)
 	case wire.TLockRel:
 		n.rootLockRel(r, m)
+	case wire.TLockCancel:
+		n.rootLockCancel(r, m)
 	case wire.TNack:
 		n.rootNack(r, m)
+	case wire.TSnapReq:
+		n.rootSnapSend(r, int(m.Src))
 	}
 }
 
@@ -102,13 +130,26 @@ func (n *Node) rootUpdate(r *rootGroup, m wire.Message) {
 	})
 }
 
-// rootLockReq queues or grants a lock request. Duplicate requests (from
-// the requester's retry timer) are ignored.
+// rootLockReq queues or grants a lock request. A retry from the current
+// holder re-announces the grant (covering a grant multicast that died
+// with a deposed root) without minting a new one; retries from queued
+// waiters are ignored.
 func (n *Node) rootLockReq(r *rootGroup, m wire.Message) {
 	l := LockID(m.Lock)
 	ls := r.lock(l)
 	origin := int(m.Origin)
-	if ls.holder == origin || ls.queued(origin) {
+	if ls.holder == origin {
+		n.multicast(r, wire.Message{
+			Type:  wire.TSeqLock,
+			Group: uint32(r.cfg.ID),
+			Src:   int32(n.id),
+			Lock:  uint32(l),
+			Var:   ls.epoch,
+			Val:   GrantValue(origin),
+		})
+		return
+	}
+	if ls.queued(origin) {
 		return // duplicate
 	}
 	if ls.holder != -1 {
@@ -127,6 +168,32 @@ func (n *Node) rootLockRel(r *rootGroup, m wire.Message) {
 	if ls.holder != int(m.Origin) || ls.epoch != m.Var {
 		return // stale or duplicate release
 	}
+	n.releaseLock(r, l, ls)
+}
+
+// rootLockCancel withdraws origin's request from the queue. If the grant
+// raced the cancellation, the lock is released on the requester's behalf
+// instead, so an aborted acquisition can never strand the queue.
+func (n *Node) rootLockCancel(r *rootGroup, m wire.Message) {
+	l := LockID(m.Lock)
+	ls := r.lock(l)
+	origin := int(m.Origin)
+	n.stats.LockCancels++
+	if ls.holder == origin {
+		n.releaseLock(r, l, ls)
+		return
+	}
+	for i, q := range ls.queue {
+		if q == origin {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// releaseLock frees the lock and immediately grants the next waiter, or
+// multicasts the free value when nobody is queued.
+func (n *Node) releaseLock(r *rootGroup, l LockID, ls *lockState) {
 	ls.holder = -1
 	if len(ls.queue) > 0 {
 		next := ls.queue[0]
@@ -192,6 +259,7 @@ func (n *Node) rootNack(r *rootGroup, m wire.Message) {
 func (n *Node) multicast(r *rootGroup, m wire.Message) {
 	r.seq++
 	m.Seq = r.seq
+	m.Epoch = r.epoch
 	r.history[(r.seq-1)%uint64(len(r.history))] = m
 	if !r.cfg.TreeFanout {
 		for _, member := range r.cfg.Members {

@@ -13,7 +13,9 @@ import (
 type FaultPlan struct {
 	// DropRate silently discards sent messages.
 	DropRate float64
-	// DupRate delivers a second copy of a message.
+	// DupRate delivers a second copy of a message. The duplicate rolls
+	// the delay dice independently, so it may arrive reordered behind
+	// later traffic.
 	DupRate float64
 	// DelayRate holds a message back for Delay before delivery,
 	// reordering it behind later traffic.
@@ -22,10 +24,11 @@ type FaultPlan struct {
 	Delay time.Duration
 	// Seed makes the fault sequence reproducible.
 	Seed int64
-	// Spare exempts a message type from faults (zero means none spared).
-	// NACKs are typically spared so loss recovery itself stays reliable
-	// when testing data-plane faults.
-	Spare wire.Type
+	// Spare exempts message types from the probabilistic faults (empty
+	// means none spared). NACKs are typically spared so loss recovery
+	// itself stays reliable when testing data-plane faults. Crash and
+	// partition faults ignore Spare: a dead node drops everything.
+	Spare []wire.Type
 	// DownOnly restricts faults to the root's sequenced multicast
 	// (TSeqUpdate/TSeqLock), the path the GWC runtime repairs with
 	// NACK-driven retransmission. Up-path messages (update, lock
@@ -34,19 +37,51 @@ type FaultPlan struct {
 	DownOnly bool
 }
 
+// spares reports whether the plan exempts t from probabilistic faults.
+func (p FaultPlan) spares(t wire.Type) bool {
+	for _, s := range p.Spare {
+		if s == t {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultEvent is one step of a scripted fault schedule: after After has
+// elapsed (measured from Run), the listed actions apply.
+type FaultEvent struct {
+	// After is the delay from the start of the schedule.
+	After time.Duration
+	// Crash isolates these nodes (see Flaky.Crash).
+	Crash []int
+	// Revive reconnects these nodes.
+	Revive []int
+	// PartitionA/PartitionB cut the links between the two sides (both
+	// empty means no partition change; see Flaky.Partition).
+	PartitionA, PartitionB []int
+	// Heal removes all partitions (crashed nodes stay crashed).
+	Heal bool
+}
+
 // Flaky wraps a Network and injects faults on Send, to exercise the GWC
-// runtime's sequence-gap detection and retransmission.
+// runtime's sequence-gap detection, retransmission, and crash-failover
+// machinery. Beyond the probabilistic faults of the FaultPlan it offers
+// deterministic chaos primitives: Crash/Revive isolate whole nodes and
+// Partition cuts the links between two sets of nodes.
 type Flaky struct {
 	inner Network
 	plan  FaultPlan
 
-	mu  sync.Mutex
-	rng *rand.Rand
-	wg  sync.WaitGroup
+	mu      sync.Mutex
+	rng     *rand.Rand
+	wg      sync.WaitGroup
+	crashed map[int]bool
+	cuts    map[[2]int]bool // partitioned (a,b) pairs, stored both ways
 
 	dropped    int
 	duplicated int
 	delayed    int
+	isolated   int // messages cut by crash/partition
 }
 
 var _ Network = (*Flaky)(nil)
@@ -54,9 +89,11 @@ var _ Network = (*Flaky)(nil)
 // NewFlaky wraps inner with the given fault plan.
 func NewFlaky(inner Network, plan FaultPlan) *Flaky {
 	return &Flaky{
-		inner: inner,
-		plan:  plan,
-		rng:   rand.New(rand.NewSource(plan.Seed)),
+		inner:   inner,
+		plan:    plan,
+		rng:     rand.New(rand.NewSource(plan.Seed)),
+		crashed: make(map[int]bool),
+		cuts:    make(map[[2]int]bool),
 	}
 }
 
@@ -69,7 +106,7 @@ func (f *Flaky) Endpoint(id int) (Endpoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &flakyEndpoint{net: f, inner: ep}, nil
+	return &flakyEndpoint{net: f, id: id, inner: ep}, nil
 }
 
 // Close implements Network. It waits for any delayed messages to flush.
@@ -78,11 +115,97 @@ func (f *Flaky) Close() error {
 	return f.inner.Close()
 }
 
-// Stats reports how many messages were dropped, duplicated, and delayed.
+// Stats reports how many messages were dropped, duplicated, and delayed
+// by the probabilistic faults.
 func (f *Flaky) Stats() (dropped, duplicated, delayed int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.dropped, f.duplicated, f.delayed
+}
+
+// Isolated reports how many messages were cut by crashes or partitions.
+func (f *Flaky) Isolated() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.isolated
+}
+
+// Crash isolates a node: every message to or from it is silently
+// dropped until Revive. The node's goroutines keep running (this is a
+// network-level crash simulation), so a "revived" node models a
+// rebooted machine rejoining with stale state.
+func (f *Flaky) Crash(node int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed[node] = true
+}
+
+// Revive reconnects a crashed node.
+func (f *Flaky) Revive(node int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.crashed, node)
+}
+
+// Partition cuts every link between the nodes of a and the nodes of b
+// (both directions). Links within each side are unaffected. Partitions
+// accumulate until Heal.
+func (f *Flaky) Partition(a, b []int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, x := range a {
+		for _, y := range b {
+			f.cuts[[2]int{x, y}] = true
+			f.cuts[[2]int{y, x}] = true
+		}
+	}
+}
+
+// Heal removes all partitions. Crashed nodes stay crashed.
+func (f *Flaky) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cuts = make(map[[2]int]bool)
+}
+
+// Run plays a scripted fault schedule in the background and returns a
+// channel that closes when the last event has fired.
+func (f *Flaky) Run(schedule []FaultEvent) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		start := time.Now()
+		for _, ev := range schedule {
+			if d := ev.After - time.Since(start); d > 0 {
+				time.Sleep(d)
+			}
+			if ev.Heal {
+				f.Heal()
+			}
+			for _, n := range ev.Crash {
+				f.Crash(n)
+			}
+			for _, n := range ev.Revive {
+				f.Revive(n)
+			}
+			if len(ev.PartitionA) > 0 || len(ev.PartitionB) > 0 {
+				f.Partition(ev.PartitionA, ev.PartitionB)
+			}
+		}
+	}()
+	return done
+}
+
+// cut reports (under the lock) whether the link from -> to is severed by
+// a crash or partition, counting the message if so.
+func (f *Flaky) cut(from, to int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed[from] || f.crashed[to] || f.cuts[[2]int{from, to}] {
+		f.isolated++
+		return true
+	}
+	return false
 }
 
 // roll draws a uniform [0,1) sample under the lock.
@@ -94,23 +217,14 @@ func (f *Flaky) roll() float64 {
 
 type flakyEndpoint struct {
 	net   *Flaky
+	id    int
 	inner Endpoint
 }
 
-func (e *flakyEndpoint) Send(to int, m wire.Message) error {
+// deliver sends one copy of m, rolling the delay dice first so both the
+// original and any duplicate can be independently reordered.
+func (e *flakyEndpoint) deliver(to int, m wire.Message) error {
 	f := e.net
-	if f.plan.Spare != 0 && m.Type == f.plan.Spare {
-		return e.inner.Send(to, m)
-	}
-	if f.plan.DownOnly && m.Type != wire.TSeqUpdate && m.Type != wire.TSeqLock {
-		return e.inner.Send(to, m)
-	}
-	if f.plan.DropRate > 0 && f.roll() < f.plan.DropRate {
-		f.mu.Lock()
-		f.dropped++
-		f.mu.Unlock()
-		return nil
-	}
 	if f.plan.DelayRate > 0 && f.roll() < f.plan.DelayRate {
 		f.mu.Lock()
 		f.delayed++
@@ -125,14 +239,36 @@ func (e *flakyEndpoint) Send(to int, m wire.Message) error {
 		}()
 		return nil
 	}
-	if err := e.inner.Send(to, m); err != nil {
+	return e.inner.Send(to, m)
+}
+
+func (e *flakyEndpoint) Send(to int, m wire.Message) error {
+	f := e.net
+	// Crashes and partitions sever the link outright: even spared types
+	// cannot cross a dead wire.
+	if f.cut(e.id, to) {
+		return nil
+	}
+	if f.plan.spares(m.Type) {
+		return e.inner.Send(to, m)
+	}
+	if f.plan.DownOnly && m.Type != wire.TSeqUpdate && m.Type != wire.TSeqLock {
+		return e.inner.Send(to, m)
+	}
+	if f.plan.DropRate > 0 && f.roll() < f.plan.DropRate {
+		f.mu.Lock()
+		f.dropped++
+		f.mu.Unlock()
+		return nil
+	}
+	if err := e.deliver(to, m); err != nil {
 		return err
 	}
 	if f.plan.DupRate > 0 && f.roll() < f.plan.DupRate {
 		f.mu.Lock()
 		f.duplicated++
 		f.mu.Unlock()
-		return e.inner.Send(to, m)
+		return e.deliver(to, m)
 	}
 	return nil
 }

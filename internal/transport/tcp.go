@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -210,6 +211,16 @@ func (ep *tcpEndpoint) Close() error {
 	return err
 }
 
+// Reconnect backoff bounds: after a failed dial the peer waits
+// base<<fails (capped at dialBackoffMax) plus up to 25% jitter before
+// trying again; a successful dial resets the backoff. The peer is never
+// marked dead — a crashed-and-restarted node becomes reachable again as
+// soon as its listener returns.
+const (
+	dialBackoffBase = 10 * time.Millisecond
+	dialBackoffMax  = 2 * time.Second
+)
+
 // tcpPeer is one outgoing link: an unbounded outbox drained by a writer
 // goroutine.
 type tcpPeer struct {
@@ -218,11 +229,16 @@ type tcpPeer struct {
 
 	mu   sync.Mutex
 	conn net.Conn
+
+	// Reconnect state, only touched by the writer goroutine.
+	fails    int
+	nextDial time.Time
 }
 
-// writeLoop drains the outbox onto the connection, dialing on demand.
-// Messages that cannot be delivered after dial retries are dropped; the
-// GWC layer's sequence numbers detect and repair the loss.
+// writeLoop drains the outbox onto the connection, dialing on demand
+// with exponential backoff. Messages that arrive while the link is down
+// and still backing off are dropped; the GWC layer's retry timers and
+// sequence numbers detect and repair the loss.
 func (p *tcpPeer) writeLoop() {
 	var w *bufio.Writer
 	for {
@@ -237,7 +253,7 @@ func (p *tcpPeer) writeLoop() {
 		}
 		if p.connLocked() == nil {
 			if err := p.dial(); err != nil {
-				continue // drop; NACK recovery handles it
+				continue // drop; retry/NACK recovery handles it
 			}
 			w = bufio.NewWriter(p.connLocked())
 		}
@@ -272,22 +288,33 @@ func (p *tcpPeer) resetConn() {
 	}
 }
 
-// dial connects with a short retry loop to ride out startup races where a
-// peer's listener is not yet accepting.
+// dial attempts one connection, honouring the exponential backoff from
+// previous failures. While the backoff window is open it fails fast so a
+// down peer cannot stall the writer behind one-second dial timeouts.
 func (p *tcpPeer) dial() error {
-	var lastErr error
-	for attempt := 0; attempt < 10; attempt++ {
-		conn, err := net.DialTimeout("tcp", p.addr, time.Second)
-		if err == nil {
-			p.mu.Lock()
-			p.conn = conn
-			p.mu.Unlock()
-			return nil
-		}
-		lastErr = err
-		time.Sleep(time.Duration(attempt+1) * 10 * time.Millisecond)
+	if !p.nextDial.IsZero() && time.Now().Before(p.nextDial) {
+		return fmt.Errorf("transport: dial %s: backing off", p.addr)
 	}
-	return fmt.Errorf("transport: dial %s: %w", p.addr, lastErr)
+	conn, err := net.DialTimeout("tcp", p.addr, time.Second)
+	if err == nil {
+		p.fails = 0
+		p.nextDial = time.Time{}
+		p.mu.Lock()
+		p.conn = conn
+		p.mu.Unlock()
+		return nil
+	}
+	backoff := dialBackoffBase << p.fails
+	if backoff > dialBackoffMax {
+		backoff = dialBackoffMax
+	} else if p.fails < 20 {
+		p.fails++
+	}
+	// Jitter up to 25% so a mesh of reconnecting peers does not dial a
+	// recovering node in lockstep.
+	backoff += time.Duration(rand.Int63n(int64(backoff)/4 + 1))
+	p.nextDial = time.Now().Add(backoff)
+	return fmt.Errorf("transport: dial %s: %w", p.addr, err)
 }
 
 func (p *tcpPeer) close() {

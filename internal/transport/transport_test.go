@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -225,7 +226,7 @@ func TestFlakyDropsAndDuplicates(t *testing.T) {
 
 func TestFlakySparesType(t *testing.T) {
 	inner, _ := NewInProc(2)
-	f := NewFlaky(inner, FaultPlan{DropRate: 1.0, Seed: 1, Spare: wire.TNack})
+	f := NewFlaky(inner, FaultPlan{DropRate: 1.0, Seed: 1, Spare: []wire.Type{wire.TNack}})
 	defer func() { _ = f.Close() }()
 	a := mustEndpoint(t, f, 0)
 	b := mustEndpoint(t, f, 1)
@@ -259,5 +260,170 @@ func TestFlakyDeterministicSeed(t *testing.T) {
 	d2, dup2, del2 := run()
 	if d1 != d2 || dup1 != dup2 || del1 != del2 {
 		t.Errorf("same seed produced different faults: (%d,%d,%d) vs (%d,%d,%d)", d1, dup1, del1, d2, dup2, del2)
+	}
+}
+
+func TestFlakySparesMultipleTypes(t *testing.T) {
+	inner, _ := NewInProc(2)
+	f := NewFlaky(inner, FaultPlan{
+		DropRate: 1.0, Seed: 1,
+		Spare: []wire.Type{wire.TNack, wire.THeartbeat},
+	})
+	defer func() { _ = f.Close() }()
+	a := mustEndpoint(t, f, 0)
+	b := mustEndpoint(t, f, 1)
+	_ = a.Send(1, wire.Message{Type: wire.TUpdate, Val: 1}) // dropped
+	_ = a.Send(1, wire.Message{Type: wire.TNack, Seq: 5, Val: 6})
+	_ = a.Send(1, wire.Message{Type: wire.THeartbeat, Epoch: 2})
+	for _, want := range []wire.Type{wire.TNack, wire.THeartbeat} {
+		m, ok := b.Recv()
+		if !ok || m.Type != want {
+			t.Fatalf("spared %v not delivered: %+v ok=%v", want, m, ok)
+		}
+	}
+	if d, _, _ := f.Stats(); d != 1 {
+		t.Errorf("dropped = %d, want 1 (only the update)", d)
+	}
+}
+
+func TestFlakyDuplicateRollsDelay(t *testing.T) {
+	// With DupRate and DelayRate both 1, the original is delayed AND the
+	// duplicate must independently roll (and here always take) the delay
+	// path, instead of being re-sent inline ahead of it.
+	inner, _ := NewInProc(2)
+	f := NewFlaky(inner, FaultPlan{
+		DupRate: 1.0, DelayRate: 1.0, Delay: 10 * time.Millisecond, Seed: 3,
+	})
+	a := mustEndpoint(t, f, 0)
+	b := mustEndpoint(t, f, 1)
+	if err := a.Send(1, wire.Message{Type: wire.TUpdate, Val: 42}); err != nil {
+		t.Fatal(err)
+	}
+	_, dup, delayed := f.Stats()
+	if dup != 1 {
+		t.Fatalf("duplicated = %d, want 1", dup)
+	}
+	if delayed != 2 {
+		t.Errorf("delayed = %d, want 2 (original and duplicate both roll)", delayed)
+	}
+	_ = f.Close() // waits for the delayed copies to flush
+	for i := 0; i < 2; i++ {
+		if m, ok := b.Recv(); !ok || m.Val != 42 {
+			t.Fatalf("copy %d: got %+v ok=%v", i, m, ok)
+		}
+	}
+}
+
+func TestFlakyCrashReviveAndPartition(t *testing.T) {
+	inner, _ := NewInProc(3)
+	f := NewFlaky(inner, FaultPlan{})
+	defer func() { _ = f.Close() }()
+	a := mustEndpoint(t, f, 0)
+	b := mustEndpoint(t, f, 1)
+	c := mustEndpoint(t, f, 2)
+
+	f.Crash(1)
+	_ = a.Send(1, wire.Message{Type: wire.TUpdate, Val: 1}) // to crashed: cut
+	_ = b.Send(2, wire.Message{Type: wire.TUpdate, Val: 2}) // from crashed: cut
+	if iso := f.Isolated(); iso != 2 {
+		t.Errorf("isolated = %d, want 2", iso)
+	}
+	f.Revive(1)
+	if err := a.Send(1, wire.Message{Type: wire.TUpdate, Val: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := b.Recv(); !ok || m.Val != 3 {
+		t.Fatalf("post-revive delivery failed: %+v ok=%v", m, ok)
+	}
+
+	f.Partition([]int{0}, []int{1, 2})
+	_ = a.Send(2, wire.Message{Type: wire.TUpdate, Val: 4}) // across: cut
+	_ = c.Send(0, wire.Message{Type: wire.TUpdate, Val: 5}) // across: cut
+	if err := b.Send(2, wire.Message{Type: wire.TUpdate, Val: 6}); err != nil {
+		t.Fatal(err) // same side: flows
+	}
+	if m, ok := c.Recv(); !ok || m.Val != 6 {
+		t.Fatalf("same-side delivery failed: %+v ok=%v", m, ok)
+	}
+	f.Heal()
+	if err := a.Send(2, wire.Message{Type: wire.TUpdate, Val: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := c.Recv(); !ok || m.Val != 7 {
+		t.Fatalf("post-heal delivery failed: %+v ok=%v", m, ok)
+	}
+}
+
+func TestFlakyScheduledFaults(t *testing.T) {
+	inner, _ := NewInProc(2)
+	f := NewFlaky(inner, FaultPlan{})
+	defer func() { _ = f.Close() }()
+	a := mustEndpoint(t, f, 0)
+	b := mustEndpoint(t, f, 1)
+	done := f.Run([]FaultEvent{
+		{After: 0, Crash: []int{1}},
+		{After: 20 * time.Millisecond, Revive: []int{1}},
+	})
+	<-done
+	if err := a.Send(1, wire.Message{Type: wire.TUpdate, Val: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := b.Recv(); !ok || m.Val != 9 {
+		t.Fatalf("delivery after scheduled revive failed: %+v ok=%v", m, ok)
+	}
+}
+
+func TestTCPReconnectBackoff(t *testing.T) {
+	// Reserve a port, then release it so the first sends dial a dead
+	// address; the peer must back off rather than die, and deliver once a
+	// listener appears.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	_ = probe.Close()
+
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{lnA.Addr().String(), addr}
+	a := newTCPEndpoint(0, lnA, addrs)
+	defer func() { _ = a.Close() }()
+
+	// Sends while the peer is down are dropped after failed dials.
+	for i := 0; i < 5; i++ {
+		_ = a.Send(1, wire.Message{Type: wire.TUpdate, Val: int64(i)})
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	lnB, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not re-bind reserved port %s: %v", addr, err)
+	}
+	b := newTCPEndpoint(1, lnB, addrs)
+	defer func() { _ = b.Close() }()
+
+	// Keep sending; once the backoff window expires the dial succeeds.
+	got := make(chan wire.Message, 1)
+	go func() {
+		if m, ok := b.Recv(); ok {
+			got <- m
+		}
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		_ = a.Send(1, wire.Message{Type: wire.TUpdate, Val: 99})
+		select {
+		case m := <-got:
+			if m.Val == 0 {
+				t.Fatalf("unexpected first message: %+v", m)
+			}
+			return
+		case <-deadline:
+			t.Fatal("no delivery after peer listener returned")
+		case <-time.After(20 * time.Millisecond):
+		}
 	}
 }

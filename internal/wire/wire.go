@@ -32,6 +32,27 @@ const (
 	// TNack asks the root to retransmit sequenced messages from Seq up to
 	// (and excluding) Val, after a receiver detected a gap.
 	TNack
+	// THeartbeat is the root's periodic liveness beacon: Epoch names the
+	// root's reign, Val the root's node ID, and Seq its current sequence
+	// number (so members can notice they are behind). Members also send it
+	// back to stale-epoch senders as a "you are stale" notice carrying the
+	// current epoch and root.
+	THeartbeat
+	// TSnapReq asks the current root for a state snapshot (sent by a
+	// member that just adopted a new epoch and needs a full resync).
+	TSnapReq
+	// TSnapVar carries one shared variable of a state snapshot or of an
+	// election state report. Seq is the snapshot's sequence position.
+	TSnapVar
+	// TSnapLock carries one lock of a snapshot/report: Val is the lock
+	// value, Var the lock's grant epoch.
+	TSnapLock
+	// TSnapDone terminates a snapshot/report stream; Seq is the sequence
+	// position the whole snapshot corresponds to.
+	TSnapDone
+	// TLockCancel withdraws a lock request: the root dequeues the origin,
+	// or releases the lock if the grant already raced the cancellation.
+	TLockCancel
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +70,18 @@ func (t Type) String() string {
 		return "seq-lock"
 	case TNack:
 		return "nack"
+	case THeartbeat:
+		return "heartbeat"
+	case TSnapReq:
+		return "snap-req"
+	case TSnapVar:
+		return "snap-var"
+	case TSnapLock:
+		return "snap-lock"
+	case TSnapDone:
+		return "snap-done"
+	case TLockCancel:
+		return "lock-cancel"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -72,10 +105,15 @@ type Message struct {
 	// Guarded marks writes to variables inside a mutex data group: the
 	// root discards them from non-holders and origins drop their echoes.
 	Guarded bool
+	// Epoch is the root epoch the message belongs to. Members stamp their
+	// current epoch on up messages and the root stamps its reign on down
+	// messages; either side rejects traffic from a stale epoch, so a
+	// revived old root cannot split the group after a failover.
+	Epoch uint32
 }
 
 // EncodedSize is the fixed wire size of one message.
-const EncodedSize = 1 + 1 + 4 + 4 + 4 + 8 + 4 + 4 + 8
+const EncodedSize = 1 + 1 + 4 + 4 + 4 + 8 + 4 + 4 + 8 + 4
 
 // Encode appends the message's wire form to buf and returns the result.
 func Encode(buf []byte, m Message) []byte {
@@ -91,6 +129,7 @@ func Encode(buf []byte, m Message) []byte {
 	binary.BigEndian.PutUint32(tmp[22:], m.Var)
 	binary.BigEndian.PutUint32(tmp[26:], m.Lock)
 	binary.BigEndian.PutUint64(tmp[30:], uint64(m.Val))
+	binary.BigEndian.PutUint32(tmp[38:], m.Epoch)
 	return append(buf, tmp[:]...)
 }
 
@@ -110,8 +149,9 @@ func Decode(b []byte) (Message, error) {
 		Var:     binary.BigEndian.Uint32(b[22:]),
 		Lock:    binary.BigEndian.Uint32(b[26:]),
 		Val:     int64(binary.BigEndian.Uint64(b[30:])),
+		Epoch:   binary.BigEndian.Uint32(b[38:]),
 	}
-	if m.Type < TUpdate || m.Type > TNack {
+	if m.Type < TUpdate || m.Type > TLockCancel {
 		return Message{}, fmt.Errorf("wire: unknown message type %d", b[0])
 	}
 	return m, nil

@@ -15,6 +15,12 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		{Type: TSeqUpdate, Group: 1, Src: 0, Origin: 5, Seq: 1 << 40, Var: 3, Val: -1},
 		{Type: TSeqLock, Group: 2, Src: 0, Seq: 77, Lock: 4, Val: -1 << 60},
 		{Type: TNack, Group: 1, Src: 6, Seq: 100, Val: 110},
+		{Type: THeartbeat, Group: 2, Src: 0, Seq: 55, Val: 0, Epoch: 3},
+		{Type: TSnapReq, Group: 2, Src: 4, Epoch: 3},
+		{Type: TSnapVar, Group: 2, Src: 0, Seq: 55, Var: 9, Val: 17, Epoch: 3},
+		{Type: TSnapLock, Group: 2, Src: 0, Seq: 55, Lock: 1, Var: 6, Val: 5, Epoch: 3},
+		{Type: TSnapDone, Group: 2, Src: 0, Seq: 55, Epoch: 3},
+		{Type: TLockCancel, Group: 2, Src: 4, Origin: 4, Lock: 1, Epoch: 3},
 	}
 	for _, m := range tests {
 		buf := Encode(nil, m)
@@ -32,9 +38,9 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestRoundTripProperty(t *testing.T) {
-	prop := func(g uint32, src, origin int32, seq uint64, v, l uint32, val int64, guarded bool, kind uint8) bool {
+	prop := func(g uint32, src, origin int32, seq uint64, v, l uint32, val int64, guarded bool, kind uint8, epoch uint32) bool {
 		m := Message{
-			Type:    Type(kind%6) + TUpdate,
+			Type:    Type(kind%12) + TUpdate,
 			Group:   g,
 			Src:     src,
 			Origin:  origin,
@@ -43,6 +49,7 @@ func TestRoundTripProperty(t *testing.T) {
 			Lock:    l,
 			Val:     val,
 			Guarded: guarded,
+			Epoch:   epoch,
 		}
 		got, err := Decode(Encode(nil, m))
 		return err == nil && got == m
@@ -104,6 +111,12 @@ func TestTypeString(t *testing.T) {
 		{TSeqUpdate, "seq-update"},
 		{TSeqLock, "seq-lock"},
 		{TNack, "nack"},
+		{THeartbeat, "heartbeat"},
+		{TSnapReq, "snap-req"},
+		{TSnapVar, "snap-var"},
+		{TSnapLock, "snap-lock"},
+		{TSnapDone, "snap-done"},
+		{TLockCancel, "lock-cancel"},
 		{Type(99), "type(99)"},
 	}
 	for _, tt := range tests {

@@ -27,9 +27,11 @@
 package optsync
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"optsync/internal/core"
 	"optsync/internal/gwc"
@@ -42,10 +44,14 @@ var ErrNested = core.ErrNested
 
 // options collects cluster construction settings.
 type options struct {
-	tcpAddrs []string
-	faults   *transport.FaultPlan
-	history  core.Config
-	histSize int
+	tcpAddrs  []string
+	faults    *transport.FaultPlan
+	history   core.Config
+	histSize  int
+	chaos     bool
+	retryIn   time.Duration
+	failAfter time.Duration
+	electWait time.Duration
 }
 
 // Option configures NewCluster.
@@ -87,9 +93,29 @@ func WithHistoryBuffer(n int) Option {
 	return optionFunc(func(o *options) { o.histSize = n })
 }
 
+// WithChaos enables the cluster's fault-injection controls (see
+// Cluster.Chaos): crashing and reviving nodes and partitioning the
+// network, to exercise the crash-failover machinery.
+func WithChaos() Option {
+	return optionFunc(func(o *options) { o.chaos = true })
+}
+
+// WithTimers tunes every node's maintenance interval (retries and root
+// heartbeats), the root-failure detection deadline, and the election
+// grace period during which the failover candidate collects peer state.
+// Zero values keep the defaults (50ms, 2s, 200ms).
+func WithTimers(retry, failAfter, electWait time.Duration) Option {
+	return optionFunc(func(o *options) {
+		o.retryIn = retry
+		o.failAfter = failAfter
+		o.electWait = electWait
+	})
+}
+
 // Cluster is a set of DSM nodes sharing groups of variables.
 type Cluster struct {
 	net     transport.Network
+	flaky   *transport.Flaky // non-nil with WithChaos or WithLossyNetwork
 	nodes   []*gwc.Node
 	engines []*core.Engine
 	histSz  int
@@ -126,12 +152,19 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("optsync: %w", err)
 	}
-	if o.faults != nil {
-		net = transport.NewFlaky(net, *o.faults)
+	var flaky *transport.Flaky
+	if o.faults != nil || o.chaos {
+		plan := transport.FaultPlan{}
+		if o.faults != nil {
+			plan = *o.faults
+		}
+		flaky = transport.NewFlaky(net, plan)
+		net = flaky
 	}
 
 	c := &Cluster{
 		net:       net,
+		flaky:     flaky,
 		nodes:     make([]*gwc.Node, n),
 		engines:   make([]*core.Engine, n),
 		histSz:    o.histSize,
@@ -145,10 +178,43 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 			return nil, fmt.Errorf("optsync: %w", err)
 		}
 		c.nodes[i] = gwc.NewNode(i, ep)
+		c.nodes[i].SetTimers(o.retryIn, o.failAfter, o.electWait)
 		c.engines[i] = core.NewEngine(c.nodes[i], o.history)
 	}
 	return c, nil
 }
+
+// Chaos exposes the cluster's fault-injection controls, or nil unless
+// the cluster was built with WithChaos (or WithLossyNetwork).
+func (c *Cluster) Chaos() *Chaos {
+	if c.flaky == nil {
+		return nil
+	}
+	return &Chaos{f: c.flaky}
+}
+
+// Chaos injects deterministic faults into a running cluster. Crashes are
+// simulated at the network level: a crashed node's goroutines keep
+// running but none of its messages are delivered in either direction, so
+// a revived node models a machine rejoining with stale state.
+type Chaos struct {
+	f *transport.Flaky
+}
+
+// Crash isolates a node until Revive.
+func (ch *Chaos) Crash(node int) { ch.f.Crash(node) }
+
+// Revive reconnects a crashed node.
+func (ch *Chaos) Revive(node int) { ch.f.Revive(node) }
+
+// Partition cuts every link between the two sides until Heal.
+func (ch *Chaos) Partition(a, b []int) { ch.f.Partition(a, b) }
+
+// Heal removes all partitions (crashed nodes stay crashed).
+func (ch *Chaos) Heal() { ch.f.Heal() }
+
+// Isolated reports how many messages crashes and partitions have cut.
+func (ch *Chaos) Isolated() int { return ch.f.Isolated() }
 
 // Size reports the number of nodes.
 func (c *Cluster) Size() int { return len(c.nodes) }
@@ -422,7 +488,13 @@ func (h *Handle) Write(v *Var, val int64) error {
 
 // WaitGE blocks until this node's copy of v reaches at least min.
 func (h *Handle) WaitGE(v *Var, min int64) error {
-	ok, err := h.node.WaitGE(v.g.id, v.id, min)
+	return h.WaitGEContext(context.Background(), v, min)
+}
+
+// WaitGEContext is WaitGE with cancellation: it returns ctx's error if
+// the context ends before the condition is met.
+func (h *Handle) WaitGEContext(ctx context.Context, v *Var, min int64) error {
+	ok, err := h.node.WaitGEContext(ctx, v.g.id, v.id, min)
 	if err != nil {
 		return err
 	}
@@ -437,6 +509,31 @@ func (h *Handle) Acquire(m *Mutex) error {
 	return h.node.Acquire(m.g.id, m.id)
 }
 
+// AcquireContext blocks until this node holds m or ctx ends. On
+// cancellation or deadline the queued request is withdrawn from the
+// root — or, if the grant won the race, the lock is released — and
+// ctx's error is returned.
+func (h *Handle) AcquireContext(ctx context.Context, m *Mutex) error {
+	return h.node.AcquireContext(ctx, m.g.id, m.id)
+}
+
+// TryLockFor attempts to acquire m, giving up after d. It reports
+// whether the lock was obtained; an expired attempt leaves no trace in
+// the root's queue. On success the caller owns the lock and must
+// Release it.
+func (h *Handle) TryLockFor(m *Mutex, d time.Duration) (bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	err := h.node.AcquireContext(ctx, m.g.id, m.id)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return false, nil
+	}
+	return false, err
+}
+
 // Release frees m. The release is sequenced after the section's writes,
 // so every node sees the data before the lock changes hands.
 func (h *Handle) Release(m *Mutex) error {
@@ -445,7 +542,14 @@ func (h *Handle) Release(m *Mutex) error {
 
 // Do runs body with m held (the regular, non-optimistic path).
 func (h *Handle) Do(m *Mutex, body func() error) error {
-	if err := h.Acquire(m); err != nil {
+	return h.DoContext(context.Background(), m, body)
+}
+
+// DoContext is Do with cancellation while waiting for the lock. Once
+// the lock is held, body runs to completion and the lock is released
+// regardless of ctx.
+func (h *Handle) DoContext(ctx context.Context, m *Mutex, body func() error) error {
+	if err := h.AcquireContext(ctx, m); err != nil {
 		return err
 	}
 	bodyErr := body()
@@ -492,7 +596,18 @@ func (tx *Tx) Write(v *Var, val int64) error {
 // guarded by m (declared with g.Int(name, m)); unguarded writes commit
 // immediately and cannot be suppressed on conflict.
 func (h *Handle) OptimisticDo(m *Mutex, body func(tx *Tx) error) error {
-	return h.engine.Do(m.g.id, m.id, func(inner *core.Tx) error {
+	return h.OptimisticDoContext(context.Background(), m, body)
+}
+
+// OptimisticDoContext is OptimisticDo with cancellation. ctx is honoured
+// at entry, throughout the regular path, and while waiting to re-execute
+// after a rollback; a section that is already speculating first waits
+// (briefly — one round trip to the root, bounded by the failover
+// deadline if the root crashed) to learn whether its writes committed,
+// since aborting blind would leave the local copies unreconcilable with
+// the group.
+func (h *Handle) OptimisticDoContext(ctx context.Context, m *Mutex, body func(tx *Tx) error) error {
+	return h.engine.DoContext(ctx, m.g.id, m.id, func(inner *core.Tx) error {
 		return body(&Tx{inner: inner, g: m.g})
 	})
 }
