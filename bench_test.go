@@ -9,6 +9,7 @@ package optsync
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"optsync/internal/exp"
 	"optsync/internal/model"
@@ -394,6 +395,53 @@ func BenchmarkAblationTreeFanout(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBatchedWrites compares the batched and unbatched update
+// planes on bursts of writes: a writer stores a round number into a
+// burst of variables and a far reader waits for the last one, so each
+// iteration measures a full burst becoming visible across the group.
+// With batching, the burst exactly fills one flush window: one frame to
+// the root, one sequenced frame per member, versus one message each way
+// per write on the unbatched plane.
+func BenchmarkBatchedWrites(b *testing.B) {
+	const nodes, burst = 8, 16
+	run := func(b *testing.B, opts ...Option) {
+		c, err := NewCluster(nodes, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = c.Close() }()
+		g, err := c.NewGroup("bench", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vars := make([]*Var, burst)
+		for i := range vars {
+			vars[i] = g.Int(fmt.Sprintf("v%d", i))
+		}
+		writer, reader := c.Handle(1), c.Handle(nodes-1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 1; i <= b.N; i++ {
+			for _, v := range vars {
+				if err := writer.Write(v, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// The queue keeps slot order, so the last variable's arrival
+			// implies the whole burst has been applied.
+			if err := reader.WaitGE(vars[burst-1], int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)*burst/b.Elapsed().Seconds(), "writes/s")
+	}
+	b.Run("unbatched", func(b *testing.B) { run(b) })
+	b.Run("batched", func(b *testing.B) {
+		run(b, WithBatching(2*time.Millisecond, burst))
+	})
 }
 
 // BenchmarkLiveLossRecovery measures write-to-visible latency with 10%

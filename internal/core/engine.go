@@ -280,7 +280,7 @@ func (e *Engine) optimistic(ctx context.Context, k lockKey, body func(tx *Tx) er
 		return err
 	}
 	if !ok {
-		return fmt.Errorf("core: node %d closed while awaiting lock %d", self, l)
+		return fmt.Errorf("core: node %d closed while awaiting lock %d: %w", self, l, gwc.ErrClosed)
 	}
 
 	if !rolled.Load() {
@@ -320,7 +320,7 @@ func (e *Engine) optimistic(ctx context.Context, k lockKey, body func(tx *Tx) er
 		return err
 	}
 	if !okGrant {
-		return fmt.Errorf("core: node %d closed while awaiting lock %d after rollback", self, l)
+		return fmt.Errorf("core: node %d closed while awaiting lock %d after rollback: %w", self, l, gwc.ErrClosed)
 	}
 	decided.Store(true)
 	tx2 := &Tx{eng: e, gid: gid}

@@ -220,12 +220,13 @@ func (n *Node) sendReport(g *memberGroup, to int) {
 		Seq:   g.nextSeq - 1,
 		Epoch: g.electEpoch,
 	}
+	msgs := make([]wire.Message, 0, len(g.mem)+len(g.lockVal)+1)
 	for v, val := range g.mem {
 		m := base
 		m.Type = wire.TSnapVar
 		m.Var = uint32(v)
 		m.Val = val
-		n.send(to, m)
+		msgs = append(msgs, m)
 	}
 	for l, val := range g.lockVal {
 		m := base
@@ -233,11 +234,12 @@ func (n *Node) sendReport(g *memberGroup, to int) {
 		m.Lock = uint32(l)
 		m.Var = g.grantEpoch[l]
 		m.Val = val
-		n.send(to, m)
+		msgs = append(msgs, m)
 	}
 	done := base
 	done.Type = wire.TSnapDone
-	n.send(to, done)
+	msgs = append(msgs, done)
+	n.sendStream(to, g.cfg.ID, g.electEpoch, msgs)
 }
 
 // promote makes this node the group's root for the election epoch,
@@ -566,12 +568,13 @@ func (n *Node) rootSnapSend(r *rootGroup, to int) {
 		Seq:   r.seq,
 		Epoch: r.epoch,
 	}
+	msgs := make([]wire.Message, 0, len(r.auth)+len(r.locks)+1)
 	for v, val := range r.auth {
 		m := base
 		m.Type = wire.TSnapVar
 		m.Var = uint32(v)
 		m.Val = val
-		n.send(to, m)
+		msgs = append(msgs, m)
 	}
 	for l, ls := range r.locks {
 		m := base
@@ -582,9 +585,10 @@ func (n *Node) rootSnapSend(r *rootGroup, to int) {
 		if ls.holder != -1 {
 			m.Val = GrantValue(ls.holder)
 		}
-		n.send(to, m)
+		msgs = append(msgs, m)
 	}
 	done := base
 	done.Type = wire.TSnapDone
-	n.send(to, done)
+	msgs = append(msgs, done)
+	n.sendStream(to, r.cfg.ID, r.epoch, msgs)
 }

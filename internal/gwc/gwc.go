@@ -17,6 +17,7 @@
 package gwc
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -24,6 +25,16 @@ import (
 
 	"optsync/internal/transport"
 	"optsync/internal/wire"
+)
+
+// Sentinel errors, matchable with errors.Is on anything a Node returns.
+var (
+	// ErrClosed marks operations that failed because the node shut down.
+	ErrClosed = errors.New("node closed")
+	// ErrNotMember marks joins by nodes outside the group's member list.
+	ErrNotMember = errors.New("not a group member")
+	// ErrUnknownGroup marks operations on groups the node never joined.
+	ErrUnknownGroup = errors.New("unknown group")
 )
 
 // GroupID names a sharing group.
@@ -96,6 +107,11 @@ type Stats struct {
 	Failovers     int // member: promotions of this node to group root
 	Demotions     int // root: reigns ended by a newer epoch
 	DroppedErrors int // protocol errors discarded past the retention cap
+
+	// Batched update plane (batch.go).
+	Batches      int          // batch frames sent (member flushes, root fan-out, streams)
+	Coalesced    int          // member: writes combined into a queued write in-window
+	FlushReasons FlushReasons // member: batch flushes by trigger
 }
 
 // Node is one processor's memory-sharing interface: it owns the local
@@ -121,6 +137,11 @@ type Node struct {
 	// itself.
 	failAfter time.Duration
 	electWait time.Duration
+
+	// Write-coalescing configuration (batch.go): batching is enabled when
+	// batchMax >= 2, and batchDelay bounds how long a queued write waits.
+	batchDelay time.Duration
+	batchMax   int
 }
 
 // NewNode attaches a sharing interface to an endpoint and starts its
@@ -175,7 +196,7 @@ func (n *Node) interval() time.Duration {
 // root it also becomes the group's sequencer and lock manager.
 func (n *Node) Join(cfg GroupConfig) error {
 	if !cfg.memberOf(n.id) {
-		return fmt.Errorf("gwc: node %d is not a member of group %d", n.id, cfg.ID)
+		return fmt.Errorf("gwc: node %d is not a member of group %d: %w", n.id, cfg.ID, ErrNotMember)
 	}
 	if cfg.HistorySize <= 0 {
 		cfg.HistorySize = 4096
@@ -193,7 +214,7 @@ func (n *Node) Join(cfg GroupConfig) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
-		return fmt.Errorf("gwc: node %d is closed", n.id)
+		return fmt.Errorf("gwc: node %d is closed: %w", n.id, ErrClosed)
 	}
 	if _, ok := n.groups[cfg.ID]; ok {
 		return fmt.Errorf("gwc: node %d already joined group %d", n.id, cfg.ID)
@@ -216,6 +237,9 @@ func (n *Node) Close() error {
 	n.closed = true
 	groups := make([]*memberGroup, 0, len(n.groups))
 	for _, g := range n.groups {
+		// Drain the write-coalescing queue while the endpoint still works,
+		// so a Close right after a burst of batched writes loses nothing.
+		n.flushWrites(g, flushClose)
 		groups = append(groups, g)
 	}
 	n.mu.Unlock()
@@ -371,6 +395,8 @@ func (n *Node) handle(m wire.Message) {
 			return
 		}
 		n.handleSnap(g, m)
+	case wire.TBatch:
+		n.handleBatch(m)
 	default:
 		n.protoErr("gwc: node %d got unexpected message type %v", n.id, m.Type)
 	}

@@ -128,6 +128,13 @@ type memberGroup struct {
 	// uses tree fanout.
 	children []int
 
+	// Write-coalescing queue (batch.go): outgoing updates awaiting a
+	// size/delay/release-boundary flush. batchIdx maps a variable to its
+	// queue slot so an in-window rewrite combines instead of appending.
+	batchQ     []wire.Message
+	batchIdx   map[VarID]int
+	batchTimer *time.Timer
+
 	data *notifyList
 	lock *notifyList
 }
@@ -193,6 +200,13 @@ func (n *Node) forwardDown(g *memberGroup, m wire.Message) {
 // subtree already has) are not re-forwarded — descendants that are still
 // missing them NACK the root directly.
 func (n *Node) ingest(g *memberGroup, m wire.Message) {
+	n.ingestFwd(g, m, true)
+}
+
+// ingestFwd is ingest with the tree relay controllable: batch frames are
+// forwarded whole (handleBatch), so their inner messages ingest with
+// forward=false instead of being re-sent one by one. Caller holds n.mu.
+func (n *Node) ingestFwd(g *memberGroup, m wire.Message, forward bool) {
 	if m.Epoch != g.epoch {
 		if m.Epoch < g.epoch {
 			// A deposed root (or a retransmission from its reign) is still
@@ -217,12 +231,16 @@ func (n *Node) ingest(g *memberGroup, m wire.Message) {
 		if _, dup := g.pending[m.Seq]; !dup {
 			g.pending[m.Seq] = m
 			n.stats.Gaps++
-			n.forwardDown(g, m)
+			if forward {
+				n.forwardDown(g, m)
+			}
 		}
 		n.maybeNack(g)
 		return
 	}
-	n.forwardDown(g, m)
+	if forward {
+		n.forwardDown(g, m)
+	}
 	n.applySeq(g, m)
 	g.nextSeq++
 	for {
@@ -351,7 +369,7 @@ func (n *Node) applyData(g *memberGroup, m wire.Message) {
 func (n *Node) group(id GroupID) (*memberGroup, error) {
 	g, ok := n.groups[id]
 	if !ok {
-		return nil, fmt.Errorf("gwc: node %d has not joined group %d", n.id, id)
+		return nil, fmt.Errorf("gwc: node %d has not joined group %d: %w", n.id, id, ErrUnknownGroup)
 	}
 	return g, nil
 }
@@ -388,6 +406,13 @@ func (n *Node) Write(gid GroupID, v VarID, val int64) error {
 		// queued grant — a hole the paper's unconditional critical
 		// sections never exposed.
 		msg.Seq = uint64(g.grantEpoch[guard])
+	}
+	if n.batchMax >= 2 {
+		// Batched plane: queue for a size/delay/release flush instead of
+		// shipping now. Flush-time transport errors surface via Errors().
+		n.enqueueWrite(gid, g, msg)
+		n.mu.Unlock()
+		return nil
 	}
 	n.mu.Unlock()
 	return n.ep.Send(root, msg)
@@ -614,7 +639,7 @@ func (n *Node) AcquireContext(ctx context.Context, gid GroupID, l LockID) error 
 		return err
 	}
 	if !ok {
-		return fmt.Errorf("gwc: node %d closed while waiting for lock %d", n.id, l)
+		return fmt.Errorf("gwc: node %d closed while waiting for lock %d: %w", n.id, l, ErrClosed)
 	}
 	return nil
 }
@@ -666,6 +691,10 @@ func (n *Node) Release(gid GroupID, l LockID) error {
 		n.mu.Unlock()
 		return fmt.Errorf("gwc: node %d releasing lock %d it does not hold", n.id, l)
 	}
+	// Batched plane: the section's queued writes must reach the root
+	// before the release does, so every member still sees the data before
+	// the lock changes hands (the paper's GWC ordering guarantee).
+	n.flushWrites(g, flushRelease)
 	epoch := g.grantEpoch[l]
 	g.lockVal[l] = Free
 	g.lockDone[l] = epoch

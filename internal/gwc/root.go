@@ -21,6 +21,13 @@ type rootGroup struct {
 	history []wire.Message
 
 	locks map[LockID]*lockState
+
+	// Batch collection window (batch.go): while an incoming batch frame is
+	// being sequenced — one node-lock hold for the whole frame — multicast
+	// parks its output here and rootEndBatch fans the contiguous sequence
+	// range out as one frame per destination.
+	collecting bool
+	outBatch   []wire.Message
 }
 
 // lockState is the manager's view of one queue-based lock.
@@ -235,6 +242,7 @@ func (n *Node) rootNack(r *rootGroup, m wire.Message) {
 	if to > r.seq {
 		to = r.seq
 	}
+	var out []wire.Message
 	for s := from; s <= to; s++ {
 		if r.seq > uint64(len(r.history)) && s <= r.seq-uint64(len(r.history)) {
 			// Older than the retained window.
@@ -247,8 +255,11 @@ func (n *Node) rootNack(r *rootGroup, m wire.Message) {
 			continue
 		}
 		n.stats.Retransmits++
-		n.send(int(m.Src), h)
+		out = append(out, h)
 	}
+	// Packed into batch frames when batching is on, so the repair of a
+	// dropped batch costs as few frames as the original.
+	n.sendStream(int(m.Src), r.cfg.ID, r.epoch, out)
 }
 
 // multicast stamps the next sequence number on a down-message, records it
@@ -261,6 +272,22 @@ func (n *Node) multicast(r *rootGroup, m wire.Message) {
 	m.Seq = r.seq
 	m.Epoch = r.epoch
 	r.history[(r.seq-1)%uint64(len(r.history))] = m
+	if r.collecting {
+		// Batch collection window: park the stamped message for the single
+		// fan-out frame and advance the root's own member state now (tree
+		// relay suppressed — rootEndBatch forwards the whole frame).
+		r.outBatch = append(r.outBatch, m)
+		if g, ok := n.groups[r.cfg.ID]; ok {
+			n.ingestFwd(g, m, false)
+		}
+		if len(r.outBatch) >= wire.MaxBatch {
+			// Keep frames within the codec bound; reopen the window for the
+			// rest of the incoming batch.
+			n.rootEndBatch(r)
+			r.collecting = true
+		}
+		return
+	}
 	if !r.cfg.TreeFanout {
 		for _, member := range r.cfg.Members {
 			if member == n.id {

@@ -30,11 +30,21 @@ type FaultPlan struct {
 	// partition faults ignore Spare: a dead node drops everything.
 	Spare []wire.Type
 	// DownOnly restricts faults to the root's sequenced multicast
-	// (TSeqUpdate/TSeqLock), the path the GWC runtime repairs with
-	// NACK-driven retransmission. Up-path messages (update, lock
-	// request/release, NACK) pass through untouched, matching the
-	// paper's reliable member-to-root links.
+	// (TSeqUpdate/TSeqLock, including batch frames of them), the path the
+	// GWC runtime repairs with NACK-driven retransmission. Up-path
+	// messages (update, lock request/release, NACK) pass through
+	// untouched, matching the paper's reliable member-to-root links.
 	DownOnly bool
+}
+
+// downPlane reports whether m travels the root's sequenced multicast
+// path — a bare sequenced message or a whole batch frame of them.
+func downPlane(m wire.Message) bool {
+	t := m.Type
+	if t == wire.TBatch && len(m.Batch) > 0 {
+		t = m.Batch[0].Type
+	}
+	return t == wire.TSeqUpdate || t == wire.TSeqLock
 }
 
 // spares reports whether the plan exempts t from probabilistic faults.
@@ -252,7 +262,7 @@ func (e *flakyEndpoint) Send(to int, m wire.Message) error {
 	if f.plan.spares(m.Type) {
 		return e.inner.Send(to, m)
 	}
-	if f.plan.DownOnly && m.Type != wire.TSeqUpdate && m.Type != wire.TSeqLock {
+	if f.plan.DownOnly && !downPlane(m) {
 		return e.inner.Send(to, m)
 	}
 	if f.plan.DropRate > 0 && f.roll() < f.plan.DropRate {

@@ -74,7 +74,7 @@ func TestInProcSelfSend(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, ok := ep.Recv()
-	if !ok || got != want {
+	if !ok || !wire.Equal(got, want) {
 		t.Errorf("self send: got %+v ok=%v", got, ok)
 	}
 }
@@ -146,7 +146,7 @@ func TestTCPSelfSend(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, ok := ep.Recv()
-	if !ok || got != want {
+	if !ok || !wire.Equal(got, want) {
 		t.Errorf("self send: got %+v ok=%v", got, ok)
 	}
 }

@@ -5,12 +5,19 @@
 // requests, releases, retransmit requests) or "down" (root to members:
 // sequenced updates and lock grants). Down messages carry the group
 // sequence number that establishes group write consistency.
+//
+// A TBatch frame packs several messages of one group into a single
+// length-prefixed payload, so a burst of coalesced writes (or a root's
+// sequenced fan-out of one) costs one frame instead of N. Encode buffers
+// are recycled through a sync.Pool, keeping the hot send path free of
+// per-message allocations.
 package wire
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Type discriminates message kinds.
@@ -53,6 +60,9 @@ const (
 	// TLockCancel withdraws a lock request: the root dequeues the origin,
 	// or releases the lock if the grant already raced the cancellation.
 	TLockCancel
+	// TBatch packs several messages of one group into a single frame: Val
+	// holds the inner count and Batch the messages. Batches may not nest.
+	TBatch
 )
 
 // String implements fmt.Stringer.
@@ -82,6 +92,8 @@ func (t Type) String() string {
 		return "snap-done"
 	case TLockCancel:
 		return "lock-cancel"
+	case TBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -101,7 +113,7 @@ type Message struct {
 	Seq  uint64
 	Var  uint32 // shared variable (TUpdate/TSeqUpdate)
 	Lock uint32 // lock ID (lock messages)
-	Val  int64  // variable value, lock value, or NACK end
+	Val  int64  // variable value, lock value, NACK end, or batch length
 	// Guarded marks writes to variables inside a mutex data group: the
 	// root discards them from non-holders and origins drop their echoes.
 	Guarded bool
@@ -110,13 +122,23 @@ type Message struct {
 	// messages; either side rejects traffic from a stale epoch, so a
 	// revived old root cannot split the group after a failover.
 	Epoch uint32
+	// Batch holds the inner messages of a TBatch frame (nil otherwise).
+	// Inner messages must share the frame's group and may not themselves
+	// be batches.
+	Batch []Message
 }
 
-// EncodedSize is the fixed wire size of one message.
+// EncodedSize is the fixed wire size of one non-batch message (and of a
+// batch frame's header; each inner message adds EncodedSize more).
 const EncodedSize = 1 + 1 + 4 + 4 + 4 + 8 + 4 + 4 + 8 + 4
 
-// Encode appends the message's wire form to buf and returns the result.
-func Encode(buf []byte, m Message) []byte {
+// MaxBatch bounds the inner messages of one batch frame, so a corrupt or
+// hostile length prefix cannot force an oversized allocation.
+const MaxBatch = 4096
+
+// encodeOne appends one fixed-layout message (batch header included) to
+// buf and returns the result.
+func encodeOne(buf []byte, m Message) []byte {
 	var tmp [EncodedSize]byte
 	tmp[0] = byte(m.Type)
 	if m.Guarded {
@@ -133,9 +155,33 @@ func Encode(buf []byte, m Message) []byte {
 	return append(buf, tmp[:]...)
 }
 
-// Decode parses one message from b, which must hold at least EncodedSize
-// bytes.
-func Decode(b []byte) (Message, error) {
+// Encode appends the message's wire form to buf and returns the result.
+// A TBatch frame encodes as its header (Val = inner count) followed by
+// the inner messages back to back. Batches that are empty, oversized, or
+// nested are programming errors and panic; Decode, by contrast, returns
+// errors for any malformed input.
+func Encode(buf []byte, m Message) []byte {
+	if m.Type != TBatch {
+		return encodeOne(buf, m)
+	}
+	if len(m.Batch) == 0 || len(m.Batch) > MaxBatch {
+		panic(fmt.Sprintf("wire: batch of %d messages outside [1,%d]", len(m.Batch), MaxBatch))
+	}
+	hdr := m
+	hdr.Val = int64(len(m.Batch))
+	buf = encodeOne(buf, hdr)
+	for _, im := range m.Batch {
+		if im.Type == TBatch {
+			panic("wire: nested batch frame")
+		}
+		buf = encodeOne(buf, im)
+	}
+	return buf
+}
+
+// decodeOne parses one fixed-layout message from b, which must hold at
+// least EncodedSize bytes.
+func decodeOne(b []byte) (Message, error) {
 	if len(b) < EncodedSize {
 		return Message{}, fmt.Errorf("wire: short message: %d bytes, want %d", len(b), EncodedSize)
 	}
@@ -151,26 +197,117 @@ func Decode(b []byte) (Message, error) {
 		Val:     int64(binary.BigEndian.Uint64(b[30:])),
 		Epoch:   binary.BigEndian.Uint32(b[38:]),
 	}
-	if m.Type < TUpdate || m.Type > TLockCancel {
+	if m.Type < TUpdate || m.Type > TBatch {
 		return Message{}, fmt.Errorf("wire: unknown message type %d", b[0])
 	}
 	return m, nil
 }
 
-// WriteTo writes the message to w in wire form.
+// Decode parses one message from b. A TBatch header must be followed in
+// b by its full payload; truncated, oversized, or nested batch frames
+// return an error (never panic).
+func Decode(b []byte) (Message, error) {
+	m, err := decodeOne(b)
+	if err != nil || m.Type != TBatch {
+		return m, err
+	}
+	count := m.Val
+	if count < 1 || count > MaxBatch {
+		return Message{}, fmt.Errorf("wire: batch of %d messages outside [1,%d]", count, MaxBatch)
+	}
+	need := int(count+1) * EncodedSize
+	if len(b) < need {
+		return Message{}, fmt.Errorf("wire: short batch: %d bytes, want %d", len(b), need)
+	}
+	m.Batch = make([]Message, count)
+	for i := range m.Batch {
+		im, err := decodeOne(b[(i+1)*EncodedSize:])
+		if err != nil {
+			return Message{}, err
+		}
+		if im.Type == TBatch {
+			return Message{}, fmt.Errorf("wire: nested batch frame at index %d", i)
+		}
+		if im.Group != m.Group {
+			return Message{}, fmt.Errorf("wire: batch for group %d holds message for group %d", m.Group, im.Group)
+		}
+		m.Batch[i] = im
+	}
+	return m, nil
+}
+
+// EncodedLen reports the wire size of m: EncodedSize for one message,
+// plus EncodedSize per inner message of a batch frame.
+func EncodedLen(m Message) int {
+	return EncodedSize * (1 + len(m.Batch))
+}
+
+// Equal reports whether two messages (batch payloads included) are
+// identical. Message holds a slice, so == does not compile on it.
+func Equal(a, b Message) bool {
+	if a.Type != b.Type || a.Group != b.Group || a.Src != b.Src ||
+		a.Origin != b.Origin || a.Seq != b.Seq || a.Var != b.Var ||
+		a.Lock != b.Lock || a.Val != b.Val || a.Guarded != b.Guarded ||
+		a.Epoch != b.Epoch || len(a.Batch) != len(b.Batch) {
+		return false
+	}
+	for i := range a.Batch {
+		if !Equal(a.Batch[i], b.Batch[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// bufPool recycles encode/decode buffers: the hot paths (TCP peer
+// writers, frame readers) borrow a buffer per frame instead of
+// allocating one.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// WriteTo writes the message to w in wire form, using a pooled buffer.
 func WriteTo(w io.Writer, m Message) error {
-	buf := Encode(make([]byte, 0, EncodedSize), m)
-	if _, err := w.Write(buf); err != nil {
+	bp := bufPool.Get().(*[]byte)
+	buf := Encode((*bp)[:0], m)
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	bufPool.Put(bp)
+	if err != nil {
 		return fmt.Errorf("wire: write: %w", err)
 	}
 	return nil
 }
 
-// ReadFrom reads one message from r in wire form.
+// ReadFrom reads one message (or one whole batch frame) from r in wire
+// form.
 func ReadFrom(r io.Reader) (Message, error) {
-	var buf [EncodedSize]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
+	var hdr [EncodedSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Message{}, err
 	}
-	return Decode(buf[:])
+	if Type(hdr[0]) != TBatch {
+		return Decode(hdr[:])
+	}
+	count := int64(binary.BigEndian.Uint64(hdr[30:]))
+	if count < 1 || count > MaxBatch {
+		return Message{}, fmt.Errorf("wire: batch of %d messages outside [1,%d]", count, MaxBatch)
+	}
+	need := int(count+1) * EncodedSize
+	bp := bufPool.Get().(*[]byte)
+	buf := *bp
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	} else {
+		buf = buf[:need]
+	}
+	copy(buf, hdr[:])
+	_, err := io.ReadFull(r, buf[EncodedSize:])
+	var m Message
+	if err == nil {
+		// Decode copies the inner messages out, so the buffer can be
+		// recycled as soon as it returns.
+		m, err = Decode(buf)
+	}
+	*bp = buf[:0]
+	bufPool.Put(bp)
+	return m, err
 }

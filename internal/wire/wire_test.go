@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"testing"
 	"testing/quick"
@@ -31,7 +32,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: decode: %v", m.Type, err)
 		}
-		if got != m {
+		if !Equal(got, m) {
 			t.Errorf("round trip changed message:\n got %+v\nwant %+v", got, m)
 		}
 	}
@@ -52,7 +53,7 @@ func TestRoundTripProperty(t *testing.T) {
 			Epoch:   epoch,
 		}
 		got, err := Decode(Encode(nil, m))
-		return err == nil && got == m
+		return err == nil && Equal(got, m)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
@@ -74,6 +75,131 @@ func TestDecodeErrors(t *testing.T) {
 	}
 }
 
+// testBatch builds a representative batch frame for the codec tests.
+func testBatch() Message {
+	return Message{
+		Type:  TBatch,
+		Group: 7,
+		Src:   3,
+		Epoch: 2,
+		Val:   3,
+		Batch: []Message{
+			{Type: TUpdate, Group: 7, Src: 3, Origin: 3, Var: 1, Val: 10, Epoch: 2},
+			{Type: TUpdate, Group: 7, Src: 3, Origin: 3, Var: 2, Val: -20, Guarded: true, Seq: 5, Epoch: 2},
+			{Type: TSeqLock, Group: 7, Src: 0, Seq: 99, Lock: 4, Val: 6, Epoch: 2},
+		},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	m := testBatch()
+	buf := Encode(nil, m)
+	if want := EncodedLen(m); len(buf) != want {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), want)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, m) {
+		t.Errorf("round trip changed batch:\n got %+v\nwant %+v", got, m)
+	}
+
+	// And through the stream codec.
+	var stream bytes.Buffer
+	if err := WriteTo(&stream, m); err != nil {
+		t.Fatal(err)
+	}
+	tail := Message{Type: THeartbeat, Group: 7, Src: 0, Epoch: 2}
+	if err := WriteTo(&stream, tail); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadFrom(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, m) {
+		t.Errorf("stream round trip changed batch:\n got %+v\nwant %+v", got, m)
+	}
+	got, err = ReadFrom(&stream)
+	if err != nil || !Equal(got, tail) {
+		t.Errorf("message after batch: got %+v, err %v", got, err)
+	}
+}
+
+func TestBatchDecodeErrors(t *testing.T) {
+	full := Encode(nil, testBatch())
+
+	// Truncated payload: any prefix that cuts into the batch body.
+	for _, cut := range []int{EncodedSize, EncodedSize + 1, len(full) - 1} {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Errorf("Decode of batch truncated to %d bytes succeeded, want error", cut)
+		}
+	}
+
+	// Oversized and non-positive length prefixes.
+	for _, count := range []int64{0, -1, MaxBatch + 1, 1 << 40} {
+		bad := append([]byte(nil), full...)
+		binary.BigEndian.PutUint64(bad[30:], uint64(count))
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("Decode of batch with count %d succeeded, want error", count)
+		}
+	}
+
+	// Nested batch frame.
+	nested := append([]byte(nil), full...)
+	nested[EncodedSize] = byte(TBatch)
+	if _, err := Decode(nested); err == nil {
+		t.Error("Decode of nested batch succeeded, want error")
+	}
+
+	// Inner message for a different group.
+	alien := append([]byte(nil), full...)
+	binary.BigEndian.PutUint32(alien[EncodedSize+2:], 999)
+	if _, err := Decode(alien); err == nil {
+		t.Error("Decode of cross-group batch succeeded, want error")
+	}
+
+	// A truncated stream read must error, not hang or panic.
+	if _, err := ReadFrom(bytes.NewReader(full[:len(full)-5])); err == nil {
+		t.Error("ReadFrom of truncated batch succeeded, want error")
+	}
+	// An oversized length prefix must be rejected before any allocation.
+	huge := append([]byte(nil), full[:EncodedSize]...)
+	binary.BigEndian.PutUint64(huge[30:], 1<<50)
+	if _, err := ReadFrom(bytes.NewReader(huge)); err == nil {
+		t.Error("ReadFrom of oversized batch header succeeded, want error")
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes to the codec: it must return errors
+// for malformed input — including truncated and oversized batch frames —
+// and never panic; valid decodes must re-encode to an equal message.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(nil, Message{Type: TUpdate, Group: 1, Var: 2, Val: 3}))
+	f.Add(Encode(nil, testBatch()))
+	f.Add(Encode(nil, testBatch())[:EncodedSize+7])
+	f.Add(make([]byte, EncodedSize*3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		got, err := Decode(Encode(nil, m))
+		if err != nil {
+			t.Fatalf("re-decode of valid message failed: %v", err)
+		}
+		if !Equal(got, m) {
+			t.Fatalf("re-encode changed message:\n got %+v\nwant %+v", got, m)
+		}
+		// The stream reader must agree with the flat decoder.
+		sm, err := ReadFrom(bytes.NewReader(data))
+		if err != nil || !Equal(sm, m) {
+			t.Fatalf("ReadFrom disagrees with Decode: %+v (err %v) vs %+v", sm, err, m)
+		}
+	})
+}
+
 func TestStreamReadWrite(t *testing.T) {
 	var buf bytes.Buffer
 	msgs := []Message{
@@ -91,7 +217,7 @@ func TestStreamReadWrite(t *testing.T) {
 		if err != nil {
 			t.Fatalf("message %d: %v", i, err)
 		}
-		if got != want {
+		if !Equal(got, want) {
 			t.Errorf("message %d: got %+v, want %+v", i, got, want)
 		}
 	}
@@ -117,6 +243,7 @@ func TestTypeString(t *testing.T) {
 		{TSnapLock, "snap-lock"},
 		{TSnapDone, "snap-done"},
 		{TLockCancel, "lock-cancel"},
+		{TBatch, "batch"},
 		{Type(99), "type(99)"},
 	}
 	for _, tt := range tests {

@@ -24,6 +24,16 @@
 //	    cur, _ := tx.Read(balance)
 //	    return tx.Write(balance, cur+100)
 //	})
+//
+// # Errors
+//
+// Failures are reported wrapped around the package's sentinel errors, so
+// callers branch with errors.Is rather than string matching:
+//
+//	if errors.Is(err, optsync.ErrClosed) { ... }     // cluster or node shut down
+//	if errors.Is(err, optsync.ErrNotMember) { ... }  // node outside the cluster or group
+//	if errors.Is(err, optsync.ErrUnknownGroup) { ... } // group never joined on that node
+//	if errors.Is(err, optsync.ErrUnknownVar) { ... } // variable from another group
 package optsync
 
 import (
@@ -42,16 +52,34 @@ import (
 // (the paper's "Cannot safely nest mutex lock requests").
 var ErrNested = core.ErrNested
 
+// Sentinel errors. Everything the package returns wraps one of these
+// where applicable; match with errors.Is.
+var (
+	// ErrClosed marks operations that failed because the cluster or node
+	// shut down.
+	ErrClosed = gwc.ErrClosed
+	// ErrNotMember marks operations addressing a node outside the cluster
+	// or a group's member list.
+	ErrNotMember = gwc.ErrNotMember
+	// ErrUnknownGroup marks operations on a group the node never joined.
+	ErrUnknownGroup = gwc.ErrUnknownGroup
+	// ErrUnknownVar marks operations given a variable (or mutex) that
+	// belongs to a different group than the operation targets.
+	ErrUnknownVar = errors.New("unknown variable")
+)
+
 // options collects cluster construction settings.
 type options struct {
-	tcpAddrs  []string
-	faults    *transport.FaultPlan
-	history   core.Config
-	histSize  int
-	chaos     bool
-	retryIn   time.Duration
-	failAfter time.Duration
-	electWait time.Duration
+	tcpAddrs   []string
+	faults     *transport.FaultPlan
+	history    core.Config
+	histSize   int
+	chaos      bool
+	retryIn    time.Duration
+	failAfter  time.Duration
+	electWait  time.Duration
+	batchDelay time.Duration
+	batchMsgs  int
 }
 
 // Option configures NewCluster.
@@ -87,10 +115,41 @@ func WithHistory(decay, threshold float64) Option {
 	})
 }
 
-// WithHistoryBuffer sets the root's retransmission buffer size in
-// sequenced messages (default 4096).
-func WithHistoryBuffer(n int) Option {
+// WithRetransmitBuffer sets the root's retransmission buffer size in
+// sequenced messages (default 4096). This buffer serves NACK-driven loss
+// recovery; it is unrelated to the optimistic usage-history filter that
+// WithHistory tunes.
+func WithRetransmitBuffer(n int) Option {
 	return optionFunc(func(o *options) { o.histSize = n })
+}
+
+// WithHistoryBuffer sets the root's retransmission buffer size.
+//
+// Deprecated: the name collided with WithHistory, which tunes an
+// unrelated mechanism. Use WithRetransmitBuffer.
+func WithHistoryBuffer(n int) Option {
+	return WithRetransmitBuffer(n)
+}
+
+// WithBatching enables the batched update plane (default off): each node
+// coalesces its shared writes into batch frames, flushed when maxMsgs
+// writes are queued, when maxDelay has elapsed since the first queued
+// write, or immediately before a lock release leaves the node — so the
+// GWC guarantee that every node sees a critical section's data before
+// the lock changes hands is preserved. Repeated writes to the same
+// variable within a flush window are combined (Sesame's write
+// combining), and the root sequences a whole batch under one lock
+// acquisition and fans it out as one frame per member.
+//
+// Batching trades write latency (up to maxDelay) for throughput;
+// maxMsgs < 2 disables it, maxDelay <= 0 defaults to 2ms. With batching
+// on, Write reports transport failures asynchronously rather than from
+// its return value.
+func WithBatching(maxDelay time.Duration, maxMsgs int) Option {
+	return optionFunc(func(o *options) {
+		o.batchDelay = maxDelay
+		o.batchMsgs = maxMsgs
+	})
 }
 
 // WithChaos enables the cluster's fault-injection controls (see
@@ -179,6 +238,7 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		}
 		c.nodes[i] = gwc.NewNode(i, ep)
 		c.nodes[i].SetTimers(o.retryIn, o.failAfter, o.electWait)
+		c.nodes[i].SetBatching(o.batchDelay, o.batchMsgs)
 		c.engines[i] = core.NewEngine(c.nodes[i], o.history)
 	}
 	return c, nil
@@ -281,12 +341,12 @@ func Members(ids ...int) GroupOption {
 // aggregate related variables and locks into the same sharing group").
 func (c *Cluster) NewGroup(name string, root int, opts ...GroupOption) (*Group, error) {
 	if root < 0 || root >= len(c.nodes) {
-		return nil, fmt.Errorf("optsync: group root %d out of range [0,%d)", root, len(c.nodes))
+		return nil, fmt.Errorf("optsync: group root %d out of range [0,%d): %w", root, len(c.nodes), ErrNotMember)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, errors.New("optsync: cluster is closed")
+		return nil, fmt.Errorf("optsync: cluster is closed: %w", ErrClosed)
 	}
 	if g, ok := c.groups[name]; ok {
 		if g.root != root {
@@ -309,7 +369,7 @@ func (c *Cluster) NewGroup(name string, root int, opts ...GroupOption) (*Group, 
 		rootIn := false
 		for _, m := range members {
 			if m < 0 || m >= len(c.nodes) {
-				return nil, fmt.Errorf("optsync: group member %d out of range [0,%d)", m, len(c.nodes))
+				return nil, fmt.Errorf("optsync: group member %d out of range [0,%d): %w", m, len(c.nodes), ErrNotMember)
 			}
 			if seen[m] {
 				return nil, fmt.Errorf("optsync: duplicate group member %d", m)
@@ -429,6 +489,9 @@ type Var struct {
 // Name reports the variable's name.
 func (v *Var) Name() string { return v.name }
 
+// Group reports the sharing group the variable belongs to.
+func (v *Var) Group() *Group { return v.g }
+
 // Guard reports the mutex guarding the variable, or nil.
 func (v *Var) Guard() *Mutex { return v.guard }
 
@@ -441,6 +504,9 @@ type Mutex struct {
 
 // Name reports the mutex's name.
 func (m *Mutex) Name() string { return m.name }
+
+// Group reports the sharing group the mutex belongs to.
+func (m *Mutex) Group() *Group { return m.g }
 
 // NodeStats combines the per-node protocol and optimistic-engine
 // counters.
@@ -458,9 +524,24 @@ type Handle struct {
 	engine *core.Engine
 }
 
-// Handle returns node i's programming interface.
+// Handle returns node i's programming interface. It panics with a
+// descriptive message if i is out of range; use HandleErr to get an
+// error instead.
 func (c *Cluster) Handle(i int) *Handle {
-	return &Handle{c: c, node: c.nodes[i], engine: c.engines[i]}
+	h, err := c.HandleErr(i)
+	if err != nil {
+		panic(fmt.Sprintf("optsync: Handle(%d): %v", i, err))
+	}
+	return h
+}
+
+// HandleErr returns node i's programming interface, or an error wrapping
+// ErrNotMember if i is outside [0, Size()).
+func (c *Cluster) HandleErr(i int) (*Handle, error) {
+	if i < 0 || i >= len(c.nodes) {
+		return nil, fmt.Errorf("optsync: node %d out of range [0,%d): %w", i, len(c.nodes), ErrNotMember)
+	}
+	return &Handle{c: c, node: c.nodes[i], engine: c.engines[i]}, nil
 }
 
 // NodeID reports which node this handle operates on.
@@ -499,7 +580,7 @@ func (h *Handle) WaitGEContext(ctx context.Context, v *Var, min int64) error {
 		return err
 	}
 	if !ok {
-		return errors.New("optsync: node closed while waiting")
+		return fmt.Errorf("optsync: node closed while waiting: %w", ErrClosed)
 	}
 	return nil
 }
@@ -571,7 +652,7 @@ type Tx struct {
 // with valid data.
 func (tx *Tx) Read(v *Var) (int64, error) {
 	if v.g != tx.g {
-		return 0, fmt.Errorf("optsync: variable %q belongs to group %q, not %q", v.name, v.g.name, tx.g.name)
+		return 0, fmt.Errorf("optsync: variable %q belongs to group %q, not %q: %w", v.name, v.g.name, tx.g.name, ErrUnknownVar)
 	}
 	return tx.inner.Read(v.id)
 }
@@ -580,7 +661,7 @@ func (tx *Tx) Read(v *Var) (int64, error) {
 // first write during speculation.
 func (tx *Tx) Write(v *Var, val int64) error {
 	if v.g != tx.g {
-		return fmt.Errorf("optsync: variable %q belongs to group %q, not %q", v.name, v.g.name, tx.g.name)
+		return fmt.Errorf("optsync: variable %q belongs to group %q, not %q: %w", v.name, v.g.name, tx.g.name, ErrUnknownVar)
 	}
 	return tx.inner.Write(v.id, val)
 }

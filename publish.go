@@ -31,7 +31,7 @@ type Published struct {
 func (g *Group) Published(name string, vars ...*Var) (*Published, error) {
 	for _, v := range vars {
 		if v.g != g {
-			return nil, fmt.Errorf("optsync: variable %q belongs to group %q, not %q", v.name, v.g.name, g.name)
+			return nil, fmt.Errorf("optsync: variable %q belongs to group %q, not %q: %w", v.name, v.g.name, g.name, ErrUnknownVar)
 		}
 		if v.guard != nil {
 			return nil, fmt.Errorf("optsync: variable %q is mutex-guarded; publication blocks use ordinary variables", v.name)
