@@ -40,6 +40,7 @@ const (
 	flushSize    flushReason = iota // the queue reached maxMsgs
 	flushDelay                      // maxDelay elapsed since the first write
 	flushRelease                    // a lock release needed the data out first
+	flushSync                       // a Sync barrier needed the data out first
 	flushClose                      // node shutdown drained the queue (uncounted)
 )
 
@@ -48,6 +49,7 @@ type FlushReasons struct {
 	Size    int // queue reached the maxMsgs bound
 	Delay   int // maxDelay elapsed
 	Release int // flushed ahead of a lock release
+	Sync    int // flushed ahead of a Sync barrier
 }
 
 // SetBatching configures member-side write coalescing: shared writes are
@@ -147,6 +149,8 @@ func (n *Node) flushWrites(g *memberGroup, why flushReason) {
 		n.stats.FlushReasons.Delay++
 	case flushRelease:
 		n.stats.FlushReasons.Release++
+	case flushSync:
+		n.stats.FlushReasons.Sync++
 	}
 	for i := range q {
 		q[i].Epoch = g.epoch
@@ -189,7 +193,7 @@ func (n *Node) handleBatch(frame wire.Message) {
 				// Routine during failover, as on the single-message path:
 				// point stale senders at the current root.
 				if frame.Epoch < g.epoch {
-					n.stats.StaleEpoch++
+					n.stats.StaleEpochRejected++
 					n.maybeNotice(g, int(frame.Src))
 				}
 				return
@@ -224,6 +228,7 @@ func (n *Node) handleBatch(frame wire.Message) {
 		for _, m := range frame.Batch {
 			n.ingestFwd(g, m, false)
 		}
+		n.maybeSendAck(g)
 	case wire.TSnapVar, wire.TSnapLock, wire.TSnapDone:
 		g, ok := n.groups[gid]
 		if !ok {

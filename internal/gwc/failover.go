@@ -17,8 +17,10 @@ import (
 // election for epoch+1. Elections are deterministic: the surviving member
 // with the lowest ID is the candidate, everyone else streams it a report
 // of their local state (applied sequence number, variable copies, lock
-// copies), and after electWait the candidate promotes itself, rebuilding
-// the authoritative state from the most advanced reports:
+// copies), and once electWait has passed *and* reports from a majority of
+// the configured membership are in hand (its own state counts as one),
+// the candidate promotes itself, rebuilding the authoritative state from
+// the most advanced reports:
 //
 //   - variables come from the reports with the highest applied sequence
 //     number; a lone dissenting value among them is an eager local write
@@ -35,6 +37,13 @@ import (
 // re-base through a snapshot (TSnapVar/TSnapLock/TSnapDone) requested on
 // adoption. Stale-epoch messages are rejected on both sides, so a revived
 // old root is harmlessly deposed the moment it hears from the new reign.
+//
+// The quorum gate makes reigns partition-safe (a minority side can never
+// start one; see also the root's fencing lease in fence.go) at a cost:
+// a group that loses a majority of its members — a 2-node group losing
+// either, in particular — stops failing over and waits for revivals or
+// rejoins (rejoin.go) to restore a quorum. That is the standard CP
+// trade.
 
 // lockSnap is one lock's value in a state report or snapshot.
 type lockSnap struct {
@@ -88,12 +97,21 @@ func (n *Node) handleHeartbeat(g *memberGroup, m wire.Message) {
 		n.adoptEpoch(g, m.Epoch, claimed)
 	case m.Epoch < g.epoch || claimed != g.rootID:
 		// A deposed root still announcing itself: point it at this epoch.
-		n.stats.StaleEpoch++
+		n.stats.StaleEpochRejected++
 		n.maybeNotice(g, int(m.Src))
 	default:
 		g.lastRoot = time.Now()
 		g.electing = false
 		delete(g.suspected, g.rootID)
+		if !g.snapWanted && !g.rejoining &&
+			m.Seq >= g.nextSeq-1+uint64(g.cfg.HistorySize) {
+			// The root's sequence number is beyond what its history buffer
+			// can retransmit to us — typical for a member revived after a
+			// long crash. NACK repair would only count LostHistory; fetch a
+			// snapshot instead.
+			g.snapWanted = true
+			g.snapBuf = nil
+		}
 	}
 }
 
@@ -142,6 +160,10 @@ func (n *Node) adoptEpoch(g *memberGroup, epoch uint32, root int) {
 	g.reports = nil
 	g.nextSeq = 1
 	g.pending = make(map[uint64]wire.Message)
+	// Adoption supersedes an in-flight rejoin (the snapshot path now does
+	// the catching up), and acks restart with the reign's numbering.
+	g.rejoining = false
+	g.acked = 0
 	// The old spanning tree was rooted at the old root; failover reigns
 	// use direct fanout.
 	g.children = nil
@@ -191,13 +213,20 @@ func (n *Node) detectFailure(gid GroupID, g *memberGroup, now time.Time) {
 		g.electEpoch = g.epoch + 1
 		g.electBegan = now
 		g.suspected[g.rootID] = true
+		n.stats.Elections++
 	}
 	cand := g.candidate()
 	switch {
 	case cand == -1:
 		// Nobody left standing; keep waiting for a revival.
 	case cand == n.id:
-		if now.Sub(g.electBegan) >= n.electWait {
+		if now.Sub(g.electBegan) >= n.electWait && n.reportQuorum(g) {
+			// Quorum-gated promotion: the candidate must hold state
+			// reports from a majority of the configured membership (its
+			// own state counts as one) before starting a reign. A minority
+			// partition therefore waits forever instead of electing a
+			// competing root, and the report majority is guaranteed to
+			// intersect any quorum-acked write's ack set.
 			n.promote(gid, g)
 		}
 	case now.Sub(g.electBegan) > n.electWait+n.failAfter:
@@ -208,6 +237,23 @@ func (n *Node) detectFailure(gid GroupID, g *memberGroup, now time.Time) {
 	default:
 		n.sendReport(g, cand)
 	}
+}
+
+// reportQuorum reports whether the candidate holds finished election
+// reports for the running election's epoch from a majority of the
+// configured membership, counting its own local state as one report.
+// Reports are re-sent every tick, so a transiently mid-stream report
+// only delays the count, never sticks. Caller holds n.mu.
+func (n *Node) reportQuorum(g *memberGroup) bool {
+	count := 1 // this candidate's own state
+	if g.reportEpoch == g.electEpoch {
+		for src, rep := range g.reports {
+			if rep.done && src != n.id && g.cfg.memberOf(src) {
+				count++
+			}
+		}
+	}
+	return count >= len(g.cfg.Members)/2+1
 }
 
 // sendReport streams this member's local state to the election
@@ -294,6 +340,8 @@ func (n *Node) promote(gid GroupID, g *memberGroup) {
 	g.reports = nil
 	g.nextSeq = 1
 	g.pending = make(map[uint64]wire.Message)
+	g.rejoining = false
+	g.acked = 0
 	g.children = nil
 	for v, val := range auth {
 		n.applyVarValue(g, v, val)
@@ -457,7 +505,7 @@ func (n *Node) handleSnap(g *memberGroup, m wire.Message) {
 	case m.Epoch > g.epoch:
 		n.reportPiece(g, m)
 	default:
-		n.stats.StaleEpoch++
+		n.stats.StaleEpochRejected++
 	}
 }
 
@@ -505,6 +553,9 @@ func (n *Node) snapApply(g *memberGroup, m wire.Message) {
 			g.nextSeq++
 		}
 		g.snapWanted = false
+		// The snapshot may have advanced the applied prefix by a lot;
+		// tell the quorum watermark at once.
+		n.maybeSendAck(g)
 	}
 }
 

@@ -149,7 +149,7 @@ func TestRevivedOldRootIsDemoted(t *testing.T) {
 	waitFor(t, 5*time.Second, "stale-epoch traffic to be rejected", func() bool {
 		total := 0
 		for _, n := range c.nodes {
-			total += n.Stats().StaleEpoch
+			total += n.Stats().StaleEpochRejected
 		}
 		return total > 0
 	})

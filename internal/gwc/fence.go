@@ -1,0 +1,187 @@
+package gwc
+
+import (
+	"sort"
+	"time"
+
+	"optsync/internal/wire"
+)
+
+// Partition-safe reigns.
+//
+// PR 1's failover layer elects a new root when the old one falls silent,
+// but on its own that is not partition-safe: a minority side could keep
+// its root (or elect one) and sequence writes the healed group later
+// throws away. This file closes that window with two quorum mechanisms:
+//
+//   - a *fencing lease* on the root: every up-message from a member is
+//     proof of contact, and a root that heard from fewer than a majority
+//     of the configured membership (itself included) within failAfter
+//     stops sequencing — updates, lock traffic, and sync barriers park
+//     in a bounded queue until quorum contact returns (replayed in
+//     order) or a newer epoch deposes the reign (dropped; nothing queued
+//     was ever acknowledged);
+//
+//   - a *quorum-ack watermark* for durable writes: members continuously
+//     acknowledge the sequenced prefix they applied (resync probes carry
+//     it for free, TAck frames carry it eagerly), and the root tracks
+//     commit = the quorum-th highest ack, counting itself at r.seq.
+//     Under SetQuorumAcks, a released lock is handed to the next waiter
+//     only once commit covers the releaser's data, and Sync barriers
+//     (TSyncReq/TSyncAck) answer only once commit covers everything
+//     sequenced before the request.
+//
+// Together with quorum-gated elections (failover.go) this yields the
+// standard majority-intersection argument: a quorum-acked write lives on
+// at least one member of any elected successor's report majority, so it
+// survives the failover; and no two reigns can sequence concurrently,
+// because at most one side of a partition holds a majority.
+
+// fenceQueue parks an up-message on a fenced root, bounded by the
+// history size so a long partition cannot grow the queue without limit.
+// Caller holds n.mu.
+func (n *Node) fenceQueue(r *rootGroup, m wire.Message) {
+	if len(r.fencedQ) >= r.cfg.HistorySize {
+		n.protoErr("gwc: node %d fenced root of group %d dropped %v from %d past queue bound",
+			n.id, r.cfg.ID, m.Type, m.Src)
+		return
+	}
+	r.fencedQ = append(r.fencedQ, m)
+}
+
+// checkFence runs the root's lease each maintenance tick: count the
+// members heard from within failAfter (plus the root itself) and fence
+// the reign when they are fewer than a quorum; when contact returns,
+// unfence and replay the parked traffic in arrival order. Caller holds
+// n.mu.
+func (n *Node) checkFence(r *rootGroup, now time.Time) {
+	reach := 1 // the root itself
+	for _, m := range r.cfg.Members {
+		if m == n.id {
+			continue
+		}
+		if now.Sub(r.lastHeard[m]) <= n.failAfter {
+			reach++
+		}
+	}
+	if reach < r.quorum {
+		if !r.fenced {
+			r.fenced = true
+			n.stats.Fenced++
+		}
+		return
+	}
+	if !r.fenced {
+		return
+	}
+	r.fenced = false
+	q := r.fencedQ
+	r.fencedQ = nil
+	for _, m := range q {
+		n.rootHandle(r, m)
+	}
+	// Lock handoffs deferred for quorum acks may be grantable again.
+	n.serviceQuorum(r)
+}
+
+// rootAck folds a member's cumulative acknowledgement into the
+// watermark. Caller holds n.mu.
+func (n *Node) rootAck(r *rootGroup, src int, seq uint64) {
+	if src == n.id || !r.cfg.memberOf(src) {
+		return
+	}
+	if seq > r.seq {
+		// An ack beyond the reign's sequence space is from a confused or
+		// rebased sender; clamp it so it cannot inflate the watermark.
+		seq = r.seq
+	}
+	if seq <= r.acks[src] {
+		return
+	}
+	r.acks[src] = seq
+	if n.quorumAcks {
+		n.advanceCommit(r)
+	}
+}
+
+// advanceCommit recomputes the quorum commit watermark and services
+// whatever it newly covers. Caller holds n.mu.
+func (n *Node) advanceCommit(r *rootGroup) {
+	vals := make([]uint64, 0, len(r.cfg.Members))
+	for _, m := range r.cfg.Members {
+		if m == n.id {
+			vals = append(vals, r.seq)
+		} else {
+			vals = append(vals, r.acks[m])
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	c := vals[r.quorum-1]
+	if c <= r.commit {
+		return
+	}
+	r.commit = c
+	n.serviceQuorum(r)
+}
+
+// serviceQuorum answers sync barriers the commit watermark now covers
+// and grants lock handoffs that were deferred for quorum acks. Barriers
+// are answered even while fenced — they refer to a prefix a majority
+// already holds, which no election can lose — but new grants wait for
+// the fence to lift. Caller holds n.mu.
+func (n *Node) serviceQuorum(r *rootGroup) {
+	if len(r.waitSyncs) > 0 {
+		keep := r.waitSyncs[:0]
+		for _, b := range r.waitSyncs {
+			if r.commit < b.needSeq {
+				keep = append(keep, b)
+				continue
+			}
+			n.send(b.src, wire.Message{
+				Type:  wire.TSyncAck,
+				Group: uint32(r.cfg.ID),
+				Src:   int32(n.id),
+				Seq:   b.token,
+				Epoch: r.epoch,
+			})
+		}
+		r.waitSyncs = keep
+	}
+	if r.fenced {
+		return
+	}
+	for l, ls := range r.locks {
+		if ls.holder == -1 && len(ls.queue) > 0 && r.commit >= ls.needSeq {
+			next := ls.queue[0]
+			ls.queue = ls.queue[1:]
+			n.grant(r, l, ls, next)
+		}
+	}
+}
+
+// rootSyncReq answers (or defers) a member's durability barrier: the
+// matching TSyncAck means everything the root sequenced before the
+// request is committed. Without SetQuorumAcks that is immediate — the
+// FIFO link already guarantees the member's earlier writes were
+// sequenced first — and with it the answer waits for the quorum
+// watermark. Caller holds n.mu.
+func (n *Node) rootSyncReq(r *rootGroup, m wire.Message) {
+	src, tok := int(m.Src), m.Seq
+	for _, b := range r.waitSyncs {
+		if b.src == src && b.token == tok {
+			return // retry of a barrier already pending
+		}
+	}
+	if !n.quorumAcks || r.commit >= r.seq {
+		n.send(src, wire.Message{
+			Type:  wire.TSyncAck,
+			Group: uint32(r.cfg.ID),
+			Src:   int32(n.id),
+			Seq:   tok,
+			Epoch: r.epoch,
+		})
+		return
+	}
+	n.stats.QuorumAckWaits++
+	r.waitSyncs = append(r.waitSyncs, syncBarrier{src: src, token: tok, needSeq: r.seq})
+}

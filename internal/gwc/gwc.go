@@ -92,21 +92,27 @@ func (c GroupConfig) memberOf(id int) bool {
 
 // Stats counts protocol events at one node.
 type Stats struct {
-	Suppressed    int // root: speculative writes discarded
-	Forwarded     int // member: sequenced messages relayed down the tree
-	Duplicates    int // member: re-delivered sequenced messages dropped
-	Gaps          int // member: sequence gaps detected
-	Nacks         int // member: retransmit requests sent
-	Retransmits   int // root: sequenced messages re-sent
-	EchoDropped   int // member: own guarded echoes dropped (hardware blocking)
-	LostHistory   int // root: NACKs it could no longer serve
-	LockRequests  int
-	LockGrants    int
-	LockCancels   int // root: lock requests withdrawn (abort/timeout)
-	StaleEpoch    int // messages rejected for carrying an old root epoch
-	Failovers     int // member: promotions of this node to group root
-	Demotions     int // root: reigns ended by a newer epoch
-	DroppedErrors int // protocol errors discarded past the retention cap
+	Suppressed         int // root: speculative writes discarded
+	Forwarded          int // member: sequenced messages relayed down the tree
+	Duplicates         int // member: re-delivered sequenced messages dropped
+	Gaps               int // member: sequence gaps detected
+	Nacks              int // member: retransmit requests sent
+	Retransmits        int // root: sequenced messages re-sent
+	EchoDropped        int // member: own guarded echoes dropped (hardware blocking)
+	LostHistory        int // root: NACKs it could no longer serve
+	LockRequests       int
+	LockGrants         int
+	LockCancels        int // root: lock requests withdrawn (abort/timeout)
+	StaleEpochRejected int // messages rejected for carrying an old root epoch
+	Failovers          int // member: promotions of this node to group root
+	Demotions          int // root: reigns ended by a newer epoch
+	DroppedErrors      int // protocol errors discarded past the retention cap
+
+	// Partition safety and crash recovery (failover.go, rejoin.go).
+	Elections      int // member: root-failure elections this node entered
+	Fenced         int // root: reigns fenced after losing quorum contact
+	Rejoins        int // member: rejoin handshakes completed; root: members re-admitted
+	QuorumAckWaits int // root: lock handoffs / sync barriers deferred for quorum acks
 
 	// Batched update plane (batch.go).
 	Batches      int          // batch frames sent (member flushes, root fan-out, streams)
@@ -142,6 +148,11 @@ type Node struct {
 	// batchMax >= 2, and batchDelay bounds how long a queued write waits.
 	batchDelay time.Duration
 	batchMax   int
+
+	// quorumAcks makes the node's root reigns defer lock handoffs and
+	// sync barriers until a majority of members acked the sequenced
+	// prefix they depend on (see SetQuorumAcks).
+	quorumAcks bool
 }
 
 // NewNode attaches a sharing interface to an endpoint and starts its
@@ -183,6 +194,22 @@ func (n *Node) SetTimers(retry, failAfter, electWait time.Duration) {
 	if electWait > 0 {
 		n.electWait = electWait
 	}
+}
+
+// SetQuorumAcks switches the node's durability level. When on, members
+// acknowledge the sequenced prefix they applied (piggybacked on the
+// resync probes, plus explicit TAck frames), and any reign this node
+// roots only hands a released lock to the next waiter — and only answers
+// Sync barriers — once a majority of the configured membership holds
+// every write sequenced before the release. Combined with quorum-gated
+// elections this makes such writes durable across a root failover: any
+// elected successor merges reports from a majority, and two majorities
+// always share a member that acked. All nodes of a group should agree on
+// the setting; it is read on both the member and root paths.
+func (n *Node) SetQuorumAcks(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.quorumAcks = on
 }
 
 // interval reads the maintenance interval under the lock.
@@ -251,6 +278,11 @@ func (n *Node) Close() error {
 	for _, g := range groups {
 		g.data.closeAll()
 		g.lock.closeAll()
+		for tok, sw := range g.syncPending {
+			// Wake Sync callers unsatisfied (sw.ok stays false).
+			delete(g.syncPending, tok)
+			close(sw.ch)
+		}
 	}
 	n.mu.Unlock()
 	return err
@@ -324,30 +356,57 @@ func (n *Node) tick() {
 		if g.rootID == n.id {
 			continue // the root's member state is fed directly
 		}
-		// Open-ended resync probe: if this member is behind — even when
-		// the trailing messages of a burst were lost, which gap detection
-		// alone cannot notice — the root retransmits everything from the
-		// next expected sequence number. An up-to-date member costs one
-		// small message per interval and triggers no response.
-		n.send(g.rootID, wire.Message{
-			Type:  wire.TNack,
-			Group: uint32(gid),
-			Src:   int32(n.id),
-			Seq:   g.nextSeq,
-			Val:   int64(math.MaxInt64),
-			Epoch: g.epoch,
-		})
-		if g.snapWanted {
+		switch {
+		case g.rejoining:
+			// A restarted member asks for re-admission instead of probing:
+			// its sequence state is meaningless until the root answers with
+			// a fresh epoch and snapshot (rejoin.go).
+			n.send(g.rootID, wire.Message{
+				Type:  wire.TJoinReq,
+				Group: uint32(gid),
+				Src:   int32(n.id),
+				Epoch: g.epoch,
+			})
+		case g.snapWanted:
+			// A member waiting for a snapshot skips the resync probe: the
+			// snapshot supersedes any retransmission it could trigger.
 			n.send(g.rootID, wire.Message{
 				Type:  wire.TSnapReq,
 				Group: uint32(gid),
 				Src:   int32(n.id),
 				Epoch: g.epoch,
 			})
+		default:
+			// Open-ended resync probe: if this member is behind — even when
+			// the trailing messages of a burst were lost, which gap detection
+			// alone cannot notice — the root retransmits everything from the
+			// next expected sequence number. An up-to-date member costs one
+			// small message per interval and triggers no response. The probe
+			// doubles as the member's cumulative ack (Seq-1 is applied) and
+			// as root-side proof of contact for the fencing lease.
+			n.send(g.rootID, wire.Message{
+				Type:  wire.TNack,
+				Group: uint32(gid),
+				Src:   int32(n.id),
+				Seq:   g.nextSeq,
+				Val:   int64(math.MaxInt64),
+				Epoch: g.epoch,
+			})
+		}
+		// Re-send outstanding sync barriers; the root dedupes by token.
+		for tok := range g.syncPending {
+			n.send(g.rootID, wire.Message{
+				Type:  wire.TSyncReq,
+				Group: uint32(gid),
+				Src:   int32(n.id),
+				Seq:   tok,
+				Epoch: g.epoch,
+			})
 		}
 		n.detectFailure(gid, g, now)
 	}
 	for gid, r := range n.roots {
+		n.checkFence(r, now)
 		n.heartbeat(gid, r)
 	}
 }
@@ -357,7 +416,8 @@ func (n *Node) handle(m wire.Message) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	switch m.Type {
-	case wire.TUpdate, wire.TLockReq, wire.TLockRel, wire.TNack, wire.TLockCancel, wire.TSnapReq:
+	case wire.TUpdate, wire.TLockReq, wire.TLockRel, wire.TNack, wire.TLockCancel, wire.TSnapReq,
+		wire.TAck, wire.TSyncReq:
 		r, ok := n.roots[GroupID(m.Group)]
 		if !ok {
 			if g, member := n.groups[GroupID(m.Group)]; member {
@@ -365,7 +425,7 @@ func (n *Node) handle(m wire.Message) {
 				// believes this node is root. Point stale senders at the
 				// current root; otherwise drop and let retries converge.
 				if m.Epoch < g.epoch {
-					n.stats.StaleEpoch++
+					n.stats.StaleEpochRejected++
 					n.maybeNotice(g, int(m.Src))
 				}
 				return
@@ -374,6 +434,19 @@ func (n *Node) handle(m wire.Message) {
 			return
 		}
 		n.rootHandle(r, m)
+	case wire.TJoinReq:
+		n.handleJoinReq(m)
+	case wire.TJoinAck, wire.TSyncAck:
+		g, ok := n.groups[GroupID(m.Group)]
+		if !ok {
+			n.protoErr("gwc: node %d got %v for unknown group %d", n.id, m.Type, m.Group)
+			return
+		}
+		if m.Type == wire.TJoinAck {
+			n.handleJoinAck(g, m)
+		} else {
+			n.handleSyncAck(g, m)
+		}
 	case wire.TSeqUpdate, wire.TSeqLock:
 		g, ok := n.groups[GroupID(m.Group)]
 		if !ok {
@@ -381,6 +454,7 @@ func (n *Node) handle(m wire.Message) {
 			return
 		}
 		n.ingest(g, m)
+		n.maybeSendAck(g)
 	case wire.THeartbeat:
 		g, ok := n.groups[GroupID(m.Group)]
 		if !ok {

@@ -106,6 +106,18 @@ type memberGroup struct {
 	snapBufSeq uint64
 	lastNotice time.Time
 
+	// Crash recovery (rejoin.go): rejoining marks a restarted member
+	// waiting for the root's re-admission handshake.
+	rejoining bool
+
+	// Quorum-ack plumbing (fence.go): acked is the highest sequence
+	// number this member has explicitly acknowledged to the root this
+	// reign; syncPending holds outstanding Sync barriers by token and
+	// syncToken mints them.
+	acked       uint64
+	syncToken   uint64
+	syncPending map[uint64]*syncWaiter
+
 	// want tracks locks this node has requested and not yet released or
 	// cancelled. A grant arriving for an unwanted lock is auto-released,
 	// so a lost cancel message cannot strand the lock.
@@ -152,22 +164,23 @@ func newMemberGroup(id int, cfg GroupConfig) *memberGroup {
 		children = tree.Children[id]
 	}
 	return &memberGroup{
-		children:   children,
-		cfg:        cfg,
-		mem:        make(map[VarID]int64),
-		lockVal:    make(map[LockID]int64),
-		grantEpoch: make(map[LockID]uint32),
-		lockDone:   make(map[LockID]uint32),
-		nextSeq:    1,
-		pending:    make(map[uint64]wire.Message),
-		rootID:     cfg.Root,
-		lastRoot:   time.Now(),
-		suspected:  make(map[int]bool),
-		want:       make(map[LockID]bool),
-		lockHooks:  make(map[LockID]map[uint64]LockHook),
-		varHooks:   make(map[VarID]map[uint64]func(int64)),
-		data:       newNotifyList(),
-		lock:       newNotifyList(),
+		children:    children,
+		cfg:         cfg,
+		mem:         make(map[VarID]int64),
+		lockVal:     make(map[LockID]int64),
+		grantEpoch:  make(map[LockID]uint32),
+		lockDone:    make(map[LockID]uint32),
+		nextSeq:     1,
+		pending:     make(map[uint64]wire.Message),
+		rootID:      cfg.Root,
+		lastRoot:    time.Now(),
+		suspected:   make(map[int]bool),
+		want:        make(map[LockID]bool),
+		lockHooks:   make(map[LockID]map[uint64]LockHook),
+		varHooks:    make(map[VarID]map[uint64]func(int64)),
+		syncPending: make(map[uint64]*syncWaiter),
+		data:        newNotifyList(),
+		lock:        newNotifyList(),
 	}
 }
 
@@ -212,7 +225,7 @@ func (n *Node) ingestFwd(g *memberGroup, m wire.Message, forward bool) {
 			// A deposed root (or a retransmission from its reign) is still
 			// multicasting: its sequence numbering no longer means anything
 			// here.
-			n.stats.StaleEpoch++
+			n.stats.StaleEpochRejected++
 			return
 		}
 		n.adoptEpoch(g, m.Epoch, int(m.Src))
@@ -281,6 +294,30 @@ func (n *Node) maybeNack(g *memberGroup) {
 		Src:   int32(n.id),
 		Seq:   g.nextSeq,
 		Val:   int64(maxSeq),
+		Epoch: g.epoch,
+	})
+}
+
+// maybeSendAck tells the root how far this member's contiguous prefix
+// reaches, once per advance, feeding the quorum commit watermark
+// (fence.go). Sent only under quorum acks — without them the periodic
+// resync probe carries the same information at no extra cost. Callers
+// invoke it once per incoming frame, not per message, so a batch costs
+// one ack. Caller holds n.mu.
+func (n *Node) maybeSendAck(g *memberGroup) {
+	if !n.quorumAcks || g.rootID == n.id || g.rejoining || g.nextSeq == 0 {
+		return
+	}
+	applied := g.nextSeq - 1
+	if applied <= g.acked {
+		return
+	}
+	g.acked = applied
+	n.send(g.rootID, wire.Message{
+		Type:  wire.TAck,
+		Group: uint32(g.cfg.ID),
+		Src:   int32(n.id),
+		Seq:   applied,
 		Epoch: g.epoch,
 	})
 }

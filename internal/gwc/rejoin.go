@@ -1,0 +1,257 @@
+package gwc
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"optsync/internal/topo"
+	"optsync/internal/wire"
+)
+
+// Member crash recovery.
+//
+// A crashed-and-restarted node still has its configuration (it re-runs
+// the same program) but none of its volatile protocol state: variable
+// copies, the applied sequence position, lock state. Rejoin resets the
+// member side to a fresh join and runs a re-admission handshake with
+// whatever root currently reigns:
+//
+//   - the member sends TJoinReq every maintenance tick (instead of its
+//     resync probe) until answered;
+//   - the root frees any lock the rejoiner held or waited for (its
+//     sections died with its memory; its stale guarded writes carry old
+//     grant epochs and are suppressed), zeroes its ack, answers with
+//     TJoinAck naming the current epoch, and streams a state snapshot
+//     over the failover snapshot path;
+//   - a non-root member that receives the request points the rejoiner at
+//     the reign it follows (the rejoiner's idea of the root may predate
+//     a failover), and the corrective heartbeat converts the rejoin into
+//     ordinary epoch adoption.
+//
+// Because a reign's sequence numbers are globally consistent, live
+// multicasts that land between the TJoinAck and the snapshot buffer
+// cleanly in pending and replay once the snapshot re-bases the member.
+
+// syncWaiter parks one Sync caller until the root's TSyncAck arrives
+// (ok=true) or the node closes (ok=false).
+type syncWaiter struct {
+	ch chan struct{}
+	ok bool
+}
+
+// Rejoin re-enters a group this node already joined, discarding all
+// volatile member state — a restarted process recovering its groups, or
+// a chaos test reviving a crashed node. Held locks and queued requests
+// are abandoned (the root frees them on re-admission); registered hooks,
+// watches, and blocked waiters survive and fire again as the snapshot
+// re-bases the local copies. The handshake itself is asynchronous:
+// Rejoin returns once the request is on the wire, and the maintenance
+// tick re-sends it until the root answers. Roots cannot rejoin their own
+// reign.
+func (n *Node) Rejoin(gid GroupID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return fmt.Errorf("gwc: node %d is closed: %w", n.id, ErrClosed)
+	}
+	g, err := n.group(gid)
+	if err != nil {
+		return err
+	}
+	if _, isRoot := n.roots[gid]; isRoot {
+		return fmt.Errorf("gwc: node %d roots group %d and cannot rejoin its own reign", n.id, gid)
+	}
+	g.mem = make(map[VarID]int64)
+	g.lockVal = make(map[LockID]int64)
+	g.grantEpoch = make(map[LockID]uint32)
+	g.lockDone = make(map[LockID]uint32)
+	g.nextSeq = 1
+	g.pending = make(map[uint64]wire.Message)
+	g.suspected = make(map[int]bool)
+	g.want = make(map[LockID]bool)
+	g.electing = false
+	g.snapWanted = false
+	g.snapBuf = nil
+	g.reports = nil
+	g.suspended = false
+	g.suspendQ = nil
+	g.acked = 0
+	g.batchQ = nil
+	clear(g.batchIdx)
+	if g.batchTimer != nil {
+		g.batchTimer.Stop()
+	}
+	g.children = nil
+	g.lastRoot = time.Now()
+	g.rejoining = true
+	n.send(g.rootID, wire.Message{
+		Type:  wire.TJoinReq,
+		Group: uint32(gid),
+		Src:   int32(n.id),
+		Epoch: g.epoch,
+	})
+	return nil
+}
+
+// handleJoinReq processes a re-admission request, on whichever node it
+// reaches: the reigning root re-admits, anyone else redirects. The
+// request is epoch-agnostic — a rejoiner by definition does not know the
+// current epoch. Caller holds n.mu.
+func (n *Node) handleJoinReq(m wire.Message) {
+	gid := GroupID(m.Group)
+	src := int(m.Src)
+	if r, ok := n.roots[gid]; ok {
+		if !r.cfg.memberOf(src) {
+			n.protoErr("gwc: node %d got join request from non-member %d for group %d", n.id, src, m.Group)
+			return
+		}
+		r.lastHeard[src] = time.Now()
+		// The rejoiner's volatile state is gone: drop it from every lock
+		// queue and release anything it held. The release goes through
+		// rootHandle so a fenced reign parks it like any other release
+		// instead of multicasting a grant while fenced.
+		for l, ls := range r.locks {
+			for i, q := range ls.queue {
+				if q == src {
+					ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+					break
+				}
+			}
+			if ls.holder == src {
+				n.rootHandle(r, wire.Message{
+					Type:   wire.TLockRel,
+					Group:  uint32(gid),
+					Src:    int32(src),
+					Origin: int32(src),
+					Lock:   uint32(l),
+					Var:    ls.epoch,
+					Epoch:  r.epoch,
+				})
+			}
+		}
+		// Its acked prefix died with its memory; the quorum watermark
+		// must not keep crediting it (commit itself stays monotonic).
+		r.acks[src] = 0
+		n.stats.Rejoins++
+		n.send(src, wire.Message{
+			Type:  wire.TJoinAck,
+			Group: uint32(gid),
+			Src:   int32(n.id),
+			Seq:   r.seq,
+			Val:   int64(n.id),
+			Epoch: r.epoch,
+		})
+		n.rootSnapSend(r, src)
+		return
+	}
+	if g, ok := n.groups[gid]; ok {
+		// Not the root (any more): point the rejoiner at the reign this
+		// node follows; the corrective heartbeat turns its rejoin into
+		// ordinary epoch adoption.
+		n.maybeNotice(g, src)
+		return
+	}
+	n.protoErr("gwc: node %d got join request for unknown group %d", n.id, m.Group)
+}
+
+// handleJoinAck completes the rejoin handshake on the member: adopt the
+// answering root's epoch and wait for the snapshot stream that follows.
+// Caller holds n.mu.
+func (n *Node) handleJoinAck(g *memberGroup, m wire.Message) {
+	if !g.rejoining {
+		return // duplicate answer, or adoption already superseded the rejoin
+	}
+	g.rejoining = false
+	g.epoch = m.Epoch
+	g.rootID = int(m.Src)
+	g.lastRoot = time.Now()
+	g.electing = false
+	g.snapWanted = true
+	g.snapBuf = nil
+	g.nextSeq = 1
+	g.pending = make(map[uint64]wire.Message)
+	g.acked = 0
+	delete(g.suspected, g.rootID)
+	if g.cfg.TreeFanout && g.rootID == g.cfg.Root {
+		// Still the founding reign: resume this node's relay duties in the
+		// spanning tree. Failover reigns use direct fanout.
+		tree, err := topo.SpanningTree(topo.MustNew(len(g.cfg.Members)), g.cfg.Root)
+		if err == nil {
+			g.children = tree.Children[n.id]
+		}
+	}
+	n.stats.Rejoins++
+}
+
+// Sync is SyncContext without cancellation.
+func (n *Node) Sync(gid GroupID) error {
+	return n.SyncContext(context.Background(), gid)
+}
+
+// SyncContext blocks until every Write this node issued to the group
+// before the call is committed at the root: sequenced, and — under
+// SetQuorumAcks — applied by a majority of the membership, which makes
+// the writes durable across any quorum-gated failover. Queued batch
+// writes are flushed first, and the barrier rides the FIFO link behind
+// them. A fenced root holds the answer until its lease recovers, so
+// SyncContext doubles as a "did my writes actually commit?" probe during
+// a partition. If a failover lands between the flush and the answer, the
+// barrier is re-issued to the new root and only vouches for what that
+// reign sequenced — unsequenced writes from the old reign are lost, as
+// eager writes always are.
+func (n *Node) SyncContext(ctx context.Context, gid GroupID) error {
+	n.mu.Lock()
+	g, err := n.group(gid)
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("gwc: node %d is closed: %w", n.id, ErrClosed)
+	}
+	n.flushWrites(g, flushSync)
+	g.syncToken++
+	tok := g.syncToken
+	sw := &syncWaiter{ch: make(chan struct{})}
+	g.syncPending[tok] = sw
+	// The root answers directly; on loss or failover the maintenance tick
+	// re-sends every pending token (roots dedupe by token). A root node
+	// syncing its own group sends to itself, like its writes do.
+	n.send(g.rootID, wire.Message{
+		Type:  wire.TSyncReq,
+		Group: uint32(gid),
+		Src:   int32(n.id),
+		Seq:   tok,
+		Epoch: g.epoch,
+	})
+	n.mu.Unlock()
+	select {
+	case <-ctx.Done():
+		n.mu.Lock()
+		delete(g.syncPending, tok)
+		n.mu.Unlock()
+		return ctx.Err()
+	case <-sw.ch:
+		n.mu.Lock()
+		ok := sw.ok
+		n.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("gwc: node %d closed during sync barrier: %w", n.id, ErrClosed)
+		}
+		return nil
+	}
+}
+
+// handleSyncAck wakes the Sync caller whose token the root echoed.
+// Caller holds n.mu.
+func (n *Node) handleSyncAck(g *memberGroup, m wire.Message) {
+	sw, ok := g.syncPending[m.Seq]
+	if !ok {
+		return // cancelled, or a duplicate answer
+	}
+	delete(g.syncPending, m.Seq)
+	sw.ok = true
+	close(sw.ch)
+}

@@ -1,6 +1,10 @@
 package gwc
 
-import "optsync/internal/wire"
+import (
+	"time"
+
+	"optsync/internal/wire"
+)
 
 // rootGroup is the authoritative state the group root keeps: the write
 // sequencer, the retransmission history, and the lock manager.
@@ -28,6 +32,32 @@ type rootGroup struct {
 	// range out as one frame per destination.
 	collecting bool
 	outBatch   []wire.Message
+
+	// Fencing lease (fence.go): a root that heard from fewer than quorum
+	// members (itself included) within failAfter stops sequencing —
+	// up-traffic parks in fencedQ until contact returns, so a minority
+	// partition cannot commit writes a healed group would discard.
+	quorum    int
+	fenced    bool
+	fencedQ   []wire.Message
+	lastHeard map[int]time.Time
+
+	// Quorum-ack watermark (fence.go): acks[m] is the highest sequence
+	// number member m cumulatively acknowledged, commit the quorum-th
+	// highest of those (counting the root at r.seq). Sync barriers and,
+	// under SetQuorumAcks, lock handoffs wait for commit to reach the
+	// prefix they depend on.
+	acks      map[int]uint64
+	commit    uint64
+	waitSyncs []syncBarrier
+}
+
+// syncBarrier is a deferred TSyncReq: answered once the commit watermark
+// reaches needSeq.
+type syncBarrier struct {
+	src     int
+	token   uint64
+	needSeq uint64
 }
 
 // lockState is the manager's view of one queue-based lock.
@@ -35,15 +65,29 @@ type lockState struct {
 	holder int // -1 when free
 	epoch  uint32
 	queue  []int
+	// needSeq is the sequence number the releaser's data reached; under
+	// SetQuorumAcks the next grant waits until commit covers it.
+	needSeq uint64
 }
 
 func newRootGroup(cfg GroupConfig) *rootGroup {
-	return &rootGroup{
-		cfg:     cfg,
-		auth:    make(map[VarID]int64),
-		history: make([]wire.Message, cfg.HistorySize),
-		locks:   make(map[LockID]*lockState),
+	r := &rootGroup{
+		cfg:       cfg,
+		auth:      make(map[VarID]int64),
+		history:   make([]wire.Message, cfg.HistorySize),
+		locks:     make(map[LockID]*lockState),
+		quorum:    len(cfg.Members)/2 + 1,
+		lastHeard: make(map[int]time.Time),
+		acks:      make(map[int]uint64),
 	}
+	// Every member starts "recently heard": the lease must observe a full
+	// failAfter of silence before fencing a fresh reign. (The acting root
+	// is skipped by checkFence, so its own entry is inert.)
+	now := time.Now()
+	for _, m := range cfg.Members {
+		r.lastHeard[m] = now
+	}
+	return r
 }
 
 func (r *rootGroup) lock(l LockID) *lockState {
@@ -68,12 +112,17 @@ func (ls *lockState) queued(id int) bool {
 // rootHandle processes an up-message at the group root. Caller holds
 // n.mu.
 func (n *Node) rootHandle(r *rootGroup, m wire.Message) {
+	if src := int(m.Src); src != n.id && r.cfg.memberOf(src) {
+		// Any up-traffic from a configured member proves connectivity for
+		// the fencing lease, whatever epoch the sender believes in.
+		r.lastHeard[src] = time.Now()
+	}
 	if m.Epoch != r.epoch {
 		if m.Epoch < r.epoch {
 			// The sender is following a deposed root. Tell it about this
 			// reign so it resyncs; its retry then arrives with the right
 			// epoch.
-			n.stats.StaleEpoch++
+			n.stats.StaleEpochRejected++
 			n.send(int(m.Src), wire.Message{
 				Type:  wire.THeartbeat,
 				Group: uint32(r.cfg.ID),
@@ -87,6 +136,18 @@ func (n *Node) rootHandle(r *rootGroup, m wire.Message) {
 		// root's heartbeat will demote it through the member path.
 		return
 	}
+	if r.fenced {
+		switch m.Type {
+		case wire.TUpdate, wire.TLockReq, wire.TLockRel, wire.TLockCancel, wire.TSyncReq:
+			// A fenced root must not sequence, grant, or promise anything
+			// new; park the traffic until quorum contact returns (or the
+			// reign is deposed, which drops the queue — nothing in it was
+			// ever acknowledged). Retransmits, snapshots, and acks below
+			// still flow: they only serve already-sequenced state.
+			n.fenceQueue(r, m)
+			return
+		}
+	}
 	switch m.Type {
 	case wire.TUpdate:
 		n.rootUpdate(r, m)
@@ -97,7 +158,16 @@ func (n *Node) rootHandle(r *rootGroup, m wire.Message) {
 	case wire.TLockCancel:
 		n.rootLockCancel(r, m)
 	case wire.TNack:
+		// A resync probe doubles as a cumulative ack: everything below the
+		// sender's next expected sequence number has been applied there.
+		if m.Seq > 0 {
+			n.rootAck(r, int(m.Src), m.Seq-1)
+		}
 		n.rootNack(r, m)
+	case wire.TAck:
+		n.rootAck(r, int(m.Src), m.Seq)
+	case wire.TSyncReq:
+		n.rootSyncReq(r, m)
 	case wire.TSnapReq:
 		n.rootSnapSend(r, int(m.Src))
 	}
@@ -163,6 +233,13 @@ func (n *Node) rootLockReq(r *rootGroup, m wire.Message) {
 		ls.queue = append(ls.queue, origin)
 		return
 	}
+	if n.quorumAcks && r.commit < ls.needSeq {
+		// The last holder's data is not quorum-held yet; park the request
+		// behind the watermark (serviceQuorum grants it).
+		ls.queue = append(ls.queue, origin)
+		n.stats.QuorumAckWaits++
+		return
+	}
 	n.grant(r, l, ls, origin)
 }
 
@@ -199,10 +276,21 @@ func (n *Node) rootLockCancel(r *rootGroup, m wire.Message) {
 }
 
 // releaseLock frees the lock and immediately grants the next waiter, or
-// multicasts the free value when nobody is queued.
+// multicasts the free value when nobody is queued. Under SetQuorumAcks
+// the handoff is deferred until a quorum of members acked everything
+// sequenced so far — the releaser's section data in particular — so the
+// next holder can never observe (and build on) writes that a root
+// failover could lose.
 func (n *Node) releaseLock(r *rootGroup, l LockID, ls *lockState) {
 	ls.holder = -1
+	if n.quorumAcks {
+		ls.needSeq = r.seq
+	}
 	if len(ls.queue) > 0 {
+		if n.quorumAcks && r.commit < ls.needSeq {
+			n.stats.QuorumAckWaits++
+			return // serviceQuorum grants when the watermark catches up
+		}
 		next := ls.queue[0]
 		ls.queue = ls.queue[1:]
 		n.grant(r, l, ls, next)

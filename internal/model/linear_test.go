@@ -1,0 +1,69 @@
+package model
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterCheckerAcceptsCleanHistory(t *testing.T) {
+	c := NewCounterChecker()
+	for i := int64(0); i < 10; i++ {
+		c.Acked(i)
+	}
+	if err := c.Check(10); err != nil {
+		t.Fatalf("clean history rejected: %v", err)
+	}
+	if got := c.Len(); got != 10 {
+		t.Fatalf("Len = %d, want 10", got)
+	}
+}
+
+func TestCounterCheckerAcceptsGaps(t *testing.T) {
+	// Unacknowledged operations (crashed mid-section) leave holes in the
+	// chain; holes are fine, the claim is only about acknowledged ops.
+	c := NewCounterChecker()
+	c.Acked(0)
+	c.Acked(4)
+	if err := c.Check(7); err != nil {
+		t.Fatalf("gappy history rejected: %v", err)
+	}
+}
+
+func TestCounterCheckerRejectsDoubleGrant(t *testing.T) {
+	c := NewCounterChecker()
+	c.Acked(3)
+	c.Acked(3) // two sections saw the same predecessor value
+	err := c.Check(10)
+	if err == nil || !strings.Contains(err.Error(), "mutual exclusion") {
+		t.Fatalf("double transition not flagged: %v", err)
+	}
+}
+
+func TestCounterCheckerRejectsLostWrite(t *testing.T) {
+	c := NewCounterChecker()
+	c.Acked(5) // committed 6, but the group ended at 4
+	err := c.Check(4)
+	if err == nil || !strings.Contains(err.Error(), "lost") {
+		t.Fatalf("lost acknowledged write not flagged: %v", err)
+	}
+}
+
+func TestCounterCheckerConcurrentRecording(t *testing.T) {
+	c := NewCounterChecker()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Acked(int64(w*100 + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if err := c.Check(800); err != nil {
+		t.Fatalf("concurrent clean history rejected: %v", err)
+	}
+}

@@ -29,22 +29,27 @@ type FaultPlan struct {
 	// itself stays reliable when testing data-plane faults. Crash and
 	// partition faults ignore Spare: a dead node drops everything.
 	Spare []wire.Type
-	// DownOnly restricts faults to the root's sequenced multicast
-	// (TSeqUpdate/TSeqLock, including batch frames of them), the path the
-	// GWC runtime repairs with NACK-driven retransmission. Up-path
-	// messages (update, lock request/release, NACK) pass through
-	// untouched, matching the paper's reliable member-to-root links.
+	// DownOnly restricts faults to the root's retried down-path control
+	// responses: the sequenced multicast (TSeqUpdate/TSeqLock, including
+	// batch frames of them), which the GWC runtime repairs with
+	// NACK-driven retransmission, plus the rejoin/sync answers
+	// (TJoinAck/TSyncAck), which the requester re-requests every
+	// maintenance tick. Up-path messages (update, lock request/release,
+	// NACK, ack, join/sync requests) pass through untouched, matching
+	// the paper's reliable member-to-root links.
 	DownOnly bool
 }
 
-// downPlane reports whether m travels the root's sequenced multicast
-// path — a bare sequenced message or a whole batch frame of them.
+// downPlane reports whether m travels a root-to-member path the
+// receiver's retry machinery repairs — a bare sequenced message, a
+// whole batch frame of them, or a rejoin/sync answer.
 func downPlane(m wire.Message) bool {
 	t := m.Type
 	if t == wire.TBatch && len(m.Batch) > 0 {
 		t = m.Batch[0].Type
 	}
-	return t == wire.TSeqUpdate || t == wire.TSeqLock
+	return t == wire.TSeqUpdate || t == wire.TSeqLock ||
+		t == wire.TJoinAck || t == wire.TSyncAck
 }
 
 // spares reports whether the plan exempts t from probabilistic faults.
@@ -150,7 +155,16 @@ func (f *Flaky) Crash(node int) {
 	f.crashed[node] = true
 }
 
-// Revive reconnects a crashed node.
+// Revive reconnects a crashed node. Reconnection restores links only;
+// the node's protocol state is whatever it held at crash time, which
+// after a long outage or a root failover is arbitrarily stale. A node
+// that missed less than the root's retransmission window catches up by
+// itself (NACK repair, or a snapshot once the root's heartbeat shows it
+// has fallen past the window); a deposed ex-root is demoted and resyncs
+// on first contact; and a revived member can be told to gwc.Rejoin to
+// discard its stale state outright and be re-admitted at the current
+// epoch — the path chaos tests should exercise for "rebooted machine"
+// semantics.
 func (f *Flaky) Revive(node int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -63,7 +63,29 @@ const (
 	// TBatch packs several messages of one group into a single frame: Val
 	// holds the inner count and Batch the messages. Batches may not nest.
 	TBatch
+	// TAck is a member's cumulative acknowledgement: Seq is the highest
+	// sequence number the member has contiguously applied. The root feeds
+	// it into the quorum-durability watermark (resync probes carry the
+	// same information implicitly).
+	TAck
+	// TJoinReq asks the group root to re-admit a restarted member at the
+	// current epoch (a crashed-and-recovered node rejoining mid-reign).
+	TJoinReq
+	// TJoinAck re-admits a rejoining member: Epoch is the current reign,
+	// Seq the root's sequence number, Val the root's node ID. A state
+	// snapshot stream follows on the same link.
+	TJoinAck
+	// TSyncReq asks the root for a durability barrier: Seq carries an
+	// opaque token the matching TSyncAck echoes. The root answers once
+	// every message it sequenced before receiving the request is
+	// committed (immediately, or after a quorum of members acked it).
+	TSyncReq
+	// TSyncAck answers a TSyncReq; Seq echoes the request's token.
+	TSyncAck
 )
+
+// typeMax is the highest valid message type, used by decode validation.
+const typeMax = TSyncAck
 
 // String implements fmt.Stringer.
 func (t Type) String() string {
@@ -94,6 +116,16 @@ func (t Type) String() string {
 		return "lock-cancel"
 	case TBatch:
 		return "batch"
+	case TAck:
+		return "ack"
+	case TJoinReq:
+		return "join-req"
+	case TJoinAck:
+		return "join-ack"
+	case TSyncReq:
+		return "sync-req"
+	case TSyncAck:
+		return "sync-ack"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -197,7 +229,7 @@ func decodeOne(b []byte) (Message, error) {
 		Val:     int64(binary.BigEndian.Uint64(b[30:])),
 		Epoch:   binary.BigEndian.Uint32(b[38:]),
 	}
-	if m.Type < TUpdate || m.Type > TBatch {
+	if m.Type < TUpdate || m.Type > typeMax {
 		return Message{}, fmt.Errorf("wire: unknown message type %d", b[0])
 	}
 	return m, nil

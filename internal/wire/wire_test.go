@@ -22,6 +22,11 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		{Type: TSnapLock, Group: 2, Src: 0, Seq: 55, Lock: 1, Var: 6, Val: 5, Epoch: 3},
 		{Type: TSnapDone, Group: 2, Src: 0, Seq: 55, Epoch: 3},
 		{Type: TLockCancel, Group: 2, Src: 4, Origin: 4, Lock: 1, Epoch: 3},
+		{Type: TAck, Group: 2, Src: 4, Seq: 120, Epoch: 3},
+		{Type: TJoinReq, Group: 2, Src: 4},
+		{Type: TJoinAck, Group: 2, Src: 0, Seq: 120, Val: 1, Epoch: 3},
+		{Type: TSyncReq, Group: 2, Src: 4, Seq: 9, Epoch: 3},
+		{Type: TSyncAck, Group: 2, Src: 0, Seq: 9, Epoch: 3},
 	}
 	for _, m := range tests {
 		buf := Encode(nil, m)
@@ -39,9 +44,15 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestRoundTripProperty(t *testing.T) {
+	// Every scalar-encoded type (all but TBatch, which has its own tests).
+	kinds := []Type{
+		TUpdate, TLockReq, TLockRel, TSeqUpdate, TSeqLock, TNack,
+		THeartbeat, TSnapReq, TSnapVar, TSnapLock, TSnapDone, TLockCancel,
+		TAck, TJoinReq, TJoinAck, TSyncReq, TSyncAck,
+	}
 	prop := func(g uint32, src, origin int32, seq uint64, v, l uint32, val int64, guarded bool, kind uint8, epoch uint32) bool {
 		m := Message{
-			Type:    Type(kind%12) + TUpdate,
+			Type:    kinds[int(kind)%len(kinds)],
 			Group:   g,
 			Src:     src,
 			Origin:  origin,
@@ -244,6 +255,11 @@ func TestTypeString(t *testing.T) {
 		{TSnapDone, "snap-done"},
 		{TLockCancel, "lock-cancel"},
 		{TBatch, "batch"},
+		{TAck, "ack"},
+		{TJoinReq, "join-req"},
+		{TJoinAck, "join-ack"},
+		{TSyncReq, "sync-req"},
+		{TSyncAck, "sync-ack"},
 		{Type(99), "type(99)"},
 	}
 	for _, tt := range tests {

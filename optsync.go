@@ -80,6 +80,7 @@ type options struct {
 	electWait  time.Duration
 	batchDelay time.Duration
 	batchMsgs  int
+	quorumAcks bool
 }
 
 // Option configures NewCluster.
@@ -150,6 +151,29 @@ func WithBatching(maxDelay time.Duration, maxMsgs int) Option {
 		o.batchDelay = maxDelay
 		o.batchMsgs = maxMsgs
 	})
+}
+
+// WithQuorumAcks raises the cluster's durability level from fast to
+// quorum-acked. By default a write is "committed" the moment the group
+// root sequences it — cheap, but a write sequenced just before the root
+// crashes can be lost if the elected successor merges state from members
+// that had not applied it yet. With quorum acks, members continuously
+// acknowledge the sequenced prefix they applied, and the root:
+//
+//   - hands a released lock to the next waiter only once a majority of
+//     the membership holds everything sequenced up to the release, so a
+//     critical section can never observe a predecessor's writes that a
+//     failover could undo;
+//   - answers Sync barriers only once everything sequenced before the
+//     barrier is majority-held.
+//
+// Combined with the (always-on) quorum-gated elections, any successor
+// root merges reports from a majority of members, and two majorities
+// always intersect — so quorum-acked writes survive root failovers.
+// The cost is roughly one extra message per member per sequenced burst
+// and up to one ack round-trip of added lock-handoff latency.
+func WithQuorumAcks() Option {
+	return optionFunc(func(o *options) { o.quorumAcks = true })
 }
 
 // WithChaos enables the cluster's fault-injection controls (see
@@ -239,6 +263,7 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		c.nodes[i] = gwc.NewNode(i, ep)
 		c.nodes[i].SetTimers(o.retryIn, o.failAfter, o.electWait)
 		c.nodes[i].SetBatching(o.batchDelay, o.batchMsgs)
+		c.nodes[i].SetQuorumAcks(o.quorumAcks)
 		c.engines[i] = core.NewEngine(c.nodes[i], o.history)
 	}
 	return c, nil
@@ -264,7 +289,14 @@ type Chaos struct {
 // Crash isolates a node until Revive.
 func (ch *Chaos) Crash(node int) { ch.f.Crash(node) }
 
-// Revive reconnects a crashed node.
+// Revive reconnects a crashed node. Only the links come back: the
+// node's protocol state is whatever it held at crash time. A briefly
+// crashed member catches up by itself (NACK repair, or a snapshot once
+// it notices it fell past the root's retransmission window), and a
+// deposed ex-root is demoted and resyncs on first contact with the new
+// reign — but a node revived after a long outage converges fastest by
+// explicitly rejoining its groups with Handle.Rejoin, which discards
+// its stale state and re-admits it at the current epoch.
 func (ch *Chaos) Revive(node int) { ch.f.Revive(node) }
 
 // Partition cuts every link between the two sides until Heal.
@@ -619,6 +651,35 @@ func (h *Handle) TryLockFor(m *Mutex, d time.Duration) (bool, error) {
 // so every node sees the data before the lock changes hands.
 func (h *Handle) Release(m *Mutex) error {
 	return h.node.Release(m.g.id, m.id)
+}
+
+// Sync blocks until every Write this handle's node issued to g's group
+// before the call is committed: sequenced by the group root, and — on a
+// WithQuorumAcks cluster — applied by a majority of the membership,
+// which makes the writes durable across root failovers. While the root
+// is fenced off by a partition the barrier does not answer, so Sync
+// doubles as a "did my writes actually commit?" probe.
+func (h *Handle) Sync(g *Group) error {
+	return h.SyncContext(context.Background(), g)
+}
+
+// SyncContext is Sync with cancellation. If a root failover lands while
+// the barrier is pending it is re-issued to the new root and vouches
+// only for what the new reign sequenced; eager writes that died with the
+// old root are lost either way, exactly as without the barrier.
+func (h *Handle) SyncContext(ctx context.Context, g *Group) error {
+	return h.node.SyncContext(ctx, g.id)
+}
+
+// Rejoin re-enters g's group after this node was revived from a crash,
+// discarding all of the node's stale local state for the group: the
+// current root re-admits it at the current epoch and streams it a fresh
+// snapshot. Locks the node held or waited for at crash time are freed by
+// the root. Rejoin returns once the request is sent; convergence is
+// asynchronous (the request is retried until a root answers, even across
+// a concurrent failover).
+func (h *Handle) Rejoin(g *Group) error {
+	return h.node.Rejoin(g.id)
 }
 
 // Do runs body with m held (the regular, non-optimistic path).

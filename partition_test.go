@@ -1,0 +1,283 @@
+package optsync
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"optsync/internal/model"
+)
+
+// TestChaosPartitionMinorityNeverCommits is the partition-safety
+// acceptance test: a 5-node group splits 3/2 with the root on the
+// minority side, workloads keep hammering both sides, and the partition
+// heals. The quorum machinery must guarantee that the fenced minority
+// never commits a write or grants a lock, that the majority reign's
+// history survives the heal intact, and that a member crashed and
+// revived afterwards rejoins and converges — all checked by
+// linearizing every acknowledged increment against the final counter.
+func TestChaosPartitionMinorityNeverCommits(t *testing.T) {
+	const nodes = 5
+	c, err := NewCluster(nodes, WithChaos(), WithQuorumAcks(),
+		WithTimers(15*time.Millisecond, 90*time.Millisecond, 40*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	g, err := c.NewGroup("chaos", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Mutex("lock")
+	v := g.Int("counter", m)
+
+	checker := model.NewCounterChecker()
+	var (
+		acked int64 // increments acknowledged so far (checker.Len mirror)
+		stop  = make(chan struct{})
+		wg    sync.WaitGroup
+	)
+	// Workers on every node but 4 — the crash victim below must not die
+	// holding the mutex (the lock-freeing rejoin path has its own test) —
+	// so both sides of the partition keep trying. An increment counts as
+	// acknowledged only when the quorum-acked sync barrier answers; the
+	// barrier's 250 ms deadline is far shorter than the partition below,
+	// so a token parked at the fenced root always expires instead of
+	// leaking into the next reign.
+	for i := 0; i < nodes-1; i++ {
+		wg.Add(1)
+		go func(h *Handle) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ok, err := h.TryLockFor(m, 200*time.Millisecond)
+				if err != nil || !ok {
+					continue // outage or fence window: retry
+				}
+				cur, rerr := h.Read(v)
+				if rerr == nil {
+					if werr := h.Write(v, cur+1); werr == nil {
+						ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+						if h.SyncContext(ctx, g) == nil {
+							checker.Acked(cur)
+							atomic.AddInt64(&acked, 1)
+						}
+						cancel()
+					}
+				}
+				_ = h.Release(m)
+			}
+		}(c.Handle(i))
+	}
+	waitAcked := func(min int64, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for atomic.LoadInt64(&acked) < min && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if atomic.LoadInt64(&acked) < min {
+			t.Fatalf("workload stalled %s (%d acknowledged)", what, atomic.LoadInt64(&acked))
+		}
+	}
+	waitStat := func(node int, what string, get func(NodeStats) int, want int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if get(c.Handle(node).Stats()) >= want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("node %d: %s never reached %d", node, what, want)
+	}
+
+	waitAcked(8, "before the partition")
+
+	// Split 3/2 with the root marooned on the minority side.
+	c.Chaos().Partition([]int{0, 1}, []int{2, 3, 4})
+	waitStat(0, "fenced reigns", func(s NodeStats) int { return s.GWC.Fenced }, 1)
+	waitStat(2, "failovers", func(s NodeStats) int { return s.GWC.Failovers }, 1)
+	grantsAtFence := c.Handle(0).Stats().GWC.LockGrants
+
+	// The majority reign keeps committing; the fenced minority must not
+	// grant a single lock. Holding the partition open well past the sync
+	// deadline also guarantees no minority barrier is still pending when
+	// the reigns merge.
+	mid := atomic.LoadInt64(&acked)
+	waitAcked(mid+5, "under the majority reign")
+	time.Sleep(400 * time.Millisecond)
+	if got := c.Handle(0).Stats().GWC.LockGrants; got != grantsAtFence {
+		t.Errorf("fenced root granted %d locks", got-grantsAtFence)
+	}
+
+	c.Chaos().Heal()
+	waitStat(0, "demotions", func(s NodeStats) int { return s.GWC.Demotions }, 1)
+	healed := atomic.LoadInt64(&acked)
+	waitAcked(healed+3, "after the heal")
+
+	// Crash a member of the healed group mid-workload, then revive and
+	// explicitly rejoin it — the rebooted-machine path.
+	c.Chaos().Crash(4)
+	crashed := atomic.LoadInt64(&acked)
+	waitAcked(crashed+3, "with a member down")
+	c.Chaos().Revive(4)
+	if err := c.Handle(4).Rejoin(g); err != nil {
+		t.Fatal(err)
+	}
+	waitStat(4, "rejoins", func(s NodeStats) int { return s.GWC.Rejoins }, 1)
+	rejoined := atomic.LoadInt64(&acked)
+	waitAcked(rejoined+3, "after the rejoin")
+
+	close(stop)
+	wg.Wait()
+
+	// Every node — ex-minority, ex-crashed, and the reigning side —
+	// converges on one final counter.
+	var final int64 = -1
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		vals := make([]int64, nodes)
+		agreed := true
+		for i := range vals {
+			got, err := c.Handle(i).Read(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals[i] = got
+			if got != vals[0] {
+				agreed = false
+			}
+		}
+		if agreed {
+			final = vals[0]
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("group never converged: counters %v", vals)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The linearization check is the heart of the test: every
+	// acknowledged increment is a unique transition on the chain
+	// 0..final, so a minority commit that leaked past the fence, a
+	// majority write lost in the heal, or a double grant anywhere all
+	// surface here.
+	if err := checker.Check(final); err != nil {
+		t.Error(err)
+	}
+	if n := checker.Len(); int64(n) != atomic.LoadInt64(&acked) {
+		t.Errorf("checker recorded %d increments, workers acknowledged %d", n, acked)
+	}
+	if e := c.Handle(2).Stats().GWC.Elections; e < 1 {
+		t.Errorf("promoted node entered %d elections, want >= 1", e)
+	}
+	if r := c.Handle(2).Stats().GWC.Rejoins; r < 1 {
+		t.Errorf("reigning root re-admitted %d members, want >= 1", r)
+	}
+	if w := c.Handle(2).Stats().GWC.QuorumAckWaits; w < 1 {
+		t.Errorf("reigning root deferred %d quorum waits, want >= 1", w)
+	}
+}
+
+// TestChaosRejoinUnderBatchedLoad crashes a member while the rest of the
+// group streams coalesced writes, then revives and rejoins it without
+// pausing the load: the rejoin snapshot and the in-flight batch plane
+// must compose, and the rejoined member must converge on every stream.
+func TestChaosRejoinUnderBatchedLoad(t *testing.T) {
+	const nodes = 4
+	c, err := NewCluster(nodes, WithChaos(),
+		WithBatching(2*time.Millisecond, 16),
+		WithTimers(15*time.Millisecond, 90*time.Millisecond, 40*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	g, err := c.NewGroup("load", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := []*Var{g.Int("s0"), g.Int("s1"), g.Int("s2")}
+
+	var (
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+		progress [3]int64 // last value each writer published
+	)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int, h *Handle) {
+			defer wg.Done()
+			for next := int64(1); ; next++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := h.Write(vars[i], next); err == nil {
+					atomic.StoreInt64(&progress[i], next)
+				}
+				if next%8 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(i, c.Handle(i))
+	}
+	waitPast := func(min int64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			ok := true
+			for i := range progress {
+				if atomic.LoadInt64(&progress[i]) < min {
+					ok = false
+				}
+			}
+			if ok {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("writers stalled before reaching %d", min)
+	}
+
+	waitPast(50)
+	c.Chaos().Crash(3)
+	waitPast(150)
+	c.Chaos().Revive(3)
+	if err := c.Handle(3).Rejoin(g); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Handle(3).Stats().GWC.Rejoins < 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if c.Handle(3).Stats().GWC.Rejoins < 1 {
+		t.Fatal("rejoin handshake never completed under load")
+	}
+	waitPast(250)
+	close(stop)
+	wg.Wait()
+
+	// The rejoined member catches every stream up to its writer's last
+	// published value; the others converge too.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, v := range vars {
+		want := atomic.LoadInt64(&progress[i])
+		for nd := 0; nd < nodes; nd++ {
+			if err := c.Handle(nd).WaitGEContext(ctx, v, want); err != nil {
+				t.Fatalf("node %d never reached %s=%d: %v", nd, v.Name(), want, err)
+			}
+		}
+	}
+	if b := c.Handle(0).Stats().GWC.Batches; b == 0 {
+		t.Error("workload ran without a single batch frame; load was not batched")
+	}
+}
