@@ -106,7 +106,7 @@ func (n *Node) enqueueWrite(gid GroupID, g *memberGroup, msg wire.Message) {
 	}
 	if len(g.batchQ) == 1 {
 		if g.batchTimer == nil {
-			g.batchTimer = time.AfterFunc(n.batchDelay, func() { n.flushTimer(gid) })
+			g.batchTimer = n.clock.AfterFunc(n.batchDelay, func() { n.flushTimer(gid) })
 		} else {
 			g.batchTimer.Reset(n.batchDelay)
 		}

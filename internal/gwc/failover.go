@@ -100,7 +100,7 @@ func (n *Node) handleHeartbeat(g *memberGroup, m wire.Message) {
 		n.stats.StaleEpochRejected++
 		n.maybeNotice(g, int(m.Src))
 	default:
-		g.lastRoot = time.Now()
+		g.lastRoot = n.clock.Now()
 		g.electing = false
 		delete(g.suspected, g.rootID)
 		if !g.snapWanted && !g.rejoining &&
@@ -119,7 +119,7 @@ func (n *Node) handleHeartbeat(g *memberGroup, m wire.Message) {
 // per group so floods of old-epoch traffic produce one corrective
 // heartbeat per interval. Caller holds n.mu.
 func (n *Node) maybeNotice(g *memberGroup, to int) {
-	now := time.Now()
+	now := n.clock.Now()
 	if now.Sub(g.lastNotice) < n.retryIn {
 		return
 	}
@@ -153,7 +153,7 @@ func (n *Node) adoptEpoch(g *memberGroup, epoch uint32, root int) {
 	}
 	g.epoch = epoch
 	g.rootID = root
-	g.lastRoot = time.Now()
+	g.lastRoot = n.clock.Now()
 	g.electing = false
 	g.snapWanted = true
 	g.snapBuf = nil
@@ -267,19 +267,19 @@ func (n *Node) sendReport(g *memberGroup, to int) {
 		Epoch: g.electEpoch,
 	}
 	msgs := make([]wire.Message, 0, len(g.mem)+len(g.lockVal)+1)
-	for v, val := range g.mem {
+	for _, v := range sortedKeys(g.mem) {
 		m := base
 		m.Type = wire.TSnapVar
 		m.Var = uint32(v)
-		m.Val = val
+		m.Val = g.mem[v]
 		msgs = append(msgs, m)
 	}
-	for l, val := range g.lockVal {
+	for _, l := range sortedKeys(g.lockVal) {
 		m := base
 		m.Type = wire.TSnapLock
 		m.Lock = uint32(l)
 		m.Var = g.grantEpoch[l]
-		m.Val = val
+		m.Val = g.lockVal[l]
 		msgs = append(msgs, m)
 	}
 	done := base
@@ -320,7 +320,7 @@ func (n *Node) promote(gid GroupID, g *memberGroup) {
 		guards[v] = l
 	}
 	cfg.Guards = guards
-	r := newRootGroup(cfg)
+	r := newRootGroup(cfg, n.clock.Now())
 	r.epoch = epoch
 	for v, val := range auth {
 		r.auth[v] = val
@@ -333,7 +333,7 @@ func (n *Node) promote(gid GroupID, g *memberGroup) {
 	// restarts at 1 and the merged state becomes the local copy.
 	g.epoch = epoch
 	g.rootID = n.id
-	g.lastRoot = time.Now()
+	g.lastRoot = n.clock.Now()
 	g.electing = false
 	g.snapWanted = false
 	g.snapBuf = nil
@@ -343,10 +343,11 @@ func (n *Node) promote(gid GroupID, g *memberGroup) {
 	g.rejoining = false
 	g.acked = 0
 	g.children = nil
-	for v, val := range auth {
-		n.applyVarValue(g, v, val)
+	for _, v := range sortedKeys(auth) {
+		n.applyVarValue(g, v, auth[v])
 	}
-	for l, ls := range locks {
+	for _, l := range sortedKeys(locks) {
+		ls := locks[l]
 		val := Free
 		if ls.holder != -1 {
 			val = GrantValue(ls.holder)
@@ -355,7 +356,8 @@ func (n *Node) promote(gid GroupID, g *memberGroup) {
 	}
 	// Free locks with survivors queued move on immediately; everyone
 	// else learns the holder from the grant multicast or the snapshot.
-	for l, ls := range r.locks {
+	for _, l := range sortedKeys(r.locks) {
+		ls := r.locks[l]
 		if ls.holder == -1 && len(ls.queue) > 0 {
 			next := ls.queue[0]
 			ls.queue = ls.queue[1:]
@@ -515,7 +517,7 @@ func (n *Node) handleSnap(g *memberGroup, m wire.Message) {
 // already applied past that point (the periodic re-request fetches a
 // fresher one). Caller holds n.mu.
 func (n *Node) snapApply(g *memberGroup, m wire.Message) {
-	g.lastRoot = time.Now()
+	g.lastRoot = n.clock.Now()
 	if g.snapBuf == nil || g.snapBufSeq != m.Seq {
 		g.snapBuf = newSnapReport(m.Seq)
 		g.snapBufSeq = m.Seq
@@ -531,11 +533,11 @@ func (n *Node) snapApply(g *memberGroup, m wire.Message) {
 		if m.Seq+1 < g.nextSeq {
 			return // stale snapshot; keep snapWanted and re-request
 		}
-		for v, val := range snap.vars {
-			n.applyVarValue(g, v, val)
+		for _, v := range sortedKeys(snap.vars) {
+			n.applyVarValue(g, v, snap.vars[v])
 		}
-		for l, ls := range snap.locks {
-			n.applyLockValue(g, l, ls.val, ls.epoch)
+		for _, l := range sortedKeys(snap.locks) {
+			n.applyLockValue(g, l, snap.locks[l].val, snap.locks[l].epoch)
 		}
 		g.nextSeq = m.Seq + 1
 		for s := range g.pending {
@@ -620,14 +622,15 @@ func (n *Node) rootSnapSend(r *rootGroup, to int) {
 		Epoch: r.epoch,
 	}
 	msgs := make([]wire.Message, 0, len(r.auth)+len(r.locks)+1)
-	for v, val := range r.auth {
+	for _, v := range sortedKeys(r.auth) {
 		m := base
 		m.Type = wire.TSnapVar
 		m.Var = uint32(v)
-		m.Val = val
+		m.Val = r.auth[v]
 		msgs = append(msgs, m)
 	}
-	for l, ls := range r.locks {
+	for _, l := range sortedKeys(r.locks) {
+		ls := r.locks[l]
 		m := base
 		m.Type = wire.TSnapLock
 		m.Lock = uint32(l)

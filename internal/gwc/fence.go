@@ -39,14 +39,50 @@ import (
 
 // fenceQueue parks an up-message on a fenced root, bounded by the
 // history size so a long partition cannot grow the queue without limit.
-// Caller holds n.mu.
+// At the bound, data-plane traffic is shed in preference to lock-plane
+// traffic: updates and sync requests are retried or reissued by their
+// senders, but a TLockRel is sent exactly once — dropping it would leave
+// the root believing in a holder that believes it released, stranding
+// the lock for the rest of the reign (found by seeded schedule
+// exploration; see internal/detsim's fence regression scenario). Caller
+// holds n.mu.
 func (n *Node) fenceQueue(r *rootGroup, m wire.Message) {
 	if len(r.fencedQ) >= r.cfg.HistorySize {
-		n.protoErr("gwc: node %d fenced root of group %d dropped %v from %d past queue bound",
+		n.stats.FencedDrops++
+		if fenceDroppable(m.Type) {
+			n.protoErr("gwc: node %d fenced root of group %d dropped %v from %d past queue bound",
+				n.id, r.cfg.ID, m.Type, m.Src)
+			return
+		}
+		// Lock-plane arrival at a full queue: evict the oldest parked
+		// data message to make room. Replay order among surviving
+		// messages is preserved; the evicted update is lost exactly as
+		// it would have been had it arrived after the queue filled.
+		for i, q := range r.fencedQ {
+			if fenceDroppable(q.Type) {
+				n.protoErr("gwc: node %d fenced root of group %d evicted parked %v from %d to keep %v from %d",
+					n.id, r.cfg.ID, q.Type, q.Src, m.Type, m.Src)
+				r.fencedQ = append(r.fencedQ[:i], r.fencedQ[i+1:]...)
+				r.fencedQ = append(r.fencedQ, m)
+				return
+			}
+		}
+		// Pathological: the queue is all lock-plane traffic already.
+		n.protoErr("gwc: node %d fenced root of group %d dropped %v from %d past queue bound (no data to evict)",
 			n.id, r.cfg.ID, m.Type, m.Src)
 		return
 	}
 	r.fencedQ = append(r.fencedQ, m)
+}
+
+// fenceDroppable classifies parked messages the fence may shed at its
+// bound: plain eager updates (an unsequenced write is lost exactly as
+// when its carrier frame is dropped) and sync requests (re-sent every
+// maintenance tick until answered). Lock requests are also retried by
+// their senders, but evicting them would scramble acquisition order for
+// no gain — queue pressure comes from update floods.
+func fenceDroppable(t wire.Type) bool {
+	return t == wire.TUpdate || t == wire.TSyncReq
 }
 
 // checkFence runs the root's lease each maintenance tick: count the
@@ -150,7 +186,8 @@ func (n *Node) serviceQuorum(r *rootGroup) {
 	if r.fenced {
 		return
 	}
-	for l, ls := range r.locks {
+	for _, l := range sortedKeys(r.locks) {
+		ls := r.locks[l]
 		if ls.holder == -1 && len(ls.queue) > 0 && r.commit >= ls.needSeq {
 			next := ls.queue[0]
 			ls.queue = ls.queue[1:]

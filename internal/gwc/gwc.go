@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"optsync/internal/transport"
+	"optsync/internal/vclock"
 	"optsync/internal/wire"
 )
 
@@ -99,6 +100,7 @@ type Stats struct {
 	Nacks              int // member: retransmit requests sent
 	Retransmits        int // root: sequenced messages re-sent
 	EchoDropped        int // member: own guarded echoes dropped (hardware blocking)
+	EchoRestored       int // member: own echoes re-applied after a snapshot re-base rolled the eager store back
 	LostHistory        int // root: NACKs it could no longer serve
 	LockRequests       int
 	LockGrants         int
@@ -113,6 +115,7 @@ type Stats struct {
 	Fenced         int // root: reigns fenced after losing quorum contact
 	Rejoins        int // member: rejoin handshakes completed; root: members re-admitted
 	QuorumAckWaits int // root: lock handoffs / sync barriers deferred for quorum acks
+	FencedDrops    int // root: messages dropped (or evicted) past the fenced-queue bound
 
 	// Batched update plane (batch.go).
 	Batches      int          // batch frames sent (member flushes, root fan-out, streams)
@@ -126,6 +129,11 @@ type Stats struct {
 type Node struct {
 	id int
 	ep transport.Endpoint
+	// clock drives every timeout in the node (maintenance ticks, failure
+	// detection, batch windows). Production nodes run on the wall clock;
+	// deterministic schedule exploration (internal/detsim) injects a
+	// virtual one.
+	clock vclock.Clock
 
 	mu      sync.Mutex
 	groups  map[GroupID]*memberGroup
@@ -158,9 +166,19 @@ type Node struct {
 // NewNode attaches a sharing interface to an endpoint and starts its
 // receive loop. Callers must Close the node when done.
 func NewNode(id int, ep transport.Endpoint) *Node {
+	return NewNodeClock(id, ep, vclock.Real())
+}
+
+// NewNodeClock is NewNode with an injected clock: every timeout the node
+// schedules — maintenance ticks, root-failure detection, election grace,
+// batch-flush windows — reads and arms this clock instead of the time
+// package. The deterministic simulation harness (internal/detsim) uses
+// it to drive the full protocol on virtual time.
+func NewNodeClock(id int, ep transport.Endpoint, clock vclock.Clock) *Node {
 	n := &Node{
 		id:        id,
 		ep:        ep,
+		clock:     clock,
 		groups:    make(map[GroupID]*memberGroup),
 		roots:     make(map[GroupID]*rootGroup),
 		stop:      make(chan struct{}),
@@ -168,9 +186,13 @@ func NewNode(id int, ep transport.Endpoint) *Node {
 		failAfter: 2 * time.Second,
 		electWait: 200 * time.Millisecond,
 	}
+	// The maintenance timer is armed here, not inside resyncLoop, so that
+	// node construction fully determines timer creation order — a
+	// deterministic scheduler breaks firing ties by it.
+	maint := clock.NewTimer(n.retryIn)
 	n.wg.Add(2)
 	go n.recvLoop()
-	go n.resyncLoop()
+	go n.resyncLoop(maint)
 	return n
 }
 
@@ -246,9 +268,10 @@ func (n *Node) Join(cfg GroupConfig) error {
 	if _, ok := n.groups[cfg.ID]; ok {
 		return fmt.Errorf("gwc: node %d already joined group %d", n.id, cfg.ID)
 	}
-	n.groups[cfg.ID] = newMemberGroup(n.id, cfg)
+	now := n.clock.Now()
+	n.groups[cfg.ID] = newMemberGroup(n.id, cfg, now)
 	if cfg.Root == n.id {
-		n.roots[cfg.ID] = newRootGroup(cfg)
+		n.roots[cfg.ID] = newRootGroup(cfg, now)
 	}
 	return nil
 }
@@ -263,7 +286,8 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	groups := make([]*memberGroup, 0, len(n.groups))
-	for _, g := range n.groups {
+	for _, gid := range sortedKeys(n.groups) {
+		g := n.groups[gid]
 		// Drain the write-coalescing queue while the endpoint still works,
 		// so a Close right after a burst of batched writes loses nothing.
 		n.flushWrites(g, flushClose)
@@ -331,28 +355,33 @@ func (n *Node) recvLoop() {
 // failure detection on the member side, heartbeats on the root side.
 // Transient send errors are recorded via protoErr and the loop carries
 // on; it exits only when the node is closed.
-func (n *Node) resyncLoop() {
+func (n *Node) resyncLoop(timer vclock.Timer) {
 	defer n.wg.Done()
+	defer timer.Stop()
 	for {
-		timer := time.NewTimer(n.interval())
 		select {
 		case <-n.stop:
-			timer.Stop()
 			return
-		case <-timer.C:
+		case <-timer.C():
 		}
 		n.tick()
+		// Re-armed only after the tick's sends are out, so a virtual
+		// scheduler observing "no timer pending" knows the tick finished.
+		timer.Reset(n.interval())
 	}
 }
 
 // tick runs one maintenance round under the node lock. Sends go through
 // n.send, which records (rather than returns) transport errors, so one
 // transient failure never silences the maintenance machinery for good.
+// Iteration is in key order: the messages a tick emits must not depend
+// on map layout, or two runs of the same schedule would diverge.
 func (n *Node) tick() {
-	now := time.Now()
+	now := n.clock.Now()
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	for gid, g := range n.groups {
+	for _, gid := range sortedKeys(n.groups) {
+		g := n.groups[gid]
 		if g.rootID == n.id {
 			continue // the root's member state is fed directly
 		}
@@ -394,7 +423,7 @@ func (n *Node) tick() {
 			})
 		}
 		// Re-send outstanding sync barriers; the root dedupes by token.
-		for tok := range g.syncPending {
+		for _, tok := range sortedKeys(g.syncPending) {
 			n.send(g.rootID, wire.Message{
 				Type:  wire.TSyncReq,
 				Group: uint32(gid),
@@ -405,7 +434,8 @@ func (n *Node) tick() {
 		}
 		n.detectFailure(gid, g, now)
 	}
-	for gid, r := range n.roots {
+	for _, gid := range sortedKeys(n.roots) {
+		r := n.roots[gid]
 		n.checkFence(r, now)
 		n.heartbeat(gid, r)
 	}

@@ -262,6 +262,81 @@ func TestHardwareBlockingDropsEchoes(t *testing.T) {
 	t.Errorf("EchoDropped = %d, want >= 1 (guarded echo must be blocked)", n1.Stats().EchoDropped)
 }
 
+// TestOwnEchoRestoredAfterSnapshotRebase exercises the one exception to
+// hardware blocking: when a snapshot re-base has rolled back a member's
+// eager guarded store, the echo of its newest own write is the only
+// message that still carries the write, so it must be applied instead of
+// dropped — while echoes of older, locally superseded stores stay
+// blocked. The sequence is synthesized under the node lock so the test
+// is hermetic; the detsim harness found the live interleaving
+// (partition-during-election seed 7).
+func TestOwnEchoRestoredAfterSnapshotRebase(t *testing.T) {
+	c := newInProcCluster(t, 2, true)
+	n := c.nodes[1]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g := n.groups[tGroup]
+
+	echo := func(val int64) wire.Message {
+		m := wire.Message{
+			Type:    wire.TSeqUpdate,
+			Group:   uint32(tGroup),
+			Src:     int32(g.rootID),
+			Origin:  int32(n.id),
+			Guarded: true,
+			Seq:     g.nextSeq,
+			Var:     uint32(tVar),
+			Val:     val,
+			Epoch:   g.epoch,
+		}
+		return m
+	}
+
+	// An eager guarded store whose echo is still in flight...
+	g.mem[tVar] = 7
+	g.eager[tVar] = 7
+	// ...rolled back by a failover snapshot cut before the write was
+	// sequenced (applyVarValue is the snapshot's apply path).
+	n.applyVarValue(g, tVar, 3)
+	if got := g.mem[tVar]; got != 3 {
+		t.Fatalf("after re-base: mem = %d, want 3", got)
+	}
+	// The echo must repair the copy.
+	n.ingestFwd(g, echo(7), false)
+	if got := g.mem[tVar]; got != 7 {
+		t.Errorf("after own echo: mem = %d, want 7 (restored)", got)
+	}
+	if n.stats.EchoRestored != 1 {
+		t.Errorf("EchoRestored = %d, want 1", n.stats.EchoRestored)
+	}
+
+	// A second arrival of the same echo is a plain duplicate again.
+	before := n.stats.EchoRestored
+	n.ingestFwd(g, echo(7), false)
+	if n.stats.EchoRestored != before {
+		t.Errorf("re-delivered echo restored again; EchoRestored = %d", n.stats.EchoRestored)
+	}
+
+	// An echo of an older store never lands: the newer local store wins
+	// even when a re-base intervened.
+	g.mem[tVar] = 9
+	g.eager[tVar] = 9
+	n.applyVarValue(g, tVar, 3)
+	dropped := n.stats.EchoDropped
+	n.ingestFwd(g, echo(5), false) // echo of a superseded store
+	if got := g.mem[tVar]; got != 3 {
+		t.Errorf("superseded echo applied: mem = %d, want 3", got)
+	}
+	if n.stats.EchoDropped != dropped+1 {
+		t.Errorf("EchoDropped = %d, want %d", n.stats.EchoDropped, dropped+1)
+	}
+	// The newest store's echo still repairs.
+	n.ingestFwd(g, echo(9), false)
+	if got := g.mem[tVar]; got != 9 {
+		t.Errorf("newest echo after superseded one: mem = %d, want 9", got)
+	}
+}
+
 func TestRootSuppressesNonHolderGuardedWrite(t *testing.T) {
 	c := newInProcCluster(t, 3, true)
 	// Node 1 holds the lock; node 2 writes the guarded variable without

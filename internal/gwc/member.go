@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"optsync/internal/topo"
+	"optsync/internal/vclock"
 	"optsync/internal/wire"
 )
 
@@ -66,6 +67,14 @@ type memberGroup struct {
 
 	mem     map[VarID]int64
 	lockVal map[LockID]int64
+	// eager records the newest guarded local store per variable whose
+	// root echo has not come back yet. Hardware blocking normally drops
+	// own echoes outright, but a failover snapshot can re-base the local
+	// copy to a cut taken before the write was sequenced — rolling the
+	// eager store back. The echo is then the only message that carries
+	// the write, so applyData consults this map and lets the newest own
+	// echo through instead of suppressing it (see applyData).
+	eager map[VarID]int64
 	// grantEpoch counts grants observed for each lock; releases quote it
 	// so the root can discard stale duplicates.
 	grantEpoch map[LockID]uint32
@@ -145,13 +154,13 @@ type memberGroup struct {
 	// queue slot so an in-window rewrite combines instead of appending.
 	batchQ     []wire.Message
 	batchIdx   map[VarID]int
-	batchTimer *time.Timer
+	batchTimer vclock.Timer
 
 	data *notifyList
 	lock *notifyList
 }
 
-func newMemberGroup(id int, cfg GroupConfig) *memberGroup {
+func newMemberGroup(id int, cfg GroupConfig, now time.Time) *memberGroup {
 	var children []int
 	if cfg.TreeFanout {
 		// The config was validated at Join time; the tree over the torus
@@ -168,12 +177,13 @@ func newMemberGroup(id int, cfg GroupConfig) *memberGroup {
 		cfg:         cfg,
 		mem:         make(map[VarID]int64),
 		lockVal:     make(map[LockID]int64),
+		eager:       make(map[VarID]int64),
 		grantEpoch:  make(map[LockID]uint32),
 		lockDone:    make(map[LockID]uint32),
 		nextSeq:     1,
 		pending:     make(map[uint64]wire.Message),
 		rootID:      cfg.Root,
-		lastRoot:    time.Now(),
+		lastRoot:    now,
 		suspected:   make(map[int]bool),
 		want:        make(map[LockID]bool),
 		lockHooks:   make(map[LockID]map[uint64]LockHook),
@@ -234,11 +244,25 @@ func (n *Node) ingestFwd(g *memberGroup, m wire.Message, forward bool) {
 		}
 	}
 	// Sequenced traffic from the current root is proof of life.
-	g.lastRoot = time.Now()
+	g.lastRoot = n.clock.Now()
 	g.electing = false
 	switch {
 	case m.Seq < g.nextSeq:
 		n.stats.Duplicates++
+		return
+	case g.snapWanted:
+		// Not re-based into this reign yet: the stream and the snapshot
+		// are unordered on the wire, and applying live traffic against
+		// pre-snapshot state breaks the stream's ordering guarantee — a
+		// failover lock grant could start a critical section that reads
+		// pre-merge data. Park everything; snapApply discards what the
+		// snapshot's cut covers and replays the rest in order.
+		if _, dup := g.pending[m.Seq]; !dup {
+			g.pending[m.Seq] = m
+			if forward {
+				n.forwardDown(g, m)
+			}
+		}
 		return
 	case m.Seq > g.nextSeq:
 		if _, dup := g.pending[m.Seq]; !dup {
@@ -273,7 +297,7 @@ func (n *Node) maybeNack(g *memberGroup) {
 	if len(g.pending) == 0 {
 		return
 	}
-	now := time.Now()
+	now := n.clock.Now()
 	if now.Sub(g.lastNack) < 5*time.Millisecond {
 		return
 	}
@@ -352,7 +376,22 @@ func (n *Node) applyLockValue(g *memberGroup, l LockID, val int64, grantEpoch ui
 			// (a re-announce the root minted for a racing request retry).
 			// Taking it would let a later acquisition run unlocked, so it
 			// must not become the local lock value; the stream's next lock
-			// update supersedes it everywhere else too.
+			// update supersedes it everywhere else too. But answer it with
+			// a release quoting the stale grant epoch: a root that still
+			// records this node as the holder lost our original release
+			// (e.g. it fell past the fenced-queue bound during a
+			// partition) and would otherwise re-announce forever while we
+			// ignore it forever — the reply breaks that livelock, and a
+			// root that has moved on discards it as stale.
+			n.send(g.rootID, wire.Message{
+				Type:   wire.TLockRel,
+				Group:  uint32(g.cfg.ID),
+				Src:    int32(n.id),
+				Origin: int32(n.id),
+				Lock:   uint32(l),
+				Var:    grantEpoch,
+				Epoch:  g.epoch,
+			})
 			return
 		}
 		if !g.want[l] {
@@ -391,9 +430,30 @@ func (n *Node) applyData(g *memberGroup, m wire.Message) {
 	if m.Guarded && int(m.Origin) == n.id {
 		// Hardware blocking (Figure 6): drop root-echoed copies of our own
 		// mutex-group writes. The local store already happened at write
-		// time; applying the echo could overwrite rollback state.
-		n.stats.EchoDropped++
-		return
+		// time; applying the echo could overwrite rollback state — and an
+		// echo of an older store must never clobber a newer one.
+		//
+		// One exception keeps the origin convergent: a failover snapshot
+		// may have re-based the local copy to a cut taken before this
+		// write was sequenced, rolling the eager store back. The echo of
+		// the NEWEST own store (and only that one — older echoes are
+		// still superseded locally) is then the only message carrying the
+		// write, so it must land. When no re-base happened the re-apply
+		// is a no-op and counts as dropped like before.
+		v := VarID(m.Var)
+		want, ok := g.eager[v]
+		if ok && want == m.Val {
+			delete(g.eager, v)
+			if g.mem[v] != m.Val {
+				n.stats.EchoRestored++
+			} else {
+				n.stats.EchoDropped++
+				return
+			}
+		} else {
+			n.stats.EchoDropped++
+			return
+		}
 	}
 	g.mem[VarID(m.Var)] = m.Val
 	for _, hook := range g.varHooks[VarID(m.Var)] {
@@ -443,6 +503,10 @@ func (n *Node) Write(gid GroupID, v VarID, val int64) error {
 		// queued grant — a hole the paper's unconditional critical
 		// sections never exposed.
 		msg.Seq = uint64(g.grantEpoch[guard])
+		// Remember the newest eager store so applyData can tell this
+		// write's echo apart from echoes of older, superseded stores —
+		// and restore it if a failover snapshot rolled the copy back.
+		g.eager[v] = val
 	}
 	if n.batchMax >= 2 {
 		// Batched plane: queue for a size/delay/release flush instead of
@@ -499,6 +563,15 @@ func (n *Node) WaitGEContext(ctx context.Context, gid GroupID, v VarID, min int6
 		g.data.unregister(ch)
 		n.mu.Unlock()
 	}()
+	// One timer for the whole wait, re-armed per round (the drain-on-Reset
+	// clock wrapper makes that safe even when a fire raced the other
+	// cases).
+	var timer vclock.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		if g.mem[v] >= min {
 			n.mu.Unlock()
@@ -509,17 +582,20 @@ func (n *Node) WaitGEContext(ctx context.Context, gid GroupID, v VarID, min int6
 		if closed {
 			return false, nil
 		}
-		timer := time.NewTimer(n.interval())
+		if timer == nil {
+			timer = n.clock.NewTimer(n.interval())
+		} else {
+			timer.Reset(n.interval())
+		}
 		select {
 		case <-ctx.Done():
-			timer.Stop()
 			return false, ctx.Err()
 		case _, ok := <-ch:
 			timer.Stop()
 			if !ok {
 				return false, nil
 			}
-		case <-timer.C:
+		case <-timer.C():
 			// Periodic wake: if a sequence gap is stalling us and the
 			// NACK was lost, ask again.
 			n.mu.Lock()
@@ -578,6 +654,13 @@ func (n *Node) waitLock(ctx context.Context, gid GroupID, l LockID, cond func(va
 		g.lock.unregister(ch)
 		n.mu.Unlock()
 	}()
+	// One retry timer for the whole wait, re-armed per round.
+	var timer vclock.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		if cond(g.lockValue(l)) {
 			n.mu.Unlock()
@@ -589,17 +672,20 @@ func (n *Node) waitLock(ctx context.Context, gid GroupID, l LockID, cond func(va
 			return false, nil
 		}
 		if resend {
-			timer := time.NewTimer(n.interval())
+			if timer == nil {
+				timer = n.clock.NewTimer(n.interval())
+			} else {
+				timer.Reset(n.interval())
+			}
 			select {
 			case <-ctx.Done():
-				timer.Stop()
 				return false, ctx.Err()
 			case _, ok := <-ch:
 				timer.Stop()
 				if !ok {
 					return false, nil
 				}
-			case <-timer.C:
+			case <-timer.C():
 				if err := n.SendLockRequest(gid, l); err != nil {
 					return false, err
 				}

@@ -3,7 +3,6 @@ package gwc
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"optsync/internal/topo"
 	"optsync/internal/wire"
@@ -63,6 +62,7 @@ func (n *Node) Rejoin(gid GroupID) error {
 		return fmt.Errorf("gwc: node %d roots group %d and cannot rejoin its own reign", n.id, gid)
 	}
 	g.mem = make(map[VarID]int64)
+	g.eager = make(map[VarID]int64)
 	g.lockVal = make(map[LockID]int64)
 	g.grantEpoch = make(map[LockID]uint32)
 	g.lockDone = make(map[LockID]uint32)
@@ -83,7 +83,7 @@ func (n *Node) Rejoin(gid GroupID) error {
 		g.batchTimer.Stop()
 	}
 	g.children = nil
-	g.lastRoot = time.Now()
+	g.lastRoot = n.clock.Now()
 	g.rejoining = true
 	n.send(g.rootID, wire.Message{
 		Type:  wire.TJoinReq,
@@ -106,12 +106,13 @@ func (n *Node) handleJoinReq(m wire.Message) {
 			n.protoErr("gwc: node %d got join request from non-member %d for group %d", n.id, src, m.Group)
 			return
 		}
-		r.lastHeard[src] = time.Now()
+		r.lastHeard[src] = n.clock.Now()
 		// The rejoiner's volatile state is gone: drop it from every lock
 		// queue and release anything it held. The release goes through
 		// rootHandle so a fenced reign parks it like any other release
 		// instead of multicasting a grant while fenced.
-		for l, ls := range r.locks {
+		for _, l := range sortedKeys(r.locks) {
+			ls := r.locks[l]
 			for i, q := range ls.queue {
 				if q == src {
 					ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
@@ -165,7 +166,7 @@ func (n *Node) handleJoinAck(g *memberGroup, m wire.Message) {
 	g.rejoining = false
 	g.epoch = m.Epoch
 	g.rootID = int(m.Src)
-	g.lastRoot = time.Now()
+	g.lastRoot = n.clock.Now()
 	g.electing = false
 	g.snapWanted = true
 	g.snapBuf = nil

@@ -70,7 +70,7 @@ type lockState struct {
 	needSeq uint64
 }
 
-func newRootGroup(cfg GroupConfig) *rootGroup {
+func newRootGroup(cfg GroupConfig, now time.Time) *rootGroup {
 	r := &rootGroup{
 		cfg:       cfg,
 		auth:      make(map[VarID]int64),
@@ -83,7 +83,6 @@ func newRootGroup(cfg GroupConfig) *rootGroup {
 	// Every member starts "recently heard": the lease must observe a full
 	// failAfter of silence before fencing a fresh reign. (The acting root
 	// is skipped by checkFence, so its own entry is inert.)
-	now := time.Now()
 	for _, m := range cfg.Members {
 		r.lastHeard[m] = now
 	}
@@ -115,7 +114,7 @@ func (n *Node) rootHandle(r *rootGroup, m wire.Message) {
 	if src := int(m.Src); src != n.id && r.cfg.memberOf(src) {
 		// Any up-traffic from a configured member proves connectivity for
 		// the fencing lease, whatever epoch the sender believes in.
-		r.lastHeard[src] = time.Now()
+		r.lastHeard[src] = n.clock.Now()
 	}
 	if m.Epoch != r.epoch {
 		if m.Epoch < r.epoch {

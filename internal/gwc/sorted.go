@@ -1,0 +1,21 @@
+package gwc
+
+import (
+	"cmp"
+	"sort"
+)
+
+// sortedKeys returns m's keys in ascending order. Every map iteration
+// that emits wire messages (or runs hooks) goes through it, so the
+// node's observable behaviour is a pure function of its inputs — the
+// property the deterministic simulation harness (internal/detsim)
+// replays failing schedules by. Go's randomized map order would
+// otherwise make two runs of the same schedule diverge.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

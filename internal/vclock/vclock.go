@@ -1,0 +1,94 @@
+// Package vclock abstracts the clock the GWC runtime schedules against,
+// so its timeouts (maintenance ticks, failure detection, batch windows)
+// can run on the wall clock in production and on a virtual clock under
+// deterministic schedule exploration (internal/detsim).
+//
+// The interface is deliberately minimal — Now, one-shot timers, and
+// AfterFunc — because that is all the runtime uses. Timers follow a
+// single-owner discipline: exactly one goroutine arms, receives from,
+// stops, and resets a given timer. Under that discipline the Real
+// implementation papers over the pre-Go-1.23 Stop/Reset channel
+// semantics by draining the channel itself, so callers can Reset a
+// possibly-fired timer without the classic stale-tick bug.
+package vclock
+
+import "time"
+
+// Timer is a restartable one-shot timer. For channel timers (NewTimer),
+// C fires once per arming; for AfterFunc timers, C returns nil and the
+// callback runs instead.
+type Timer interface {
+	// C returns the firing channel (nil for AfterFunc timers).
+	C() <-chan time.Time
+	// Stop disarms the timer, reporting whether it was still armed. Any
+	// fired-but-unconsumed tick is drained, so a later Reset starts
+	// clean.
+	Stop() bool
+	// Reset re-arms the timer for d from now, reporting whether it was
+	// still armed. A fired-but-unconsumed tick from the previous arming
+	// is drained first.
+	Reset(d time.Duration) bool
+}
+
+// Clock tells time and mints timers.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// NewTimer returns a channel timer armed to fire once after d.
+	NewTimer(d time.Duration) Timer
+	// AfterFunc arms a timer that calls f once after d. f must not
+	// assume which goroutine runs it.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Real returns the wall clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) NewTimer(d time.Duration) Timer {
+	return &realTimer{t: time.NewTimer(d), hasC: true}
+}
+
+func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	return &realTimer{t: time.AfterFunc(d, f)}
+}
+
+// realTimer adapts *time.Timer, draining the channel on Stop/Reset so
+// single-owner callers never see a tick from a previous arming.
+type realTimer struct {
+	t    *time.Timer
+	hasC bool
+}
+
+func (r *realTimer) C() <-chan time.Time {
+	if !r.hasC {
+		return nil
+	}
+	return r.t.C
+}
+
+func (r *realTimer) Stop() bool {
+	was := r.t.Stop()
+	if !was && r.hasC {
+		select {
+		case <-r.t.C:
+		default:
+		}
+	}
+	return was
+}
+
+func (r *realTimer) Reset(d time.Duration) bool {
+	was := r.t.Stop()
+	if !was && r.hasC {
+		select {
+		case <-r.t.C:
+		default:
+		}
+	}
+	r.t.Reset(d)
+	return was
+}

@@ -1,0 +1,46 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRealTimerResetAfterFire exercises the single-owner drain: a timer
+// that fired but whose tick was never consumed must, after Reset, fire
+// exactly once more — not immediately from the stale tick.
+func TestRealTimerResetAfterFire(t *testing.T) {
+	c := Real()
+	tm := c.NewTimer(time.Millisecond)
+	time.Sleep(10 * time.Millisecond) // let it fire, never consume
+	if was := tm.Reset(50 * time.Millisecond); was {
+		t.Error("Reset reported a fired timer as still armed")
+	}
+	select {
+	case <-tm.C():
+		t.Fatal("stale tick survived Reset")
+	case <-time.After(10 * time.Millisecond):
+	}
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("reset timer never fired")
+	}
+	if tm.Stop() {
+		t.Error("Stop reported a consumed timer as armed")
+	}
+}
+
+// TestRealAfterFunc checks the callback form fires and that C is nil.
+func TestRealAfterFunc(t *testing.T) {
+	done := make(chan struct{})
+	tm := Real().AfterFunc(time.Millisecond, func() { close(done) })
+	if tm.C() != nil {
+		t.Error("AfterFunc timer exposes a channel")
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("AfterFunc never ran")
+	}
+	tm.Stop()
+}

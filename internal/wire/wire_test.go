@@ -191,6 +191,13 @@ func FuzzDecode(f *testing.F) {
 	f.Add(Encode(nil, testBatch()))
 	f.Add(Encode(nil, testBatch())[:EncodedSize+7])
 	f.Add(make([]byte, EncodedSize*3))
+	// Reign-control frames: the quorum-ack watermark and the rejoin and
+	// sync handshakes ride on these, so corpus coverage starts there too.
+	f.Add(Encode(nil, Message{Type: TAck, Group: 2, Src: 4, Seq: 120, Epoch: 3}))
+	f.Add(Encode(nil, Message{Type: TJoinReq, Group: 2, Src: 4}))
+	f.Add(Encode(nil, Message{Type: TJoinAck, Group: 2, Src: 0, Seq: 120, Val: 1, Epoch: 3}))
+	f.Add(Encode(nil, Message{Type: TSyncReq, Group: 2, Src: 4, Seq: 9, Epoch: 3}))
+	f.Add(Encode(nil, Message{Type: TSyncAck, Group: 2, Src: 0, Seq: 9, Epoch: 3}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {
@@ -207,6 +214,54 @@ func FuzzDecode(f *testing.F) {
 		sm, err := ReadFrom(bytes.NewReader(data))
 		if err != nil || !Equal(sm, m) {
 			t.Fatalf("ReadFrom disagrees with Decode: %+v (err %v) vs %+v", sm, err, m)
+		}
+	})
+}
+
+// FuzzReignFrames fuzzes the reign-control frames by field: the quorum
+// ack, the rejoin handshake (TJoinReq/TJoinAck), and the durable-write
+// sync barrier (TSyncReq/TSyncAck). Every field combination must
+// survive both the flat and the stream codec unchanged — these frames
+// carry sequence watermarks and epoch fences, so a single corrupted
+// field silently un-fences a reign — and a corrupted type byte must
+// never decode at all.
+func FuzzReignFrames(f *testing.F) {
+	f.Add(uint8(0), uint32(2), int32(4), uint64(120), int64(0), uint32(3))
+	f.Add(uint8(2), uint32(1), int32(0), uint64(1)<<40, int64(1), uint32(7))
+	f.Add(uint8(4), uint32(9), int32(-1), uint64(9), int64(-5), uint32(0))
+	kinds := []Type{TAck, TJoinReq, TJoinAck, TSyncReq, TSyncAck}
+	f.Fuzz(func(t *testing.T, kind uint8, group uint32, src int32, seq uint64, val int64, epoch uint32) {
+		m := Message{
+			Type:  kinds[int(kind)%len(kinds)],
+			Group: group,
+			Src:   src,
+			Seq:   seq,
+			Val:   val,
+			Epoch: epoch,
+		}
+		buf := Encode(nil, m)
+		if len(buf) != EncodedSize {
+			t.Fatalf("%v: encoded %d bytes, want %d", m.Type, len(buf), EncodedSize)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Type, err)
+		}
+		if !Equal(got, m) {
+			t.Fatalf("round trip changed frame:\n got %+v\nwant %+v", got, m)
+		}
+		var stream bytes.Buffer
+		if err := WriteTo(&stream, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err = ReadFrom(&stream)
+		if err != nil || !Equal(got, m) {
+			t.Fatalf("stream round trip: %+v (err %v), want %+v", got, err, m)
+		}
+		bad := append([]byte(nil), buf...)
+		bad[0] = 250
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("decode of corrupted type byte succeeded")
 		}
 	})
 }
