@@ -249,6 +249,7 @@ func liveRig(b *testing.B, n int) (*Cluster, *Mutex, *Var) {
 func BenchmarkLiveWrite(b *testing.B) {
 	c, _, v := liveRig(b, 4)
 	h := c.Handle(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := h.Write(v, int64(i)); err != nil {
@@ -263,6 +264,7 @@ func BenchmarkLiveRead(b *testing.B) {
 	if err := h.Write(v, 1); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := h.Read(v); err != nil {

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Fast-path allocation regression gate.
+#
+# Runs the fast-path microbenchmarks with -benchmem and compares each
+# one's allocs/op against the committed baseline in
+# ci/alloc_baseline.txt. The gate fails if any benchmark exceeds its
+# baseline by more than 5% — and since the committed baselines are zero,
+# in practice any allocation on the write or read fast path fails CI.
+# TestWriteFastPathAllocs enforces the same bound in-process on every
+# plain `go test` run; this script is the belt to that suspender, pinned
+# to the numbers a reviewer signed off on.
+#
+# To re-baseline after an intentional change, edit ci/alloc_baseline.txt
+# in the same commit and say why in the commit message.
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline=ci/alloc_baseline.txt
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+go test . -run '^$' -bench 'BenchmarkLiveWrite$|BenchmarkLiveRead$' \
+	-benchmem -benchtime 2000x | tee "$out"
+
+fail=0
+while read -r name base; do
+	case $name in ''|\#*) continue ;; esac
+	cur=$(awk -v b="$name" '$1 ~ "^"b"(-[0-9]+)?$" { print $(NF-1) }' "$out")
+	if [ -z "$cur" ]; then
+		echo "alloc gate: benchmark $name produced no allocs/op figure" >&2
+		fail=1
+		continue
+	fi
+	# Integer allocs/op: anything above baseline*1.05 (rounded down, so a
+	# zero baseline tolerates exactly zero) is a regression.
+	limit=$(( base + base / 20 ))
+	if [ "$cur" -gt "$limit" ]; then
+		echo "alloc gate: $name allocs/op = $cur, baseline $base (limit $limit)" >&2
+		fail=1
+	else
+		echo "alloc gate: $name allocs/op = $cur (baseline $base) ok"
+	fi
+done <"$baseline"
+exit $fail

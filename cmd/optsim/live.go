@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"optsync"
+	"optsync/internal/obs"
+)
+
+// runLive drives a contended increment workload on a real optsync
+// cluster (in-process transport, batching and tracing on) and dumps the
+// observability layer's output: merged latency histograms — lock
+// acquire, speculative section, rollback cost, batch flush — and, with
+// -trace, the tail of the merged protocol event trace. This is the
+// source of EXPERIMENTS.md's latency-distribution tables.
+func runLive(n, sections int, withTrace bool) error {
+	if n < 2 {
+		n = 4
+	}
+	if sections <= 0 {
+		sections = 200
+	}
+	c, err := optsync.NewCluster(n, optsync.WithTracing(0), optsync.WithBatching(0, 8))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	g, err := c.NewGroup("live", 0)
+	if err != nil {
+		return err
+	}
+	m := g.Mutex("m")
+	counter := g.Int("counter", m)
+	free := g.Int("free")
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := c.Handle(i)
+			for s := 0; s < sections; s++ {
+				if err := h.OptimisticDo(m, func(tx *optsync.Tx) error {
+					cur, err := tx.Read(counter)
+					if err != nil {
+						return err
+					}
+					return tx.Write(counter, cur+1)
+				}); err != nil {
+					errs[i] = err
+					return
+				}
+				// Unguarded background traffic exercises the batch plane.
+				if err := h.Write(free, int64(i*sections+s)); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			errs[i] = h.Sync(g)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	got, err := c.Handle(0).Read(counter)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("live  nodes=%d sections=%d counter=%d (want %d)\n", n, sections, got, n*sections)
+	var opt, reg, roll int
+	for i := 0; i < n; i++ {
+		st := c.Handle(i).Stats()
+		opt += st.Optimistic.Optimistic
+		reg += st.Optimistic.Regular
+		roll += st.Optimistic.Rollbacks
+	}
+	fmt.Printf("  optimistic=%d regular=%d rollbacks=%d\n", opt, reg, roll)
+	c.WriteMetrics(os.Stdout)
+	if withTrace {
+		evs := c.TraceEvents()
+		if len(evs) > 60 {
+			evs = evs[len(evs)-60:]
+		}
+		fmt.Print(obs.Format(evs))
+	}
+	return nil
+}

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		wl        = flag.String("workload", "pipeline", "workload: pipeline, taskmgmt, or mutex3")
+		wl        = flag.String("workload", "pipeline", "workload: pipeline, taskmgmt, mutex3, or live")
 		modelName = flag.String("model", "gwc", "model: gwc, gwc-optimistic, entry, or release")
 		n         = flag.Int("n", 8, "network size (CPUs); mutex3 is fixed at 3")
 		tasks     = flag.Int("tasks", 0, "taskmgmt: override task count")
@@ -38,6 +38,13 @@ func main() {
 }
 
 func run(wl, modelName string, n, tasks, dataSize int, zeroDelay, withTrace bool) error {
+	if wl == "live" {
+		// The live workload runs on the real runtime, not the figure
+		// simulator: -n nodes, -tasks critical sections per node, and
+		// -trace dumps the protocol event tail alongside the latency
+		// histograms.
+		return runLive(n, tasks, withTrace)
+	}
 	kind, err := workload.ParseKind(modelName)
 	if err != nil {
 		return err
@@ -113,7 +120,7 @@ func run(wl, modelName string, n, tasks, dataSize int, zeroDelay, withTrace bool
 			fmt.Println(tr)
 		}
 	default:
-		return fmt.Errorf("unknown workload %q (want pipeline, taskmgmt, or mutex3)", wl)
+		return fmt.Errorf("unknown workload %q (want pipeline, taskmgmt, mutex3, or live)", wl)
 	}
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"optsync/internal/gwc"
+	"optsync/internal/obs"
 )
 
 // ErrNested is returned when a section tries to re-enter a lock it is
@@ -214,6 +215,7 @@ func (e *Engine) DoContext(ctx context.Context, gid gwc.GroupID, l gwc.LockID, b
 		e.mu.Lock()
 		e.stats.Regular++
 		e.mu.Unlock()
+		e.node.Emit(obs.EvRegular, gid, int64(l), 0)
 		return e.regular(ctx, gid, l, body)
 	}
 	return e.optimistic(ctx, k, body)
@@ -241,6 +243,8 @@ func (e *Engine) optimistic(ctx context.Context, k lockKey, body func(tx *Tx) er
 	e.mu.Lock()
 	e.stats.Optimistic++
 	e.mu.Unlock()
+	e.node.Emit(obs.EvSpecStart, gid, int64(l), 0)
+	specStart := e.node.Now()
 
 	// Arm the interrupt before speculating: if the lock goes to another
 	// CPU, suspend insharing atomically with the observation.
@@ -291,6 +295,8 @@ func (e *Engine) optimistic(ctx context.Context, k lockKey, body func(tx *Tx) er
 		e.mu.Lock()
 		e.stats.Commits++
 		e.mu.Unlock()
+		e.node.Metrics().Hist(obs.HistSpecSection).Record(e.node.Now().Sub(specStart))
+		e.node.Emit(obs.EvSpecCommit, gid, int64(l), 0)
 		if err := e.node.Release(gid, l); err != nil {
 			return err
 		}
@@ -303,13 +309,17 @@ func (e *Engine) optimistic(ctx context.Context, k lockKey, body func(tx *Tx) er
 	e.mu.Lock()
 	e.stats.Rollbacks++
 	e.mu.Unlock()
+	e.node.Metrics().Hist(obs.HistSpecSection).Record(e.node.Now().Sub(specStart))
+	e.node.Emit(obs.EvSpecAbort, gid, int64(l), obs.ReasonLockHeld)
 	e.bumpHistory(k)
+	restoreStart := e.node.Now()
 	if err := e.node.RestoreLocal(gid, tx.saved); err != nil {
 		return err
 	}
 	if err := e.node.ResumeInsharing(gid); err != nil {
 		return err
 	}
+	e.node.Metrics().Hist(obs.HistRollback).Record(e.node.Now().Sub(restoreStart))
 	okGrant, err := e.node.WaitLockGrantContext(ctx, gid, l)
 	if err != nil {
 		// The rollback already restored local state, so a cancelled

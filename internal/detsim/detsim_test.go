@@ -68,6 +68,7 @@ func TestExplore(t *testing.T) {
 		PartitionDuringElection(),
 		RejoinUnderLoad(),
 		FenceRegression(),
+		SpeculationSuppression(),
 	} {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {

@@ -80,6 +80,13 @@ func (e *Env) Now() time.Duration {
 // Steps reports scheduler events run so far.
 func (e *Env) Steps() int { return e.w.Steps() }
 
+// Inflight reports how many messages sit undelivered on the simulated
+// links. Quiescence only means every goroutine is parked — traffic can
+// still be queued — so scenarios whose final assertions count message
+// side effects (e.g. the root's suppression trace) must keep stepping
+// until the network is drained too, or they race the tail of the run.
+func (e *Env) Inflight() int { return e.w.Inflight() }
+
 // Step waits for the cluster to quiesce, then runs exactly one
 // scheduler event. It fails on a dead world or once the run's event
 // budget is spent (a livelock: the protocol is cycling without the

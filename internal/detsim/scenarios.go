@@ -78,6 +78,10 @@ func setup(e *Env, c clusterCfg) (gwc.GroupConfig, error) {
 		if c.batch {
 			n.SetBatching(3*time.Millisecond, 8)
 		}
+		// Event tracing is pure bookkeeping (atomics into a per-node
+		// ring, stamped with virtual time), so it cannot perturb the
+		// schedule; scenarios assert on the captured events.
+		n.Metrics().Trace.Enable(0)
 		if err := n.Join(cfg); err != nil {
 			return cfg, err
 		}

@@ -129,6 +129,19 @@ func (w *World) Steps() int {
 	return w.steps
 }
 
+// Inflight counts messages queued on links but not yet delivered (or
+// dropped); inboxes are empty whenever the world is quiesced, so this
+// is the whole of the in-flight traffic at a quiescent cut.
+func (w *World) Inflight() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	total := 0
+	for _, l := range w.links {
+		total += len(l)
+	}
+	return total
+}
+
 // endpoint is one node's attachment. The inbox holds at most one
 // message: the scheduler only delivers at quiescence, and the receiver
 // drains before the next event is picked.

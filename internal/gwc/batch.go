@@ -3,6 +3,7 @@ package gwc
 import (
 	"time"
 
+	"optsync/internal/obs"
 	"optsync/internal/wire"
 )
 
@@ -105,6 +106,7 @@ func (n *Node) enqueueWrite(gid GroupID, g *memberGroup, msg wire.Message) {
 		return
 	}
 	if len(g.batchQ) == 1 {
+		g.batchFirst = n.clock.Now()
 		if g.batchTimer == nil {
 			g.batchTimer = n.clock.AfterFunc(n.batchDelay, func() { n.flushTimer(gid) })
 		} else {
@@ -142,6 +144,11 @@ func (n *Node) flushWrites(g *memberGroup, why flushReason) {
 	}
 	g.batchQ = nil
 	clear(g.batchIdx)
+	if !g.batchFirst.IsZero() {
+		n.metrics.Hist(obs.HistBatchFlush).Record(n.clock.Now().Sub(g.batchFirst))
+		g.batchFirst = time.Time{}
+	}
+	n.emit(obs.EvBatchFlush, g.cfg.ID, int64(len(q)), int64(why))
 	switch why {
 	case flushSize:
 		n.stats.FlushReasons.Size++

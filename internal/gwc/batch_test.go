@@ -154,6 +154,9 @@ func TestBatchTreeFanout(t *testing.T) {
 			t.Fatal(err)
 		}
 		c.nodes[i] = NewNode(i, ep)
+		// Tracing drives waitFor's wake-ups and timeout dumps; it is
+		// atomics-only, so it cannot mask the races these tests hunt.
+		c.nodes[i].Metrics().Trace.Enable(0)
 		if err := c.nodes[i].Join(GroupConfig{
 			ID:         tGroup,
 			Root:       0,
@@ -233,12 +236,66 @@ func TestBatchFailover(t *testing.T) {
 		waitValue(t, nd, tVar, 1)
 	}
 	fl.Crash(0)
-	waitAdopted(t, c.nodes[2], 1)
+	waitAdopted(t, c, c.nodes[2], 1)
 	if err := w.Write(tGroup, tVar, 2); err != nil {
 		t.Fatal(err)
 	}
 	waitValue(t, c.nodes[1], tVar, 2)
 	waitValue(t, c.nodes[2], tVar, 2)
+}
+
+// TestBatchReleaseCloseRaceKeepsFlushOrdering races Release against Close
+// on a member whose batch window is an hour long, so only those two paths
+// can ship the section's queued guarded writes. Whichever side wins the
+// node mutex must drain the queue exactly once, while the member is still
+// the lock holder and before the TLockRel leaves the node. If a flush
+// were ever dropped by Close or reordered after the release, the writes
+// would reach the root after it freed the lock, be judged NotHolder, and
+// be suppressed — a silently lost critical section.
+func TestBatchReleaseCloseRaceKeepsFlushOrdering(t *testing.T) {
+	for i := 0; i < 30; i++ {
+		c := newInProcCluster(t, 2, true)
+		w := c.nodes[1]
+		w.SetBatching(time.Hour, 100)
+		if err := w.Acquire(tGroup, tLock); err != nil {
+			t.Fatal(err)
+		}
+		want := int64(i + 1)
+		if err := w.Write(tGroup, tVar, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(tGroup, tVarB, -want); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			// Losing the race to Close is fine; dropping the flush is not.
+			_ = w.Release(tGroup, tLock)
+		}()
+		_ = w.Close()
+		<-done
+
+		// The member's endpoint only closes its own inbox, so the release
+		// always reaches the root; wait for it to be processed.
+		root := c.nodes[0]
+		waitFor(t, c, 5*time.Second, "root to process the release", func() bool {
+			root.mu.Lock()
+			defer root.mu.Unlock()
+			return root.roots[tGroup].lock(tLock).holder == -1
+		})
+		// The root handled the release, so FIFO says the flushed section
+		// data was already sequenced — no waiting, and nothing suppressed.
+		if got, err := root.Read(tGroup, tVar); err != nil || got != want {
+			t.Fatalf("iter %d: root var A = %d (%v), want %d: section data lost in Release/Close race", i, got, err, want)
+		}
+		if got, err := root.Read(tGroup, tVarB); err != nil || got != -want {
+			t.Fatalf("iter %d: root var B = %d (%v), want %d: section data lost in Release/Close race", i, got, err, -want)
+		}
+		if s := root.Stats().Suppressed; s != 0 {
+			t.Fatalf("iter %d: root suppressed %d guarded writes: flush reordered after TLockRel", i, s)
+		}
+	}
 }
 
 func TestSentinelErrors(t *testing.T) {

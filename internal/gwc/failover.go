@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"optsync/internal/obs"
 	"optsync/internal/wire"
 )
 
@@ -150,7 +151,9 @@ func (n *Node) adoptEpoch(g *memberGroup, epoch uint32, root int) {
 	if _, wasRoot := n.roots[g.cfg.ID]; wasRoot {
 		delete(n.roots, g.cfg.ID)
 		n.stats.Demotions++
+		n.emit(obs.EvDemoted, g.cfg.ID, int64(root), int64(epoch))
 	}
+	n.emit(obs.EvReignChange, g.cfg.ID, int64(root), int64(epoch))
 	g.epoch = epoch
 	g.rootID = root
 	g.lastRoot = n.clock.Now()
@@ -214,6 +217,7 @@ func (n *Node) detectFailure(gid GroupID, g *memberGroup, now time.Time) {
 		g.electBegan = now
 		g.suspected[g.rootID] = true
 		n.stats.Elections++
+		n.emit(obs.EvElection, gid, int64(g.candidate()), int64(g.electEpoch))
 	}
 	cand := g.candidate()
 	switch {
@@ -328,6 +332,10 @@ func (n *Node) promote(gid GroupID, g *memberGroup) {
 	r.locks = locks
 	n.roots[gid] = r
 	n.stats.Failovers++
+	// Failover duration: from the first suspicion of the old root to the
+	// moment the new reign's authoritative state exists.
+	n.metrics.Hist(obs.HistFailover).Record(n.clock.Now().Sub(g.electBegan))
+	n.emit(obs.EvReignChange, gid, int64(n.id), int64(epoch))
 
 	// Re-base the member side onto the new reign: sequence numbering
 	// restarts at 1 and the merged state becomes the local copy.
@@ -352,7 +360,7 @@ func (n *Node) promote(gid GroupID, g *memberGroup) {
 		if ls.holder != -1 {
 			val = GrantValue(ls.holder)
 		}
-		n.applyLockValue(g, l, val, ls.epoch)
+		n.applyLockValue(g, l, val, ls.epoch, ls.holderToken)
 	}
 	// Free locks with survivors queued move on immediately; everyone
 	// else learns the holder from the grant multicast or the snapshot.
@@ -432,7 +440,7 @@ func rebuildLocks(reps map[int]*snapReport, suspected map[int]bool) map[LockID]*
 	}
 	out := make(map[LockID]*lockState, len(ids))
 	for l := range ids {
-		ls := &lockState{holder: -1}
+		ls := &lockState{holder: -1, lastWinner: -1}
 		for _, rep := range reps {
 			if s, ok := rep.locks[l]; ok && s.epoch > ls.epoch {
 				ls.epoch = s.epoch
@@ -467,9 +475,21 @@ func rebuildLocks(reps map[int]*snapReport, suspected map[int]bool) map[LockID]*
 			// release resolve the lock.
 		}
 		ls.holder = claimed
+		ls.lastWinner = claimed
+		if ls.epoch > 0 {
+			// Who won the grants leading up to the reconstructed epoch died
+			// with the old root. Treating the newest grant's predecessor as
+			// foreign keeps the pre-failover acceptance window (tag or
+			// tag+1) without ever widening it.
+			ls.foreignEpoch = ls.epoch - 1
+		}
 		// Reporters whose local copy still shows their own pending
 		// request re-queue in ID order (the old order died with the old
-		// root); anyone missed re-queues via the request retry timer.
+		// root); anyone missed re-queues via the request retry timer. The
+		// acquisition tokens died with the old root, so re-queued entries
+		// carry token 0: the grant is declined and the member's retry
+		// re-registers the request with its live token (one extra round
+		// trip, never a wrong consumption).
 		var waiters []int
 		for src, rep := range reps {
 			if src == claimed {
@@ -480,7 +500,9 @@ func rebuildLocks(reps map[int]*snapReport, suspected map[int]bool) map[LockID]*
 			}
 		}
 		sort.Ints(waiters)
-		ls.queue = waiters
+		for _, w := range waiters {
+			ls.queue = append(ls.queue, lockWaiter{node: w})
+		}
 		out[l] = ls
 	}
 	return out
@@ -537,7 +559,7 @@ func (n *Node) snapApply(g *memberGroup, m wire.Message) {
 			n.applyVarValue(g, v, snap.vars[v])
 		}
 		for _, l := range sortedKeys(snap.locks) {
-			n.applyLockValue(g, l, snap.locks[l].val, snap.locks[l].epoch)
+			n.applyLockValue(g, l, snap.locks[l].val, snap.locks[l].epoch, 0)
 		}
 		g.nextSeq = m.Seq + 1
 		for s := range g.pending {
@@ -555,6 +577,7 @@ func (n *Node) snapApply(g *memberGroup, m wire.Message) {
 			g.nextSeq++
 		}
 		g.snapWanted = false
+		n.emit(obs.EvSnapApplied, g.cfg.ID, int64(m.Seq), int64(g.epoch))
 		// The snapshot may have advanced the applied prefix by a lot;
 		// tell the quorum watermark at once.
 		n.maybeSendAck(g)

@@ -3,9 +3,12 @@ package gwc
 import (
 	"context"
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
+	"optsync/internal/obs"
 	"optsync/internal/transport"
 )
 
@@ -25,25 +28,49 @@ func newChaosCluster(t *testing.T, n int, guarded bool) (*cluster, *transport.Fl
 	return c, fl
 }
 
-// waitFor polls cond until it holds or the deadline passes.
-func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+// waitFor blocks until cond holds or the deadline passes. Instead of
+// busy-polling wall time, it subscribes one wake-up channel to every
+// node's event tracer — each protocol transition (grant, fence, reign
+// change, ...) re-checks the condition immediately — with a coarse
+// fallback ticker for state changes that emit no event. On timeout the
+// failure includes each node's recent trace so the stall is debuggable.
+func waitFor(t *testing.T, c *cluster, d time.Duration, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
+	wake := make(chan struct{}, 1)
+	for _, nd := range c.nodes {
+		defer nd.Metrics().Trace.SubscribeChan(wake)()
+	}
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	deadline := time.NewTimer(d)
+	defer deadline.Stop()
+	for {
 		if cond() {
 			return
 		}
-		time.Sleep(2 * time.Millisecond)
+		select {
+		case <-wake:
+		case <-tick.C:
+		case <-deadline.C:
+			var traces strings.Builder
+			for i, nd := range c.nodes {
+				ev := nd.Metrics().Trace.Snapshot()
+				if len(ev) > 8 {
+					ev = ev[len(ev)-8:]
+				}
+				fmt.Fprintf(&traces, "\nnode %d: %s", i, obs.Format(ev))
+			}
+			t.Fatalf("timed out waiting for %s%s", what, traces.String())
+		}
 	}
-	t.Fatalf("timed out waiting for %s", what)
 }
 
 // waitAdopted waits until a member has switched to the given root. Writes
 // are fire-once up-messages, so a test must not write through a member
 // that may still be addressing the deposed root.
-func waitAdopted(t *testing.T, n *Node, root int) {
+func waitAdopted(t *testing.T, c *cluster, n *Node, root int) {
 	t.Helper()
-	waitFor(t, 5*time.Second, "member to adopt the new root", func() bool {
+	waitFor(t, c, 5*time.Second, "member to adopt the new root", func() bool {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		return n.groups[tGroup].rootID == root
@@ -60,13 +87,13 @@ func TestRootFailoverElectsLowestSurvivor(t *testing.T) {
 	}
 
 	fl.Crash(0)
-	waitFor(t, 5*time.Second, "node 1 to promote itself", func() bool {
+	waitFor(t, c, 5*time.Second, "node 1 to promote itself", func() bool {
 		return c.nodes[1].Stats().Failovers == 1
 	})
 
 	// The group keeps working under the new root, and pre-crash state
 	// survived the reconstruction.
-	waitAdopted(t, c.nodes[3], 1)
+	waitAdopted(t, c, c.nodes[3], 1)
 	if err := c.nodes[3].Write(tGroup, tVarB, 7); err != nil {
 		t.Fatal(err)
 	}
@@ -87,14 +114,14 @@ func TestFailoverPreservesLockHolderAndQueue(t *testing.T) {
 	if err := c.nodes[3].SendLockRequest(tGroup, tLock); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, 5*time.Second, "node 3 to queue at the root", func() bool {
+	waitFor(t, c, 5*time.Second, "node 3 to queue at the root", func() bool {
 		c.nodes[0].mu.Lock()
 		defer c.nodes[0].mu.Unlock()
 		return c.nodes[0].roots[tGroup].lock(tLock).queued(3)
 	})
 
 	fl.Crash(0)
-	waitFor(t, 5*time.Second, "node 1 to promote itself", func() bool {
+	waitFor(t, c, 5*time.Second, "node 1 to promote itself", func() bool {
 		return c.nodes[1].Stats().Failovers == 1
 	})
 	// The new root must see node 2 as holder (no double grant).
@@ -107,7 +134,7 @@ func TestFailoverPreservesLockHolderAndQueue(t *testing.T) {
 
 	// Once the holder has adopted the new reign, its release must hand
 	// the lock to the queued waiter.
-	waitAdopted(t, c.nodes[2], 1)
+	waitAdopted(t, c, c.nodes[2], 1)
 	if err := c.nodes[2].Release(tGroup, tLock); err != nil {
 		t.Fatal(err)
 	}
@@ -130,23 +157,23 @@ func TestRevivedOldRootIsDemoted(t *testing.T) {
 	}
 
 	fl.Crash(0)
-	waitFor(t, 5*time.Second, "node 1 to promote itself", func() bool {
+	waitFor(t, c, 5*time.Second, "node 1 to promote itself", func() bool {
 		return c.nodes[1].Stats().Failovers == 1
 	})
-	waitAdopted(t, c.nodes[2], 1)
+	waitAdopted(t, c, c.nodes[2], 1)
 	if err := c.nodes[2].Write(tGroup, tVar, 99); err != nil {
 		t.Fatal(err)
 	}
 	waitValue(t, c.nodes[1], tVar, 99)
 
 	fl.Revive(0)
-	waitFor(t, 5*time.Second, "the revived root to stand down", func() bool {
+	waitFor(t, c, 5*time.Second, "the revived root to stand down", func() bool {
 		return c.nodes[0].Stats().Demotions == 1
 	})
 	// The deposed root resyncs to the new reign's state instead of
 	// splitting the group.
 	waitValue(t, c.nodes[0], tVar, 99)
-	waitFor(t, 5*time.Second, "stale-epoch traffic to be rejected", func() bool {
+	waitFor(t, c, 5*time.Second, "stale-epoch traffic to be rejected", func() bool {
 		total := 0
 		for _, n := range c.nodes {
 			total += n.Stats().StaleEpochRejected
@@ -184,7 +211,7 @@ func TestCancelWhileQueuedLeavesNoPhantom(t *testing.T) {
 	}
 	// The cancelled waiter must not inherit the lock: the root's queue
 	// entry was withdrawn, so the release frees the lock outright.
-	waitFor(t, 5*time.Second, "the lock to come to rest free", func() bool {
+	waitFor(t, c, 5*time.Second, "the lock to come to rest free", func() bool {
 		c.nodes[0].mu.Lock()
 		ls := c.nodes[0].roots[tGroup].lock(tLock)
 		holder, qlen := ls.holder, len(ls.queue)
@@ -192,7 +219,7 @@ func TestCancelWhileQueuedLeavesNoPhantom(t *testing.T) {
 		return holder == -1 && qlen == 0
 	})
 	// And the waiter's local copy agrees.
-	waitFor(t, 5*time.Second, "node 1's local lock copy to read free", func() bool {
+	waitFor(t, c, 5*time.Second, "node 1's local lock copy to read free", func() bool {
 		v, err := c.nodes[1].LockValue(tGroup, tLock)
 		return err == nil && v == Free
 	})

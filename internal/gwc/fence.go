@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"optsync/internal/obs"
 	"optsync/internal/wire"
 )
 
@@ -104,6 +105,7 @@ func (n *Node) checkFence(r *rootGroup, now time.Time) {
 		if !r.fenced {
 			r.fenced = true
 			n.stats.Fenced++
+			n.emit(obs.EvFence, r.cfg.ID, int64(reach), int64(r.epoch))
 		}
 		return
 	}
@@ -113,6 +115,7 @@ func (n *Node) checkFence(r *rootGroup, now time.Time) {
 	r.fenced = false
 	q := r.fencedQ
 	r.fencedQ = nil
+	n.emit(obs.EvUnfence, r.cfg.ID, int64(len(q)), int64(r.epoch))
 	for _, m := range q {
 		n.rootHandle(r, m)
 	}

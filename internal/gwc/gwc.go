@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"optsync/internal/obs"
 	"optsync/internal/transport"
 	"optsync/internal/vclock"
 	"optsync/internal/wire"
@@ -161,6 +162,13 @@ type Node struct {
 	// sync barriers until a majority of members acked the sequenced
 	// prefix they depend on (see SetQuorumAcks).
 	quorumAcks bool
+
+	// metrics holds the node's latency histograms and event tracer
+	// (internal/obs). Histograms are always on — recording is a few
+	// atomic adds — while the tracer costs one atomic load until
+	// enabled via Metrics().Trace.Enable. Neither takes n.mu, so
+	// instrumentation adds no lock traffic to the hot paths.
+	metrics obs.Metrics
 }
 
 // NewNode attaches a sharing interface to an endpoint and starts its
@@ -312,12 +320,54 @@ func (n *Node) Close() error {
 	return err
 }
 
-// Stats returns a snapshot of the node's protocol counters.
+// Stats returns a snapshot of the node's protocol counters. The copy
+// is taken under the node mutex — the same mutex every increment in
+// this package holds — so a snapshot is an exactly consistent cut and
+// can never tear against hot-path increments.
 func (n *Node) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.stats
 }
+
+// Metrics exposes the node's observability layer: latency histograms
+// (always recording) and the protocol event tracer (off until
+// Metrics().Trace.Enable is called). Safe to use concurrently with
+// all node operations.
+func (n *Node) Metrics() *obs.Metrics { return &n.metrics }
+
+// emit records a protocol-transition trace event if tracing is on.
+// The On check keeps the disabled cost to one atomic load and avoids
+// even constructing the Event. Safe with or without n.mu held; the
+// clock read is the only non-local operation.
+func (n *Node) emit(typ obs.EventType, gid GroupID, a, b int64) {
+	if !n.metrics.Trace.On() {
+		return
+	}
+	n.metrics.Trace.Emit(obs.Event{
+		At:    n.clock.Now().UnixNano(),
+		Type:  typ,
+		Node:  int32(n.id),
+		Group: int32(gid),
+		A:     a,
+		B:     b,
+	})
+}
+
+// Emit records a trace event attributed to this node, stamped with the
+// node's (possibly virtual) clock. It exists for layers built on top of
+// the node — the optimistic engine, simulators — so their events land
+// in the same per-node ring as the protocol's own. No-op while tracing
+// is disabled.
+func (n *Node) Emit(typ obs.EventType, gid GroupID, a, b int64) {
+	n.emit(typ, gid, a, b)
+}
+
+// Now returns the current time on the node's clock — wall time in
+// production, virtual time under deterministic simulation. Layers
+// instrumenting around node operations must use this rather than
+// time.Now so recorded latencies are meaningful under both clocks.
+func (n *Node) Now() time.Time { return n.clock.Now() }
 
 // Errors returns protocol errors observed so far (e.g. unknown groups on
 // incoming traffic).
@@ -456,6 +506,7 @@ func (n *Node) handle(m wire.Message) {
 				// current root; otherwise drop and let retries converge.
 				if m.Epoch < g.epoch {
 					n.stats.StaleEpochRejected++
+					n.emit(obs.EvStaleEpoch, GroupID(m.Group), int64(m.Type), int64(m.Epoch))
 					n.maybeNotice(g, int(m.Src))
 				}
 				return

@@ -44,6 +44,9 @@ func newCluster(t *testing.T, net transport.Network, guarded bool) *cluster {
 			t.Fatal(err)
 		}
 		c.nodes[i] = NewNode(i, ep)
+		// Tracing drives waitFor's wake-ups and timeout dumps; it is
+		// atomics-only, so it cannot mask the races these tests hunt.
+		c.nodes[i].Metrics().Trace.Enable(0)
 		if err := c.nodes[i].Join(GroupConfig{
 			ID:      tGroup,
 			Root:    0,
@@ -71,11 +74,28 @@ func newInProcCluster(t *testing.T, n int, guarded bool) *cluster {
 	return newCluster(t, net, guarded)
 }
 
-// waitValue polls until node's copy of v equals want, or fails.
+// waitValue blocks until node's copy of v equals want, or fails. It
+// registers on the member's data notify-list — the same wake-up the
+// blocking read API uses — so every applied update re-checks the value
+// without busy-polling wall time.
 func waitValue(t *testing.T, n *Node, v VarID, want int64) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	n.mu.Lock()
+	g, err := n.group(tGroup)
+	if err != nil {
+		n.mu.Unlock()
+		t.Fatal(err)
+	}
+	ch := g.data.register()
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		g.data.unregister(ch)
+		n.mu.Unlock()
+	}()
+	deadline := time.NewTimer(5 * time.Second)
+	defer deadline.Stop()
+	for {
 		got, err := n.Read(tGroup, v)
 		if err != nil {
 			t.Fatal(err)
@@ -83,10 +103,16 @@ func waitValue(t *testing.T, n *Node, v VarID, want int64) {
 		if got == want {
 			return
 		}
-		time.Sleep(time.Millisecond)
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				t.Fatalf("node %d closed while waiting for var %d = %d", n.ID(), v, want)
+			}
+		case <-deadline.C:
+			got, _ := n.Read(tGroup, v)
+			t.Fatalf("node %d: var %d = %d, want %d (stats %+v)", n.ID(), v, got, want, n.Stats())
+		}
 	}
-	got, _ := n.Read(tGroup, v)
-	t.Fatalf("node %d: var %d = %d, want %d (stats %+v)", n.ID(), v, got, want, n.Stats())
 }
 
 func TestWritePropagatesToAllNodes(t *testing.T) {
@@ -252,14 +278,11 @@ func TestHardwareBlockingDropsEchoes(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitValue(t, c.nodes[0], tVar, 1)
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if n1.Stats().EchoDropped >= 1 {
-			return
-		}
-		time.Sleep(time.Millisecond)
-	}
-	t.Errorf("EchoDropped = %d, want >= 1 (guarded echo must be blocked)", n1.Stats().EchoDropped)
+	// The dropped echo emits an EvEchoDropped trace event, which wakes
+	// waitFor's subscription the moment it happens.
+	waitFor(t, c, 2*time.Second, "the guarded echo to be blocked", func() bool {
+		return n1.Stats().EchoDropped >= 1
+	})
 }
 
 // TestOwnEchoRestoredAfterSnapshotRebase exercises the one exception to
@@ -418,16 +441,13 @@ func TestLockChangeHooks(t *testing.T) {
 	if err := c.nodes[1].Release(tGroup, tLock); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
+	// The root's grant and free multicasts emit trace events that wake
+	// waitFor; the fallback tick covers the last hop to node 2's hook.
+	waitFor(t, c, 2*time.Second, "the hook to observe grant and free", func() bool {
 		mu.Lock()
-		n := len(seen)
-		mu.Unlock()
-		if n >= 2 {
-			break
-		}
-		time.Sleep(time.Millisecond)
-	}
+		defer mu.Unlock()
+		return len(seen) >= 2
+	})
 	mu.Lock()
 	defer mu.Unlock()
 	if len(seen) < 2 || seen[0] != GrantValue(1) || seen[len(seen)-1] != Free {
@@ -687,6 +707,9 @@ func newTreeCluster(t *testing.T, n int, guarded bool) *cluster {
 			t.Fatal(err)
 		}
 		c.nodes[i] = NewNode(i, ep)
+		// Tracing drives waitFor's wake-ups and timeout dumps; it is
+		// atomics-only, so it cannot mask the races these tests hunt.
+		c.nodes[i].Metrics().Trace.Enable(0)
 		if err := c.nodes[i].Join(GroupConfig{
 			ID: tGroup, Root: 0, Members: members, Guards: guards, TreeFanout: true,
 		}); err != nil {
@@ -777,6 +800,9 @@ func TestTreeFanoutRecoversFromLoss(t *testing.T) {
 			t.Fatal(err)
 		}
 		c.nodes[i] = NewNode(i, ep)
+		// Tracing drives waitFor's wake-ups and timeout dumps; it is
+		// atomics-only, so it cannot mask the races these tests hunt.
+		c.nodes[i].Metrics().Trace.Enable(0)
 		if err := c.nodes[i].Join(GroupConfig{
 			ID: tGroup, Root: 0, Members: members, TreeFanout: true,
 		}); err != nil {

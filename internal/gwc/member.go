@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"optsync/internal/obs"
 	"optsync/internal/topo"
 	"optsync/internal/vclock"
 	"optsync/internal/wire"
@@ -132,6 +133,17 @@ type memberGroup struct {
 	// so a lost cancel message cannot strand the lock.
 	want map[LockID]bool
 
+	// reqToken numbers this node's logical acquisitions of each lock. A
+	// fresh token is minted when a request goes out with none
+	// outstanding; retries of the same acquisition reuse it. The root
+	// echoes the winner's token in the grant multicast, and a self-grant
+	// is consumed only when that echo matches the outstanding request:
+	// a grant minted for a since-cancelled request (which the root's
+	// cancel handling auto-releases) can therefore never be mistaken for
+	// the answer to a newer acquisition — consuming one would leave this
+	// node inside a section the root already handed to someone else.
+	reqToken map[LockID]uint32
+
 	// Insharing suspension (optimistic rollback window): data updates are
 	// parked, lock updates still flow.
 	suspended bool
@@ -155,6 +167,10 @@ type memberGroup struct {
 	batchQ     []wire.Message
 	batchIdx   map[VarID]int
 	batchTimer vclock.Timer
+	// batchFirst is when the oldest write in batchQ was enqueued; the
+	// flush latency histogram measures from here, so it captures the
+	// real queueing delay a coalesced write experienced.
+	batchFirst time.Time
 
 	data *notifyList
 	lock *notifyList
@@ -186,6 +202,7 @@ func newMemberGroup(id int, cfg GroupConfig, now time.Time) *memberGroup {
 		lastRoot:    now,
 		suspected:   make(map[int]bool),
 		want:        make(map[LockID]bool),
+		reqToken:    make(map[LockID]uint32),
 		lockHooks:   make(map[LockID]map[uint64]LockHook),
 		varHooks:    make(map[VarID]map[uint64]func(int64)),
 		syncPending: make(map[uint64]*syncWaiter),
@@ -236,6 +253,7 @@ func (n *Node) ingestFwd(g *memberGroup, m wire.Message, forward bool) {
 			// multicasting: its sequence numbering no longer means anything
 			// here.
 			n.stats.StaleEpochRejected++
+			n.emit(obs.EvStaleEpoch, g.cfg.ID, int64(m.Type), int64(m.Epoch))
 			return
 		}
 		n.adoptEpoch(g, m.Epoch, int(m.Src))
@@ -358,18 +376,20 @@ func (n *Node) applySeq(g *memberGroup, m wire.Message) {
 		}
 		n.applyData(g, m)
 	case wire.TSeqLock:
-		// The root stamps the grant epoch in Var.
-		n.applyLockValue(g, LockID(m.Lock), m.Val, m.Var)
+		// The root stamps the grant epoch in Var and echoes the winning
+		// request's token in Origin.
+		n.applyLockValue(g, LockID(m.Lock), m.Val, m.Var, uint32(m.Origin))
 	}
 }
 
 // applyLockValue installs a new lock value (from the sequenced stream or
-// a failover snapshot), running hooks and waking waiters. A grant
-// arriving for a lock this node no longer wants — its cancel raced the
-// grant or was lost — is released on the spot, and the local copy stays
-// free so a later acquisition cannot mistake the stale grant for its
-// own. Caller holds n.mu.
-func (n *Node) applyLockValue(g *memberGroup, l LockID, val int64, grantEpoch uint32) {
+// a failover snapshot), running hooks and waking waiters. A self-grant
+// is consumed only when its echoed token matches this node's current
+// outstanding request; one arriving for a lock this node no longer
+// wants, or answering a since-cancelled request, is released on the
+// spot, and the local copy stays free so a later acquisition cannot
+// mistake the stale grant for its own. Caller holds n.mu.
+func (n *Node) applyLockValue(g *memberGroup, l LockID, val int64, grantEpoch uint32, token uint32) {
 	if val == GrantValue(n.id) {
 		if grantEpoch <= g.lockDone[l] {
 			// Stale duplicate of a grant this node already finished with
@@ -394,9 +414,25 @@ func (n *Node) applyLockValue(g *memberGroup, l LockID, val int64, grantEpoch ui
 			})
 			return
 		}
-		if !g.want[l] {
-			g.lockVal[l] = Free
+		if g.lockVal[l] != GrantValue(n.id) && (!g.want[l] || token != g.reqToken[l]) {
+			// Unwanted, or minted for a different acquisition than the one
+			// outstanding (a cancel in flight, or a token-less failover
+			// re-queue): hand it straight back. When a live request is
+			// outstanding the local copy keeps its request marker and the
+			// periodic retry re-registers with the root, so a declined
+			// grant costs one round trip, never liveness. A grant for a
+			// lock this node already consumed (local copy shows the grant)
+			// is only ever the root's re-announce of that same grant, so
+			// it falls through regardless of token. Record the observed
+			// grant epoch either way: the next speculation tags its writes
+			// with grantEpoch[l], and leaving it stale would make the root
+			// suppress a *committed* section's writes as StaleGrant —
+			// silent data loss.
+			if !g.want[l] {
+				g.lockVal[l] = Free
+			}
 			g.lockDone[l] = grantEpoch
+			g.grantEpoch[l] = grantEpoch
 			n.send(g.rootID, wire.Message{
 				Type:   wire.TLockRel,
 				Group:  uint32(g.cfg.ID),
@@ -446,12 +482,15 @@ func (n *Node) applyData(g *memberGroup, m wire.Message) {
 			delete(g.eager, v)
 			if g.mem[v] != m.Val {
 				n.stats.EchoRestored++
+				n.emit(obs.EvEchoRestored, g.cfg.ID, int64(v), 0)
 			} else {
 				n.stats.EchoDropped++
+				n.emit(obs.EvEchoDropped, g.cfg.ID, int64(v), 0)
 				return
 			}
 		} else {
 			n.stats.EchoDropped++
+			n.emit(obs.EvEchoDropped, g.cfg.ID, int64(v), 0)
 			return
 		}
 	}
@@ -620,6 +659,12 @@ func (n *Node) SendLockRequest(gid GroupID, l LockID) error {
 	if g.lockValue(l) != GrantValue(n.id) {
 		g.lockVal[l] = RequestValue(n.id)
 	}
+	if !g.want[l] {
+		// A new logical acquisition: mint its token. Retries while the
+		// request is outstanding reuse it, so the root can tell a retry
+		// from a new request that overtook a lost cancel.
+		g.reqToken[l]++
+	}
 	g.want[l] = true
 	n.stats.LockRequests++
 	root := g.rootID
@@ -628,6 +673,7 @@ func (n *Node) SendLockRequest(gid GroupID, l LockID) error {
 		Group:  uint32(gid),
 		Src:    int32(n.id),
 		Origin: int32(n.id),
+		Seq:    uint64(g.reqToken[l]),
 		Lock:   uint32(l),
 		Epoch:  g.epoch,
 	}
@@ -749,6 +795,7 @@ func (n *Node) AcquireContext(ctx context.Context, gid GroupID, l LockID) error 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	start := n.clock.Now()
 	if err := n.SendLockRequest(gid, l); err != nil {
 		return err
 	}
@@ -764,6 +811,9 @@ func (n *Node) AcquireContext(ctx context.Context, gid GroupID, l LockID) error 
 	if !ok {
 		return fmt.Errorf("gwc: node %d closed while waiting for lock %d: %w", n.id, l, ErrClosed)
 	}
+	// Request-to-grant wall time for a successful blocking acquire — the
+	// latency the paper's speculation overlaps with useful work.
+	n.metrics.Hist(obs.HistLockAcquire).Record(n.clock.Now().Sub(start))
 	return nil
 }
 
@@ -782,6 +832,9 @@ func (n *Node) CancelLockRequest(gid GroupID, l LockID) error {
 		n.mu.Unlock()
 		return n.Release(gid, l)
 	}
+	// The grant answering this request may already be in flight; its
+	// echoed token no longer matches any outstanding acquisition (a new
+	// request mints a fresh token), so applyLockValue declines it.
 	delete(g.want, l)
 	if g.lockValue(l) == RequestValue(n.id) {
 		g.lockVal[l] = Free

@@ -30,6 +30,9 @@ func newHistoryCluster(t *testing.T, n, history int) (*cluster, *transport.Flaky
 			t.Fatal(err)
 		}
 		c.nodes[i] = NewNode(i, ep)
+		// Tracing drives waitFor's wake-ups and timeout dumps; it is
+		// atomics-only, so it cannot mask the races these tests hunt.
+		c.nodes[i].Metrics().Trace.Enable(0)
 		c.nodes[i].SetTimers(10*time.Millisecond, 60*time.Millisecond, 30*time.Millisecond)
 		if err := c.nodes[i].Join(GroupConfig{
 			ID:          tGroup,
@@ -60,7 +63,7 @@ func TestMinorityRootFencesAndMajorityReignSurvives(t *testing.T) {
 
 	// Root 0 lands on the 2-node minority side.
 	fl.Partition([]int{0, 1}, []int{2, 3, 4})
-	waitFor(t, 5*time.Second, "the minority root to fence itself", func() bool {
+	waitFor(t, c, 5*time.Second, "the minority root to fence itself", func() bool {
 		return c.nodes[0].Stats().Fenced >= 1
 	})
 
@@ -76,13 +79,13 @@ func TestMinorityRootFencesAndMajorityReignSurvives(t *testing.T) {
 
 	// The majority side holds a report quorum and elects node 2 (node 1
 	// is unreachable and gets suspected past over).
-	waitFor(t, 5*time.Second, "node 2 to promote itself", func() bool {
+	waitFor(t, c, 5*time.Second, "node 2 to promote itself", func() bool {
 		return c.nodes[2].Stats().Failovers == 1
 	})
 	if e := c.nodes[2].Stats().Elections; e < 1 {
 		t.Errorf("promoted node entered %d elections, want >= 1", e)
 	}
-	waitAdopted(t, c.nodes[3], 2)
+	waitAdopted(t, c, c.nodes[3], 2)
 	if err := c.nodes[3].Write(tGroup, tVar, 55); err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +97,7 @@ func TestMinorityRootFencesAndMajorityReignSurvives(t *testing.T) {
 	// never acknowledged and is discarded, and everyone converges on the
 	// majority reign's history.
 	fl.Heal()
-	waitFor(t, 5*time.Second, "the deposed root to stand down", func() bool {
+	waitFor(t, c, 5*time.Second, "the deposed root to stand down", func() bool {
 		return c.nodes[0].Stats().Demotions == 1
 	})
 	for _, n := range c.nodes {
@@ -115,7 +118,7 @@ func TestSymmetricSplitFencesThenResumesWithoutElection(t *testing.T) {
 	}
 
 	fl.Partition([]int{0, 1}, []int{2, 3})
-	waitFor(t, 5*time.Second, "the root to fence itself", func() bool {
+	waitFor(t, c, 5*time.Second, "the root to fence itself", func() bool {
 		return c.nodes[0].Stats().Fenced == 1
 	})
 	if err := c.nodes[1].Write(tGroup, tVar, 2); err != nil {
@@ -181,7 +184,7 @@ func TestQuorumWatermarkDefersHandoffUntilMajorityAck(t *testing.T) {
 	ls := r.lock(tLock)
 	ls.holder = 3
 	ls.epoch = 1
-	ls.queue = []int{4}
+	ls.queue = []lockWaiter{{node: 4}}
 	root.releaseLock(r, tLock, ls)
 	if ls.holder != -1 || len(ls.queue) != 1 {
 		t.Fatalf("handoff not deferred: holder=%d queue=%v", ls.holder, ls.queue)
@@ -227,7 +230,7 @@ func TestQuorumAckedHandoffCarriesData(t *testing.T) {
 	if err := c.nodes[2].SendLockRequest(tGroup, tLock); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, 5*time.Second, "node 2 to queue at the root", func() bool {
+	waitFor(t, c, 5*time.Second, "node 2 to queue at the root", func() bool {
 		c.nodes[0].mu.Lock()
 		defer c.nodes[0].mu.Unlock()
 		return c.nodes[0].roots[tGroup].lock(tLock).queued(2)
@@ -325,7 +328,7 @@ func TestRejoinAfterCrashConverges(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitValue(t, c.nodes[2], tVar, 42)
-	waitFor(t, 5*time.Second, "the rejoin handshake to complete on both ends", func() bool {
+	waitFor(t, c, 5*time.Second, "the rejoin handshake to complete on both ends", func() bool {
 		return c.nodes[2].Stats().Rejoins >= 1 && c.nodes[0].Stats().Rejoins >= 1
 	})
 
@@ -352,7 +355,7 @@ func TestRejoinFreesCrashedHoldersLock(t *testing.T) {
 	if err := c.nodes[1].SendLockRequest(tGroup, tLock); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, 5*time.Second, "node 1 to queue behind the crashed holder", func() bool {
+	waitFor(t, c, 5*time.Second, "node 1 to queue behind the crashed holder", func() bool {
 		c.nodes[0].mu.Lock()
 		defer c.nodes[0].mu.Unlock()
 		return c.nodes[0].roots[tGroup].lock(tLock).queued(1)

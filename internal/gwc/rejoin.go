@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"optsync/internal/obs"
 	"optsync/internal/topo"
 	"optsync/internal/wire"
 )
@@ -114,7 +115,7 @@ func (n *Node) handleJoinReq(m wire.Message) {
 		for _, l := range sortedKeys(r.locks) {
 			ls := r.locks[l]
 			for i, q := range ls.queue {
-				if q == src {
+				if q.node == src {
 					ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
 					break
 				}
@@ -135,6 +136,7 @@ func (n *Node) handleJoinReq(m wire.Message) {
 		// must not keep crediting it (commit itself stays monotonic).
 		r.acks[src] = 0
 		n.stats.Rejoins++
+		n.emit(obs.EvRejoined, gid, int64(src), int64(r.epoch))
 		n.send(src, wire.Message{
 			Type:  wire.TJoinAck,
 			Group: uint32(gid),
@@ -183,6 +185,7 @@ func (n *Node) handleJoinAck(g *memberGroup, m wire.Message) {
 		}
 	}
 	n.stats.Rejoins++
+	n.emit(obs.EvRejoined, g.cfg.ID, int64(n.id), int64(g.epoch))
 }
 
 // Sync is SyncContext without cancellation.

@@ -70,7 +70,7 @@ func TestRejoinEdgeCases(t *testing.T) {
 				if err := c.nodes[victim].SendLockRequest(tGroup, tLock); err != nil {
 					t.Fatal(err)
 				}
-				waitFor(t, 5*time.Second, "the victim to queue", func() bool {
+				waitFor(t, c, 5*time.Second, "the victim to queue", func() bool {
 					c.nodes[0].mu.Lock()
 					defer c.nodes[0].mu.Unlock()
 					return c.nodes[0].roots[tGroup].lock(tLock).queued(victim)
@@ -80,7 +80,7 @@ func TestRejoinEdgeCases(t *testing.T) {
 				if err := c.nodes[victim].Rejoin(tGroup); err != nil {
 					t.Fatal(err)
 				}
-				waitFor(t, 5*time.Second, "re-admission", func() bool {
+				waitFor(t, c, 5*time.Second, "re-admission", func() bool {
 					return c.nodes[victim].Stats().Rejoins >= 1
 				})
 				if err := c.nodes[1].Release(tGroup, tLock); err != nil {
@@ -114,14 +114,14 @@ func TestRejoinEdgeCases(t *testing.T) {
 				}
 				fl.Crash(victim)
 				fl.Crash(0)
-				waitFor(t, 10*time.Second, "the election to begin", func() bool {
+				waitFor(t, c, 10*time.Second, "the election to begin", func() bool {
 					return c.nodes[1].Stats().Elections >= 1 || c.nodes[3].Stats().Elections >= 1
 				})
 				fl.Revive(victim)
 				if err := c.nodes[victim].Rejoin(tGroup); err != nil {
 					t.Fatal(err)
 				}
-				waitFor(t, 10*time.Second, "the quorum-gated failover", func() bool {
+				waitFor(t, c, 10*time.Second, "the quorum-gated failover", func() bool {
 					return c.nodes[1].Stats().Failovers >= 1 || c.nodes[3].Stats().Failovers >= 1
 				})
 				if err := c.nodes[1].Write(tGroup, tVarB, 5); err != nil {
@@ -158,7 +158,7 @@ func TestRejoinEdgeCases(t *testing.T) {
 					t.Fatal(err)
 				}
 				waitValue(t, c.nodes[victim], tVar, 2)
-				waitFor(t, 5*time.Second, "re-admission on both ends", func() bool {
+				waitFor(t, c, 5*time.Second, "re-admission on both ends", func() bool {
 					return c.nodes[victim].Stats().Rejoins >= 1 && c.nodes[0].Stats().Rejoins >= 1
 				})
 				// Still a full citizen: its writes sequence and converge.

@@ -3,6 +3,7 @@ package gwc
 import (
 	"time"
 
+	"optsync/internal/obs"
 	"optsync/internal/wire"
 )
 
@@ -60,14 +61,40 @@ type syncBarrier struct {
 	needSeq uint64
 }
 
+// lockWaiter is one queued lock request: the requesting node and the
+// acquisition token its request carried (see memberGroup.reqToken).
+// Requests re-queued from failover reports carry token 0, which never
+// matches a live acquisition; the member declines such a grant and its
+// request retry re-queues with the real token.
+type lockWaiter struct {
+	node  int
+	token uint32
+}
+
 // lockState is the manager's view of one queue-based lock.
 type lockState struct {
 	holder int // -1 when free
 	epoch  uint32
-	queue  []int
+	queue  []lockWaiter
+	// holderToken is the acquisition token of the holder's request,
+	// echoed in the grant multicast so the requester can tell a grant
+	// answering its live request from one minted for a request it has
+	// since cancelled.
+	holderToken uint32
+	// lastWinner is the winner of the newest grant; foreignEpoch is the
+	// epoch of the newest grant to a node other than lastWinner. A
+	// speculative write is clean iff its sender observed every foreign
+	// grant before speculating (tag >= foreignEpoch): consecutive grants
+	// to the same node never roll its sections back, so they must not
+	// widen the gap a clean write's tag has to bridge.
+	lastWinner   int
+	foreignEpoch uint32
 	// needSeq is the sequence number the releaser's data reached; under
 	// SetQuorumAcks the next grant waits until commit covers it.
 	needSeq uint64
+	// deferredAt marks when a handoff first parked behind the quorum-ack
+	// watermark; the eventual grant records the wait in HistQuorumWait.
+	deferredAt time.Time
 }
 
 func newRootGroup(cfg GroupConfig, now time.Time) *rootGroup {
@@ -92,7 +119,7 @@ func newRootGroup(cfg GroupConfig, now time.Time) *rootGroup {
 func (r *rootGroup) lock(l LockID) *lockState {
 	ls, ok := r.locks[l]
 	if !ok {
-		ls = &lockState{holder: -1}
+		ls = &lockState{holder: -1, lastWinner: -1}
 		r.locks[l] = ls
 	}
 	return ls
@@ -101,7 +128,7 @@ func (r *rootGroup) lock(l LockID) *lockState {
 // queued reports whether node id is already waiting for the lock.
 func (ls *lockState) queued(id int) bool {
 	for _, q := range ls.queue {
-		if q == id {
+		if q.node == id {
 			return true
 		}
 	}
@@ -181,16 +208,28 @@ func (n *Node) rootUpdate(r *rootGroup, m wire.Message) {
 		guard, ok := r.cfg.Guards[VarID(m.Var)]
 		if !ok {
 			n.stats.Suppressed++
+			n.emit(obs.EvSuppressed, r.cfg.ID, int64(m.Var), obs.ReasonNotHolder)
 			return
 		}
 		ls := r.lock(guard)
-		// Accept only from the holder, and only when the write is
-		// post-grant (epoch tag == current) or a clean speculation
-		// (tag+1 == current); anything else is a stale speculative write
-		// whose section has rolled back (or will), so it must not enter
-		// the group.
-		if ls.holder != int(m.Origin) || (m.Seq != uint64(ls.epoch) && m.Seq+1 != uint64(ls.epoch)) {
+		// Accept only from the holder, and only when the sender had
+		// observed every grant to another node before speculating (its
+		// epoch tag covers the newest foreign grant). A write whose tag
+		// predates a foreign grant belongs to a section that rolled back
+		// (or will — the sender's interrupt fires on that same grant), so
+		// it must not enter the group. Grants the holder won itself in
+		// the gap are harmless: they never roll the holder's sections
+		// back, and counting them here would suppress the writes of a
+		// legitimately committed section (a cancel racing its own grant
+		// re-grants the same node back to back).
+		if ls.holder != int(m.Origin) {
 			n.stats.Suppressed++
+			n.emit(obs.EvSuppressed, r.cfg.ID, int64(m.Var), obs.ReasonNotHolder)
+			return
+		}
+		if m.Seq < uint64(ls.foreignEpoch) {
+			n.stats.Suppressed++
+			n.emit(obs.EvSuppressed, r.cfg.ID, int64(m.Var), obs.ReasonStaleGrant)
 			return
 		}
 	}
@@ -214,32 +253,49 @@ func (n *Node) rootLockReq(r *rootGroup, m wire.Message) {
 	l := LockID(m.Lock)
 	ls := r.lock(l)
 	origin := int(m.Origin)
+	token := uint32(m.Seq)
 	if ls.holder == origin {
+		// Re-announce with the granted request's token, not the retry's:
+		// if they differ the member has moved on to a new acquisition and
+		// must decline this grant (its decline releases the lock here and
+		// its retry re-queues the new request).
 		n.multicast(r, wire.Message{
-			Type:  wire.TSeqLock,
-			Group: uint32(r.cfg.ID),
-			Src:   int32(n.id),
-			Lock:  uint32(l),
-			Var:   ls.epoch,
-			Val:   GrantValue(origin),
+			Type:   wire.TSeqLock,
+			Group:  uint32(r.cfg.ID),
+			Src:    int32(n.id),
+			Origin: int32(ls.holderToken),
+			Lock:   uint32(l),
+			Var:    ls.epoch,
+			Val:    GrantValue(origin),
 		})
 		return
 	}
-	if ls.queued(origin) {
-		return // duplicate
+	for i := range ls.queue {
+		if ls.queue[i].node == origin {
+			// Duplicate. A retry reuses its acquisition token, so a
+			// differing one means this entry's request was cancelled but
+			// the cancel was lost — the newer acquisition supersedes it.
+			ls.queue[i].token = token
+			return
+		}
 	}
 	if ls.holder != -1 {
-		ls.queue = append(ls.queue, origin)
+		ls.queue = append(ls.queue, lockWaiter{origin, token})
+		n.emit(obs.EvLockQueued, r.cfg.ID, int64(l), int64(origin))
 		return
 	}
 	if n.quorumAcks && r.commit < ls.needSeq {
 		// The last holder's data is not quorum-held yet; park the request
 		// behind the watermark (serviceQuorum grants it).
-		ls.queue = append(ls.queue, origin)
+		ls.queue = append(ls.queue, lockWaiter{origin, token})
 		n.stats.QuorumAckWaits++
+		if ls.deferredAt.IsZero() {
+			ls.deferredAt = n.clock.Now()
+		}
+		n.emit(obs.EvLockQueued, r.cfg.ID, int64(l), int64(origin))
 		return
 	}
-	n.grant(r, l, ls, origin)
+	n.grant(r, l, ls, lockWaiter{origin, token})
 }
 
 // rootLockRel releases the lock, validating the quoted grant epoch so a
@@ -262,12 +318,13 @@ func (n *Node) rootLockCancel(r *rootGroup, m wire.Message) {
 	ls := r.lock(l)
 	origin := int(m.Origin)
 	n.stats.LockCancels++
+	n.emit(obs.EvLockCancel, r.cfg.ID, int64(l), int64(origin))
 	if ls.holder == origin {
 		n.releaseLock(r, l, ls)
 		return
 	}
 	for i, q := range ls.queue {
-		if q == origin {
+		if q.node == origin {
 			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
 			return
 		}
@@ -288,6 +345,9 @@ func (n *Node) releaseLock(r *rootGroup, l LockID, ls *lockState) {
 	if len(ls.queue) > 0 {
 		if n.quorumAcks && r.commit < ls.needSeq {
 			n.stats.QuorumAckWaits++
+			if ls.deferredAt.IsZero() {
+				ls.deferredAt = n.clock.Now()
+			}
 			return // serviceQuorum grants when the watermark catches up
 		}
 		next := ls.queue[0]
@@ -296,6 +356,7 @@ func (n *Node) releaseLock(r *rootGroup, l LockID, ls *lockState) {
 		return
 	}
 	// Nobody waiting: propagate the free value to all group memories.
+	n.emit(obs.EvLockFree, r.cfg.ID, int64(l), 0)
 	n.multicast(r, wire.Message{
 		Type:  wire.TSeqLock,
 		Group: uint32(r.cfg.ID),
@@ -307,18 +368,36 @@ func (n *Node) releaseLock(r *rootGroup, l LockID, ls *lockState) {
 }
 
 // grant writes the winner's positive ID into the lock variable and
-// multicasts it.
-func (n *Node) grant(r *rootGroup, l LockID, ls *lockState, winner int) {
+// multicasts it, echoing the winning request's token so the member can
+// verify the grant answers its current acquisition.
+func (n *Node) grant(r *rootGroup, l LockID, ls *lockState, w lockWaiter) {
+	winner := w.node
 	ls.holder = winner
+	ls.holderToken = w.token
+	if winner != ls.lastWinner {
+		// The grant being superseded (epoch ls.epoch) went to a different
+		// node, so from the new winner's perspective it is the newest
+		// foreign grant (see lockState).
+		ls.foreignEpoch = ls.epoch
+		ls.lastWinner = winner
+	}
 	ls.epoch++
 	n.stats.LockGrants++
+	if !ls.deferredAt.IsZero() {
+		// This handoff sat behind the quorum-ack watermark; record how
+		// long durability gated the lock.
+		n.metrics.Hist(obs.HistQuorumWait).Record(n.clock.Now().Sub(ls.deferredAt))
+		ls.deferredAt = time.Time{}
+	}
+	n.emit(obs.EvLockGrant, r.cfg.ID, int64(l), int64(winner))
 	n.multicast(r, wire.Message{
-		Type:  wire.TSeqLock,
-		Group: uint32(r.cfg.ID),
-		Src:   int32(n.id),
-		Lock:  uint32(l),
-		Var:   ls.epoch,
-		Val:   GrantValue(winner),
+		Type:   wire.TSeqLock,
+		Group:  uint32(r.cfg.ID),
+		Src:    int32(n.id),
+		Origin: int32(w.token),
+		Lock:   uint32(l),
+		Var:    ls.epoch,
+		Val:    GrantValue(winner),
 	})
 }
 

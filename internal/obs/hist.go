@@ -1,0 +1,178 @@
+// Package obs is the runtime's observability layer: lock-free latency
+// histograms and a bounded structured event trace, cheap enough to stay
+// wired through the protocol hot paths permanently.
+//
+// Everything in this package is built from plain atomics — no mutex is
+// ever taken on a record or emit, and neither operation allocates. The
+// sequenced-update fast path (gwc.Write under the node mutex) therefore
+// pays only a handful of uncontended atomic adds per sample, and a
+// single atomic load when tracing is disabled. Snapshots are taken
+// concurrently with recording and are per-counter consistent: each
+// counter is monotone and read atomically, so a snapshot never tears a
+// value, though counters read microseconds apart may reflect slightly
+// different instants. For protocol invariants that need an exactly
+// consistent cut, gwc.Stats (mutex-guarded) remains the source of
+// truth; obs answers distribution questions those counters cannot.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every histogram. Bucket i
+// (i >= 1) holds samples whose nanosecond duration d satisfies
+// bits.Len64(d) == i, i.e. d in [2^(i-1), 2^i). Bucket 0 holds
+// non-positive samples (virtual clocks can legitimately produce
+// zero-duration sections). The last bucket absorbs everything at or
+// above 2^(NumBuckets-2) ns — about 39 hours, beyond any latency this
+// system can produce.
+const NumBuckets = 48
+
+// Hist is a lock-free fixed-bucket latency histogram. Record is safe
+// from any number of goroutines; Snapshot is safe concurrently with
+// Record. The zero value is ready to use.
+type Hist struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // total nanoseconds; int64 tolerates negative samples
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i, the value
+// quantile estimates report. Bucket 0 reports 0; the overflow bucket
+// reports its lower bound (the distribution above it is unknown).
+func BucketUpper(i int) time.Duration {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= NumBuckets-1:
+		return time.Duration(1) << (NumBuckets - 2)
+	default:
+		return time.Duration(1) << i
+	}
+}
+
+// Record adds one sample. It performs two or three atomic adds and
+// never allocates or blocks.
+func (h *Hist) Record(d time.Duration) {
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+// Snapshot captures the histogram's current counters.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNanos = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Hist, mergeable across
+// nodes and comparable across runs.
+type HistSnapshot struct {
+	Buckets  [NumBuckets]uint64
+	Count    uint64
+	SumNanos int64
+}
+
+// Merge folds another snapshot into this one — used to build
+// cluster-wide distributions from per-node histograms.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.SumNanos += o.SumNanos
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile
+// (0 < q <= 1): the upper edge of the bucket containing the q·Count-th
+// sample. With power-of-two buckets the estimate is within 2x of the
+// true value. Returns 0 for an empty histogram.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(s.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= target {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumBuckets - 1)
+}
+
+// Mean returns the exact arithmetic mean of all recorded samples.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / int64(s.Count))
+}
+
+// String renders a compact one-line summary: count, mean, and the
+// standard latency quantiles.
+func (s HistSnapshot) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max<=%v",
+		s.Count, s.Mean(), s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99), s.Quantile(1))
+}
+
+// Bars renders a multi-line ASCII distribution of the non-empty
+// buckets, for trace dumps and cmd/optsim output.
+func (s HistSnapshot) Bars() string {
+	var max uint64
+	for _, c := range s.Buckets {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return "(empty)\n"
+	}
+	var b strings.Builder
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		width := int(c * 40 / max)
+		if width == 0 {
+			width = 1
+		}
+		fmt.Fprintf(&b, "%12v %8d %s\n", BucketUpper(i), c, strings.Repeat("#", width))
+	}
+	return b.String()
+}

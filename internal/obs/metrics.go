@@ -1,0 +1,89 @@
+package obs
+
+import "fmt"
+
+// HistID names one of the fixed latency histograms every node carries.
+type HistID int
+
+const (
+	// HistLockAcquire is the wall time from sending a lock request to
+	// holding the grant, for blocking (non-speculative) acquires.
+	HistLockAcquire HistID = iota
+	// HistSpecSection is the duration of a speculative critical
+	// section: from entering the body early to the commit-or-abort
+	// decision, the window the paper's optimism overlaps with request
+	// latency.
+	HistSpecSection
+	// HistRollback is the cost of undoing a failed speculation:
+	// save-set restore plus insharing resume.
+	HistRollback
+	// HistBatchFlush is how long coalesced writes sat in the member
+	// batch queue before flushing (first enqueue to flush).
+	HistBatchFlush
+	// HistQuorumWait is how long the root deferred a lock handoff or
+	// sync barrier waiting for the quorum-ack commit watermark.
+	HistQuorumWait
+	// HistFailover is election start to promotion on the winning
+	// candidate: how long the group ran headless.
+	HistFailover
+
+	NumHists // sentinel; always last
+)
+
+var histNames = [NumHists]string{
+	HistLockAcquire: "lock_acquire",
+	HistSpecSection: "spec_section",
+	HistRollback:    "rollback",
+	HistBatchFlush:  "batch_flush",
+	HistQuorumWait:  "quorum_wait",
+	HistFailover:    "failover",
+}
+
+func (id HistID) String() string {
+	if id >= 0 && id < NumHists {
+		return histNames[id]
+	}
+	return fmt.Sprintf("hist(%d)", int(id))
+}
+
+// Metrics bundles one node's histograms and tracer. The zero value is
+// ready to use (histograms always-on, tracer disabled). Pointer
+// receivers everywhere; a Metrics must not be copied once recorded to.
+type Metrics struct {
+	hists [NumHists]Hist
+	Trace Tracer
+}
+
+// Hist returns the histogram with the given id for direct recording.
+func (m *Metrics) Hist(id HistID) *Hist { return &m.hists[id] }
+
+// Snapshot captures all histograms and the per-type event counts. The
+// trace ring itself is snapshotted separately (Trace.Snapshot) since
+// it is bulky and usually only wanted on failure.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	var s MetricsSnapshot
+	for i := range m.hists {
+		s.Hists[i] = m.hists[i].Snapshot()
+	}
+	for i := range s.Events {
+		s.Events[i] = m.Trace.Count(EventType(i))
+	}
+	return s
+}
+
+// MetricsSnapshot is a point-in-time copy of a node's Metrics,
+// mergeable across nodes.
+type MetricsSnapshot struct {
+	Hists  [NumHists]HistSnapshot
+	Events [NumEventTypes]uint64
+}
+
+// Merge folds another snapshot into this one.
+func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
+	for i := range s.Hists {
+		s.Hists[i].Merge(o.Hists[i])
+	}
+	for i := range s.Events {
+		s.Events[i] += o.Events[i]
+	}
+}

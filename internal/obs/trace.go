@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventType identifies one protocol transition in the trace.
+type EventType uint8
+
+const (
+	EvNone EventType = iota
+
+	// Optimistic-engine transitions (internal/core).
+	EvSpecStart  // speculative section entered before the grant; A=lock
+	EvSpecCommit // speculation confirmed by grant; A=lock
+	EvSpecAbort  // speculation rolled back; A=lock, B=abort reason
+	EvRegular    // history filter chose the pessimistic path; A=lock
+
+	// Member-side data plane (internal/gwc).
+	EvEchoDropped  // hardware blocking suppressed a self-echo; A=var
+	EvEchoRestored // failover snapshot restored a blocked echo; A=var
+	EvStaleEpoch   // frame from a deposed reign rejected; A=frame type, B=epoch
+	EvBatchFlush   // coalescing queue flushed; A=writes in flush, B=flush reason
+	EvSnapApplied  // failover/rejoin snapshot re-based the member; A=seq, B=epoch
+	EvRejoined     // rejoin handshake completed; A=rejoining node, B=epoch
+
+	// Root-side lock and update plane.
+	EvSuppressed // guarded write dropped at the root; A=var, B=suppress reason
+	EvLockQueued // lock request queued behind a holder; A=lock, B=requester
+	EvLockGrant  // lock granted; A=lock, B=new holder
+	EvLockFree   // lock released with empty queue; A=lock
+	EvLockCancel // queued request withdrawn; A=lock, B=requester
+
+	// Reign transitions.
+	EvFence       // root lost contact with a quorum and fenced itself; A=reachable, B=epoch
+	EvUnfence     // fenced root regained a quorum and replayed; A=parked frames, B=epoch
+	EvElection    // member began failure detection / candidacy; A=candidate, B=election epoch
+	EvReignChange // node adopted a new reign; A=new root, B=new epoch
+	EvDemoted     // root learned of a higher reign and stepped down; A=new root, B=new epoch
+
+	NumEventTypes // sentinel; always last
+)
+
+// Abort / suppression reason codes carried in Event.B.
+const (
+	ReasonLockHeld   int64 = iota + 1 // speculation aborted: lock was taken
+	ReasonNotHolder                   // guarded write from a non-holder
+	ReasonStaleGrant                  // guarded write tagged with an old grant epoch
+	ReasonClosed                      // node shut down mid-operation
+)
+
+var evNames = [NumEventTypes]string{
+	EvNone: "none", EvSpecStart: "spec-start", EvSpecCommit: "spec-commit",
+	EvSpecAbort: "spec-abort", EvRegular: "regular-acquire",
+	EvEchoDropped: "echo-dropped", EvEchoRestored: "echo-restored",
+	EvStaleEpoch: "stale-epoch", EvBatchFlush: "batch-flush",
+	EvSnapApplied: "snap-applied", EvRejoined: "rejoined",
+	EvSuppressed: "suppressed", EvLockQueued: "lock-queued",
+	EvLockGrant: "lock-grant", EvLockFree: "lock-free", EvLockCancel: "lock-cancel",
+	EvFence: "fence", EvUnfence: "unfence", EvElection: "election",
+	EvReignChange: "reign-change", EvDemoted: "demoted",
+}
+
+func (t EventType) String() string {
+	if int(t) < len(evNames) && evNames[t] != "" {
+		return evNames[t]
+	}
+	return fmt.Sprintf("ev(%d)", uint8(t))
+}
+
+// Event is one structured trace record. A and B are event-specific
+// operands documented on the EventType constants.
+type Event struct {
+	At    int64 // clock nanoseconds (virtual under detsim)
+	Type  EventType
+	Node  int32
+	Group int32
+	A, B  int64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%10dns n%d g%d %-14s a=%d b=%d", e.At, e.Node, e.Group, e.Type, e.A, e.B)
+}
+
+// slot is one ring entry. All fields are atomics so concurrent
+// emit/snapshot is race-free; seq implements a per-slot seqlock: a
+// writer zeroes it, stores the fields, then stores the claim index, so
+// a reader that sees the same claim index before and after reading the
+// fields read a consistent record, and discards the slot otherwise.
+type slot struct {
+	seq                atomic.Uint64
+	at, a, b           atomic.Int64
+	typ, nodeID, group atomic.Int32
+}
+
+type ring struct {
+	mask   uint64
+	cursor atomic.Uint64 // number of events ever claimed; slot = (cursor-1)&mask
+	slots  []slot
+}
+
+func (r *ring) emit(e Event) {
+	idx := r.cursor.Add(1)
+	s := &r.slots[(idx-1)&r.mask]
+	s.seq.Store(0)
+	s.at.Store(e.At)
+	s.typ.Store(int32(e.Type))
+	s.nodeID.Store(e.Node)
+	s.group.Store(e.Group)
+	s.a.Store(e.A)
+	s.b.Store(e.B)
+	s.seq.Store(idx)
+}
+
+// Tracer is a per-node bounded event trace: a drop-oldest ring of
+// Events plus exact per-type counters that survive wraparound. Emit is
+// lock-free and allocation-free; when the tracer is disabled (the
+// default) it is a single atomic load. The zero value is a valid,
+// disabled tracer.
+type Tracer struct {
+	on     atomic.Bool
+	r      atomic.Pointer[ring]
+	counts [NumEventTypes]atomic.Uint64
+
+	mu   sync.Mutex                      // guards subscriber registration only
+	subs atomic.Pointer[[]chan struct{}] // copy-on-write list read by Emit
+}
+
+// DefaultTraceCap is the ring capacity Enable uses when given zero.
+const DefaultTraceCap = 1 << 12
+
+// Enable turns the tracer on with at least the given ring capacity
+// (rounded up to a power of two; 0 means DefaultTraceCap). Enabling an
+// already-enabled tracer with a new capacity discards buffered events;
+// per-type counts persist. Safe to call concurrently with Emit.
+func (t *Tracer) Enable(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	n := 1 << bits.Len(uint(capacity-1))
+	t.mu.Lock()
+	if old := t.r.Load(); old == nil || len(old.slots) != n {
+		t.r.Store(&ring{mask: uint64(n - 1), slots: make([]slot, n)})
+	}
+	t.mu.Unlock()
+	t.on.Store(true)
+}
+
+// Disable stops event capture. Buffered events remain readable.
+func (t *Tracer) Disable() { t.on.Store(false) }
+
+// On reports whether the tracer is capturing. Callers building an
+// Event they would pass to Emit should check this first to skip the
+// construction entirely.
+func (t *Tracer) On() bool { return t.on.Load() }
+
+// Emit records one event if the tracer is enabled: bump the exact
+// per-type counter, write the ring slot, and nudge subscribers.
+func (t *Tracer) Emit(e Event) {
+	if !t.on.Load() {
+		return
+	}
+	if int(e.Type) < len(t.counts) {
+		t.counts[e.Type].Add(1)
+	}
+	if r := t.r.Load(); r != nil {
+		r.emit(e)
+	}
+	if subs := t.subs.Load(); subs != nil {
+		for _, ch := range *subs {
+			select {
+			case ch <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// Count returns the exact number of events of the given type emitted
+// since the tracer was created — immune to ring wraparound.
+func (t *Tracer) Count(typ EventType) uint64 {
+	if int(typ) >= len(t.counts) {
+		return 0
+	}
+	return t.counts[typ].Load()
+}
+
+// Subscribe registers a wake-up channel: every Emit performs a
+// non-blocking send on it. The channel is a level trigger for
+// condition-based waits — a receiver rechecks its predicate on every
+// tick and must tolerate missed ticks coalescing (capacity 1).
+// The returned cancel func unregisters the channel.
+func (t *Tracer) Subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	return ch, t.SubscribeChan(ch)
+}
+
+// SubscribeChan registers a caller-supplied wake-up channel, so one
+// channel can watch several tracers at once (a cluster-wide condition
+// wait). The channel should be buffered; sends are non-blocking and
+// coalesce. The returned cancel func unregisters it. The channel is
+// never closed by the tracer — an Emit racing the cancel may still be
+// holding a reference to it.
+func (t *Tracer) SubscribeChan(ch chan struct{}) func() {
+	t.mu.Lock()
+	var cur []chan struct{}
+	if p := t.subs.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]chan struct{}, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = ch
+	t.subs.Store(&next)
+	t.mu.Unlock()
+	cancel := func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		p := t.subs.Load()
+		if p == nil {
+			return
+		}
+		out := make([]chan struct{}, 0, len(*p))
+		for _, c := range *p {
+			if c != ch {
+				out = append(out, c)
+			}
+		}
+		t.subs.Store(&out)
+	}
+	return cancel
+}
+
+// Snapshot returns the buffered events, oldest first. Slots being
+// overwritten mid-read are detected by their seqlock and skipped, so
+// the result may be shorter than the ring under concurrent emission
+// but never contains a torn record.
+func (t *Tracer) Snapshot() []Event {
+	r := t.r.Load()
+	if r == nil {
+		return nil
+	}
+	cur := r.cursor.Load()
+	size := uint64(len(r.slots))
+	start := uint64(1)
+	if cur > size {
+		start = cur - size + 1
+	}
+	out := make([]Event, 0, cur-start+1)
+	for idx := start; idx <= cur; idx++ {
+		s := &r.slots[(idx-1)&r.mask]
+		if s.seq.Load() != idx {
+			continue
+		}
+		e := Event{
+			At:    s.at.Load(),
+			Type:  EventType(s.typ.Load()),
+			Node:  s.nodeID.Load(),
+			Group: s.group.Load(),
+			A:     s.a.Load(),
+			B:     s.b.Load(),
+		}
+		if s.seq.Load() != idx {
+			continue // overwritten while reading: torn, drop it
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Format renders a slice of events one per line, for failure dumps.
+func Format(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Since filters events at or after the given instant — handy for
+// scoping a dump to the failing phase of a test.
+func Since(events []Event, at time.Time) []Event {
+	ns := at.UnixNano()
+	out := events[:0:0]
+	for _, e := range events {
+		if e.At >= ns {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -40,6 +40,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"time"
 
@@ -81,6 +83,10 @@ type options struct {
 	batchDelay time.Duration
 	batchMsgs  int
 	quorumAcks bool
+
+	traced      bool
+	traceCap    int
+	metricsAddr string
 }
 
 // Option configures NewCluster.
@@ -203,6 +209,9 @@ type Cluster struct {
 	engines []*core.Engine
 	histSz  int
 
+	metricsLn  net.Listener // non-nil with WithMetricsAddr
+	metricsSrv *http.Server
+
 	mu        sync.Mutex
 	groups    map[string]*Group
 	nextGroup gwc.GroupID
@@ -221,16 +230,16 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 	}
 
 	var (
-		net transport.Network
+		nw  transport.Network
 		err error
 	)
 	if len(o.tcpAddrs) > 0 {
 		if len(o.tcpAddrs) != n {
 			return nil, fmt.Errorf("optsync: %d TCP addresses for %d nodes", len(o.tcpAddrs), n)
 		}
-		net, err = transport.NewTCP(o.tcpAddrs)
+		nw, err = transport.NewTCP(o.tcpAddrs)
 	} else {
-		net, err = transport.NewInProc(n)
+		nw, err = transport.NewInProc(n)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("optsync: %w", err)
@@ -241,12 +250,12 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		if o.faults != nil {
 			plan = *o.faults
 		}
-		flaky = transport.NewFlaky(net, plan)
-		net = flaky
+		flaky = transport.NewFlaky(nw, plan)
+		nw = flaky
 	}
 
 	c := &Cluster{
-		net:       net,
+		net:       nw,
 		flaky:     flaky,
 		nodes:     make([]*gwc.Node, n),
 		engines:   make([]*core.Engine, n),
@@ -255,9 +264,9 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		nextGroup: 1,
 	}
 	for i := 0; i < n; i++ {
-		ep, err := net.Endpoint(i)
+		ep, err := nw.Endpoint(i)
 		if err != nil {
-			_ = net.Close()
+			_ = nw.Close()
 			return nil, fmt.Errorf("optsync: %w", err)
 		}
 		c.nodes[i] = gwc.NewNode(i, ep)
@@ -265,6 +274,17 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		c.nodes[i].SetBatching(o.batchDelay, o.batchMsgs)
 		c.nodes[i].SetQuorumAcks(o.quorumAcks)
 		c.engines[i] = core.NewEngine(c.nodes[i], o.history)
+	}
+	if o.traced || o.metricsAddr != "" {
+		for _, nd := range c.nodes {
+			nd.Metrics().Trace.Enable(o.traceCap)
+		}
+	}
+	if o.metricsAddr != "" {
+		if err := c.startMetricsServer(o.metricsAddr); err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("optsync: metrics server: %w", err)
+		}
 	}
 	return c, nil
 }
@@ -322,6 +342,11 @@ func (c *Cluster) Close() error {
 	c.closed = true
 	c.mu.Unlock()
 	var first error
+	if c.metricsSrv != nil {
+		if err := c.metricsSrv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	for _, n := range c.nodes {
 		if err := n.Close(); err != nil && first == nil {
 			first = err
