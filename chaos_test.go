@@ -105,6 +105,16 @@ func TestChaosRootCrashMidWorkload(t *testing.T) {
 	if n := atomic.LoadInt32(&overlaps); n != 0 {
 		t.Errorf("mutual exclusion violated %d times", n)
 	}
+	// A single crash-failover cycle resolves well inside the default
+	// stuck-operation budget (4x the failure deadline), so any watchdog
+	// trip on a survivor means an operation genuinely wedged. The crashed
+	// root is exempt: its fence staying up while isolated is exactly what
+	// its own watchdog should report.
+	for i := 1; i < nodes; i++ {
+		if n := c.Handle(i).Stats().GWC.WatchdogStuck; n != 0 {
+			t.Errorf("node %d: stuck-operation watchdog tripped %d times during a healthy failover", i, n)
+		}
+	}
 	want := atomic.LoadInt64(&confirmed)
 	if want <= post {
 		t.Errorf("no increments committed under the new root (pre-crash %d, final %d)", post, want)

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Performance snapshot for the PR record.
+#
+# Runs the write-plane benchmarks (BenchmarkLiveWrite, plus the
+# unbatched/batched halves of BenchmarkBatchedWrites) and a contended
+# live workload whose lock-acquire latency distribution comes from the
+# internal/obs histograms (via cmd/optsim's /metrics-format dump), and
+# assembles the figures into one JSON document on stdout.
+#
+# Usage:
+#   ci/bench_snapshot.sh             # print the snapshot
+#   ci/bench_snapshot.sh BENCH_X.json  # also write it to a file
+#
+# The committed BENCH_PR<N>.json files are point-in-time records from
+# the machine that produced them — compare shapes and ratios across
+# PRs, not absolute nanoseconds across machines.
+set -eu
+
+cd "$(dirname "$0")/.."
+bench=$(mktemp)
+live=$(mktemp)
+trap 'rm -f "$bench" "$live"' EXIT
+
+go test . -run '^$' -bench 'BenchmarkLiveWrite$|BenchmarkBatchedWrites' \
+	-benchmem -benchtime 2000x >"$bench"
+go run ./cmd/optsim -workload live -n 4 >"$live"
+
+# Pull "<ns> ns/op  <B> B/op  <allocs> allocs/op" for one benchmark line.
+benchfields() {
+	awk -v b="$1" '$1 ~ "^"b"(-[0-9]+)?$" {
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "ns/op")     ns = $i
+			if ($(i+1) == "B/op")      bytes = $i
+			if ($(i+1) == "allocs/op") allocs = $i
+		}
+		printf "{\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", ns, bytes, allocs
+		exit
+	}' "$bench"
+}
+
+# Pull a quantile ("p50" / "p99") off the lock_acquire histogram line,
+# normalized to nanoseconds via the Go duration suffix.
+acquire_q() {
+	awk -v q="$1" '$1 == "lock_acquire" {
+		for (i = 2; i <= NF; i++) if (index($i, q"=") == 1) {
+			v = substr($i, length(q) + 2)
+			ns = 0
+			if (sub(/ns$/, "", v))      ns = v
+			else if (sub(/µs$/, "", v)) ns = v * 1000
+			else if (sub(/us$/, "", v)) ns = v * 1000
+			else if (sub(/ms$/, "", v)) ns = v * 1000000
+			else if (sub(/s$/, "", v))  ns = v * 1000000000
+			printf "%d", ns
+			exit
+		}
+	}' "$live"
+}
+
+out=$(cat <<EOF
+{
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "go": "$(go env GOVERSION)",
+  "benchtime": "2000x",
+  "live_write": $(benchfields BenchmarkLiveWrite),
+  "batched_writes": {
+    "unbatched": $(benchfields 'BenchmarkBatchedWrites/unbatched'),
+    "batched": $(benchfields 'BenchmarkBatchedWrites/batched')
+  },
+  "lock_acquire": {
+    "source": "internal/obs HistLockAcquire, cmd/optsim -workload live -n 4",
+    "p50_ns": $(acquire_q p50),
+    "p99_ns": $(acquire_q p99)
+  }
+}
+EOF
+)
+echo "$out"
+if [ $# -ge 1 ]; then
+	echo "$out" >"$1"
+fi

@@ -1,0 +1,219 @@
+package detsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"optsync/internal/gwc"
+	"optsync/internal/model"
+	"optsync/internal/obs"
+)
+
+// Resilience-layer scenarios: the fencing lease plus the stuck-operation
+// watchdog under a long quorum outage, and the bounded-staleness
+// degraded-read path on a member that lost its reign. Both drive the
+// full live stack under the deterministic scheduler, so the watchdog's
+// virtual-clock budgets and the staleness bounds replay bit-identically
+// from the seed.
+
+// LeaseParkWatchdog: 5 nodes under quorum acks; a majority of the
+// membership goes dark mid-workload, so the root's fencing lease trips
+// and stays fenced long enough for the stuck-operation watchdog (budget
+// lowered into the scenario's timescale) to report the wedged fence.
+// While fenced, the root must still serve bounded-staleness reads —
+// counted and with a nonzero bound — and once the members return the
+// lease must lift, the parked traffic must replay, and the acknowledged
+// history must linearize.
+func LeaseParkWatchdog() Scenario {
+	return Scenario{
+		Name:  "lease-park-watchdog",
+		Nodes: 5,
+		Run: func(e *Env) error {
+			if _, err := setup(e, clusterCfg{
+				quorumAcks: true,
+				history:    256,
+				guards:     guardedCfg(e.Nodes()),
+			}); err != nil {
+				return err
+			}
+			// Pull the watchdog budget into the scenario's timescale (the
+			// default 4x failAfter would also trip, but only after a much
+			// longer dark window).
+			for i := 0; i < e.Nodes(); i++ {
+				e.Node(i).SetWatchdog(30 * time.Millisecond)
+			}
+			checker := model.NewCounterChecker()
+			w := &worker{env: e, node: 1, obs: []int{0, 2}, minObs: 2, checker: checker}
+			ws := []*worker{w}
+			root := e.Node(0)
+			if err := drive(e, ws, 60000, "first acknowledged increment", func() bool {
+				return w.acked >= 1
+			}); err != nil {
+				return err
+			}
+			// A majority goes dark: the root still hears node 1, so reach =
+			// 2 < quorum 3 and the lease must fence the reign.
+			e.Crash(2)
+			e.Crash(3)
+			e.Crash(4)
+			if err := drive(e, ws, 120000, "root lease fenced", func() bool {
+				return root.Stats().Fenced >= 1
+			}); err != nil {
+				return err
+			}
+			// The fence outlives the watchdog budget: the root must report
+			// the wedged reign (WatchFence) without unfencing — only member
+			// contact may do that.
+			if err := drive(e, ws, 120000, "watchdog reports the wedged fence", func() bool {
+				return root.Stats().WatchdogStuck >= 1
+			}); err != nil {
+				return err
+			}
+			if got := root.Metrics().Trace.Count(obs.EvWatchdogStuck); got < 1 {
+				return fmt.Errorf("WatchdogStuck counted but no EvWatchdogStuck trace event (count=%d)", got)
+			}
+			if h := root.Health(); h.Fenced != 1 || h.Serving() {
+				return fmt.Errorf("fenced root reports healthy: %+v", h)
+			}
+			// Degraded read on the fenced root: served, counted, and with a
+			// staleness bound measured from the start of the fence.
+			val, stale, err := root.ReadStale(simGroup, simCounter, 0)
+			if err != nil {
+				return fmt.Errorf("fenced root refused a degraded read: %w", err)
+			}
+			if stale <= 0 {
+				return fmt.Errorf("fenced root served a degraded read with zero staleness bound")
+			}
+			if own, _ := root.Read(simGroup, simCounter); val != own {
+				return fmt.Errorf("degraded read %d != local copy %d", val, own)
+			}
+			if dr := root.Stats().DegradedReads; dr < 1 {
+				return fmt.Errorf("degraded read served but not counted (DegradedReads=%d)", dr)
+			}
+			// Contact returns: the lease lifts, parked traffic replays, and
+			// the workload completes.
+			e.Revive(2)
+			e.Revive(3)
+			e.Revive(4)
+			if err := drive(e, ws, 120000, "lease lifted after revival", func() bool {
+				return root.Metrics().Trace.Count(obs.EvUnfence) >= 1
+			}); err != nil {
+				return err
+			}
+			if err := drive(e, ws, 120000, "post-fence increments", func() bool {
+				return w.acked >= 2
+			}); err != nil {
+				return err
+			}
+			final, err := windDown(e, ws, []int{0, 1, 2, 3, 4})
+			if err != nil {
+				return err
+			}
+			if err := checker.Check(final); err != nil {
+				return fmt.Errorf("lease-park history (final=%d, acked=%d): %w", final, checker.Len(), err)
+			}
+			if checker.Len() < 2 {
+				return fmt.Errorf("only %d increments acknowledged; the fence window was never crossed", checker.Len())
+			}
+			return nil
+		},
+	}
+}
+
+// DegradedRead: 4 nodes; the root and two members crash, stranding the
+// survivor mid-election with no hope of a quorum. The survivor must
+// keep serving explicitly-bounded stale reads — its local copy, with a
+// growing staleness bound and an ErrTooStale refusal past a tight bound
+// — while reporting itself not serving. Reviving the members completes
+// the election, and the resumed workload must linearize against the
+// pre-outage history.
+func DegradedRead() Scenario {
+	return Scenario{
+		Name:  "degraded-read",
+		Nodes: 4,
+		Run: func(e *Env) error {
+			if _, err := setup(e, clusterCfg{
+				quorumAcks: true,
+				history:    256,
+				guards:     guardedCfg(e.Nodes()),
+			}); err != nil {
+				return err
+			}
+			checker := model.NewCounterChecker()
+			w := &worker{env: e, node: 1, obs: []int{2, 3}, minObs: 2, checker: checker}
+			ws := []*worker{w}
+			if err := drive(e, ws, 60000, "first acknowledged increment", func() bool {
+				return w.acked >= 1
+			}); err != nil {
+				return err
+			}
+			// Root and both stable members go dark: node 1 suspects the
+			// root, starts an election, and can never finish it (reports
+			// from 1 of 4 members < quorum 3).
+			e.Crash(0)
+			e.Crash(2)
+			e.Crash(3)
+			survivor := e.Node(1)
+			if err := drive(e, ws, 120000, "survivor stranded mid-election", func() bool {
+				return survivor.Stats().Elections >= 1
+			}); err != nil {
+				return err
+			}
+			if f := survivor.Stats().Failovers; f > 0 {
+				return fmt.Errorf("minority survivor promoted itself %d times without a quorum", f)
+			}
+			if h := survivor.Health(); h.Electing != 1 || h.Serving() {
+				return fmt.Errorf("stranded survivor reports healthy: %+v", h)
+			}
+			// Unbounded degraded read: the local copy, with a positive
+			// staleness bound (its reign has been silent since the crash).
+			own, _ := survivor.Read(simGroup, simCounter)
+			val, stale, err := survivor.ReadStale(simGroup, simCounter, 0)
+			if err != nil {
+				return fmt.Errorf("stranded survivor refused a degraded read: %w", err)
+			}
+			if val != own {
+				return fmt.Errorf("degraded read %d != local copy %d", val, own)
+			}
+			if stale <= 0 {
+				return fmt.Errorf("degraded read on a stranded member carried no staleness bound")
+			}
+			if dr := survivor.Stats().DegradedReads; dr < 1 {
+				return fmt.Errorf("degraded read served but not counted (DegradedReads=%d)", dr)
+			}
+			if got := survivor.Metrics().Trace.Count(obs.EvDegradedRead); got < 1 {
+				return fmt.Errorf("DegradedReads counted but no EvDegradedRead trace event (count=%d)", got)
+			}
+			// A caller with a bound tighter than the outage must be refused.
+			if _, _, err := survivor.ReadStale(simGroup, simCounter, time.Nanosecond); !errors.Is(err, gwc.ErrTooStale) {
+				return fmt.Errorf("read with a 1ns bound during an outage returned %v, want ErrTooStale", err)
+			}
+			// Quorum returns: the election completes (node 1 is the lowest
+			// live candidate) and the workload resumes against the new reign.
+			e.Revive(2)
+			e.Revive(3)
+			if err := drive(e, ws, 120000, "survivor promoted with a quorum", func() bool {
+				return survivor.Stats().Failovers >= 1
+			}); err != nil {
+				return err
+			}
+			if err := drive(e, ws, 120000, "post-outage increments", func() bool {
+				return w.acked >= 2
+			}); err != nil {
+				return err
+			}
+			final, err := windDown(e, ws, []int{1, 2, 3})
+			if err != nil {
+				return err
+			}
+			if err := checker.Check(final); err != nil {
+				return fmt.Errorf("degraded-read history (final=%d, acked=%d): %w", final, checker.Len(), err)
+			}
+			if checker.Len() < 2 {
+				return fmt.Errorf("only %d increments acknowledged; the outage window was never crossed", checker.Len())
+			}
+			return nil
+		},
+	}
+}

@@ -164,9 +164,12 @@ func (n *Node) adoptEpoch(g *memberGroup, epoch uint32, root int) {
 	g.nextSeq = 1
 	g.pending = make(map[uint64]wire.Message)
 	// Adoption supersedes an in-flight rejoin (the snapshot path now does
-	// the catching up), and acks restart with the reign's numbering.
+	// the catching up), and acks restart with the reign's numbering. The
+	// new reign also resets every retry backoff: outstanding requests
+	// re-register with the new root at full cadence.
 	g.rejoining = false
 	g.acked = 0
+	g.resetRetrySchedules()
 	// The old spanning tree was rooted at the old root; failover reigns
 	// use direct fanout.
 	g.children = nil
@@ -351,6 +354,7 @@ func (n *Node) promote(gid GroupID, g *memberGroup) {
 	g.rejoining = false
 	g.acked = 0
 	g.children = nil
+	g.resetRetrySchedules()
 	for _, v := range sortedKeys(auth) {
 		n.applyVarValue(g, v, auth[v])
 	}
@@ -366,10 +370,10 @@ func (n *Node) promote(gid GroupID, g *memberGroup) {
 	// else learns the holder from the grant multicast or the snapshot.
 	for _, l := range sortedKeys(r.locks) {
 		ls := r.locks[l]
-		if ls.holder == -1 && len(ls.queue) > 0 {
-			next := ls.queue[0]
-			ls.queue = ls.queue[1:]
-			n.grant(r, l, ls, next)
+		if ls.holder == -1 {
+			if next, ok := n.popWaiter(ls); ok {
+				n.grant(r, l, ls, next)
+			}
 		}
 	}
 	n.heartbeat(gid, r)

@@ -104,6 +104,8 @@ func (n *Node) checkFence(r *rootGroup, now time.Time) {
 	if reach < r.quorum {
 		if !r.fenced {
 			r.fenced = true
+			r.fencedAt = now
+			r.fenceWatch = now
 			n.stats.Fenced++
 			n.emit(obs.EvFence, r.cfg.ID, int64(reach), int64(r.epoch))
 		}
@@ -113,6 +115,8 @@ func (n *Node) checkFence(r *rootGroup, now time.Time) {
 		return
 	}
 	r.fenced = false
+	r.fencedAt = time.Time{}
+	r.fenceWatch = time.Time{}
 	q := r.fencedQ
 	r.fencedQ = nil
 	n.emit(obs.EvUnfence, r.cfg.ID, int64(len(q)), int64(r.epoch))
@@ -191,10 +195,20 @@ func (n *Node) serviceQuorum(r *rootGroup) {
 	}
 	for _, l := range sortedKeys(r.locks) {
 		ls := r.locks[l]
-		if ls.holder == -1 && len(ls.queue) > 0 && r.commit >= ls.needSeq {
-			next := ls.queue[0]
-			ls.queue = ls.queue[1:]
-			n.grant(r, l, ls, next)
+		if r.commit < ls.needSeq {
+			continue
+		}
+		if ls.pendingGrant {
+			// The winner was designated at park time; only the multicast
+			// waited for the watermark.
+			ls.pendingGrant = false
+			n.sendGrant(r, l, ls)
+			continue
+		}
+		if ls.holder == -1 {
+			if next, ok := n.popWaiter(ls); ok {
+				n.grant(r, l, ls, next)
+			}
 		}
 	}
 }

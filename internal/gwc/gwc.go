@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -118,6 +119,12 @@ type Stats struct {
 	QuorumAckWaits int // root: lock handoffs / sync barriers deferred for quorum acks
 	FencedDrops    int // root: messages dropped (or evicted) past the fenced-queue bound
 
+	// Control-plane resilience (backoff.go, watchdog.go, degraded.go).
+	WatchdogStuck    int // operations reported past their liveness budget
+	WatchdogReissues int // watchdog-forced re-sends / re-services of stuck operations
+	DeadlineDrops    int // root: lock requests dropped because the caller's deadline passed
+	DegradedReads    int // bounded-staleness reads served while degraded
+
 	// Batched update plane (batch.go).
 	Batches      int          // batch frames sent (member flushes, root fan-out, streams)
 	Coalesced    int          // member: writes combined into a queued write in-window
@@ -163,6 +170,16 @@ type Node struct {
 	// prefix they depend on (see SetQuorumAcks).
 	quorumAcks bool
 
+	// Adaptive-retry bounds (backoff.go; zero means derived defaults)
+	// and the node's seeded jitter source, drawn only under n.mu.
+	backoffBase time.Duration
+	backoffCap  time.Duration
+	rng         *rand.Rand
+
+	// wdBudget is the stuck-operation watchdog's liveness budget
+	// (watchdog.go; zero means 4x failAfter, derived at use).
+	wdBudget time.Duration
+
 	// metrics holds the node's latency histograms and event tracer
 	// (internal/obs). Histograms are always on — recording is a few
 	// atomic adds — while the tracer costs one atomic load until
@@ -193,6 +210,10 @@ func NewNodeClock(id int, ep transport.Endpoint, clock vclock.Clock) *Node {
 		retryIn:   50 * time.Millisecond,
 		failAfter: 2 * time.Second,
 		electWait: 200 * time.Millisecond,
+		// Jitter source for retry backoff, seeded by node ID alone:
+		// under detsim the draw order is fixed by the schedule, so the
+		// whole retry pattern replays bit-identically from the seed.
+		rng: rand.New(rand.NewSource(int64(id)*2654435761 + 1)),
 	}
 	// The maintenance timer is armed here, not inside resyncLoop, so that
 	// node construction fully determines timer creation order — a
@@ -426,6 +447,15 @@ func (n *Node) resyncLoop(timer vclock.Timer) {
 // transient failure never silences the maintenance machinery for good.
 // Iteration is in key order: the messages a tick emits must not depend
 // on map layout, or two runs of the same schedule would diverge.
+//
+// The tick fires at the fixed maintenance interval — failure detection,
+// the fencing lease, and heartbeats need a steady cadence — but the
+// retransmission paths inside it are gated by per-request backoff
+// schedules (backoff.go): a request is re-sent only when its schedule
+// is due, so recovery from a long outage costs O(log downtime) frames
+// per request instead of O(downtime / tick). The stuck-operation
+// watchdog (watchdog.go) runs first, so a budget trip's schedule reset
+// takes effect within the same tick.
 func (n *Node) tick() {
 	now := n.clock.Now()
 	n.mu.Lock()
@@ -435,45 +465,69 @@ func (n *Node) tick() {
 		if g.rootID == n.id {
 			continue // the root's member state is fed directly
 		}
+		n.watchMember(gid, g, now)
 		switch {
 		case g.rejoining:
 			// A restarted member asks for re-admission instead of probing:
 			// its sequence state is meaningless until the root answers with
-			// a fresh epoch and snapshot (rejoin.go).
-			n.send(g.rootID, wire.Message{
-				Type:  wire.TJoinReq,
-				Group: uint32(gid),
-				Src:   int32(n.id),
-				Epoch: g.epoch,
-			})
+			// a fresh epoch and snapshot (rejoin.go). Seq carries the join
+			// token so the root can serve duplicate handshakes idempotently.
+			if g.joinB.ready(now) {
+				n.arm(&g.joinB, now, n.boBase(), n.boCap())
+				n.send(g.rootID, wire.Message{
+					Type:  wire.TJoinReq,
+					Group: uint32(gid),
+					Src:   int32(n.id),
+					Seq:   uint64(g.joinToken),
+					Epoch: g.epoch,
+				})
+			}
 		case g.snapWanted:
 			// A member waiting for a snapshot skips the resync probe: the
 			// snapshot supersedes any retransmission it could trigger.
-			n.send(g.rootID, wire.Message{
-				Type:  wire.TSnapReq,
-				Group: uint32(gid),
-				Src:   int32(n.id),
-				Epoch: g.epoch,
-			})
+			if g.snapB.ready(now) {
+				n.arm(&g.snapB, now, n.boBase(), n.boCap())
+				n.send(g.rootID, wire.Message{
+					Type:  wire.TSnapReq,
+					Group: uint32(gid),
+					Src:   int32(n.id),
+					Epoch: g.epoch,
+				})
+			}
 		default:
 			// Open-ended resync probe: if this member is behind — even when
 			// the trailing messages of a burst were lost, which gap detection
 			// alone cannot notice — the root retransmits everything from the
 			// next expected sequence number. An up-to-date member costs one
-			// small message per interval and triggers no response. The probe
-			// doubles as the member's cumulative ack (Seq-1 is applied) and
-			// as root-side proof of contact for the fencing lease.
-			n.send(g.rootID, wire.Message{
-				Type:  wire.TNack,
-				Group: uint32(gid),
-				Src:   int32(n.id),
-				Seq:   g.nextSeq,
-				Val:   int64(math.MaxInt64),
-				Epoch: g.epoch,
-			})
+			// small message per due interval and triggers no response. The
+			// probe doubles as the member's cumulative ack (Seq-1 is applied)
+			// and as root-side proof of contact for the fencing lease, so its
+			// backoff cap is clamped to a fraction of failAfter (probeCap)
+			// and its schedule resets whenever the stream moves — a member
+			// with a gap to repair probes at full cadence.
+			if len(g.pending) > 0 || g.nextSeq != g.probeSeq {
+				g.probeB.reset()
+				g.probeSeq = g.nextSeq
+			}
+			if g.probeB.ready(now) {
+				n.arm(&g.probeB, now, n.boBase(), n.probeCap())
+				n.send(g.rootID, wire.Message{
+					Type:  wire.TNack,
+					Group: uint32(gid),
+					Src:   int32(n.id),
+					Seq:   g.nextSeq,
+					Val:   int64(math.MaxInt64),
+					Epoch: g.epoch,
+				})
+			}
 		}
-		// Re-send outstanding sync barriers; the root dedupes by token.
+		// Re-send due sync barriers; the root dedupes by token.
 		for _, tok := range sortedKeys(g.syncPending) {
+			sw := g.syncPending[tok]
+			if !sw.bo.ready(now) {
+				continue
+			}
+			n.arm(&sw.bo, now, n.boBase(), n.boCap())
 			n.send(g.rootID, wire.Message{
 				Type:  wire.TSyncReq,
 				Group: uint32(gid),
@@ -487,6 +541,7 @@ func (n *Node) tick() {
 	for _, gid := range sortedKeys(n.roots) {
 		r := n.roots[gid]
 		n.checkFence(r, now)
+		n.watchRoot(gid, r, now)
 		n.heartbeat(gid, r)
 	}
 }

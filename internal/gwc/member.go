@@ -117,8 +117,26 @@ type memberGroup struct {
 	lastNotice time.Time
 
 	// Crash recovery (rejoin.go): rejoining marks a restarted member
-	// waiting for the root's re-admission handshake.
-	rejoining bool
+	// waiting for the root's re-admission handshake. joinToken numbers
+	// this member's rejoin attempts; the root remembers the last token
+	// it served per member and answers retries idempotently instead of
+	// re-freeing locks the member may have re-acquired since.
+	rejoining   bool
+	joinToken   uint32
+	rejoinBegan time.Time
+
+	// Adaptive-retry schedules (backoff.go), one per resend path the
+	// maintenance tick drives. probeSeq is the stream position the last
+	// probe was sent at: movement resets the probe's schedule, so only a
+	// member with nothing to repair backs off.
+	joinB    backoff
+	snapB    backoff
+	probeB   backoff
+	probeSeq uint64
+
+	// reqSince stamps when each in-flight lock acquisition minted its
+	// token, for the stuck-operation watchdog (watchdog.go).
+	reqSince map[LockID]time.Time
 
 	// Quorum-ack plumbing (fence.go): acked is the highest sequence
 	// number this member has explicitly acknowledged to the root this
@@ -203,11 +221,27 @@ func newMemberGroup(id int, cfg GroupConfig, now time.Time) *memberGroup {
 		suspected:   make(map[int]bool),
 		want:        make(map[LockID]bool),
 		reqToken:    make(map[LockID]uint32),
+		reqSince:    make(map[LockID]time.Time),
 		lockHooks:   make(map[LockID]map[uint64]LockHook),
 		varHooks:    make(map[VarID]map[uint64]func(int64)),
 		syncPending: make(map[uint64]*syncWaiter),
 		data:        newNotifyList(),
 		lock:        newNotifyList(),
+	}
+}
+
+// resetRetrySchedules forgets every adaptive-retry schedule in the
+// group. Called when the world changes wholesale — a new reign adopted,
+// the rejoin handshake completed, this node promoted — so the first
+// retry of every outstanding operation fires on the next maintenance
+// tick instead of waiting out a backoff armed against the old regime.
+func (g *memberGroup) resetRetrySchedules() {
+	g.joinB.reset()
+	g.snapB.reset()
+	g.probeB.reset()
+	g.probeSeq = g.nextSeq
+	for _, sw := range g.syncPending {
+		sw.bo.reset()
 	}
 }
 
@@ -450,6 +484,10 @@ func (n *Node) applyLockValue(g *memberGroup, l LockID, val int64, grantEpoch ui
 	if val != Free {
 		g.grantEpoch[l] = grantEpoch
 	}
+	if val == GrantValue(n.id) {
+		// Acquisition complete: stop the watchdog's clock on it.
+		delete(g.reqSince, l)
+	}
 	for _, hook := range g.lockHooks[l] {
 		if hook(val) == HookSuspend {
 			// The paper's atomic interrupt-and-sharing-suspension: no data
@@ -650,6 +688,14 @@ func (n *Node) WaitGEContext(ctx context.Context, gid GroupID, v VarID, min int6
 // writes the negated ID into the local lock copy and ships the request.
 // The optimistic engine pairs it with WaitLockGrant.
 func (n *Node) SendLockRequest(gid GroupID, l LockID) error {
+	return n.sendLockRequest(gid, l, 0)
+}
+
+// sendLockRequest is SendLockRequest with the caller's context deadline
+// (Unix nanoseconds, 0 = none) propagated onto the wire, so the root
+// can drop the request outright once the caller has given up instead of
+// granting into the void.
+func (n *Node) sendLockRequest(gid GroupID, l LockID, deadline int64) error {
 	n.mu.Lock()
 	g, err := n.group(gid)
 	if err != nil {
@@ -662,32 +708,48 @@ func (n *Node) SendLockRequest(gid GroupID, l LockID) error {
 	if !g.want[l] {
 		// A new logical acquisition: mint its token. Retries while the
 		// request is outstanding reuse it, so the root can tell a retry
-		// from a new request that overtook a lost cancel.
+		// from a new request that overtook a lost cancel. The mint also
+		// starts the watchdog's clock on the acquisition.
 		g.reqToken[l]++
+		g.reqSince[l] = n.clock.Now()
 	}
 	g.want[l] = true
 	n.stats.LockRequests++
 	root := g.rootID
 	msg := wire.Message{
-		Type:   wire.TLockReq,
-		Group:  uint32(gid),
-		Src:    int32(n.id),
-		Origin: int32(n.id),
-		Seq:    uint64(g.reqToken[l]),
-		Lock:   uint32(l),
-		Epoch:  g.epoch,
+		Type:     wire.TLockReq,
+		Group:    uint32(gid),
+		Src:      int32(n.id),
+		Origin:   int32(n.id),
+		Seq:      uint64(g.reqToken[l]),
+		Lock:     uint32(l),
+		Epoch:    g.epoch,
+		Deadline: deadline,
 	}
 	n.mu.Unlock()
 	return n.ep.Send(root, msg)
 }
 
+// ctxDeadline extracts a context's deadline as Unix nanoseconds for the
+// wire's Deadline field (0 = none).
+func ctxDeadline(ctx context.Context) int64 {
+	if d, ok := ctx.Deadline(); ok {
+		return d.UnixNano()
+	}
+	return 0
+}
+
 // waitLock blocks until cond is satisfied by the local lock value
 // (checked immediately and after every change). It returns (false,
 // ctx.Err()) if the context ends first and (false, nil) if the node
-// closes. With resend, the pending request is re-sent every maintenance
-// interval in case it was lost (the root ignores duplicates, and after a
-// failover the retry re-registers the request with the new root).
+// closes. With resend, the pending request is re-sent on a jittered
+// exponential backoff (backoff.go) in case it was lost — the root
+// ignores duplicates — with the schedule reset on a reign change so the
+// request re-registers with the new root promptly (the failover's lock
+// re-base wakes waiters, so the reset takes effect without waiting out
+// the cap).
 func (n *Node) waitLock(ctx context.Context, gid GroupID, l LockID, cond func(val int64) bool, resend bool) (bool, error) {
+	deadline := ctxDeadline(ctx)
 	n.mu.Lock()
 	g, err := n.group(gid)
 	if err != nil {
@@ -695,6 +757,13 @@ func (n *Node) waitLock(ctx context.Context, gid GroupID, l LockID, cond func(va
 		return false, err
 	}
 	ch := g.lock.register()
+	// Per-wait retry schedule. The caller just sent the request, so the
+	// first resend waits out a full base delay.
+	var bo backoff
+	lastEpoch := g.epoch
+	if resend {
+		n.arm(&bo, n.clock.Now(), n.boBase(), n.boCap())
+	}
 	defer func() {
 		n.mu.Lock()
 		g.lock.unregister(ch)
@@ -713,15 +782,37 @@ func (n *Node) waitLock(ctx context.Context, gid GroupID, l LockID, cond func(va
 			return true, nil
 		}
 		closed := n.closed
+		resendNow := false
+		var wait time.Duration
+		if resend {
+			if g.epoch != lastEpoch {
+				lastEpoch = g.epoch
+				bo.reset()
+			}
+			now := n.clock.Now()
+			if bo.ready(now) {
+				resendNow = true
+				n.arm(&bo, now, n.boBase(), n.boCap())
+			}
+			wait = bo.due.Sub(now)
+		}
 		n.mu.Unlock()
 		if closed {
 			return false, nil
 		}
+		if resendNow {
+			if err := n.sendLockRequest(gid, l, deadline); err != nil {
+				return false, err
+			}
+		}
 		if resend {
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
 			if timer == nil {
-				timer = n.clock.NewTimer(n.interval())
+				timer = n.clock.NewTimer(wait)
 			} else {
-				timer.Reset(n.interval())
+				timer.Reset(wait)
 			}
 			select {
 			case <-ctx.Done():
@@ -732,9 +823,7 @@ func (n *Node) waitLock(ctx context.Context, gid GroupID, l LockID, cond func(va
 					return false, nil
 				}
 			case <-timer.C():
-				if err := n.SendLockRequest(gid, l); err != nil {
-					return false, err
-				}
+				// Schedule due: the next round re-checks and re-sends.
 			}
 		} else {
 			select {
@@ -796,7 +885,7 @@ func (n *Node) AcquireContext(ctx context.Context, gid GroupID, l LockID) error 
 		return err
 	}
 	start := n.clock.Now()
-	if err := n.SendLockRequest(gid, l); err != nil {
+	if err := n.sendLockRequest(gid, l, ctxDeadline(ctx)); err != nil {
 		return err
 	}
 	ok, err := n.WaitLockGrantContext(ctx, gid, l)
@@ -836,6 +925,7 @@ func (n *Node) CancelLockRequest(gid GroupID, l LockID) error {
 	// echoed token no longer matches any outstanding acquisition (a new
 	// request mints a fresh token), so applyLockValue declines it.
 	delete(g.want, l)
+	delete(g.reqSince, l)
 	if g.lockValue(l) == RequestValue(n.id) {
 		g.lockVal[l] = Free
 		g.lock.notifyAll()
@@ -875,6 +965,7 @@ func (n *Node) Release(gid GroupID, l LockID) error {
 	g.lockVal[l] = Free
 	g.lockDone[l] = epoch
 	delete(g.want, l)
+	delete(g.reqSince, l)
 	root := g.rootID
 	msg := wire.Message{
 		Type:   wire.TLockRel,

@@ -165,8 +165,11 @@ func TestSymmetricSplitFencesThenResumesWithoutElection(t *testing.T) {
 
 func TestQuorumWatermarkDefersHandoffUntilMajorityAck(t *testing.T) {
 	// Drive the root's watermark machinery directly (under its lock, so
-	// live ticks cannot interleave): a release with a queued waiter must
-	// not hand over until a majority acked the releaser's data.
+	// live ticks cannot interleave): a release with a queued waiter
+	// designates the next holder at once — the lock never goes
+	// holderless, so a clean speculation landing in the park window is
+	// sequenced, not suppressed — but the grant *multicast* must not go
+	// out until a majority acked the releaser's data.
 	c := newInProcCluster(t, 5, true)
 	root := c.nodes[0]
 	root.SetQuorumAcks(true)
@@ -185,12 +188,22 @@ func TestQuorumWatermarkDefersHandoffUntilMajorityAck(t *testing.T) {
 	ls.holder = 3
 	ls.epoch = 1
 	ls.queue = []lockWaiter{{node: 4}}
+	seqBefore := r.seq
 	root.releaseLock(r, tLock, ls)
-	if ls.holder != -1 || len(ls.queue) != 1 {
-		t.Fatalf("handoff not deferred: holder=%d queue=%v", ls.holder, ls.queue)
+	if ls.holder != 4 || len(ls.queue) != 0 {
+		t.Fatalf("next holder not designated at release: holder=%d queue=%v", ls.holder, ls.queue)
+	}
+	if !ls.pendingGrant {
+		t.Fatal("grant multicast not deferred behind the watermark")
+	}
+	if r.seq != seqBefore {
+		t.Fatalf("deferred grant was multicast anyway: seq %d -> %d", seqBefore, r.seq)
 	}
 	if w := root.stats.QuorumAckWaits; w != 1 {
 		t.Fatalf("QuorumAckWaits = %d, want 1", w)
+	}
+	if g := root.stats.LockGrants; g != 0 {
+		t.Fatalf("LockGrants = %d before the watermark advanced, want 0", g)
 	}
 
 	// Acks from non-members are ignored; acks past the reign's sequence
@@ -200,20 +213,22 @@ func TestQuorumWatermarkDefersHandoffUntilMajorityAck(t *testing.T) {
 	if r.commit != 0 {
 		t.Fatalf("commit = %d after one member ack, want 0", r.commit)
 	}
-	if ls.holder != -1 {
-		t.Fatalf("handoff granted below quorum: holder=%d", ls.holder)
+	if !ls.pendingGrant {
+		t.Fatal("grant multicast released below quorum")
 	}
 
-	// The second member ack completes the majority and releases the
-	// parked grant (whose multicast advances r.seq past the watermark
-	// again — the next section's data, not yet quorum-held).
-	seqBefore := r.seq
+	// The second member ack completes the majority and sends the parked
+	// multicast (which advances r.seq past the watermark again — the
+	// next section's data, not yet quorum-held).
 	root.rootAck(r, 2, 1)
 	if r.commit != seqBefore {
 		t.Fatalf("commit = %d after majority ack, want %d", r.commit, seqBefore)
 	}
-	if ls.holder != 4 || len(ls.queue) != 0 {
-		t.Fatalf("deferred grant not serviced: holder=%d queue=%v", ls.holder, ls.queue)
+	if ls.pendingGrant || r.seq != seqBefore+1 {
+		t.Fatalf("deferred grant not serviced: pending=%v seq=%d", ls.pendingGrant, r.seq)
+	}
+	if g := root.stats.LockGrants; g != 1 {
+		t.Fatalf("LockGrants = %d after the watermark advanced, want 1", g)
 	}
 }
 

@@ -3,6 +3,7 @@ package gwc
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"optsync/internal/obs"
 	"optsync/internal/topo"
@@ -34,10 +35,14 @@ import (
 // cleanly in pending and replay once the snapshot re-bases the member.
 
 // syncWaiter parks one Sync caller until the root's TSyncAck arrives
-// (ok=true) or the node closes (ok=false).
+// (ok=true) or the node closes (ok=false). since stamps when the
+// barrier was issued (for the stuck-operation watchdog) and bo is its
+// adaptive resend schedule, both driven by the maintenance tick.
 type syncWaiter struct {
-	ch chan struct{}
-	ok bool
+	ch    chan struct{}
+	ok    bool
+	since time.Time
+	bo    backoff
 }
 
 // Rejoin re-enters a group this node already joined, discarding all
@@ -86,10 +91,22 @@ func (n *Node) Rejoin(gid GroupID) error {
 	g.children = nil
 	g.lastRoot = n.clock.Now()
 	g.rejoining = true
+	// Each attempt mints a fresh rejoin token, carried in Seq: the root
+	// remembers the last token it served and answers duplicates of the
+	// same attempt idempotently (see handleJoinReq). The stamp starts the
+	// watchdog's clock; every retry schedule restarts from its base, and
+	// joinB is armed past the send below so the first tick retry waits
+	// out a full base delay.
+	g.joinToken++
+	g.rejoinBegan = n.clock.Now()
+	clear(g.reqSince)
+	g.resetRetrySchedules()
+	n.arm(&g.joinB, g.rejoinBegan, n.boBase(), n.boCap())
 	n.send(g.rootID, wire.Message{
 		Type:  wire.TJoinReq,
 		Group: uint32(gid),
 		Src:   int32(n.id),
+		Seq:   uint64(g.joinToken),
 		Epoch: g.epoch,
 	})
 	return nil
@@ -108,35 +125,46 @@ func (n *Node) handleJoinReq(m wire.Message) {
 			return
 		}
 		r.lastHeard[src] = n.clock.Now()
-		// The rejoiner's volatile state is gone: drop it from every lock
-		// queue and release anything it held. The release goes through
-		// rootHandle so a fenced reign parks it like any other release
-		// instead of multicasting a grant while fenced.
-		for _, l := range sortedKeys(r.locks) {
-			ls := r.locks[l]
-			for i, q := range ls.queue {
-				if q.node == src {
-					ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
-					break
+		// Admission is idempotent per rejoin attempt: the token the member
+		// minted (Seq; 0 from pre-token senders, which always take the full
+		// path) keys the destructive half. A duplicate TJoinReq — a retry
+		// whose original answer or snapshot was lost — must still be
+		// answered, but must NOT re-free locks: the member may have been
+		// admitted by the first copy and re-acquired a lock since, and
+		// freeing that one would hand its critical section to someone else.
+		token := m.Seq
+		if token == 0 || r.joinSeen[src] != token {
+			r.joinSeen[src] = token
+			// The rejoiner's volatile state is gone: drop it from every lock
+			// queue and release anything it held. The release goes through
+			// rootHandle so a fenced reign parks it like any other release
+			// instead of multicasting a grant while fenced.
+			for _, l := range sortedKeys(r.locks) {
+				ls := r.locks[l]
+				for i, q := range ls.queue {
+					if q.node == src {
+						ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+						break
+					}
+				}
+				if ls.holder == src {
+					n.rootHandle(r, wire.Message{
+						Type:   wire.TLockRel,
+						Group:  uint32(gid),
+						Src:    int32(src),
+						Origin: int32(src),
+						Lock:   uint32(l),
+						Var:    ls.epoch,
+						Epoch:  r.epoch,
+					})
 				}
 			}
-			if ls.holder == src {
-				n.rootHandle(r, wire.Message{
-					Type:   wire.TLockRel,
-					Group:  uint32(gid),
-					Src:    int32(src),
-					Origin: int32(src),
-					Lock:   uint32(l),
-					Var:    ls.epoch,
-					Epoch:  r.epoch,
-				})
-			}
+			// Its acked prefix died with its memory; the quorum watermark
+			// must not keep crediting it (commit itself stays monotonic).
+			r.acks[src] = 0
+			n.stats.Rejoins++
+			n.emit(obs.EvRejoined, gid, int64(src), int64(r.epoch))
 		}
-		// Its acked prefix died with its memory; the quorum watermark
-		// must not keep crediting it (commit itself stays monotonic).
-		r.acks[src] = 0
-		n.stats.Rejoins++
-		n.emit(obs.EvRejoined, gid, int64(src), int64(r.epoch))
 		n.send(src, wire.Message{
 			Type:  wire.TJoinAck,
 			Group: uint32(gid),
@@ -170,6 +198,7 @@ func (n *Node) handleJoinAck(g *memberGroup, m wire.Message) {
 	g.rootID = int(m.Src)
 	g.lastRoot = n.clock.Now()
 	g.electing = false
+	g.resetRetrySchedules()
 	g.snapWanted = true
 	g.snapBuf = nil
 	g.nextSeq = 1
@@ -218,11 +247,14 @@ func (n *Node) SyncContext(ctx context.Context, gid GroupID) error {
 	n.flushWrites(g, flushSync)
 	g.syncToken++
 	tok := g.syncToken
-	sw := &syncWaiter{ch: make(chan struct{})}
+	now := n.clock.Now()
+	sw := &syncWaiter{ch: make(chan struct{}), since: now}
 	g.syncPending[tok] = sw
+	n.arm(&sw.bo, now, n.boBase(), n.boCap())
 	// The root answers directly; on loss or failover the maintenance tick
-	// re-sends every pending token (roots dedupe by token). A root node
-	// syncing its own group sends to itself, like its writes do.
+	// re-sends every pending token on its backoff schedule (roots dedupe
+	// by token). A root node syncing its own group sends to itself, like
+	// its writes do.
 	n.send(g.rootID, wire.Message{
 		Type:  wire.TSyncReq,
 		Group: uint32(gid),

@@ -38,10 +38,17 @@ type rootGroup struct {
 	// members (itself included) within failAfter stops sequencing —
 	// up-traffic parks in fencedQ until contact returns, so a minority
 	// partition cannot commit writes a healed group would discard.
-	quorum    int
-	fenced    bool
-	fencedQ   []wire.Message
-	lastHeard map[int]time.Time
+	quorum     int
+	fenced     bool
+	fencedAt   time.Time // when the current fence began (degraded.go staleness origin)
+	fenceWatch time.Time // watchdog budget clock for the fence; re-stamped per trip
+	fencedQ    []wire.Message
+	lastHeard  map[int]time.Time
+
+	// joinSeen is the last rejoin token served per member (rejoin.go): a
+	// duplicate TJoinReq gets its ack and snapshot re-sent but skips the
+	// destructive lock-freeing a first admission performs.
+	joinSeen map[int]uint64
 
 	// Quorum-ack watermark (fence.go): acks[m] is the highest sequence
 	// number member m cumulatively acknowledged, commit the quorum-th
@@ -65,10 +72,36 @@ type syncBarrier struct {
 // acquisition token its request carried (see memberGroup.reqToken).
 // Requests re-queued from failover reports carry token 0, which never
 // matches a live acquisition; the member declines such a grant and its
-// request retry re-queues with the real token.
+// request retry re-queues with the real token. deadline (Unix nanos, 0
+// = none) is the caller's give-up time from the wire: granting past it
+// only bounces, so popWaiter discards expired entries at dequeue.
 type lockWaiter struct {
-	node  int
-	token uint32
+	node     int
+	token    uint32
+	deadline int64
+}
+
+// popWaiter dequeues the next live waiter, discarding entries whose
+// request deadline has passed — their callers gave up, so a grant would
+// only be declined and cost the lock an extra round trip. The clock is
+// read lazily; most queues carry no deadlines at all. Caller holds n.mu.
+func (n *Node) popWaiter(ls *lockState) (lockWaiter, bool) {
+	var now int64
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		ls.queue = ls.queue[1:]
+		if w.deadline != 0 {
+			if now == 0 {
+				now = n.clock.Now().UnixNano()
+			}
+			if w.deadline <= now {
+				n.stats.DeadlineDrops++
+				continue
+			}
+		}
+		return w, true
+	}
+	return lockWaiter{}, false
 }
 
 // lockState is the manager's view of one queue-based lock.
@@ -92,9 +125,22 @@ type lockState struct {
 	// needSeq is the sequence number the releaser's data reached; under
 	// SetQuorumAcks the next grant waits until commit covers it.
 	needSeq uint64
+	// pendingGrant marks a handoff whose winner is already designated —
+	// holder, token, and epoch are set — but whose grant multicast is
+	// deferred until the commit watermark covers needSeq. Designating
+	// eagerly keeps the lock from going holderless across the park: a
+	// clean speculation whose request wins the park window has its
+	// guarded writes sequenced (it is the holder) instead of suppressed
+	// not-holder, while the pessimistic waiter still only *receives* the
+	// grant once the previous section's data is quorum-held.
+	pendingGrant bool
 	// deferredAt marks when a handoff first parked behind the quorum-ack
 	// watermark; the eventual grant records the wait in HistQuorumWait.
 	deferredAt time.Time
+	// watchAt is the stuck-operation watchdog's last clean observation of
+	// this lock (watchdog.go): re-stamped whenever the lock looks healthy
+	// or the watchdog trips, so a trip re-fires per budget, not per tick.
+	watchAt time.Time
 }
 
 func newRootGroup(cfg GroupConfig, now time.Time) *rootGroup {
@@ -106,6 +152,7 @@ func newRootGroup(cfg GroupConfig, now time.Time) *rootGroup {
 		quorum:    len(cfg.Members)/2 + 1,
 		lastHeard: make(map[int]time.Time),
 		acks:      make(map[int]uint64),
+		joinSeen:  make(map[int]uint64),
 	}
 	// Every member starts "recently heard": the lease must observe a full
 	// failAfter of silence before fencing a fresh reign. (The acting root
@@ -254,7 +301,21 @@ func (n *Node) rootLockReq(r *rootGroup, m wire.Message) {
 	ls := r.lock(l)
 	origin := int(m.Origin)
 	token := uint32(m.Seq)
+	if m.Deadline != 0 && m.Deadline <= n.clock.Now().UnixNano() {
+		// The caller already gave up on this acquisition; queueing (or
+		// re-announcing) would grant into the void and bounce. Its cancel
+		// is on the way — and if the grant raced ahead of the deadline,
+		// cancellation releases it through the normal path.
+		n.stats.DeadlineDrops++
+		return
+	}
 	if ls.holder == origin {
+		if ls.pendingGrant {
+			// Designated but not yet announced: the retry changes nothing,
+			// and announcing early would leak the grant past the quorum
+			// watermark. serviceQuorum sends it when commit catches up.
+			return
+		}
 		// Re-announce with the granted request's token, not the retry's:
 		// if they differ the member has moved on to a new acquisition and
 		// must decline this grant (its decline releases the lock here and
@@ -275,27 +336,22 @@ func (n *Node) rootLockReq(r *rootGroup, m wire.Message) {
 			// Duplicate. A retry reuses its acquisition token, so a
 			// differing one means this entry's request was cancelled but
 			// the cancel was lost — the newer acquisition supersedes it.
+			// Either way the retry's deadline is the freshest word on when
+			// the caller gives up.
 			ls.queue[i].token = token
+			ls.queue[i].deadline = m.Deadline
 			return
 		}
 	}
 	if ls.holder != -1 {
-		ls.queue = append(ls.queue, lockWaiter{origin, token})
+		ls.queue = append(ls.queue, lockWaiter{origin, token, m.Deadline})
 		n.emit(obs.EvLockQueued, r.cfg.ID, int64(l), int64(origin))
 		return
 	}
-	if n.quorumAcks && r.commit < ls.needSeq {
-		// The last holder's data is not quorum-held yet; park the request
-		// behind the watermark (serviceQuorum grants it).
-		ls.queue = append(ls.queue, lockWaiter{origin, token})
-		n.stats.QuorumAckWaits++
-		if ls.deferredAt.IsZero() {
-			ls.deferredAt = n.clock.Now()
-		}
-		n.emit(obs.EvLockQueued, r.cfg.ID, int64(l), int64(origin))
-		return
-	}
-	n.grant(r, l, ls, lockWaiter{origin, token})
+	// A free lock always designates the requester immediately; grant
+	// itself defers the multicast when the quorum watermark has not
+	// caught up, so the lock never sits holderless across the park.
+	n.grant(r, l, ls, lockWaiter{origin, token, m.Deadline})
 }
 
 // rootLockRel releases the lock, validating the quoted grant epoch so a
@@ -333,25 +389,20 @@ func (n *Node) rootLockCancel(r *rootGroup, m wire.Message) {
 
 // releaseLock frees the lock and immediately grants the next waiter, or
 // multicasts the free value when nobody is queued. Under SetQuorumAcks
-// the handoff is deferred until a quorum of members acked everything
-// sequenced so far — the releaser's section data in particular — so the
-// next holder can never observe (and build on) writes that a root
-// failover could lose.
+// the handoff's *announcement* is deferred until a quorum of members
+// acked everything sequenced so far — the releaser's section data in
+// particular — so the next holder can never observe (and build on)
+// writes that a root failover could lose; the winner itself is
+// designated at once (see lockState.pendingGrant).
 func (n *Node) releaseLock(r *rootGroup, l LockID, ls *lockState) {
+	// A release (or cancel) of a designated-but-unannounced grant simply
+	// retires it; the multicast that never went out owes nobody anything.
+	ls.pendingGrant = false
 	ls.holder = -1
 	if n.quorumAcks {
 		ls.needSeq = r.seq
 	}
-	if len(ls.queue) > 0 {
-		if n.quorumAcks && r.commit < ls.needSeq {
-			n.stats.QuorumAckWaits++
-			if ls.deferredAt.IsZero() {
-				ls.deferredAt = n.clock.Now()
-			}
-			return // serviceQuorum grants when the watermark catches up
-		}
-		next := ls.queue[0]
-		ls.queue = ls.queue[1:]
+	if next, ok := n.popWaiter(ls); ok {
 		n.grant(r, l, ls, next)
 		return
 	}
@@ -367,9 +418,13 @@ func (n *Node) releaseLock(r *rootGroup, l LockID, ls *lockState) {
 	})
 }
 
-// grant writes the winner's positive ID into the lock variable and
-// multicasts it, echoing the winning request's token so the member can
-// verify the grant answers its current acquisition.
+// grant designates the winner — holder, token, and grant epoch are
+// assigned immediately — and multicasts the grant, unless the quorum-ack
+// watermark has not yet covered the previous section's data, in which
+// case only the multicast is deferred (serviceQuorum sends it once
+// commit catches up). Designating before the park closes the window in
+// which the lock would otherwise sit holderless and a clean speculation
+// committing into it would be suppressed not-holder.
 func (n *Node) grant(r *rootGroup, l LockID, ls *lockState, w lockWaiter) {
 	winner := w.node
 	ls.holder = winner
@@ -382,6 +437,26 @@ func (n *Node) grant(r *rootGroup, l LockID, ls *lockState, w lockWaiter) {
 		ls.lastWinner = winner
 	}
 	ls.epoch++
+	if n.quorumAcks && r.commit < ls.needSeq {
+		// Durability gate: the winner is designated (its clean speculative
+		// writes sequence as holder writes) but must not *learn* of the
+		// grant until a quorum holds the prefix its section would build on.
+		ls.pendingGrant = true
+		n.stats.QuorumAckWaits++
+		if ls.deferredAt.IsZero() {
+			ls.deferredAt = n.clock.Now()
+		}
+		n.emit(obs.EvLockParked, r.cfg.ID, int64(l), int64(winner))
+		return
+	}
+	n.sendGrant(r, l, ls)
+}
+
+// sendGrant multicasts the already-designated grant: the winner's
+// positive ID in the lock variable, tagged with the grant epoch and
+// echoing the winning request's token so the member can verify the
+// grant answers its current acquisition.
+func (n *Node) sendGrant(r *rootGroup, l LockID, ls *lockState) {
 	n.stats.LockGrants++
 	if !ls.deferredAt.IsZero() {
 		// This handoff sat behind the quorum-ack watermark; record how
@@ -389,15 +464,15 @@ func (n *Node) grant(r *rootGroup, l LockID, ls *lockState, w lockWaiter) {
 		n.metrics.Hist(obs.HistQuorumWait).Record(n.clock.Now().Sub(ls.deferredAt))
 		ls.deferredAt = time.Time{}
 	}
-	n.emit(obs.EvLockGrant, r.cfg.ID, int64(l), int64(winner))
+	n.emit(obs.EvLockGrant, r.cfg.ID, int64(l), int64(ls.holder))
 	n.multicast(r, wire.Message{
 		Type:   wire.TSeqLock,
 		Group:  uint32(r.cfg.ID),
 		Src:    int32(n.id),
-		Origin: int32(w.token),
+		Origin: int32(ls.holderToken),
 		Lock:   uint32(l),
 		Var:    ls.epoch,
-		Val:    GrantValue(winner),
+		Val:    GrantValue(ls.holder),
 	})
 }
 

@@ -43,7 +43,22 @@ const (
 	EvReignChange // node adopted a new reign; A=new root, B=new epoch
 	EvDemoted     // root learned of a higher reign and stepped down; A=new root, B=new epoch
 
+	// Resilience layer (retry/watchdog/degraded mode).
+	EvLockParked    // grant designated but its multicast deferred on the quorum watermark; A=lock, B=winner
+	EvWatchdogStuck // an operation exceeded its liveness budget; A=operation kind, B=operand
+	EvDegradedRead  // bounded-staleness read served while the node cannot reach a reign; A=var, B=staleness ns
+
 	NumEventTypes // sentinel; always last
+)
+
+// Watchdog operation kinds carried in EvWatchdogStuck's A operand.
+const (
+	WatchAcquire    int64 = iota + 1 // member: lock acquisition outstanding past budget
+	WatchSync                        // member: sync barrier outstanding past budget
+	WatchRejoin                      // member: rejoin handshake unanswered past budget
+	WatchFence                       // root: reign fenced past budget
+	WatchParked                      // root: grant parked on the quorum watermark past budget
+	WatchHolderless                  // root: holderless lock with waiters past budget
 )
 
 // Abort / suppression reason codes carried in Event.B.
@@ -64,6 +79,8 @@ var evNames = [NumEventTypes]string{
 	EvLockGrant: "lock-grant", EvLockFree: "lock-free", EvLockCancel: "lock-cancel",
 	EvFence: "fence", EvUnfence: "unfence", EvElection: "election",
 	EvReignChange: "reign-change", EvDemoted: "demoted",
+	EvLockParked: "lock-parked", EvWatchdogStuck: "watchdog-stuck",
+	EvDegradedRead: "degraded-read",
 }
 
 func (t EventType) String() string {

@@ -154,6 +154,13 @@ type Message struct {
 	// messages; either side rejects traffic from a stale epoch, so a
 	// revived old root cannot split the group after a failover.
 	Epoch uint32
+	// Deadline propagates the caller's context deadline (Unix
+	// nanoseconds; 0 means none) onto the wire, so the root can drop a
+	// request whose originator has already given up instead of granting
+	// into the void. Comparisons assume roughly synchronized clocks —
+	// the field is an optimization, never a correctness lever: an
+	// expired request's cancel (or silence) resolves it either way.
+	Deadline int64
 	// Batch holds the inner messages of a TBatch frame (nil otherwise).
 	// Inner messages must share the frame's group and may not themselves
 	// be batches.
@@ -162,7 +169,7 @@ type Message struct {
 
 // EncodedSize is the fixed wire size of one non-batch message (and of a
 // batch frame's header; each inner message adds EncodedSize more).
-const EncodedSize = 1 + 1 + 4 + 4 + 4 + 8 + 4 + 4 + 8 + 4
+const EncodedSize = 1 + 1 + 4 + 4 + 4 + 8 + 4 + 4 + 8 + 4 + 8
 
 // MaxBatch bounds the inner messages of one batch frame, so a corrupt or
 // hostile length prefix cannot force an oversized allocation.
@@ -184,6 +191,7 @@ func encodeOne(buf []byte, m Message) []byte {
 	binary.BigEndian.PutUint32(tmp[26:], m.Lock)
 	binary.BigEndian.PutUint64(tmp[30:], uint64(m.Val))
 	binary.BigEndian.PutUint32(tmp[38:], m.Epoch)
+	binary.BigEndian.PutUint64(tmp[42:], uint64(m.Deadline))
 	return append(buf, tmp[:]...)
 }
 
@@ -218,16 +226,17 @@ func decodeOne(b []byte) (Message, error) {
 		return Message{}, fmt.Errorf("wire: short message: %d bytes, want %d", len(b), EncodedSize)
 	}
 	m := Message{
-		Type:    Type(b[0]),
-		Guarded: b[1] != 0,
-		Group:   binary.BigEndian.Uint32(b[2:]),
-		Src:     int32(binary.BigEndian.Uint32(b[6:])),
-		Origin:  int32(binary.BigEndian.Uint32(b[10:])),
-		Seq:     binary.BigEndian.Uint64(b[14:]),
-		Var:     binary.BigEndian.Uint32(b[22:]),
-		Lock:    binary.BigEndian.Uint32(b[26:]),
-		Val:     int64(binary.BigEndian.Uint64(b[30:])),
-		Epoch:   binary.BigEndian.Uint32(b[38:]),
+		Type:     Type(b[0]),
+		Guarded:  b[1] != 0,
+		Group:    binary.BigEndian.Uint32(b[2:]),
+		Src:      int32(binary.BigEndian.Uint32(b[6:])),
+		Origin:   int32(binary.BigEndian.Uint32(b[10:])),
+		Seq:      binary.BigEndian.Uint64(b[14:]),
+		Var:      binary.BigEndian.Uint32(b[22:]),
+		Lock:     binary.BigEndian.Uint32(b[26:]),
+		Val:      int64(binary.BigEndian.Uint64(b[30:])),
+		Epoch:    binary.BigEndian.Uint32(b[38:]),
+		Deadline: int64(binary.BigEndian.Uint64(b[42:])),
 	}
 	if m.Type < TUpdate || m.Type > typeMax {
 		return Message{}, fmt.Errorf("wire: unknown message type %d", b[0])
@@ -280,7 +289,8 @@ func Equal(a, b Message) bool {
 	if a.Type != b.Type || a.Group != b.Group || a.Src != b.Src ||
 		a.Origin != b.Origin || a.Seq != b.Seq || a.Var != b.Var ||
 		a.Lock != b.Lock || a.Val != b.Val || a.Guarded != b.Guarded ||
-		a.Epoch != b.Epoch || len(a.Batch) != len(b.Batch) {
+		a.Epoch != b.Epoch || a.Deadline != b.Deadline ||
+		len(a.Batch) != len(b.Batch) {
 		return false
 	}
 	for i := range a.Batch {

@@ -11,7 +11,7 @@ import (
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	tests := []Message{
 		{Type: TUpdate, Group: 1, Src: 2, Origin: 2, Var: 7, Val: 42, Guarded: true},
-		{Type: TLockReq, Group: 3, Src: 9, Origin: 9, Lock: 1},
+		{Type: TLockReq, Group: 3, Src: 9, Origin: 9, Lock: 1, Seq: 4, Deadline: 1 << 50},
 		{Type: TLockRel, Group: 3, Src: 9, Origin: 9, Lock: 1},
 		{Type: TSeqUpdate, Group: 1, Src: 0, Origin: 5, Seq: 1 << 40, Var: 3, Val: -1},
 		{Type: TSeqLock, Group: 2, Src: 0, Seq: 77, Lock: 4, Val: -1 << 60},
@@ -50,18 +50,19 @@ func TestRoundTripProperty(t *testing.T) {
 		THeartbeat, TSnapReq, TSnapVar, TSnapLock, TSnapDone, TLockCancel,
 		TAck, TJoinReq, TJoinAck, TSyncReq, TSyncAck,
 	}
-	prop := func(g uint32, src, origin int32, seq uint64, v, l uint32, val int64, guarded bool, kind uint8, epoch uint32) bool {
+	prop := func(g uint32, src, origin int32, seq uint64, v, l uint32, val int64, guarded bool, kind uint8, epoch uint32, deadline int64) bool {
 		m := Message{
-			Type:    kinds[int(kind)%len(kinds)],
-			Group:   g,
-			Src:     src,
-			Origin:  origin,
-			Seq:     seq,
-			Var:     v,
-			Lock:    l,
-			Val:     val,
-			Guarded: guarded,
-			Epoch:   epoch,
+			Type:     kinds[int(kind)%len(kinds)],
+			Group:    g,
+			Src:      src,
+			Origin:   origin,
+			Seq:      seq,
+			Var:      v,
+			Lock:     l,
+			Val:      val,
+			Guarded:  guarded,
+			Epoch:    epoch,
+			Deadline: deadline,
 		}
 		got, err := Decode(Encode(nil, m))
 		return err == nil && Equal(got, m)

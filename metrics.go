@@ -1,6 +1,7 @@
 package optsync
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"optsync/internal/gwc"
 	"optsync/internal/obs"
 )
 
@@ -101,6 +103,31 @@ func (c *Cluster) startMetricsServer(addr string) error {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		writeMetrics(w, c.Metrics(), len(c.nodes))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness: non-200 while any node cannot serve writes — a
+		// fenced root, or a member detached from its reign (electing,
+		// rejoining, resyncing) — so orchestrators stop routing here
+		// instead of piling requests onto a node that must drop them.
+		health := c.Health()
+		serving := true
+		for _, h := range health {
+			if !h.Serving() {
+				serving = false
+				break
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !serving {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if err := json.NewEncoder(w).Encode(struct {
+			Serving bool         `json:"serving"`
+			Nodes   []gwc.Health `json:"nodes"`
+		}{serving, health}); err != nil {
+			// Connection-level failure; nothing useful to do.
+			_ = err
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	c.metricsLn = ln

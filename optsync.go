@@ -68,6 +68,9 @@ var (
 	// ErrUnknownVar marks operations given a variable (or mutex) that
 	// belongs to a different group than the operation targets.
 	ErrUnknownVar = errors.New("unknown variable")
+	// ErrTooStale marks degraded reads (Handle.ReadStale) whose local
+	// copy's staleness bound exceeds what the caller tolerates.
+	ErrTooStale = gwc.ErrTooStale
 )
 
 // options collects cluster construction settings.
@@ -83,6 +86,10 @@ type options struct {
 	batchDelay time.Duration
 	batchMsgs  int
 	quorumAcks bool
+	maxStale   time.Duration
+	boBase     time.Duration
+	boCap      time.Duration
+	wdBudget   time.Duration
 
 	traced      bool
 	traceCap    int
@@ -182,6 +189,37 @@ func WithQuorumAcks() Option {
 	return optionFunc(func(o *options) { o.quorumAcks = true })
 }
 
+// WithBackoff tunes every node's adaptive-retry schedule: control-plane
+// retransmissions (lock requests, rejoin handshakes, snapshot requests,
+// resync probes, sync barriers) start at base and back off exponentially
+// with jitter up to max. Zero values keep the defaults, which derive
+// from the maintenance interval (base = retry interval, max = 16x).
+func WithBackoff(base, max time.Duration) Option {
+	return optionFunc(func(o *options) {
+		o.boBase = base
+		o.boCap = max
+	})
+}
+
+// WithWatchdog tunes every node's stuck-operation liveness budget: an
+// in-flight acquisition, rejoin, sync barrier, parked grant, holderless
+// lock, or fence that outlives the budget is counted, traced, and
+// re-driven (see the WatchdogStuck / WatchdogReissues counters). Zero
+// keeps the default of 4x the failure-detection deadline.
+func WithWatchdog(budget time.Duration) Option {
+	return optionFunc(func(o *options) { o.wdBudget = budget })
+}
+
+// WithMaxStaleness bounds the cluster's degraded reads: Handle.ReadStale
+// serves a node's local copy even while the node cannot reach a live
+// reign (fenced root, member mid-election or mid-rejoin), and this
+// option caps how stale such a read may be — measured from the node's
+// last proof of currency — before it fails with ErrTooStale instead.
+// Without the option any staleness is accepted.
+func WithMaxStaleness(d time.Duration) Option {
+	return optionFunc(func(o *options) { o.maxStale = d })
+}
+
 // WithChaos enables the cluster's fault-injection controls (see
 // Cluster.Chaos): crashing and reviving nodes and partitioning the
 // network, to exercise the crash-failover machinery.
@@ -203,11 +241,12 @@ func WithTimers(retry, failAfter, electWait time.Duration) Option {
 
 // Cluster is a set of DSM nodes sharing groups of variables.
 type Cluster struct {
-	net     transport.Network
-	flaky   *transport.Flaky // non-nil with WithChaos or WithLossyNetwork
-	nodes   []*gwc.Node
-	engines []*core.Engine
-	histSz  int
+	net      transport.Network
+	flaky    *transport.Flaky // non-nil with WithChaos or WithLossyNetwork
+	nodes    []*gwc.Node
+	engines  []*core.Engine
+	histSz   int
+	maxStale time.Duration
 
 	metricsLn  net.Listener // non-nil with WithMetricsAddr
 	metricsSrv *http.Server
@@ -260,6 +299,7 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		nodes:     make([]*gwc.Node, n),
 		engines:   make([]*core.Engine, n),
 		histSz:    o.histSize,
+		maxStale:  o.maxStale,
 		groups:    make(map[string]*Group),
 		nextGroup: 1,
 	}
@@ -273,6 +313,8 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		c.nodes[i].SetTimers(o.retryIn, o.failAfter, o.electWait)
 		c.nodes[i].SetBatching(o.batchDelay, o.batchMsgs)
 		c.nodes[i].SetQuorumAcks(o.quorumAcks)
+		c.nodes[i].SetBackoff(o.boBase, o.boCap)
+		c.nodes[i].SetWatchdog(o.wdBudget)
 		c.engines[i] = core.NewEngine(c.nodes[i], o.history)
 	}
 	if o.traced || o.metricsAddr != "" {
@@ -613,6 +655,32 @@ func (h *Handle) Stats() NodeStats {
 // eagersharing.
 func (h *Handle) Read(v *Var) (int64, error) {
 	return h.node.Read(v.g.id, v.id)
+}
+
+// ReadStale is the degraded-read form of Read: it returns this node's
+// local copy of v along with an upper bound on its staleness, and —
+// unlike the rest of the API — keeps serving while the node cannot
+// reach a live reign (fenced root, member mid-election, mid-rejoin, or
+// resyncing). The bound is measured from the node's last proof of
+// currency: sequenced traffic or a heartbeat from the reign it follows,
+// or the start of the fence on a fenced root. On a healthy node it is
+// typically well under the failure-detection deadline (zero on an
+// unfenced root, which is the authority). If the cluster was built
+// WithMaxStaleness and the bound exceeds it, the value is withheld and
+// the error wraps ErrTooStale.
+func (h *Handle) ReadStale(v *Var) (val int64, stale time.Duration, err error) {
+	return h.node.ReadStale(v.g.id, v.id, h.c.maxStale)
+}
+
+// Health reports whether each node of the cluster can currently serve
+// writes, in node order — the state /healthz keys off when the cluster
+// runs WithMetricsAddr.
+func (c *Cluster) Health() []gwc.Health {
+	out := make([]gwc.Health, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.Health()
+	}
+	return out
 }
 
 // Write stores val to v: the local copy changes immediately and the
