@@ -12,7 +12,7 @@ func TestWithBatchingConverges(t *testing.T) {
 	c, _, m, v := newTestCluster(t, 4, WithBatching(time.Millisecond, 16))
 	var wg sync.WaitGroup
 	for i := 1; i <= 3; i++ {
-		h := c.Handle(i)
+		h := c.MustHandle(i)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -33,12 +33,12 @@ func TestWithBatchingConverges(t *testing.T) {
 	}
 	wg.Wait()
 	for i := 0; i < 4; i++ {
-		waitRead(t, c.Handle(i), v, 30)
+		waitRead(t, c.MustHandle(i), v, 30)
 	}
 	// Every increment flushed at a release boundary.
 	var release int
 	for i := 0; i < 4; i++ {
-		release += c.Handle(i).Stats().GWC.FlushReasons.Release
+		release += c.MustHandle(i).Stats().GWC.FlushReasons.Release
 	}
 	if release == 0 {
 		t.Error("no release-boundary flushes recorded under batching")
@@ -51,9 +51,9 @@ func TestBatchedLossyNackRecovery(t *testing.T) {
 	c, g, _, _ := newTestCluster(t, 3,
 		WithLossyNetwork(0.3, 13),
 		WithBatching(time.Millisecond, 8),
-		WithTimers(5*time.Millisecond, 0, 0))
+		WithTiming(Timing{Retry: 5 * time.Millisecond}))
 	free := g.Int("free") // unguarded: writes flow without lock traffic
-	h := c.Handle(1)
+	h := c.MustHandle(1)
 	const rounds = 60
 	for i := 1; i <= rounds; i++ {
 		if err := h.Write(free, int64(i)); err != nil {
@@ -64,9 +64,9 @@ func TestBatchedLossyNackRecovery(t *testing.T) {
 		}
 	}
 	for i := 0; i < 3; i++ {
-		waitRead(t, c.Handle(i), free, rounds)
+		waitRead(t, c.MustHandle(i), free, rounds)
 	}
-	root := c.Handle(0).Stats().GWC
+	root := c.MustHandle(0).Stats().GWC
 	if root.Batches == 0 {
 		t.Error("root sent no batch frames; the lossy path never saw one")
 	}
@@ -79,12 +79,12 @@ func TestTCPClusterBatched(t *testing.T) {
 	c, _, m, v := newTestCluster(t, 3,
 		WithTCP([]string{"127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"}),
 		WithBatching(time.Millisecond, 16))
-	h := c.Handle(2)
+	h := c.MustHandle(2)
 	if err := h.Do(m, func() error { return h.Write(v, 11) }); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		waitRead(t, c.Handle(i), v, 11)
+		waitRead(t, c.MustHandle(i), v, 11)
 	}
 }
 
@@ -112,7 +112,7 @@ func TestSentinelErrorsAPI(t *testing.T) {
 	}
 	ma := ga.Mutex("m")
 	vb := gb.Int("v")
-	h := c.Handle(1)
+	h := c.MustHandle(1)
 	err = h.OptimisticDo(ma, func(tx *Tx) error { return tx.Write(vb, 1) })
 	if !errors.Is(err, ErrUnknownVar) {
 		t.Errorf("cross-group Tx.Write: %v, want ErrUnknownVar", err)
@@ -136,25 +136,29 @@ func TestSentinelErrorsAPI(t *testing.T) {
 
 func TestHandleErrAndPanic(t *testing.T) {
 	c, _, _, _ := newTestCluster(t, 2)
+	if h, err := c.Handle(1); err != nil || h == nil {
+		t.Fatalf("Handle(1) = %v, %v", h, err)
+	}
+	if _, err := c.Handle(2); !errors.Is(err, ErrNotMember) {
+		t.Errorf("Handle(2): %v, want ErrNotMember", err)
+	}
+	if _, err := c.Handle(-1); !errors.Is(err, ErrNotMember) {
+		t.Errorf("Handle(-1): %v, want ErrNotMember", err)
+	}
+	// The deprecated synonym keeps working during the transition.
 	if h, err := c.HandleErr(1); err != nil || h == nil {
 		t.Fatalf("HandleErr(1) = %v, %v", h, err)
-	}
-	if _, err := c.HandleErr(2); !errors.Is(err, ErrNotMember) {
-		t.Errorf("HandleErr(2): %v, want ErrNotMember", err)
-	}
-	if _, err := c.HandleErr(-1); !errors.Is(err, ErrNotMember) {
-		t.Errorf("HandleErr(-1): %v, want ErrNotMember", err)
 	}
 	defer func() {
 		r := recover()
 		if r == nil {
-			t.Fatal("Handle(5) did not panic")
+			t.Fatal("MustHandle(5) did not panic")
 		}
 		if msg, ok := r.(string); !ok || !strings.Contains(msg, "out of range") {
 			t.Errorf("panic message %v lacks a descriptive range error", r)
 		}
 	}()
-	c.Handle(5)
+	c.MustHandle(5)
 }
 
 func TestGroupAccessors(t *testing.T) {
@@ -172,9 +176,9 @@ func TestRetransmitBufferAlias(t *testing.T) {
 	for _, opt := range []Option{WithHistoryBuffer(64), WithRetransmitBuffer(64)} {
 		c, g, _, _ := newTestCluster(t, 2, opt)
 		free := g.Int("free")
-		if err := c.Handle(1).Write(free, 1); err != nil {
+		if err := c.MustHandle(1).Write(free, 1); err != nil {
 			t.Fatal(err)
 		}
-		waitRead(t, c.Handle(0), free, 1)
+		waitRead(t, c.MustHandle(0), free, 1)
 	}
 }

@@ -248,7 +248,7 @@ func liveRig(b *testing.B, n int) (*Cluster, *Mutex, *Var) {
 
 func BenchmarkLiveWrite(b *testing.B) {
 	c, _, v := liveRig(b, 4)
-	h := c.Handle(1)
+	h := c.MustHandle(1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -260,7 +260,7 @@ func BenchmarkLiveWrite(b *testing.B) {
 
 func BenchmarkLiveRead(b *testing.B) {
 	c, _, v := liveRig(b, 4)
-	h := c.Handle(1)
+	h := c.MustHandle(1)
 	if err := h.Write(v, 1); err != nil {
 		b.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func BenchmarkLiveRead(b *testing.B) {
 // acquire/release round trip on the live runtime.
 func BenchmarkLiveLock(b *testing.B) {
 	c, m, _ := liveRig(b, 4)
-	h := c.Handle(1)
+	h := c.MustHandle(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := h.Acquire(m); err != nil {
@@ -295,7 +295,7 @@ func BenchmarkLiveLock(b *testing.B) {
 func BenchmarkLiveSection(b *testing.B) {
 	b.Run("regular", func(b *testing.B) {
 		c, m, v := liveRig(b, 4)
-		h := c.Handle(1)
+		h := c.MustHandle(1)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			err := h.Do(m, func() error {
@@ -312,7 +312,7 @@ func BenchmarkLiveSection(b *testing.B) {
 	})
 	b.Run("optimistic", func(b *testing.B) {
 		c, m, v := liveRig(b, 4)
-		h := c.Handle(1)
+		h := c.MustHandle(1)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			err := h.OptimisticDo(m, func(tx *Tx) error {
@@ -385,7 +385,7 @@ func BenchmarkAblationTreeFanout(b *testing.B) {
 				b.Fatal(err)
 			}
 			v := g.Int("v")
-			writer, far := c.Handle(0), c.Handle(15)
+			writer, far := c.MustHandle(0), c.MustHandle(15)
 			b.ResetTimer()
 			for i := 1; i <= b.N; i++ {
 				if err := writer.Write(v, int64(i)); err != nil {
@@ -422,7 +422,7 @@ func BenchmarkBatchedWrites(b *testing.B) {
 		for i := range vars {
 			vars[i] = g.Int(fmt.Sprintf("v%d", i))
 		}
-		writer, reader := c.Handle(1), c.Handle(nodes-1)
+		writer, reader := c.MustHandle(1), c.MustHandle(nodes-1)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 1; i <= b.N; i++ {
@@ -460,7 +460,7 @@ func BenchmarkLiveLossRecovery(b *testing.B) {
 		b.Fatal(err)
 	}
 	v := g.Int("v")
-	writer, reader := c.Handle(1), c.Handle(3)
+	writer, reader := c.MustHandle(1), c.MustHandle(3)
 	b.ResetTimer()
 	for i := 1; i <= b.N; i++ {
 		if err := writer.Write(v, int64(i)); err != nil {

@@ -17,7 +17,7 @@ import (
 func TestChaosRootCrashMidWorkload(t *testing.T) {
 	const nodes = 5
 	c, err := NewCluster(nodes, WithChaos(),
-		WithTimers(15*time.Millisecond, 90*time.Millisecond, 40*time.Millisecond))
+		WithTiming(Timing{Retry: 15 * time.Millisecond, FailAfter: 90 * time.Millisecond, ElectWait: 40 * time.Millisecond}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestChaosRootCrashMidWorkload(t *testing.T) {
 				atomic.StoreInt32(&inSection, 0)
 				_ = h.Release(m)
 			}
-		}(c.Handle(i))
+		}(c.MustHandle(i))
 	}
 
 	// Let the workload establish itself, then kill the root.
@@ -86,10 +86,10 @@ func TestChaosRootCrashMidWorkload(t *testing.T) {
 
 	// The lowest surviving ID must take over within the failure deadline.
 	deadline = time.Now().Add(5 * time.Second)
-	for c.Handle(1).Stats().GWC.Failovers == 0 && time.Now().Before(deadline) {
+	for c.MustHandle(1).Stats().GWC.Failovers == 0 && time.Now().Before(deadline) {
 		time.Sleep(2 * time.Millisecond)
 	}
-	if c.Handle(1).Stats().GWC.Failovers != 1 {
+	if c.MustHandle(1).Stats().GWC.Failovers != 1 {
 		t.Fatal("node 1 never promoted itself after the root crash")
 	}
 
@@ -111,7 +111,7 @@ func TestChaosRootCrashMidWorkload(t *testing.T) {
 	// root is exempt: its fence staying up while isolated is exactly what
 	// its own watchdog should report.
 	for i := 1; i < nodes; i++ {
-		if n := c.Handle(i).Stats().GWC.WatchdogStuck; n != 0 {
+		if n := c.MustHandle(i).Stats().GWC.WatchdogStuck; n != 0 {
 			t.Errorf("node %d: stuck-operation watchdog tripped %d times during a healthy failover", i, n)
 		}
 	}
@@ -127,7 +127,7 @@ func TestChaosRootCrashMidWorkload(t *testing.T) {
 	for {
 		vals := make([]int64, 0, nodes-1)
 		for i := 1; i < nodes; i++ {
-			got, err := c.Handle(i).Read(v)
+			got, err := c.MustHandle(i).Read(v)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -156,20 +156,20 @@ func TestChaosRootCrashMidWorkload(t *testing.T) {
 	// reign's state rather than split the group.
 	c.Chaos().Revive(0)
 	deadline = time.Now().Add(5 * time.Second)
-	for c.Handle(0).Stats().GWC.Demotions == 0 && time.Now().Before(deadline) {
+	for c.MustHandle(0).Stats().GWC.Demotions == 0 && time.Now().Before(deadline) {
 		time.Sleep(2 * time.Millisecond)
 	}
-	if c.Handle(0).Stats().GWC.Demotions != 1 {
+	if c.MustHandle(0).Stats().GWC.Demotions != 1 {
 		t.Fatal("revived old root never stood down")
 	}
 	deadline = time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if got, err := c.Handle(0).Read(v); err == nil && got >= final {
+		if got, err := c.MustHandle(0).Read(v); err == nil && got >= final {
 			return
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	got, _ := c.Handle(0).Read(v)
+	got, _ := c.MustHandle(0).Read(v)
 	t.Fatalf("revived root stuck at counter %d, group reached %d", got, final)
 }
 
@@ -177,7 +177,7 @@ func TestChaosRootCrashMidWorkload(t *testing.T) {
 // even when the root is unreachable.
 func TestChaosAcquireExpiredDeadline(t *testing.T) {
 	c, err := NewCluster(3, WithChaos(),
-		WithTimers(15*time.Millisecond, 90*time.Millisecond, 40*time.Millisecond))
+		WithTiming(Timing{Retry: 15 * time.Millisecond, FailAfter: 90 * time.Millisecond, ElectWait: 40 * time.Millisecond}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestChaosAcquireExpiredDeadline(t *testing.T) {
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
 	start := time.Now()
-	if err := c.Handle(1).AcquireContext(ctx, m); !errors.Is(err, context.DeadlineExceeded) {
+	if err := c.MustHandle(1).AcquireContext(ctx, m); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("AcquireContext = %v, want context.DeadlineExceeded", err)
 	}
 	if d := time.Since(start); d > 100*time.Millisecond {
@@ -200,11 +200,11 @@ func TestChaosAcquireExpiredDeadline(t *testing.T) {
 	}
 
 	// A short live deadline also returns promptly while the root is down.
-	ok, err := c.Handle(2).TryLockFor(m, 50*time.Millisecond)
+	ok, err := c.MustHandle(2).TryLockFor(m, 50*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ok {
-		_ = c.Handle(2).Release(m)
+		_ = c.MustHandle(2).Release(m)
 	}
 }

@@ -41,7 +41,7 @@ func runLive(n, sections int, withTrace bool) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			h := c.Handle(i)
+			h := c.MustHandle(i)
 			for s := 0; s < sections; s++ {
 				if err := h.OptimisticDo(m, func(tx *optsync.Tx) error {
 					cur, err := tx.Read(counter)
@@ -68,14 +68,14 @@ func runLive(n, sections int, withTrace bool) error {
 			return err
 		}
 	}
-	got, err := c.Handle(0).Read(counter)
+	got, err := c.MustHandle(0).Read(counter)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("live  nodes=%d sections=%d counter=%d (want %d)\n", n, sections, got, n*sections)
 	var opt, reg, roll int
 	for i := 0; i < n; i++ {
-		st := c.Handle(i).Stats()
+		st := c.MustHandle(i).Stats()
 		opt += st.Optimistic.Optimistic
 		reg += st.Optimistic.Regular
 		roll += st.Optimistic.Rollbacks

@@ -37,7 +37,7 @@ func getHealthz(t *testing.T, addr string) (int, healthzBody) {
 // recovers to 200 once the quorum returns and the fence lifts.
 func TestHealthzReflectsServing(t *testing.T) {
 	c, _, _, _ := newTestCluster(t, 3, WithChaos(), WithMetricsAddr("127.0.0.1:0"),
-		WithTimers(15*time.Millisecond, 90*time.Millisecond, 40*time.Millisecond))
+		WithTiming(Timing{Retry: 15 * time.Millisecond, FailAfter: 90 * time.Millisecond, ElectWait: 40 * time.Millisecond}))
 	addr := c.MetricsAddr()
 	if addr == "" {
 		t.Fatal("WithMetricsAddr bound no address")
@@ -92,16 +92,16 @@ func TestHealthzReflectsServing(t *testing.T) {
 // of silently stale data.
 func TestReadStaleDegradedMember(t *testing.T) {
 	c, g, _, _ := newTestCluster(t, 3, WithChaos(),
-		WithTimers(15*time.Millisecond, 90*time.Millisecond, 40*time.Millisecond))
+		WithTiming(Timing{Retry: 15 * time.Millisecond, FailAfter: 90 * time.Millisecond, ElectWait: 40 * time.Millisecond}))
 	free := g.Int("free")
-	if err := c.Handle(0).Write(free, 42); err != nil {
+	if err := c.MustHandle(0).Write(free, 42); err != nil {
 		t.Fatal(err)
 	}
-	waitRead(t, c.Handle(1), free, 42)
+	waitRead(t, c.MustHandle(1), free, 42)
 
 	// Healthy member: the bound is how long ago the reign last proved
 	// itself — positive, but nowhere near the failure deadline.
-	if val, stale, err := c.Handle(1).ReadStale(free); err != nil || val != 42 || stale < 0 {
+	if val, stale, err := c.MustHandle(1).ReadStale(free); err != nil || val != 42 || stale < 0 {
 		t.Fatalf("healthy ReadStale = (%d, %v, %v), want (42, >=0, nil)", val, stale, err)
 	}
 
@@ -123,7 +123,7 @@ func TestReadStaleDegradedMember(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	val, stale, err := c.Handle(1).ReadStale(free)
+	val, stale, err := c.MustHandle(1).ReadStale(free)
 	if err != nil {
 		t.Fatalf("stranded member refused a degraded read: %v", err)
 	}
@@ -140,14 +140,14 @@ func TestReadStaleDegradedMember(t *testing.T) {
 	// old), never on an unfenced root (the authority, staleness zero).
 	c2, g2, _, _ := newTestCluster(t, 2, WithMaxStaleness(time.Nanosecond))
 	free2 := g2.Int("free")
-	if err := c2.Handle(0).Write(free2, 1); err != nil {
+	if err := c2.MustHandle(0).Write(free2, 1); err != nil {
 		t.Fatal(err)
 	}
-	waitRead(t, c2.Handle(1), free2, 1)
-	if _, _, err := c2.Handle(1).ReadStale(free2); !errors.Is(err, ErrTooStale) {
+	waitRead(t, c2.MustHandle(1), free2, 1)
+	if _, _, err := c2.MustHandle(1).ReadStale(free2); !errors.Is(err, ErrTooStale) {
 		t.Fatalf("member read under a 1ns bound = %v, want ErrTooStale", err)
 	}
-	if _, stale, err := c2.Handle(0).ReadStale(free2); err != nil || stale != 0 {
+	if _, stale, err := c2.MustHandle(0).ReadStale(free2); err != nil || stale != 0 {
 		t.Fatalf("unfenced root ReadStale = (%v, %v), want (0, nil)", stale, err)
 	}
 }

@@ -23,7 +23,7 @@ func Example() {
 	lock := group.Mutex("lock")
 	counter := group.Int("counter", lock)
 
-	h := cluster.Handle(1)
+	h := cluster.MustHandle(1)
 	if err := h.Do(lock, func() error {
 		cur, err := h.Read(counter)
 		if err != nil {
@@ -35,7 +35,7 @@ func Example() {
 	}
 
 	// Eagersharing: node 2 receives the update without asking.
-	h2 := cluster.Handle(2)
+	h2 := cluster.MustHandle(2)
 	if err := h2.WaitGE(counter, 1); err != nil {
 		log.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func ExampleHandle_OptimisticDo() {
 	lock := group.Mutex("lock")
 	balance := group.Int("balance", lock)
 
-	h := cluster.Handle(2)
+	h := cluster.MustHandle(2)
 	err = h.OptimisticDo(lock, func(tx *optsync.Tx) error {
 		cur, err := tx.Read(balance)
 		if err != nil {
@@ -92,7 +92,7 @@ func ExampleHandle_Publish() {
 		log.Fatal(err)
 	}
 
-	writer := cluster.Handle(0)
+	writer := cluster.MustHandle(0)
 	if err := writer.Publish(ticker, func() error {
 		if err := writer.Write(price, 101); err != nil {
 			return err
@@ -102,7 +102,7 @@ func ExampleHandle_Publish() {
 		log.Fatal(err)
 	}
 
-	reader := cluster.Handle(1)
+	reader := cluster.MustHandle(1)
 	vals, err := reader.SnapshotAfter(ticker, 2) // after the first publication
 	if err != nil {
 		log.Fatal(err)
@@ -127,7 +127,7 @@ func ExampleHandle_DoAll() {
 	a := ga.Int("acct", la)
 	b := gb.Int("acct", lb)
 
-	h := cluster.Handle(1)
+	h := cluster.MustHandle(1)
 	err = h.DoAll(func() error {
 		if err := h.Write(a, 90); err != nil {
 			return err

@@ -60,7 +60,7 @@ func run(nodes, transfers, pubs int) error {
 	}
 
 	const initial = 100_000
-	h0 := cluster.Handle(0)
+	h0 := cluster.MustHandle(0)
 	if err := h0.DoAll(func() error {
 		if err := h0.Write(spotAcct, initial); err != nil {
 			return err
@@ -97,7 +97,7 @@ func run(nodes, transfers, pubs int) error {
 	var tornMu sync.Mutex
 	for id := 0; id < nodes; id++ {
 		id := id
-		h := cluster.Handle(id)
+		h := cluster.MustHandle(id)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -139,7 +139,7 @@ func run(nodes, transfers, pubs int) error {
 	// Settle and verify the cross-group invariant on every node.
 	deadline := time.Now().Add(5 * time.Second)
 	for id := 0; id < nodes; id++ {
-		h := cluster.Handle(id)
+		h := cluster.MustHandle(id)
 		for {
 			s, _ := h.Read(spotAcct)
 			m, _ := h.Read(marginAcct)

@@ -46,7 +46,7 @@ func run(nodes, transfers int, lossy bool) error {
 	savings := group.Int("savings", lock)
 
 	const initial = 10_000
-	h0 := cluster.Handle(0)
+	h0 := cluster.MustHandle(0)
 	if err := h0.Do(lock, func() error {
 		if err := h0.Write(checking, initial); err != nil {
 			return err
@@ -62,7 +62,7 @@ func run(nodes, transfers int, lossy bool) error {
 	var wg sync.WaitGroup
 	for id := 0; id < nodes; id++ {
 		id := id
-		h := cluster.Handle(id)
+		h := cluster.MustHandle(id)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -97,7 +97,7 @@ func run(nodes, transfers int, lossy bool) error {
 	}
 	var optimistic, commits, rollbacks, regular int
 	for i := 0; i < nodes; i++ {
-		s := cluster.Handle(i).Stats().Optimistic
+		s := cluster.MustHandle(i).Stats().Optimistic
 		optimistic += s.Optimistic
 		commits += s.Commits
 		rollbacks += s.Rollbacks
@@ -115,7 +115,7 @@ func run(nodes, transfers int, lossy bool) error {
 // awaitInvariant waits until every node's local copies sum to total.
 func awaitInvariant(cluster *optsync.Cluster, a, b *optsync.Var, total int64) error {
 	for i := 0; i < cluster.Size(); i++ {
-		h := cluster.Handle(i)
+		h := cluster.MustHandle(i)
 		for {
 			av, err := h.Read(a)
 			if err != nil {

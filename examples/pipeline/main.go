@@ -52,7 +52,7 @@ func run(nodes, laps int, optimistic bool) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			h := cluster.Handle(id)
+			h := cluster.MustHandle(id)
 			prev := (id - 1 + nodes) % nodes
 			for it := 1; it <= laps; it++ {
 				// Wait for the predecessor's item; the token starts at
@@ -101,7 +101,7 @@ func run(nodes, laps int, optimistic bool) error {
 
 	// Every node entered the section once per lap.
 	want := int64(nodes * laps)
-	h0 := cluster.Handle(0)
+	h0 := cluster.MustHandle(0)
 	if err := h0.WaitGE(shared, want); err != nil {
 		return err
 	}
@@ -113,7 +113,7 @@ func run(nodes, laps int, optimistic bool) error {
 		nodes, laps, mode, time.Since(start).Round(time.Millisecond), want)
 	var commits, rollbacks, regular int
 	for i := 0; i < nodes; i++ {
-		s := cluster.Handle(i).Stats().Optimistic
+		s := cluster.MustHandle(i).Stats().Optimistic
 		commits += s.Commits
 		rollbacks += s.Rollbacks
 		regular += s.Regular

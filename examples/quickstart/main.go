@@ -37,7 +37,7 @@ func run() error {
 	// counter ten times under the lock.
 	var wg sync.WaitGroup
 	for i := 0; i < cluster.Size(); i++ {
-		h := cluster.Handle(i)
+		h := cluster.MustHandle(i)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -62,7 +62,7 @@ func run() error {
 	// while the lock request is still in flight; conflicts roll back and
 	// re-execute.
 	for i := 0; i < cluster.Size(); i++ {
-		h := cluster.Handle(i)
+		h := cluster.MustHandle(i)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -86,7 +86,7 @@ func run() error {
 	// Every node converges on the same total (4 nodes x 20 increments).
 	want := int64(cluster.Size() * 20)
 	for i := 0; i < cluster.Size(); i++ {
-		h := cluster.Handle(i)
+		h := cluster.MustHandle(i)
 		if err := h.WaitGE(counter, want); err != nil {
 			return err
 		}
@@ -98,7 +98,7 @@ func run() error {
 	}
 
 	for i := 0; i < cluster.Size(); i++ {
-		s := cluster.Handle(i).Stats()
+		s := cluster.MustHandle(i).Stats()
 		fmt.Printf("node %d: optimistic=%d commits=%d rollbacks=%d regular=%d\n",
 			i, s.Optimistic.Optimistic, s.Optimistic.Commits, s.Optimistic.Rollbacks, s.Optimistic.Regular)
 	}

@@ -60,7 +60,7 @@ func run(nodes, tasks, slots int) error {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		h := cluster.Handle(0)
+		h := cluster.MustHandle(0)
 		for t := 1; t <= tasks; t++ {
 			// Bounded queue: wait for consumers when full (local test —
 			// head is eagerly shared).
@@ -86,7 +86,7 @@ func run(nodes, tasks, slots int) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			h := cluster.Handle(w)
+			h := cluster.MustHandle(w)
 			var lastHead int64
 			for lastHead < int64(tasks) {
 				if err := h.WaitGE(tail, lastHead+1); err != nil {

@@ -340,3 +340,198 @@ func (e *Engine) optimistic(ctx context.Context, k lockKey, body func(tx *Tx) er
 	}
 	return bodyErr
 }
+
+// DoSession runs body inside the lock's given session — concurrently
+// with any number of same-session sections, excluded from every other
+// session. Session 0 is exactly Do.
+func (e *Engine) DoSession(gid gwc.GroupID, l gwc.LockID, session uint32, body func(tx *Tx) error) error {
+	return e.DoSessionContext(context.Background(), gid, l, session, body)
+}
+
+// DoSessionContext is DoSession with cancellation. The speculative
+// window mirrors DoContext's: once a section is speculating, the engine
+// must learn whether it was admitted before it can stop.
+//
+// The session path speculates in one extra case the exclusive path
+// cannot: when the target session is already open locally, entry is
+// near-free — the root admits a same-session join without closing the
+// section — so the engine speculates regardless of the usage history
+// and the join costs no blocking round trip at all.
+func (e *Engine) DoSessionContext(ctx context.Context, gid gwc.GroupID, l gwc.LockID, session uint32, body func(tx *Tx) error) error {
+	if session == 0 {
+		return e.DoContext(ctx, gid, l, body)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	k := lockKey{gid, l}
+	e.mu.Lock()
+	if e.active[k] {
+		e.mu.Unlock()
+		return ErrNested
+	}
+	e.active[k] = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.active, k)
+		e.mu.Unlock()
+	}()
+
+	si, err := e.node.SessionState(gid, l)
+	if err != nil {
+		return err
+	}
+	openJoin := si.Holders > 0 && si.Session == session
+	conflicted, hist, err := e.sampleSession(k, session)
+	if err != nil {
+		return err
+	}
+	if !openJoin && (conflicted || hist > e.cfg.HistoryThreshold) {
+		// Regular path: the local view or the history say another
+		// session is (often) in the way.
+		e.mu.Lock()
+		e.stats.Regular++
+		e.mu.Unlock()
+		e.node.Emit(obs.EvRegular, gid, int64(l), int64(session))
+		if err := e.node.EnterSessionContext(ctx, gid, l, session); err != nil {
+			return err
+		}
+		tx := &Tx{eng: e, gid: gid}
+		bodyErr := body(tx)
+		if err := e.node.LeaveSession(gid, l); err != nil {
+			return err
+		}
+		return bodyErr
+	}
+	return e.optimisticSession(ctx, k, session, body)
+}
+
+// sampleSession updates the usage-frequency history for a session-lock
+// acquisition: the lock counts as in use when an incompatible section —
+// an exclusive holder or a different open session — is observed locally.
+func (e *Engine) sampleSession(k lockKey, session uint32) (bool, float64, error) {
+	val, err := e.node.LockValue(k.g, k.l)
+	if err != nil {
+		return false, 0, err
+	}
+	si, err := e.node.SessionState(k.g, k.l)
+	if err != nil {
+		return false, 0, err
+	}
+	conflicted := (val != gwc.Free && val != gwc.GrantValue(e.node.ID())) ||
+		(si.Holders > 0 && si.Session != session)
+	inUse := 0.0
+	if conflicted {
+		inUse = 1.0
+	}
+	e.mu.Lock()
+	h := e.cfg.HistoryDecay*e.hist[k] + (1-e.cfg.HistoryDecay)*inUse
+	e.hist[k] = h
+	e.mu.Unlock()
+	return conflicted, h, nil
+}
+
+// optimisticSession sends a non-blocking session request and speculates.
+func (e *Engine) optimisticSession(ctx context.Context, k lockKey, session uint32, body func(tx *Tx) error) error {
+	gid, l := k.g, k.l
+	self := e.node.ID()
+
+	e.mu.Lock()
+	e.stats.Optimistic++
+	e.mu.Unlock()
+	e.node.Emit(obs.EvSpecStart, gid, int64(l), int64(session))
+	specStart := e.node.Now()
+
+	// Arm the interrupt before speculating: any entry into a different
+	// session (session 0 — an exclusive grant — included) means an
+	// incompatible section was sequenced ahead of our join, so our
+	// speculative writes were suppressed at the root.
+	var rolled, decided atomic.Bool
+	unregister, err := e.node.OnSessionChange(gid, l, func(ev gwc.SessEvent) gwc.HookAction {
+		if decided.Load() || rolled.Load() {
+			return gwc.HookNone
+		}
+		if ev.Kind == gwc.SessEnter && ev.Session != session {
+			rolled.Store(true)
+			return gwc.HookSuspend
+		}
+		return gwc.HookNone
+	})
+	if err != nil {
+		return err
+	}
+	defer unregister()
+
+	if err := e.node.SendSessionRequest(gid, l, session); err != nil {
+		return err
+	}
+
+	// Speculative execution while the join propagates.
+	tx := &Tx{eng: e, gid: gid, speculative: true, saved: make(map[gwc.VarID]int64)}
+	bodyErr := body(tx)
+
+	// Wait until the session answer decides our fate; like DoContext's
+	// wait, this deliberately ignores ctx.
+	ok, err := e.node.WaitSessionCondContext(context.Background(), gid, l, func(si gwc.SessionInfo) bool {
+		return (si.Mine && si.Session == session) || rolled.Load()
+	}, true)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("core: node %d closed while awaiting session %d of lock %d: %w", self, session, l, gwc.ErrClosed)
+	}
+
+	if !rolled.Load() {
+		// Admitted: the root accepted our entry without an incompatible
+		// section in between, so every speculative write was sequenced
+		// inside the session.
+		decided.Store(true)
+		e.mu.Lock()
+		e.stats.Commits++
+		e.mu.Unlock()
+		e.node.Metrics().Hist(obs.HistSpecSection).Record(e.node.Now().Sub(specStart))
+		e.node.Emit(obs.EvSpecCommit, gid, int64(l), int64(session))
+		if err := e.node.LeaveSession(gid, l); err != nil {
+			return err
+		}
+		return bodyErr
+	}
+
+	// Rollback: restore saved values, resume insharing, wait for the
+	// queued join to be granted, re-execute inside the real entry.
+	e.mu.Lock()
+	e.stats.Rollbacks++
+	e.mu.Unlock()
+	e.node.Metrics().Hist(obs.HistSpecSection).Record(e.node.Now().Sub(specStart))
+	e.node.Emit(obs.EvSpecAbort, gid, int64(l), obs.ReasonLockHeld)
+	e.bumpHistory(k)
+	restoreStart := e.node.Now()
+	if err := e.node.RestoreLocal(gid, tx.saved); err != nil {
+		return err
+	}
+	if err := e.node.ResumeInsharing(gid); err != nil {
+		return err
+	}
+	e.node.Metrics().Hist(obs.HistRollback).Record(e.node.Now().Sub(restoreStart))
+	okEntry, err := e.node.WaitSessionCondContext(ctx, gid, l, func(si gwc.SessionInfo) bool {
+		return si.Mine && si.Session == session
+	}, true)
+	if err != nil {
+		if cerr := e.node.CancelLockRequest(gid, l); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	if !okEntry {
+		return fmt.Errorf("core: node %d closed while awaiting session %d of lock %d after rollback: %w", self, session, l, gwc.ErrClosed)
+	}
+	decided.Store(true)
+	tx2 := &Tx{eng: e, gid: gid}
+	bodyErr = body(tx2)
+	if err := e.node.LeaveSession(gid, l); err != nil {
+		return err
+	}
+	return bodyErr
+}

@@ -72,6 +72,8 @@ func TestExplore(t *testing.T) {
 		QuorumParkRegression(),
 		LeaseParkWatchdog(),
 		DegradedRead(),
+		SessionFairnessChurn(),
+		SessionFailoverMultiHolder(),
 	} {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {

@@ -46,10 +46,37 @@ import (
 // rejoins (rejoin.go) to restore a quorum. That is the standard CP
 // trade.
 
-// lockSnap is one lock's value in a state report or snapshot.
+// lockSnap is one lock's accumulated state in a report or snapshot.
+// Exclusive protocol frames (Session 0) fill val; session frames add
+// one holder (Val > 0, holders[node] = entry epoch) or a pending
+// session request (Val < 0, reqSession) each. epoch is the highest
+// grant epoch seen on any frame for the lock.
 type lockSnap struct {
-	val   int64
-	epoch uint32
+	val        int64
+	epoch      uint32
+	session    uint32
+	holders    map[int]uint32
+	reqSession uint32
+}
+
+// absorb folds one TSnapLock frame into the accumulated state.
+func (s *lockSnap) absorb(m wire.Message) {
+	if m.Var > s.epoch {
+		s.epoch = m.Var
+	}
+	if m.Session == 0 {
+		s.val = m.Val
+		return
+	}
+	if m.Val > 0 {
+		if s.holders == nil {
+			s.holders = make(map[int]uint32)
+		}
+		s.holders[holderOf(m.Val)] = m.Var
+		s.session = m.Session
+		return
+	}
+	s.reqSession = m.Session
 }
 
 // snapReport accumulates one sender's state stream: an election report
@@ -289,6 +316,40 @@ func (n *Node) sendReport(g *memberGroup, to int) {
 		m.Val = g.lockVal[l]
 		msgs = append(msgs, m)
 	}
+	// Session state rides as extra frames: one per observed holder, plus
+	// a request marker when this node waits to enter a session (exclusive
+	// waits already show as RequestValue in the lockVal loop above).
+	for _, l := range sortedKeys(g.sess) {
+		sv := g.sess[l]
+		if len(sv.holders) == 0 {
+			continue
+		}
+		for _, h := range sortedKeys(sv.holders) {
+			m := base
+			m.Type = wire.TSnapLock
+			m.Lock = uint32(l)
+			m.Var = sv.holders[h]
+			m.Val = GrantValue(h)
+			m.Session = sv.session
+			msgs = append(msgs, m)
+		}
+	}
+	for _, l := range sortedKeys(g.reqSession) {
+		sess := g.reqSession[l]
+		if sess == 0 || !g.want[l] {
+			continue
+		}
+		if sv := g.sess[l]; sv != nil && sv.mine {
+			continue
+		}
+		m := base
+		m.Type = wire.TSnapLock
+		m.Lock = uint32(l)
+		m.Var = g.grantEpoch[l]
+		m.Val = RequestValue(n.id)
+		m.Session = sess
+		msgs = append(msgs, m)
+	}
 	done := base
 	done.Type = wire.TSnapDone
 	msgs = append(msgs, done)
@@ -306,6 +367,32 @@ func (n *Node) promote(gid GroupID, g *memberGroup) {
 	}
 	for l, val := range g.lockVal {
 		own.locks[l] = lockSnap{val: val, epoch: g.grantEpoch[l]}
+	}
+	for l, sv := range g.sess {
+		if len(sv.holders) == 0 {
+			continue
+		}
+		s := own.locks[l]
+		s.session = sv.session
+		s.holders = make(map[int]uint32, len(sv.holders))
+		for h, ee := range sv.holders {
+			s.holders[h] = ee
+			if ee > s.epoch {
+				s.epoch = ee
+			}
+		}
+		own.locks[l] = s
+	}
+	for l, sess := range g.reqSession {
+		if sess == 0 || !g.want[l] {
+			continue
+		}
+		if sv := g.sess[l]; sv != nil && sv.mine {
+			continue
+		}
+		s := own.locks[l]
+		s.reqSession = sess
+		own.locks[l] = s
 	}
 	own.done = true
 	reps := map[int]*snapReport{n.id: own}
@@ -333,6 +420,13 @@ func (n *Node) promote(gid GroupID, g *memberGroup) {
 		r.auth[v] = val
 	}
 	r.locks = locks
+	for _, ls := range locks {
+		// Reconstructed holders enter the gauge so their eventual leaves
+		// balance it.
+		if !ls.free() {
+			n.metrics.Gauge(obs.GaugeSessHolders).Add(int64(len(ls.holders)))
+		}
+	}
 	n.roots[gid] = r
 	n.stats.Failovers++
 	// Failover duration: from the first suspicion of the old root to the
@@ -360,19 +454,24 @@ func (n *Node) promote(gid GroupID, g *memberGroup) {
 	}
 	for _, l := range sortedKeys(locks) {
 		ls := locks[l]
-		val := Free
-		if ls.holder != -1 {
-			val = GrantValue(ls.holder)
+		if !ls.free() && ls.session != 0 {
+			n.installSessionView(g, l, ls.session, ls.entryEpochs, ls.epoch)
+			continue
 		}
-		n.applyLockValue(g, l, val, ls.epoch, ls.holderToken)
+		val := Free
+		if h := ls.soleHolder(); h != -1 {
+			val = GrantValue(h)
+		}
+		n.applyLockValue(g, l, val, ls.epoch, 0)
 	}
 	// Free locks with survivors queued move on immediately; everyone
 	// else learns the holder from the grant multicast or the snapshot.
 	for _, l := range sortedKeys(r.locks) {
 		ls := r.locks[l]
-		if ls.holder == -1 {
+		if ls.free() {
 			if next, ok := n.popWaiter(ls); ok {
 				n.grant(r, l, ls, next)
+				n.admitSession(r, l, ls)
 			}
 		}
 	}
@@ -444,25 +543,47 @@ func rebuildLocks(reps map[int]*snapReport, suspected map[int]bool) map[LockID]*
 	}
 	out := make(map[LockID]*lockState, len(ids))
 	for l := range ids {
-		ls := &lockState{holder: -1, lastWinner: -1}
+		ls := &lockState{
+			holders:     make(map[int]uint32),
+			entryEpochs: make(map[int]uint32),
+			lastWinner:  -1,
+		}
 		for _, rep := range reps {
 			if s, ok := rep.locks[l]; ok && s.epoch > ls.epoch {
 				ls.epoch = s.epoch
 			}
 		}
-		// Who was last seen holding it? Only grants from the newest grant
-		// epoch count; older ones are from already-finished sections.
+		// Who was last seen holding it? Only claims from the reports with
+		// the newest grant epoch count; older ones saw already-finished
+		// sections. An exclusive claim (a positive lock value) and a
+		// session claim (holder frames) never coexist in one up-to-date
+		// report: a member's session view is reset by any exclusive frame
+		// and its lock value shows Free while a session is open.
 		claimed := -1
-		for _, rep := range reps {
-			s, ok := rep.locks[l]
+		var sessClaim uint32
+		sessHolders := make(map[int]uint32)
+		srcs := sortedKeys(reps)
+		for _, src := range srcs {
+			s, ok := reps[src].locks[l]
 			if !ok || s.epoch != ls.epoch {
 				continue
 			}
 			if h := holderOf(s.val); h >= 0 {
 				claimed = h
 			}
+			if len(s.holders) > 0 {
+				sessClaim = s.session
+				for h, ee := range s.holders {
+					if ee > sessHolders[h] {
+						sessHolders[h] = ee
+					}
+				}
+			}
 		}
 		if claimed >= 0 {
+			// An exclusive claim at the newest epoch supersedes any session
+			// evidence (it must be older).
+			sessClaim, sessHolders = 0, nil
 			if own, ok := reps[claimed]; ok {
 				if s, ok := own.locks[l]; !ok || s.val != GrantValue(claimed) {
 					// The holder's own copy shows no grant: it released,
@@ -478,8 +599,37 @@ func rebuildLocks(reps map[int]*snapReport, suspected map[int]bool) map[LockID]*
 			// safety (no double grant) over liveness; its retries or its
 			// release resolve the lock.
 		}
-		ls.holder = claimed
-		ls.lastWinner = claimed
+		// Validate each claimed session holder by the same rules as an
+		// exclusive holder: its own report is the final word on whether it
+		// still holds, a suspected non-reporter is freed, a live
+		// non-reporter is kept for safety.
+		for h := range sessHolders {
+			if own, ok := reps[h]; ok {
+				s, ok := own.locks[l]
+				if !ok || s.session != sessClaim {
+					delete(sessHolders, h)
+					continue
+				}
+				if _, holds := s.holders[h]; !holds {
+					delete(sessHolders, h)
+				}
+			} else if suspected[h] {
+				delete(sessHolders, h)
+			}
+		}
+		switch {
+		case claimed >= 0:
+			ls.holders[claimed] = 0
+			ls.entryEpochs[claimed] = ls.epoch
+			ls.lastWinner = claimed
+		case len(sessHolders) > 0:
+			for h, ee := range sessHolders {
+				ls.holders[h] = 0
+				ls.entryEpochs[h] = ee
+			}
+			ls.session = sessClaim
+			ls.lastSession = sessClaim
+		}
 		if ls.epoch > 0 {
 			// Who won the grants leading up to the reconstructed epoch died
 			// with the old root. Treating the newest grant's predecessor as
@@ -493,20 +643,25 @@ func rebuildLocks(reps map[int]*snapReport, suspected map[int]bool) map[LockID]*
 		// acquisition tokens died with the old root, so re-queued entries
 		// carry token 0: the grant is declined and the member's retry
 		// re-registers the request with its live token (one extra round
-		// trip, never a wrong consumption).
-		var waiters []int
+		// trip, never a wrong consumption). Session requests re-queue
+		// with their session, from the reqSession markers.
+		var waiters []lockWaiter
 		for src, rep := range reps {
-			if src == claimed {
+			if ls.holds(src) {
 				continue
 			}
-			if s, ok := rep.locks[l]; ok && s.val == RequestValue(src) {
-				waiters = append(waiters, src)
+			s, ok := rep.locks[l]
+			if !ok {
+				continue
+			}
+			if s.val == RequestValue(src) {
+				waiters = append(waiters, lockWaiter{node: src})
+			} else if s.reqSession != 0 {
+				waiters = append(waiters, lockWaiter{node: src, session: s.reqSession})
 			}
 		}
-		sort.Ints(waiters)
-		for _, w := range waiters {
-			ls.queue = append(ls.queue, lockWaiter{node: w})
-		}
+		sort.Slice(waiters, func(i, j int) bool { return waiters[i].node < waiters[j].node })
+		ls.queue = append(ls.queue, waiters...)
 		out[l] = ls
 	}
 	return out
@@ -552,7 +707,10 @@ func (n *Node) snapApply(g *memberGroup, m wire.Message) {
 	case wire.TSnapVar:
 		g.snapBuf.vars[VarID(m.Var)] = m.Val
 	case wire.TSnapLock:
-		g.snapBuf.locks[LockID(m.Lock)] = lockSnap{val: m.Val, epoch: m.Var}
+		l := LockID(m.Lock)
+		s := g.snapBuf.locks[l]
+		s.absorb(m)
+		g.snapBuf.locks[l] = s
 	case wire.TSnapDone:
 		snap := g.snapBuf
 		g.snapBuf = nil
@@ -563,7 +721,12 @@ func (n *Node) snapApply(g *memberGroup, m wire.Message) {
 			n.applyVarValue(g, v, snap.vars[v])
 		}
 		for _, l := range sortedKeys(snap.locks) {
-			n.applyLockValue(g, l, snap.locks[l].val, snap.locks[l].epoch, 0)
+			s := snap.locks[l]
+			if len(s.holders) > 0 {
+				n.installSessionView(g, l, s.session, s.holders, s.epoch)
+				continue
+			}
+			n.applyLockValue(g, l, s.val, s.epoch, 0)
 		}
 		g.nextSeq = m.Seq + 1
 		for s := range g.pending {
@@ -613,7 +776,10 @@ func (n *Node) reportPiece(g *memberGroup, m wire.Message) {
 	case wire.TSnapVar:
 		rep.vars[VarID(m.Var)] = m.Val
 	case wire.TSnapLock:
-		rep.locks[LockID(m.Lock)] = lockSnap{val: m.Val, epoch: m.Var}
+		l := LockID(m.Lock)
+		s := rep.locks[l]
+		s.absorb(m)
+		rep.locks[l] = s
 	case wire.TSnapDone:
 		rep.done = true
 	}
@@ -658,13 +824,26 @@ func (n *Node) rootSnapSend(r *rootGroup, to int) {
 	}
 	for _, l := range sortedKeys(r.locks) {
 		ls := r.locks[l]
+		if !ls.free() && ls.session != 0 {
+			// One frame per holder of the open session.
+			for _, h := range sortedKeys(ls.holders) {
+				m := base
+				m.Type = wire.TSnapLock
+				m.Lock = uint32(l)
+				m.Var = ls.entryEpochs[h]
+				m.Val = GrantValue(h)
+				m.Session = ls.session
+				msgs = append(msgs, m)
+			}
+			continue
+		}
 		m := base
 		m.Type = wire.TSnapLock
 		m.Lock = uint32(l)
 		m.Var = ls.epoch
 		m.Val = Free
-		if ls.holder != -1 {
-			m.Val = GrantValue(ls.holder)
+		if h := ls.soleHolder(); h != -1 {
+			m.Val = GrantValue(h)
 		}
 		msgs = append(msgs, m)
 	}

@@ -126,7 +126,7 @@ func TestFailoverPreservesLockHolderAndQueue(t *testing.T) {
 	})
 	// The new root must see node 2 as holder (no double grant).
 	c.nodes[1].mu.Lock()
-	holder := c.nodes[1].roots[tGroup].lock(tLock).holder
+	holder := c.nodes[1].roots[tGroup].lock(tLock).soleHolder()
 	c.nodes[1].mu.Unlock()
 	if holder != 2 {
 		t.Fatalf("reconstructed holder = %d, want 2", holder)
@@ -214,9 +214,9 @@ func TestCancelWhileQueuedLeavesNoPhantom(t *testing.T) {
 	waitFor(t, c, 5*time.Second, "the lock to come to rest free", func() bool {
 		c.nodes[0].mu.Lock()
 		ls := c.nodes[0].roots[tGroup].lock(tLock)
-		holder, qlen := ls.holder, len(ls.queue)
+		free, qlen := ls.free(), len(ls.queue)
 		c.nodes[0].mu.Unlock()
-		return holder == -1 && qlen == 0
+		return free && qlen == 0
 	})
 	// And the waiter's local copy agrees.
 	waitFor(t, c, 5*time.Second, "node 1's local lock copy to read free", func() bool {

@@ -198,16 +198,23 @@ func (n *Node) serviceQuorum(r *rootGroup) {
 		if r.commit < ls.needSeq {
 			continue
 		}
-		if ls.pendingGrant {
-			// The winner was designated at park time; only the multicast
-			// waited for the watermark.
-			ls.pendingGrant = false
-			n.sendGrant(r, l, ls)
+		if len(ls.pending) > 0 {
+			// The winners were designated at park time; only the
+			// multicasts waited for the watermark. Announce in
+			// designation order.
+			pend := ls.pending
+			ls.pending = nil
+			for _, h := range pend {
+				if ls.holds(h) {
+					n.sendGrant(r, l, ls, h)
+				}
+			}
 			continue
 		}
-		if ls.holder == -1 {
+		if ls.free() {
 			if next, ok := n.popWaiter(ls); ok {
 				n.grant(r, l, ls, next)
+				n.admitSession(r, l, ls)
 			}
 		}
 	}

@@ -125,6 +125,11 @@ type Stats struct {
 	DeadlineDrops    int // root: lock requests dropped because the caller's deadline passed
 	DegradedReads    int // bounded-staleness reads served while degraded
 
+	// Session locks / group mutual exclusion (root.go).
+	SessionOpens  int // root: critical sections opened under a non-zero session
+	SessionCloses int // root: non-zero-session sections fully closed (last holder left)
+	SessionJoins  int // root: concurrent entries into an already-open session
+
 	// Batched update plane (batch.go).
 	Batches      int          // batch frames sent (member flushes, root fan-out, streams)
 	Coalesced    int          // member: writes combined into a queued write in-window

@@ -151,6 +151,13 @@ type memberGroup struct {
 	// so a lost cancel message cannot strand the lock.
 	want map[LockID]bool
 
+	// Session locks (session.go): sess is the locally observed holder set
+	// per lock while a non-zero session is open; reqSession is the session
+	// the outstanding acquisition wants to enter (0 = exclusive), reused
+	// by request retries.
+	sess       map[LockID]*sessView
+	reqSession map[LockID]uint32
+
 	// reqToken numbers this node's logical acquisitions of each lock. A
 	// fresh token is minted when a request goes out with none
 	// outstanding; retries of the same acquisition reuse it. The root
@@ -171,6 +178,9 @@ type memberGroup struct {
 	// the optimistic engine uses them as the paper's interrupt. A hook
 	// returning HookSuspend parks insharing atomically with the interrupt.
 	lockHooks map[LockID]map[uint64]LockHook
+	// sessHooks observe session transitions (session.go); the optimistic
+	// engine's session path uses them as its interrupt.
+	sessHooks map[LockID]map[uint64]SessionHook
 	// varHooks observe applied data updates (Watch).
 	varHooks map[VarID]map[uint64]func(int64)
 	hookSeq  uint64
@@ -220,9 +230,12 @@ func newMemberGroup(id int, cfg GroupConfig, now time.Time) *memberGroup {
 		lastRoot:    now,
 		suspected:   make(map[int]bool),
 		want:        make(map[LockID]bool),
+		sess:        make(map[LockID]*sessView),
+		reqSession:  make(map[LockID]uint32),
 		reqToken:    make(map[LockID]uint32),
 		reqSince:    make(map[LockID]time.Time),
 		lockHooks:   make(map[LockID]map[uint64]LockHook),
+		sessHooks:   make(map[LockID]map[uint64]SessionHook),
 		varHooks:    make(map[VarID]map[uint64]func(int64)),
 		syncPending: make(map[uint64]*syncWaiter),
 		data:        newNotifyList(),
@@ -411,7 +424,13 @@ func (n *Node) applySeq(g *memberGroup, m wire.Message) {
 		n.applyData(g, m)
 	case wire.TSeqLock:
 		// The root stamps the grant epoch in Var and echoes the winning
-		// request's token in Origin.
+		// request's token in Origin. Frames with a non-zero session route
+		// through the holder-set view; session 0 is the classic
+		// single-holder protocol.
+		if m.Session != 0 {
+			n.applySessionLock(g, m)
+			return
+		}
 		n.applyLockValue(g, LockID(m.Lock), m.Val, m.Var, uint32(m.Origin))
 	}
 }
@@ -424,6 +443,22 @@ func (n *Node) applySeq(g *memberGroup, m wire.Message) {
 // spot, and the local copy stays free so a later acquisition cannot
 // mistake the stale grant for its own. Caller holds n.mu.
 func (n *Node) applyLockValue(g *memberGroup, l LockID, val int64, grantEpoch uint32, token uint32) {
+	sessNotified := false
+	if sv, ok := g.sess[l]; ok && len(sv.holders) > 0 {
+		// An exclusive-protocol frame for this lock is sequenced after the
+		// open session closed at the root; the local view is stale. An
+		// exclusive grant to another node doubles as the conflict signal
+		// for speculators targeting the old session.
+		old := sv.session
+		clear(sv.holders)
+		sv.mine = false
+		ev := SessEvent{Kind: SessClose, Session: old}
+		if h := holderOf(val); h >= 0 {
+			ev = SessEvent{Kind: SessEnter, Session: 0, Node: h}
+		}
+		n.runSessHooks(g, l, ev)
+		sessNotified = true
+	}
 	if val == GrantValue(n.id) {
 		if grantEpoch <= g.lockDone[l] {
 			// Stale duplicate of a grant this node already finished with
@@ -495,6 +530,18 @@ func (n *Node) applyLockValue(g *memberGroup, l LockID, val int64, grantEpoch ui
 			// rollback and the suspension.
 			g.suspended = true
 		}
+	}
+	if !sessNotified {
+		// Session observers see exclusive transitions too — session 0 is
+		// the one-holder session, so a grant is its entry and a free its
+		// close. Without this, a speculator joining session s could miss a
+		// conflicting exclusive grant that lands while no session view is
+		// open locally.
+		ev := SessEvent{Kind: SessClose, Session: 0}
+		if h := holderOf(val); h >= 0 {
+			ev = SessEvent{Kind: SessEnter, Session: 0, Node: h}
+		}
+		n.runSessHooks(g, l, ev)
 	}
 	g.lock.notifyAll()
 }
@@ -696,14 +743,21 @@ func (n *Node) SendLockRequest(gid GroupID, l LockID) error {
 // can drop the request outright once the caller has given up instead of
 // granting into the void.
 func (n *Node) sendLockRequest(gid GroupID, l LockID, deadline int64) error {
+	return n.sendLockRequestS(gid, l, 0, deadline)
+}
+
+// sendLockRequestS is the session-aware request sender: session names
+// the session the acquisition wants to enter (0 = exclusive). A fresh
+// acquisition records its session; retries while the request is
+// outstanding reuse the recorded one regardless of the argument, so a
+// generic retry path (waitLock's resend, the watchdog) never changes
+// what an acquisition asks for.
+func (n *Node) sendLockRequestS(gid GroupID, l LockID, session uint32, deadline int64) error {
 	n.mu.Lock()
 	g, err := n.group(gid)
 	if err != nil {
 		n.mu.Unlock()
 		return err
-	}
-	if g.lockValue(l) != GrantValue(n.id) {
-		g.lockVal[l] = RequestValue(n.id)
 	}
 	if !g.want[l] {
 		// A new logical acquisition: mint its token. Retries while the
@@ -712,6 +766,13 @@ func (n *Node) sendLockRequest(gid GroupID, l LockID, deadline int64) error {
 		// starts the watchdog's clock on the acquisition.
 		g.reqToken[l]++
 		g.reqSince[l] = n.clock.Now()
+		g.reqSession[l] = session
+	}
+	sess := g.reqSession[l]
+	if sess == 0 && g.lockValue(l) != GrantValue(n.id) {
+		// The request marker in the local copy belongs to the exclusive
+		// protocol; session entries leave the lock value alone.
+		g.lockVal[l] = RequestValue(n.id)
 	}
 	g.want[l] = true
 	n.stats.LockRequests++
@@ -725,6 +786,7 @@ func (n *Node) sendLockRequest(gid GroupID, l LockID, deadline int64) error {
 		Lock:     uint32(l),
 		Epoch:    g.epoch,
 		Deadline: deadline,
+		Session:  sess,
 	}
 	n.mu.Unlock()
 	return n.ep.Send(root, msg)
@@ -749,6 +811,13 @@ func ctxDeadline(ctx context.Context) int64 {
 // re-base wakes waiters, so the reset takes effect without waiting out
 // the cap).
 func (n *Node) waitLock(ctx context.Context, gid GroupID, l LockID, cond func(val int64) bool, resend bool) (bool, error) {
+	return n.waitLockF(ctx, gid, l, func(g *memberGroup) bool { return cond(g.lockValue(l)) }, resend)
+}
+
+// waitLockF is waitLock generalized over the whole member view, so
+// session waits can watch the holder set rather than the lock value.
+// cond runs under n.mu.
+func (n *Node) waitLockF(ctx context.Context, gid GroupID, l LockID, cond func(g *memberGroup) bool, resend bool) (bool, error) {
 	deadline := ctxDeadline(ctx)
 	n.mu.Lock()
 	g, err := n.group(gid)
@@ -757,6 +826,9 @@ func (n *Node) waitLock(ctx context.Context, gid GroupID, l LockID, cond func(va
 		return false, err
 	}
 	ch := g.lock.register()
+	// The session of the acquisition this wait serves, so a resend after
+	// a cancel race re-mints the same kind of request.
+	sess := g.reqSession[l]
 	// Per-wait retry schedule. The caller just sent the request, so the
 	// first resend waits out a full base delay.
 	var bo backoff
@@ -777,7 +849,7 @@ func (n *Node) waitLock(ctx context.Context, gid GroupID, l LockID, cond func(va
 		}
 	}()
 	for {
-		if cond(g.lockValue(l)) {
+		if cond(g) {
 			n.mu.Unlock()
 			return true, nil
 		}
@@ -801,7 +873,7 @@ func (n *Node) waitLock(ctx context.Context, gid GroupID, l LockID, cond func(va
 			return false, nil
 		}
 		if resendNow {
-			if err := n.sendLockRequest(gid, l, deadline); err != nil {
+			if err := n.sendLockRequestS(gid, l, sess, deadline); err != nil {
 				return false, err
 			}
 		}
@@ -921,11 +993,17 @@ func (n *Node) CancelLockRequest(gid GroupID, l LockID) error {
 		n.mu.Unlock()
 		return n.Release(gid, l)
 	}
+	if sv := g.sess[l]; sv != nil && sv.mine {
+		// The session entry raced the cancellation; leave it instead.
+		n.mu.Unlock()
+		return n.LeaveSession(gid, l)
+	}
 	// The grant answering this request may already be in flight; its
 	// echoed token no longer matches any outstanding acquisition (a new
 	// request mints a fresh token), so applyLockValue declines it.
 	delete(g.want, l)
 	delete(g.reqSince, l)
+	delete(g.reqSession, l)
 	if g.lockValue(l) == RequestValue(n.id) {
 		g.lockVal[l] = Free
 		g.lock.notifyAll()
@@ -966,6 +1044,7 @@ func (n *Node) Release(gid GroupID, l LockID) error {
 	g.lockDone[l] = epoch
 	delete(g.want, l)
 	delete(g.reqSince, l)
+	delete(g.reqSession, l)
 	root := g.rootID
 	msg := wire.Message{
 		Type:   wire.TLockRel,

@@ -185,15 +185,16 @@ func TestQuorumWatermarkDefersHandoffUntilMajorityAck(t *testing.T) {
 		Val:   5,
 	})
 	ls := r.lock(tLock)
-	ls.holder = 3
+	ls.holders[3] = 0
+	ls.entryEpochs[3] = 1
 	ls.epoch = 1
 	ls.queue = []lockWaiter{{node: 4}}
 	seqBefore := r.seq
-	root.releaseLock(r, tLock, ls)
-	if ls.holder != 4 || len(ls.queue) != 0 {
-		t.Fatalf("next holder not designated at release: holder=%d queue=%v", ls.holder, ls.queue)
+	root.leaveLock(r, tLock, ls, 3)
+	if !ls.holds(4) || len(ls.queue) != 0 {
+		t.Fatalf("next holder not designated at release: holders=%v queue=%v", ls.holders, ls.queue)
 	}
-	if !ls.pendingGrant {
+	if len(ls.pending) == 0 {
 		t.Fatal("grant multicast not deferred behind the watermark")
 	}
 	if r.seq != seqBefore {
@@ -213,7 +214,7 @@ func TestQuorumWatermarkDefersHandoffUntilMajorityAck(t *testing.T) {
 	if r.commit != 0 {
 		t.Fatalf("commit = %d after one member ack, want 0", r.commit)
 	}
-	if !ls.pendingGrant {
+	if len(ls.pending) == 0 {
 		t.Fatal("grant multicast released below quorum")
 	}
 
@@ -224,8 +225,8 @@ func TestQuorumWatermarkDefersHandoffUntilMajorityAck(t *testing.T) {
 	if r.commit != seqBefore {
 		t.Fatalf("commit = %d after majority ack, want %d", r.commit, seqBefore)
 	}
-	if ls.pendingGrant || r.seq != seqBefore+1 {
-		t.Fatalf("deferred grant not serviced: pending=%v seq=%d", ls.pendingGrant, r.seq)
+	if len(ls.pending) != 0 || r.seq != seqBefore+1 {
+		t.Fatalf("deferred grant not serviced: pending=%v seq=%d", ls.pending, r.seq)
 	}
 	if g := root.stats.LockGrants; g != 1 {
 		t.Fatalf("LockGrants = %d after the watermark advanced, want 1", g)

@@ -76,6 +76,8 @@ func (n *Node) Rejoin(gid GroupID) error {
 	g.pending = make(map[uint64]wire.Message)
 	g.suspected = make(map[int]bool)
 	g.want = make(map[LockID]bool)
+	g.sess = make(map[LockID]*sessView)
+	g.reqSession = make(map[LockID]uint32)
 	g.electing = false
 	g.snapWanted = false
 	g.snapBuf = nil
@@ -147,15 +149,18 @@ func (n *Node) handleJoinReq(m wire.Message) {
 						break
 					}
 				}
-				if ls.holder == src {
+				if ls.holds(src) {
+					// Free only the rejoiner's own entry — under a session
+					// other holders' sections are live and must keep running.
 					n.rootHandle(r, wire.Message{
-						Type:   wire.TLockRel,
-						Group:  uint32(gid),
-						Src:    int32(src),
-						Origin: int32(src),
-						Lock:   uint32(l),
-						Var:    ls.epoch,
-						Epoch:  r.epoch,
+						Type:    wire.TLockRel,
+						Group:   uint32(gid),
+						Src:     int32(src),
+						Origin:  int32(src),
+						Lock:    uint32(l),
+						Var:     ls.entryEpochs[src],
+						Epoch:   r.epoch,
+						Session: ls.session,
 					})
 				}
 			}

@@ -147,7 +147,7 @@ func TestLockTokenRetryAfterGrant(t *testing.T) {
 		c.nodes[0].mu.Lock()
 		defer c.nodes[0].mu.Unlock()
 		ls := c.nodes[0].roots[tGroup].lock(tLock)
-		return ls.holder, ls.holderToken, len(ls.queue)
+		return ls.soleHolder(), ls.holders[1], len(ls.queue)
 	}
 
 	if err := n1.Acquire(tGroup, tLock); err != nil {

@@ -75,10 +75,13 @@ type syncBarrier struct {
 // request retry re-queues with the real token. deadline (Unix nanos, 0
 // = none) is the caller's give-up time from the wire: granting past it
 // only bounces, so popWaiter discards expired entries at dequeue.
+// session is the group-mutual-exclusion session the request wants to
+// enter (0 = exclusive).
 type lockWaiter struct {
 	node     int
 	token    uint32
 	deadline int64
+	session  uint32
 }
 
 // popWaiter dequeues the next live waiter, discarding entries whose
@@ -104,36 +107,51 @@ func (n *Node) popWaiter(ls *lockState) (lockWaiter, bool) {
 	return lockWaiter{}, false
 }
 
-// lockState is the manager's view of one queue-based lock.
+// lockState is the manager's view of one queue-based session lock. A
+// critical section is open while holders is non-empty; session names
+// which session it belongs to. Session 0 is plain mutual exclusion —
+// at most one holder — and every exclusive code path below degenerates
+// to the classic single-holder protocol. A non-zero session admits any
+// number of concurrent holders of that same session while excluding
+// every other session (group mutual exclusion).
 type lockState struct {
-	holder int // -1 when free
-	epoch  uint32
-	queue  []lockWaiter
-	// holderToken is the acquisition token of the holder's request,
-	// echoed in the grant multicast so the requester can tell a grant
-	// answering its live request from one minted for a request it has
-	// since cancelled.
-	holderToken uint32
-	// lastWinner is the winner of the newest grant; foreignEpoch is the
-	// epoch of the newest grant to a node other than lastWinner. A
-	// speculative write is clean iff its sender observed every foreign
-	// grant before speculating (tag >= foreignEpoch): consecutive grants
-	// to the same node never roll its sections back, so they must not
-	// widen the gap a clean write's tag has to bridge.
+	// holders maps each current critical-section holder to the
+	// acquisition token of its request, echoed in its entry multicast so
+	// the requester can tell a grant answering its live request from one
+	// minted for a request it has since cancelled. entryEpochs maps each
+	// holder to the grant epoch its entry was announced with — the epoch
+	// the holder quotes when it leaves.
+	holders     map[int]uint32
+	entryEpochs map[int]uint32
+	// session is the session of the open section; meaningless while
+	// holders is empty.
+	session uint32
+	epoch   uint32
+	queue   []lockWaiter
+	// lastWinner is the winner of the newest exclusive grant (-1 once a
+	// non-zero session opens); lastSession is the session of the newest
+	// open. foreignEpoch is the epoch of the newest *foreign* entry — one
+	// that rolls other nodes' speculative sections back. A speculative
+	// write is clean iff its sender observed every foreign entry before
+	// speculating (tag >= foreignEpoch). Consecutive exclusive grants to
+	// the same node never roll its sections back, and entries into (or
+	// reopens of) the session a speculator itself targets never roll that
+	// speculation back, so neither advances foreignEpoch.
 	lastWinner   int
+	lastSession  uint32
 	foreignEpoch uint32
-	// needSeq is the sequence number the releaser's data reached; under
-	// SetQuorumAcks the next grant waits until commit covers it.
+	// needSeq is the sequence number the closing section's data reached;
+	// under SetQuorumAcks the next grant waits until commit covers it.
 	needSeq uint64
-	// pendingGrant marks a handoff whose winner is already designated —
-	// holder, token, and epoch are set — but whose grant multicast is
-	// deferred until the commit watermark covers needSeq. Designating
-	// eagerly keeps the lock from going holderless across the park: a
-	// clean speculation whose request wins the park window has its
-	// guarded writes sequenced (it is the holder) instead of suppressed
-	// not-holder, while the pessimistic waiter still only *receives* the
-	// grant once the previous section's data is quorum-held.
-	pendingGrant bool
+	// pending lists designated holders — present in holders/entryEpochs,
+	// epoch assigned — whose entry multicast is deferred until the commit
+	// watermark covers needSeq. Designating eagerly keeps the lock from
+	// going holderless across the park: a clean speculation whose request
+	// wins the park window has its guarded writes sequenced (it is a
+	// holder) instead of suppressed not-holder, while the pessimistic
+	// waiter still only *receives* the grant once the previous section's
+	// data is quorum-held.
+	pending []int
 	// deferredAt marks when a handoff first parked behind the quorum-ack
 	// watermark; the eventual grant records the wait in HistQuorumWait.
 	deferredAt time.Time
@@ -141,6 +159,35 @@ type lockState struct {
 	// this lock (watchdog.go): re-stamped whenever the lock looks healthy
 	// or the watchdog trips, so a trip re-fires per budget, not per tick.
 	watchAt time.Time
+}
+
+// free reports whether no critical section is open.
+func (ls *lockState) free() bool { return len(ls.holders) == 0 }
+
+// holds reports whether node is a current holder.
+func (ls *lockState) holds(node int) bool {
+	_, ok := ls.holders[node]
+	return ok
+}
+
+// soleHolder returns the single holder of an exclusive section, or -1.
+// Only meaningful when session is 0 (at most one holder then).
+func (ls *lockState) soleHolder() int {
+	for h := range ls.holders {
+		return h
+	}
+	return -1
+}
+
+// parked reports whether node's entry announcement is deferred on the
+// quorum watermark.
+func (ls *lockState) parked(node int) bool {
+	for _, p := range ls.pending {
+		if p == node {
+			return true
+		}
+	}
+	return false
 }
 
 func newRootGroup(cfg GroupConfig, now time.Time) *rootGroup {
@@ -166,7 +213,11 @@ func newRootGroup(cfg GroupConfig, now time.Time) *rootGroup {
 func (r *rootGroup) lock(l LockID) *lockState {
 	ls, ok := r.locks[l]
 	if !ok {
-		ls = &lockState{holder: -1, lastWinner: -1}
+		ls = &lockState{
+			holders:     make(map[int]uint32),
+			entryEpochs: make(map[int]uint32),
+			lastWinner:  -1,
+		}
 		r.locks[l] = ls
 	}
 	return ls
@@ -259,17 +310,17 @@ func (n *Node) rootUpdate(r *rootGroup, m wire.Message) {
 			return
 		}
 		ls := r.lock(guard)
-		// Accept only from the holder, and only when the sender had
-		// observed every grant to another node before speculating (its
-		// epoch tag covers the newest foreign grant). A write whose tag
-		// predates a foreign grant belongs to a section that rolled back
-		// (or will — the sender's interrupt fires on that same grant), so
-		// it must not enter the group. Grants the holder won itself in
-		// the gap are harmless: they never roll the holder's sections
-		// back, and counting them here would suppress the writes of a
-		// legitimately committed section (a cancel racing its own grant
-		// re-grants the same node back to back).
-		if ls.holder != int(m.Origin) {
+		// Accept only from a holder, and only when the sender had
+		// observed every foreign entry before speculating (its epoch tag
+		// covers the newest foreign entry). A write whose tag predates a
+		// foreign entry belongs to a section that rolled back (or will —
+		// the sender's interrupt fires on that same entry), so it must
+		// not enter the group. Entries the sender won itself — or other
+		// nodes' entries into the sender's own session — are harmless:
+		// they never roll the sender's sections back, and counting them
+		// here would suppress the writes of a legitimately committed
+		// section.
+		if !ls.holds(int(m.Origin)) {
 			n.stats.Suppressed++
 			n.emit(obs.EvSuppressed, r.cfg.ID, int64(m.Var), obs.ReasonNotHolder)
 			return
@@ -292,15 +343,19 @@ func (n *Node) rootUpdate(r *rootGroup, m wire.Message) {
 	})
 }
 
-// rootLockReq queues or grants a lock request. A retry from the current
-// holder re-announces the grant (covering a grant multicast that died
+// rootLockReq queues or grants a lock request. A retry from a current
+// holder re-announces its entry (covering an entry multicast that died
 // with a deposed root) without minting a new one; retries from queued
-// waiters are ignored.
+// waiters are ignored. A request for the session already open enters
+// concurrently — but only while nobody else waits, so a queued foreign
+// session is never starved by a stream of same-session joins (the
+// fairness rule of group mutual exclusion).
 func (n *Node) rootLockReq(r *rootGroup, m wire.Message) {
 	l := LockID(m.Lock)
 	ls := r.lock(l)
 	origin := int(m.Origin)
 	token := uint32(m.Seq)
+	sess := m.Session
 	if m.Deadline != 0 && m.Deadline <= n.clock.Now().UnixNano() {
 		// The caller already gave up on this acquisition; queueing (or
 		// re-announcing) would grant into the void and bounce. Its cancel
@@ -309,8 +364,8 @@ func (n *Node) rootLockReq(r *rootGroup, m wire.Message) {
 		n.stats.DeadlineDrops++
 		return
 	}
-	if ls.holder == origin {
-		if ls.pendingGrant {
+	if ls.holds(origin) {
+		if ls.parked(origin) {
 			// Designated but not yet announced: the retry changes nothing,
 			// and announcing early would leak the grant past the quorum
 			// watermark. serviceQuorum sends it when commit catches up.
@@ -318,16 +373,17 @@ func (n *Node) rootLockReq(r *rootGroup, m wire.Message) {
 		}
 		// Re-announce with the granted request's token, not the retry's:
 		// if they differ the member has moved on to a new acquisition and
-		// must decline this grant (its decline releases the lock here and
-		// its retry re-queues the new request).
+		// must decline this entry (its decline releases it here and its
+		// retry re-queues the new request).
 		n.multicast(r, wire.Message{
-			Type:   wire.TSeqLock,
-			Group:  uint32(r.cfg.ID),
-			Src:    int32(n.id),
-			Origin: int32(ls.holderToken),
-			Lock:   uint32(l),
-			Var:    ls.epoch,
-			Val:    GrantValue(origin),
+			Type:    wire.TSeqLock,
+			Group:   uint32(r.cfg.ID),
+			Src:     int32(n.id),
+			Origin:  int32(ls.holders[origin]),
+			Lock:    uint32(l),
+			Var:     ls.entryEpochs[origin],
+			Val:     GrantValue(origin),
+			Session: ls.session,
 		})
 		return
 	}
@@ -340,34 +396,47 @@ func (n *Node) rootLockReq(r *rootGroup, m wire.Message) {
 			// the caller gives up.
 			ls.queue[i].token = token
 			ls.queue[i].deadline = m.Deadline
+			ls.queue[i].session = sess
 			return
 		}
 	}
-	if ls.holder != -1 {
-		ls.queue = append(ls.queue, lockWaiter{origin, token, m.Deadline})
+	if !ls.free() {
+		if sess != 0 && sess == ls.session && len(ls.queue) == 0 {
+			// Concurrent entering: the requested session is already open
+			// and nobody waits, so the requester joins it immediately.
+			// Once any other session queues, later same-session requests
+			// line up behind it instead — the open session drains and the
+			// waiter gets its turn within one section churn.
+			n.stats.SessionJoins++
+			n.grant(r, l, ls, lockWaiter{origin, token, m.Deadline, sess})
+			return
+		}
+		ls.queue = append(ls.queue, lockWaiter{origin, token, m.Deadline, sess})
 		n.emit(obs.EvLockQueued, r.cfg.ID, int64(l), int64(origin))
 		return
 	}
 	// A free lock always designates the requester immediately; grant
 	// itself defers the multicast when the quorum watermark has not
 	// caught up, so the lock never sits holderless across the park.
-	n.grant(r, l, ls, lockWaiter{origin, token, m.Deadline})
+	n.grant(r, l, ls, lockWaiter{origin, token, m.Deadline, sess})
 }
 
-// rootLockRel releases the lock, validating the quoted grant epoch so a
-// duplicated release cannot free a later holder's grant, and immediately
-// appends the next grant behind the releaser's (already sequenced) data.
+// rootLockRel removes origin from the holder set, validating the quoted
+// entry epoch so a duplicated release cannot free a later entry by the
+// same node, and — when the section closes — immediately appends the
+// next grant behind the closing section's (already sequenced) data.
 func (n *Node) rootLockRel(r *rootGroup, m wire.Message) {
 	l := LockID(m.Lock)
 	ls := r.lock(l)
-	if ls.holder != int(m.Origin) || ls.epoch != m.Var {
+	origin := int(m.Origin)
+	if !ls.holds(origin) || ls.entryEpochs[origin] != m.Var {
 		return // stale or duplicate release
 	}
-	n.releaseLock(r, l, ls)
+	n.leaveLock(r, l, ls, origin)
 }
 
 // rootLockCancel withdraws origin's request from the queue. If the grant
-// raced the cancellation, the lock is released on the requester's behalf
+// raced the cancellation, origin's entry is released on its behalf
 // instead, so an aborted acquisition can never strand the queue.
 func (n *Node) rootLockCancel(r *rootGroup, m wire.Message) {
 	l := LockID(m.Lock)
@@ -375,8 +444,8 @@ func (n *Node) rootLockCancel(r *rootGroup, m wire.Message) {
 	origin := int(m.Origin)
 	n.stats.LockCancels++
 	n.emit(obs.EvLockCancel, r.cfg.ID, int64(l), int64(origin))
-	if ls.holder == origin {
-		n.releaseLock(r, l, ls)
+	if ls.holds(origin) {
+		n.leaveLock(r, l, ls, origin)
 		return
 	}
 	for i, q := range ls.queue {
@@ -387,61 +456,161 @@ func (n *Node) rootLockCancel(r *rootGroup, m wire.Message) {
 	}
 }
 
-// releaseLock frees the lock and immediately grants the next waiter, or
-// multicasts the free value when nobody is queued. Under SetQuorumAcks
-// the handoff's *announcement* is deferred until a quorum of members
-// acked everything sequenced so far — the releaser's section data in
-// particular — so the next holder can never observe (and build on)
-// writes that a root failover could lose; the winner itself is
-// designated at once (see lockState.pendingGrant).
-func (n *Node) releaseLock(r *rootGroup, l LockID, ls *lockState) {
-	// A release (or cancel) of a designated-but-unannounced grant simply
+// leaveLock removes origin from the holder set. While other holders of
+// the open session remain, only a leave notice is multicast; when the
+// last holder leaves the section closes and the next waiter's section
+// opens (together with every queued waiter of the same session — they
+// all enter concurrently), or the free value is multicast when nobody
+// is queued. Under SetQuorumAcks a handoff's *announcement* is deferred
+// until a quorum of members acked everything sequenced so far — the
+// closing section's data in particular — so the next holder can never
+// observe (and build on) writes that a root failover could lose; the
+// winner itself is designated at once (see lockState.pending).
+func (n *Node) leaveLock(r *rootGroup, l LockID, ls *lockState, origin int) {
+	// A release (or cancel) of a designated-but-unannounced entry simply
 	// retires it; the multicast that never went out owes nobody anything.
-	ls.pendingGrant = false
-	ls.holder = -1
+	for i, p := range ls.pending {
+		if p == origin {
+			ls.pending = append(ls.pending[:i], ls.pending[i+1:]...)
+			break
+		}
+	}
+	left := ls.entryEpochs[origin]
+	delete(ls.holders, origin)
+	delete(ls.entryEpochs, origin)
+	n.metrics.Gauge(obs.GaugeSessHolders).Add(-1)
+	sess := ls.session
+	if !ls.free() {
+		// The session stays open; tell the group this holder is out so
+		// member-side holder sets (and session-change waiters) stay exact.
+		n.multicast(r, wire.Message{
+			Type:    wire.TSeqLock,
+			Group:   uint32(r.cfg.ID),
+			Src:     int32(n.id),
+			Lock:    uint32(l),
+			Var:     left,
+			Val:     RequestValue(origin),
+			Session: sess,
+		})
+		return
+	}
+	if sess != 0 {
+		n.stats.SessionCloses++
+		n.emit(obs.EvSessClose, r.cfg.ID, int64(l), int64(sess))
+	}
 	if n.quorumAcks {
 		ls.needSeq = r.seq
 	}
-	if next, ok := n.popWaiter(ls); ok {
-		n.grant(r, l, ls, next)
+	next, ok := n.popWaiter(ls)
+	if !ok {
+		// Nobody waiting: propagate the free value to all group memories.
+		n.emit(obs.EvLockFree, r.cfg.ID, int64(l), 0)
+		n.multicast(r, wire.Message{
+			Type:    wire.TSeqLock,
+			Group:   uint32(r.cfg.ID),
+			Src:     int32(n.id),
+			Lock:    uint32(l),
+			Var:     ls.epoch,
+			Val:     Free,
+			Session: sess,
+		})
 		return
 	}
-	// Nobody waiting: propagate the free value to all group memories.
-	n.emit(obs.EvLockFree, r.cfg.ID, int64(l), 0)
-	n.multicast(r, wire.Message{
-		Type:  wire.TSeqLock,
-		Group: uint32(r.cfg.ID),
-		Src:   int32(n.id),
-		Lock:  uint32(l),
-		Var:   ls.epoch,
-		Val:   Free,
-	})
+	if sess != 0 {
+		// Handoff out of a session: members still holding the old view
+		// must see its last holder leave before the next section's entry
+		// frames arrive, so a same-session reopen extends an exact holder
+		// set. (An exclusive close needs no notice — the next entry frame
+		// resets member views by itself, exactly as it always has.)
+		n.multicast(r, wire.Message{
+			Type:    wire.TSeqLock,
+			Group:   uint32(r.cfg.ID),
+			Src:     int32(n.id),
+			Lock:    uint32(l),
+			Var:     left,
+			Val:     RequestValue(origin),
+			Session: sess,
+		})
+	}
+	n.grant(r, l, ls, next)
+	n.admitSession(r, l, ls)
 }
 
-// grant designates the winner — holder, token, and grant epoch are
-// assigned immediately — and multicasts the grant, unless the quorum-ack
-// watermark has not yet covered the previous section's data, in which
-// case only the multicast is deferred (serviceQuorum sends it once
-// commit catches up). Designating before the park closes the window in
-// which the lock would otherwise sit holderless and a clean speculation
-// committing into it would be suppressed not-holder.
+// admitSession grants every queued waiter of the session that just
+// opened: concurrent entering means a session's waiters all enter with
+// its head, rather than serializing one per section churn. Exclusive
+// sections (session 0) admit exactly one holder, so this is a no-op.
+func (n *Node) admitSession(r *rootGroup, l LockID, ls *lockState) {
+	if ls.free() || ls.session == 0 {
+		return
+	}
+	var now int64
+	i := 0
+	for i < len(ls.queue) {
+		w := ls.queue[i]
+		if w.session != ls.session {
+			i++
+			continue
+		}
+		ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+		if w.deadline != 0 {
+			if now == 0 {
+				now = n.clock.Now().UnixNano()
+			}
+			if w.deadline <= now {
+				n.stats.DeadlineDrops++
+				continue
+			}
+		}
+		n.stats.SessionJoins++
+		n.grant(r, l, ls, w)
+	}
+}
+
+// grant designates the winner — holder-set entry, token, and grant
+// epoch are assigned immediately — and multicasts the entry, unless the
+// quorum-ack watermark has not yet covered the previous section's data,
+// in which case only the multicast is deferred (serviceQuorum sends it
+// once commit catches up). Designating before the park closes the
+// window in which the lock would otherwise sit holderless and a clean
+// speculation committing into it would be suppressed not-holder.
 func (n *Node) grant(r *rootGroup, l LockID, ls *lockState, w lockWaiter) {
 	winner := w.node
-	ls.holder = winner
-	ls.holderToken = w.token
-	if winner != ls.lastWinner {
-		// The grant being superseded (epoch ls.epoch) went to a different
-		// node, so from the new winner's perspective it is the newest
-		// foreign grant (see lockState).
-		ls.foreignEpoch = ls.epoch
-		ls.lastWinner = winner
+	if ls.free() {
+		// Opening a new critical section. The entry is foreign — it rolls
+		// other nodes' speculative sections back — unless it re-extends
+		// what the previous section already allowed: the same exclusive
+		// winner back to back, or a reopen of the same session (see
+		// lockState.foreignEpoch).
+		foreign := true
+		if w.session == 0 && ls.lastSession == 0 && winner == ls.lastWinner {
+			foreign = false
+		}
+		if w.session != 0 && w.session == ls.lastSession {
+			foreign = false
+		}
+		if foreign {
+			ls.foreignEpoch = ls.epoch
+		}
+		if w.session == 0 {
+			ls.lastWinner = winner
+		} else {
+			ls.lastWinner = -1
+			n.stats.SessionOpens++
+			n.emit(obs.EvSessOpen, r.cfg.ID, int64(l), int64(w.session))
+		}
+		ls.lastSession = w.session
+		ls.session = w.session
 	}
+	ls.holders[winner] = w.token
 	ls.epoch++
+	ls.entryEpochs[winner] = ls.epoch
+	n.metrics.Gauge(obs.GaugeSessHolders).Add(1)
 	if n.quorumAcks && r.commit < ls.needSeq {
 		// Durability gate: the winner is designated (its clean speculative
 		// writes sequence as holder writes) but must not *learn* of the
 		// grant until a quorum holds the prefix its section would build on.
-		ls.pendingGrant = true
+		ls.pending = append(ls.pending, winner)
 		n.stats.QuorumAckWaits++
 		if ls.deferredAt.IsZero() {
 			ls.deferredAt = n.clock.Now()
@@ -449,30 +618,33 @@ func (n *Node) grant(r *rootGroup, l LockID, ls *lockState, w lockWaiter) {
 		n.emit(obs.EvLockParked, r.cfg.ID, int64(l), int64(winner))
 		return
 	}
-	n.sendGrant(r, l, ls)
+	n.sendGrant(r, l, ls, winner)
 }
 
-// sendGrant multicasts the already-designated grant: the winner's
-// positive ID in the lock variable, tagged with the grant epoch and
-// echoing the winning request's token so the member can verify the
-// grant answers its current acquisition.
-func (n *Node) sendGrant(r *rootGroup, l LockID, ls *lockState) {
+// sendGrant multicasts winner's already-designated entry: its positive
+// ID in the lock variable, tagged with its entry epoch and echoing the
+// winning request's token so the member can verify the grant answers
+// its current acquisition. The frame carries the open session; members
+// route non-zero sessions through the holder-set view and session 0
+// through the classic single-holder path.
+func (n *Node) sendGrant(r *rootGroup, l LockID, ls *lockState, winner int) {
 	n.stats.LockGrants++
-	if !ls.deferredAt.IsZero() {
+	if !ls.deferredAt.IsZero() && len(ls.pending) == 0 {
 		// This handoff sat behind the quorum-ack watermark; record how
 		// long durability gated the lock.
 		n.metrics.Hist(obs.HistQuorumWait).Record(n.clock.Now().Sub(ls.deferredAt))
 		ls.deferredAt = time.Time{}
 	}
-	n.emit(obs.EvLockGrant, r.cfg.ID, int64(l), int64(ls.holder))
+	n.emit(obs.EvLockGrant, r.cfg.ID, int64(l), int64(winner))
 	n.multicast(r, wire.Message{
-		Type:   wire.TSeqLock,
-		Group:  uint32(r.cfg.ID),
-		Src:    int32(n.id),
-		Origin: int32(ls.holderToken),
-		Lock:   uint32(l),
-		Var:    ls.epoch,
-		Val:    GrantValue(ls.holder),
+		Type:    wire.TSeqLock,
+		Group:   uint32(r.cfg.ID),
+		Src:     int32(n.id),
+		Origin:  int32(ls.holders[winner]),
+		Lock:    uint32(l),
+		Var:     ls.entryEpochs[winner],
+		Val:     GrantValue(winner),
+		Session: ls.session,
 	})
 }
 

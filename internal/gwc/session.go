@@ -1,0 +1,415 @@
+package gwc
+
+import (
+	"context"
+	"fmt"
+
+	"optsync/internal/obs"
+	"optsync/internal/wire"
+)
+
+// Session locks: group mutual exclusion at the member.
+//
+// A session lock generalizes the mutex: every critical section carries a
+// session number, any number of holders of the *same* session run
+// concurrently, and different sessions exclude each other. Session 0 is
+// plain mutual exclusion (exactly the pre-session protocol, frame for
+// frame), and a readers/writers lock is the two-session special case —
+// readers enter a shared non-zero session, writers take session 0.
+//
+// The root (root.go) keeps the holder set and decides admission and
+// fairness; this file keeps the member's mirror of it. Member-side lock
+// frames with a non-zero Session route here (applySessionLock) instead
+// of the single-holder path; each entry, leave, and close updates the
+// per-lock sessView, fires session hooks (the optimistic engine's
+// interrupt), and wakes lock waiters.
+
+// sessView is a member's mirror of one lock's open session: who holds
+// entries (node -> entry grant epoch) and whether this node is one of
+// them. The view is reset by any exclusive-protocol frame for the lock
+// — sequenced after the session closed at the root by construction.
+type sessView struct {
+	session uint32
+	holders map[int]uint32
+	mine    bool
+}
+
+// SessKind classifies one observed session transition.
+type SessKind int
+
+const (
+	// SessEnter is a node entering the open session (Session names it;
+	// 0 means an exclusive grant displaced the session view).
+	SessEnter SessKind = iota
+	// SessLeave is a holder leaving while the session stays open.
+	SessLeave
+	// SessClose is the open session's last holder leaving.
+	SessClose
+)
+
+// SessEvent is one observed session transition on a lock.
+type SessEvent struct {
+	Kind    SessKind
+	Session uint32 // the session entered/left/closed (0: exclusive entry)
+	Node    int    // the entering/leaving node (unset for SessClose)
+}
+
+// SessionHook observes session transitions on a lock. It runs under the
+// node's internal lock and must not block or call back into the node;
+// returning HookSuspend parks insharing atomically with the event, the
+// same interrupt-and-suspension contract as LockHook.
+type SessionHook func(ev SessEvent) HookAction
+
+// SessionInfo is a lock's locally observed session state.
+type SessionInfo struct {
+	Session uint32 // the open session, 0 when none is open locally
+	Holders int    // concurrent holders currently observed
+	Mine    bool   // whether this node holds an entry
+}
+
+// runSessHooks fires the lock's session hooks. Caller holds n.mu.
+func (n *Node) runSessHooks(g *memberGroup, l LockID, ev SessEvent) {
+	for _, hook := range g.sessHooks[l] {
+		if hook(ev) == HookSuspend {
+			g.suspended = true
+		}
+	}
+}
+
+// applySessionLock installs one sequenced session-protocol lock frame:
+// an entry (Val > 0), a leave (negative request-encoded Val), or the
+// session's close (Val == Free). Self-entries are validated exactly
+// like exclusive self-grants — consumed only when the echoed token
+// matches the outstanding acquisition, handed back otherwise — so a
+// stale or unwanted entry can never let a later acquisition run
+// unlocked. Caller holds n.mu.
+func (n *Node) applySessionLock(g *memberGroup, m wire.Message) {
+	l := LockID(m.Lock)
+	s := m.Session
+	switch {
+	case m.Val == Free:
+		sv := g.sess[l]
+		if sv != nil && len(sv.holders) > 0 {
+			clear(sv.holders)
+			sv.mine = false
+		}
+		if _, ok := g.lockVal[l]; !ok {
+			// Materialize the lock-value entry so election reports keep
+			// carrying this lock's grant epoch across a failover.
+			g.lockVal[l] = Free
+		}
+		for _, hook := range g.lockHooks[l] {
+			if hook(Free) == HookSuspend {
+				g.suspended = true
+			}
+		}
+		n.runSessHooks(g, l, SessEvent{Kind: SessClose, Session: s})
+		g.lock.notifyAll()
+	case m.Val > 0:
+		n.applySessionEntry(g, m)
+	default:
+		// A holder left; the session stays open.
+		node := holderOf(-m.Val)
+		sv := g.sess[l]
+		if sv != nil && sv.session == s {
+			delete(sv.holders, node)
+			if node == n.id {
+				sv.mine = false
+			}
+		}
+		n.runSessHooks(g, l, SessEvent{Kind: SessLeave, Session: s, Node: node})
+		g.lock.notifyAll()
+	}
+}
+
+// applySessionEntry handles the entry half of applySessionLock. Caller
+// holds n.mu.
+func (n *Node) applySessionEntry(g *memberGroup, m wire.Message) {
+	l := LockID(m.Lock)
+	s := m.Session
+	node := holderOf(m.Val)
+	entryEpoch := m.Var
+	token := uint32(m.Origin)
+	sv := g.sess[l]
+	if sv == nil || len(sv.holders) == 0 || sv.session != s {
+		// The section (re)opens here. The lock value stays (or becomes)
+		// Free — the session protocol does not use it — but the entry
+		// must exist so election reports keep carrying the lock's epoch.
+		sv = &sessView{session: s, holders: make(map[int]uint32)}
+		g.sess[l] = sv
+		if _, ok := g.lockVal[l]; !ok {
+			g.lockVal[l] = Free
+		}
+	}
+	if node == n.id {
+		if entryEpoch <= g.lockDone[l] {
+			// Stale duplicate of an entry this node already finished with;
+			// answer with a release so a root that lost our leave does not
+			// re-announce forever (see the exclusive twin in
+			// applyLockValue).
+			n.sessionRelease(g, l, entryEpoch, s)
+			return
+		}
+		if !sv.mine && (!g.want[l] || token != g.reqToken[l]) {
+			// Unwanted, or minted for a different acquisition (a cancel in
+			// flight, or a token-less failover re-queue): hand it straight
+			// back, recording the observed epoch so later speculation tags
+			// stay clean.
+			if entryEpoch > g.lockDone[l] {
+				g.lockDone[l] = entryEpoch
+			}
+			if entryEpoch > g.grantEpoch[l] {
+				g.grantEpoch[l] = entryEpoch
+			}
+			n.sessionRelease(g, l, entryEpoch, s)
+			g.lock.notifyAll()
+			return
+		}
+		sv.mine = true
+		sv.holders[n.id] = entryEpoch
+		// Acquisition complete: stop the watchdog's clock on it.
+		delete(g.reqSince, l)
+	} else {
+		sv.holders[node] = entryEpoch
+	}
+	if entryEpoch > g.grantEpoch[l] {
+		g.grantEpoch[l] = entryEpoch
+	}
+	// An open session is a busy lock for exclusive observers: run the
+	// classic hooks with the entrant's grant value so an exclusive
+	// speculator's interrupt fires exactly as on an exclusive grant.
+	for _, hook := range g.lockHooks[l] {
+		if hook(GrantValue(node)) == HookSuspend {
+			g.suspended = true
+		}
+	}
+	n.runSessHooks(g, l, SessEvent{Kind: SessEnter, Session: s, Node: node})
+	g.lock.notifyAll()
+}
+
+// sessionRelease sends a release for one session entry. Caller holds
+// n.mu.
+func (n *Node) sessionRelease(g *memberGroup, l LockID, entryEpoch uint32, session uint32) {
+	n.send(g.rootID, wire.Message{
+		Type:    wire.TLockRel,
+		Group:   uint32(g.cfg.ID),
+		Src:     int32(n.id),
+		Origin:  int32(n.id),
+		Lock:    uint32(l),
+		Var:     entryEpoch,
+		Epoch:   g.epoch,
+		Session: session,
+	})
+}
+
+// installSessionView re-bases a lock's session state from a failover
+// snapshot or promotion: the reconstructed holder set replaces the
+// local view wholesale. A reconstructed self-entry is kept only if this
+// node already believed it held one (the entry tokens died with the old
+// root, so belief is the only validation left — the exact analog of the
+// exclusive re-base accepting a self-grant the local copy already
+// shows); otherwise it is handed back like a declined grant. Caller
+// holds n.mu.
+func (n *Node) installSessionView(g *memberGroup, l LockID, session uint32, holders map[int]uint32, epoch uint32) {
+	prior := g.sess[l]
+	priorMine := prior != nil && prior.mine
+	nv := &sessView{session: session, holders: make(map[int]uint32, len(holders))}
+	for _, h := range sortedKeys(holders) {
+		ee := holders[h]
+		if h == n.id && !priorMine {
+			if ee > g.lockDone[l] {
+				g.lockDone[l] = ee
+			}
+			n.sessionRelease(g, l, ee, session)
+			continue
+		}
+		nv.holders[h] = ee
+		if h == n.id {
+			nv.mine = true
+			delete(g.reqSince, l)
+		}
+	}
+	g.sess[l] = nv
+	if _, ok := g.lockVal[l]; !ok {
+		g.lockVal[l] = Free
+	}
+	if epoch > g.grantEpoch[l] {
+		g.grantEpoch[l] = epoch
+	}
+	if len(nv.holders) > 0 {
+		low := -1
+		for _, h := range sortedKeys(nv.holders) {
+			low = h
+			break
+		}
+		for _, hook := range g.lockHooks[l] {
+			if hook(GrantValue(low)) == HookSuspend {
+				g.suspended = true
+			}
+		}
+		n.runSessHooks(g, l, SessEvent{Kind: SessEnter, Session: session, Node: low})
+	}
+	g.lock.notifyAll()
+}
+
+// sessionInfo assembles the lock's observed session state. Caller holds
+// n.mu.
+func (g *memberGroup) sessionInfo(l LockID) SessionInfo {
+	sv := g.sess[l]
+	if sv == nil || len(sv.holders) == 0 {
+		return SessionInfo{}
+	}
+	return SessionInfo{Session: sv.session, Holders: len(sv.holders), Mine: sv.mine}
+}
+
+// SessionState returns the lock's locally observed session state: the
+// open session, how many concurrent holders this node has seen enter
+// and not leave, and whether it holds an entry itself. Exclusive
+// sections report as no open session — LockValue carries those.
+func (n *Node) SessionState(gid GroupID, l LockID) (SessionInfo, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g, err := n.group(gid)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	return g.sessionInfo(l), nil
+}
+
+// SendSessionRequest issues the non-blocking half of a session entry:
+// ship the request for the given session (0 = exclusive, identical to
+// SendLockRequest) and return. Pair with WaitSessionCond or poll
+// SessionState; the optimistic engine pairs it with its own waits.
+func (n *Node) SendSessionRequest(gid GroupID, l LockID, session uint32) error {
+	return n.sendLockRequestS(gid, l, session, 0)
+}
+
+// WaitSessionCond blocks until cond is satisfied by the lock's observed
+// session state (checked immediately and after every lock change). It
+// returns false if the node closes first.
+func (n *Node) WaitSessionCond(gid GroupID, l LockID, cond func(SessionInfo) bool) (bool, error) {
+	return n.WaitSessionCondContext(context.Background(), gid, l, cond, false)
+}
+
+// WaitSessionCondContext is WaitSessionCond with cancellation and an
+// optional periodic request retry (resend), which callers racing a root
+// failover use so a request that died with the old root is re-issued to
+// the new one.
+func (n *Node) WaitSessionCondContext(ctx context.Context, gid GroupID, l LockID, cond func(SessionInfo) bool, resend bool) (bool, error) {
+	return n.waitLockF(ctx, gid, l, func(g *memberGroup) bool { return cond(g.sessionInfo(l)) }, resend)
+}
+
+// EnterSession blocks until this node holds an entry in the lock's
+// given session. Session 0 is exactly Acquire.
+func (n *Node) EnterSession(gid GroupID, l LockID, session uint32) error {
+	return n.EnterSessionContext(context.Background(), gid, l, session)
+}
+
+// EnterSessionContext is EnterSession with cancellation. On
+// cancellation or deadline it withdraws the queued request from the
+// root (leaving the session instead if the entry raced the
+// cancellation) and returns ctx's error. Entering a session that is
+// already open with nobody else waiting is near-free: the root admits
+// the join without closing the section.
+func (n *Node) EnterSessionContext(ctx context.Context, gid GroupID, l LockID, session uint32) error {
+	if session == 0 {
+		return n.AcquireContext(ctx, gid, l)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	start := n.clock.Now()
+	if err := n.sendLockRequestS(gid, l, session, ctxDeadline(ctx)); err != nil {
+		return err
+	}
+	cond := func(g *memberGroup) bool {
+		sv := g.sess[l]
+		return sv != nil && sv.mine && sv.session == session
+	}
+	ok, err := n.waitLockF(ctx, gid, l, cond, true)
+	if err != nil {
+		if cerr := n.CancelLockRequest(gid, l); cerr != nil {
+			n.mu.Lock()
+			n.protoErr("gwc: node %d cancel session entry %d: %w", n.id, l, cerr)
+			n.mu.Unlock()
+		}
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("gwc: node %d closed while entering session %d of lock %d: %w", n.id, session, l, ErrClosed)
+	}
+	n.metrics.Hist(obs.HistLockAcquire).Record(n.clock.Now().Sub(start))
+	return nil
+}
+
+// LeaveSession gives up this node's entry in the lock's open session.
+// Like Release, the leave follows the section's last shared write on
+// the same path, so GWC ordering guarantees every member sees the data
+// before the session state changes. Leaving an exclusively held lock
+// delegates to Release, so Enter/Leave pair for session 0 too.
+func (n *Node) LeaveSession(gid GroupID, l LockID) error {
+	n.mu.Lock()
+	g, err := n.group(gid)
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	sv := g.sess[l]
+	if sv == nil || !sv.mine {
+		if g.lockValue(l) == GrantValue(n.id) {
+			n.mu.Unlock()
+			return n.Release(gid, l)
+		}
+		n.mu.Unlock()
+		return fmt.Errorf("gwc: node %d leaving session lock %d it has not entered", n.id, l)
+	}
+	n.flushWrites(g, flushRelease)
+	my := sv.holders[n.id]
+	session := sv.session
+	delete(sv.holders, n.id)
+	sv.mine = false
+	if my > g.lockDone[l] {
+		g.lockDone[l] = my
+	}
+	delete(g.want, l)
+	delete(g.reqSince, l)
+	delete(g.reqSession, l)
+	root := g.rootID
+	g.lock.notifyAll()
+	msg := wire.Message{
+		Type:    wire.TLockRel,
+		Group:   uint32(gid),
+		Src:     int32(n.id),
+		Origin:  int32(n.id),
+		Lock:    uint32(l),
+		Var:     my, // quoted so the root can discard stale duplicates
+		Epoch:   g.epoch,
+		Session: session,
+	}
+	n.mu.Unlock()
+	return n.ep.Send(root, msg)
+}
+
+// OnSessionChange registers a hook invoked on every observed session
+// transition of the lock (entries, leaves, closes — and, with Session
+// 0, an exclusive grant displacing an open session). The returned
+// function unregisters it.
+func (n *Node) OnSessionChange(gid GroupID, l LockID, hook SessionHook) (func(), error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g, err := n.group(gid)
+	if err != nil {
+		return nil, err
+	}
+	g.hookSeq++
+	token := g.hookSeq
+	if g.sessHooks[l] == nil {
+		g.sessHooks[l] = make(map[uint64]SessionHook)
+	}
+	g.sessHooks[l][token] = hook
+	return func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		delete(g.sessHooks[l], token)
+	}, nil
+}

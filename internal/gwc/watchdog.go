@@ -71,13 +71,14 @@ func (n *Node) watchMember(gid GroupID, g *memberGroup, now time.Time) {
 		// has no retry at all — this frame is its safety net, and for a
 		// waiter it is at worst one duplicate the root dedupes.
 		n.send(g.rootID, wire.Message{
-			Type:   wire.TLockReq,
-			Group:  uint32(gid),
-			Src:    int32(n.id),
-			Origin: int32(n.id),
-			Seq:    uint64(g.reqToken[l]),
-			Lock:   uint32(l),
-			Epoch:  g.epoch,
+			Type:    wire.TLockReq,
+			Group:   uint32(gid),
+			Src:     int32(n.id),
+			Origin:  int32(n.id),
+			Seq:     uint64(g.reqToken[l]),
+			Lock:    uint32(l),
+			Epoch:   g.epoch,
+			Session: g.reqSession[l],
 		})
 	}
 	if g.rejoining && !g.rejoinBegan.IsZero() && now.Sub(g.rejoinBegan) >= budget {
@@ -125,7 +126,7 @@ func (n *Node) watchRoot(gid GroupID, r *rootGroup, now time.Time) {
 	service := false
 	for _, l := range sortedKeys(r.locks) {
 		ls := r.locks[l]
-		stuck := ls.pendingGrant || (ls.holder == -1 && len(ls.queue) > 0)
+		stuck := len(ls.pending) > 0 || (ls.free() && len(ls.queue) > 0)
 		if !stuck {
 			ls.watchAt = now
 			continue
@@ -140,7 +141,7 @@ func (n *Node) watchRoot(gid GroupID, r *rootGroup, now time.Time) {
 		ls.watchAt = now
 		n.stats.WatchdogStuck++
 		n.stats.WatchdogReissues++
-		if ls.pendingGrant {
+		if len(ls.pending) > 0 {
 			n.emit(obs.EvWatchdogStuck, gid, obs.WatchParked, int64(l))
 		} else {
 			n.emit(obs.EvWatchdogStuck, gid, obs.WatchHolderless, int64(l))

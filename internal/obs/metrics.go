@@ -1,6 +1,59 @@
 package obs
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// GaugeID names one of the fixed gauges every node carries.
+type GaugeID int
+
+const (
+	// GaugeSessHolders is the number of critical-section holders the
+	// node's lock manager currently has across all locks it roots —
+	// under session locks, several same-session holders count at once,
+	// so the high-water mark proves concurrent entering actually
+	// happened.
+	GaugeSessHolders GaugeID = iota
+
+	NumGauges // sentinel; always last
+)
+
+var gaugeNames = [NumGauges]string{
+	GaugeSessHolders: "sess_holders",
+}
+
+func (id GaugeID) String() string {
+	if id >= 0 && id < NumGauges {
+		return gaugeNames[id]
+	}
+	return fmt.Sprintf("gauge(%d)", int(id))
+}
+
+// Gauge is a lock-free instantaneous level with a high-water mark. Add
+// is allocation-free and safe from any goroutine; the zero value is
+// ready to use.
+type Gauge struct {
+	cur atomic.Int64
+	max atomic.Int64
+}
+
+// Add moves the gauge by d and updates the high-water mark.
+func (g *Gauge) Add(d int64) {
+	v := g.cur.Add(d)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.cur.Load() }
+
+// Max returns the highest level ever observed.
+func (g *Gauge) Max() int64 { return g.max.Load() }
 
 // HistID names one of the fixed latency histograms every node carries.
 type HistID int
@@ -50,12 +103,16 @@ func (id HistID) String() string {
 // ready to use (histograms always-on, tracer disabled). Pointer
 // receivers everywhere; a Metrics must not be copied once recorded to.
 type Metrics struct {
-	hists [NumHists]Hist
-	Trace Tracer
+	hists  [NumHists]Hist
+	gauges [NumGauges]Gauge
+	Trace  Tracer
 }
 
 // Hist returns the histogram with the given id for direct recording.
 func (m *Metrics) Hist(id HistID) *Hist { return &m.hists[id] }
+
+// Gauge returns the gauge with the given id for direct recording.
+func (m *Metrics) Gauge(id GaugeID) *Gauge { return &m.gauges[id] }
 
 // Snapshot captures all histograms and the per-type event counts. The
 // trace ring itself is snapshotted separately (Trace.Snapshot) since
@@ -68,7 +125,26 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	for i := range s.Events {
 		s.Events[i] = m.Trace.Count(EventType(i))
 	}
+	for i := range s.Gauges {
+		s.Gauges[i] = GaugeSnapshot{Value: m.gauges[i].Value(), Max: m.gauges[i].Max()}
+	}
 	return s
+}
+
+// GaugeSnapshot is one gauge's level and high-water mark at snapshot
+// time.
+type GaugeSnapshot struct {
+	Value int64
+	Max   int64
+}
+
+// Merge folds another gauge snapshot in: levels add (each node's share
+// of a cluster-wide level), high-water marks take the max.
+func (g *GaugeSnapshot) Merge(o GaugeSnapshot) {
+	g.Value += o.Value
+	if o.Max > g.Max {
+		g.Max = o.Max
+	}
 }
 
 // MetricsSnapshot is a point-in-time copy of a node's Metrics,
@@ -76,6 +152,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 type MetricsSnapshot struct {
 	Hists  [NumHists]HistSnapshot
 	Events [NumEventTypes]uint64
+	Gauges [NumGauges]GaugeSnapshot
 }
 
 // Merge folds another snapshot into this one.
@@ -85,5 +162,8 @@ func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
 	}
 	for i := range s.Events {
 		s.Events[i] += o.Events[i]
+	}
+	for i := range s.Gauges {
+		s.Gauges[i].Merge(o.Gauges[i])
 	}
 }

@@ -48,6 +48,10 @@ const (
 	EvWatchdogStuck // an operation exceeded its liveness budget; A=operation kind, B=operand
 	EvDegradedRead  // bounded-staleness read served while the node cannot reach a reign; A=var, B=staleness ns
 
+	// Session locks (group mutual exclusion).
+	EvSessOpen  // a session opened (first entry granted); A=lock, B=session
+	EvSessClose // the open session's last holder left; A=lock, B=session
+
 	NumEventTypes // sentinel; always last
 )
 
@@ -81,6 +85,7 @@ var evNames = [NumEventTypes]string{
 	EvReignChange: "reign-change", EvDemoted: "demoted",
 	EvLockParked: "lock-parked", EvWatchdogStuck: "watchdog-stuck",
 	EvDegradedRead: "degraded-read",
+	EvSessOpen:     "sess-open", EvSessClose: "sess-close",
 }
 
 func (t EventType) String() string {

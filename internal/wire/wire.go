@@ -161,6 +161,13 @@ type Message struct {
 	// the field is an optimization, never a correctness lever: an
 	// expired request's cancel (or silence) resolves it either way.
 	Deadline int64
+	// Session is the group-mutual-exclusion session a lock message
+	// belongs to: TLockReq carries the requested session, TSeqLock the
+	// open session of an entry/leave/close, TLockRel the session being
+	// left, and TSnapLock the session of a reported holder. Session 0 is
+	// plain mutual exclusion (the pre-session protocol, and the zero
+	// value on every non-lock message).
+	Session uint32
 	// Batch holds the inner messages of a TBatch frame (nil otherwise).
 	// Inner messages must share the frame's group and may not themselves
 	// be batches.
@@ -169,7 +176,7 @@ type Message struct {
 
 // EncodedSize is the fixed wire size of one non-batch message (and of a
 // batch frame's header; each inner message adds EncodedSize more).
-const EncodedSize = 1 + 1 + 4 + 4 + 4 + 8 + 4 + 4 + 8 + 4 + 8
+const EncodedSize = 1 + 1 + 4 + 4 + 4 + 8 + 4 + 4 + 8 + 4 + 8 + 4
 
 // MaxBatch bounds the inner messages of one batch frame, so a corrupt or
 // hostile length prefix cannot force an oversized allocation.
@@ -192,6 +199,7 @@ func encodeOne(buf []byte, m Message) []byte {
 	binary.BigEndian.PutUint64(tmp[30:], uint64(m.Val))
 	binary.BigEndian.PutUint32(tmp[38:], m.Epoch)
 	binary.BigEndian.PutUint64(tmp[42:], uint64(m.Deadline))
+	binary.BigEndian.PutUint32(tmp[50:], m.Session)
 	return append(buf, tmp[:]...)
 }
 
@@ -237,6 +245,7 @@ func decodeOne(b []byte) (Message, error) {
 		Val:      int64(binary.BigEndian.Uint64(b[30:])),
 		Epoch:    binary.BigEndian.Uint32(b[38:]),
 		Deadline: int64(binary.BigEndian.Uint64(b[42:])),
+		Session:  binary.BigEndian.Uint32(b[50:]),
 	}
 	if m.Type < TUpdate || m.Type > typeMax {
 		return Message{}, fmt.Errorf("wire: unknown message type %d", b[0])
@@ -290,7 +299,7 @@ func Equal(a, b Message) bool {
 		a.Origin != b.Origin || a.Seq != b.Seq || a.Var != b.Var ||
 		a.Lock != b.Lock || a.Val != b.Val || a.Guarded != b.Guarded ||
 		a.Epoch != b.Epoch || a.Deadline != b.Deadline ||
-		len(a.Batch) != len(b.Batch) {
+		a.Session != b.Session || len(a.Batch) != len(b.Batch) {
 		return false
 	}
 	for i := range a.Batch {

@@ -12,14 +12,18 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	tests := []Message{
 		{Type: TUpdate, Group: 1, Src: 2, Origin: 2, Var: 7, Val: 42, Guarded: true},
 		{Type: TLockReq, Group: 3, Src: 9, Origin: 9, Lock: 1, Seq: 4, Deadline: 1 << 50},
+		{Type: TLockReq, Group: 3, Src: 9, Origin: 9, Lock: 1, Seq: 4, Session: 2},
 		{Type: TLockRel, Group: 3, Src: 9, Origin: 9, Lock: 1},
+		{Type: TLockRel, Group: 3, Src: 9, Origin: 9, Lock: 1, Var: 6, Session: 1},
 		{Type: TSeqUpdate, Group: 1, Src: 0, Origin: 5, Seq: 1 << 40, Var: 3, Val: -1},
 		{Type: TSeqLock, Group: 2, Src: 0, Seq: 77, Lock: 4, Val: -1 << 60},
+		{Type: TSeqLock, Group: 2, Src: 0, Seq: 78, Lock: 4, Val: 3, Var: 9, Session: 7},
 		{Type: TNack, Group: 1, Src: 6, Seq: 100, Val: 110},
 		{Type: THeartbeat, Group: 2, Src: 0, Seq: 55, Val: 0, Epoch: 3},
 		{Type: TSnapReq, Group: 2, Src: 4, Epoch: 3},
 		{Type: TSnapVar, Group: 2, Src: 0, Seq: 55, Var: 9, Val: 17, Epoch: 3},
 		{Type: TSnapLock, Group: 2, Src: 0, Seq: 55, Lock: 1, Var: 6, Val: 5, Epoch: 3},
+		{Type: TSnapLock, Group: 2, Src: 0, Seq: 55, Lock: 1, Var: 6, Val: 5, Epoch: 3, Session: 4},
 		{Type: TSnapDone, Group: 2, Src: 0, Seq: 55, Epoch: 3},
 		{Type: TLockCancel, Group: 2, Src: 4, Origin: 4, Lock: 1, Epoch: 3},
 		{Type: TAck, Group: 2, Src: 4, Seq: 120, Epoch: 3},
@@ -50,7 +54,7 @@ func TestRoundTripProperty(t *testing.T) {
 		THeartbeat, TSnapReq, TSnapVar, TSnapLock, TSnapDone, TLockCancel,
 		TAck, TJoinReq, TJoinAck, TSyncReq, TSyncAck,
 	}
-	prop := func(g uint32, src, origin int32, seq uint64, v, l uint32, val int64, guarded bool, kind uint8, epoch uint32, deadline int64) bool {
+	prop := func(g uint32, src, origin int32, seq uint64, v, l uint32, val int64, guarded bool, kind uint8, epoch uint32, deadline int64, session uint32) bool {
 		m := Message{
 			Type:     kinds[int(kind)%len(kinds)],
 			Group:    g,
@@ -63,6 +67,7 @@ func TestRoundTripProperty(t *testing.T) {
 			Guarded:  guarded,
 			Epoch:    epoch,
 			Deadline: deadline,
+			Session:  session,
 		}
 		got, err := Decode(Encode(nil, m))
 		return err == nil && Equal(got, m)
@@ -263,6 +268,53 @@ func FuzzReignFrames(f *testing.F) {
 		bad[0] = 250
 		if _, err := Decode(bad); err == nil {
 			t.Fatalf("decode of corrupted type byte succeeded")
+		}
+	})
+}
+
+// FuzzSessionFrames fuzzes the lock-protocol frames that carry a
+// session id: requests, grants/leaves/closes, releases, and snapshot
+// holder reports. The session field rides at the end of the fixed
+// layout, so this pins that it survives both codecs for every lock
+// frame kind and never perturbs the neighbouring fields.
+func FuzzSessionFrames(f *testing.F) {
+	f.Add(uint8(0), uint32(2), int32(4), uint64(12), uint32(1), int64(5), uint32(3), uint32(1))
+	f.Add(uint8(1), uint32(1), int32(0), uint64(1)<<40, uint32(9), int64(-6), uint32(7), uint32(0))
+	f.Add(uint8(3), uint32(9), int32(-1), uint64(9), uint32(0), int64(-1)<<62, uint32(0), uint32(1<<31))
+	kinds := []Type{TLockReq, TSeqLock, TLockRel, TSnapLock, TLockCancel}
+	f.Fuzz(func(t *testing.T, kind uint8, group uint32, src int32, seq uint64, lock uint32, val int64, epoch, session uint32) {
+		m := Message{
+			Type:    kinds[int(kind)%len(kinds)],
+			Group:   group,
+			Src:     src,
+			Origin:  src,
+			Seq:     seq,
+			Lock:    lock,
+			Val:     val,
+			Epoch:   epoch,
+			Session: session,
+		}
+		buf := Encode(nil, m)
+		if len(buf) != EncodedSize {
+			t.Fatalf("%v: encoded %d bytes, want %d", m.Type, len(buf), EncodedSize)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Type, err)
+		}
+		if !Equal(got, m) {
+			t.Fatalf("round trip changed frame:\n got %+v\nwant %+v", got, m)
+		}
+		if got.Session != session {
+			t.Fatalf("session field corrupted: got %d, want %d", got.Session, session)
+		}
+		var stream bytes.Buffer
+		if err := WriteTo(&stream, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err = ReadFrom(&stream)
+		if err != nil || !Equal(got, m) {
+			t.Fatalf("stream round trip: %+v (err %v), want %+v", got, err, m)
 		}
 	})
 }

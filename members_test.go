@@ -45,17 +45,17 @@ func TestSubsetGroupIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	v := g.Int("x")
-	if err := c.Handle(3).Write(v, 42); err != nil {
+	if err := c.MustHandle(3).Write(v, 42); err != nil {
 		t.Fatal(err)
 	}
-	waitRead(t, c.Handle(1), v, 42)
-	waitRead(t, c.Handle(3), v, 42)
+	waitRead(t, c.MustHandle(1), v, 42)
+	waitRead(t, c.MustHandle(3), v, 42)
 	// Non-members never joined: their handles must error, not read zero
 	// silently.
-	if _, err := c.Handle(0).Read(v); err == nil {
+	if _, err := c.MustHandle(0).Read(v); err == nil {
 		t.Error("non-member read succeeded")
 	}
-	if err := c.Handle(2).Write(v, 1); err == nil {
+	if err := c.MustHandle(2).Write(v, 1); err == nil {
 		t.Error("non-member write succeeded")
 	}
 	// And the non-member nodes saw no stray traffic errors... they might
@@ -82,7 +82,7 @@ func TestSubsetGroupMutex(t *testing.T) {
 	v := g.Int("n", m)
 	var wg sync.WaitGroup
 	for _, id := range []int{1, 2, 4} {
-		h := c.Handle(id)
+		h := c.MustHandle(id)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -103,7 +103,7 @@ func TestSubsetGroupMutex(t *testing.T) {
 	}
 	wg.Wait()
 	for _, id := range []int{1, 2, 4} {
-		waitRead(t, c.Handle(id), v, 15)
+		waitRead(t, c.MustHandle(id), v, 15)
 	}
 }
 
@@ -127,7 +127,7 @@ func TestOverlappingGroupsIndependentOrdering(t *testing.T) {
 	}
 	va := ga.Int("a")
 	vb := gb.Int("b")
-	h2 := c.Handle(2) // in both groups
+	h2 := c.MustHandle(2) // in both groups
 	for i := 1; i <= 20; i++ {
 		if err := h2.Write(va, int64(i)); err != nil {
 			t.Fatal(err)
@@ -140,7 +140,7 @@ func TestOverlappingGroupsIndependentOrdering(t *testing.T) {
 	for _, probe := range []struct {
 		h *Handle
 		v *Var
-	}{{c.Handle(0), va}, {c.Handle(1), va}, {c.Handle(2), va}, {c.Handle(2), vb}, {c.Handle(3), vb}} {
+	}{{c.MustHandle(0), va}, {c.MustHandle(1), va}, {c.MustHandle(2), va}, {c.MustHandle(2), vb}, {c.MustHandle(3), vb}} {
 		for {
 			got, err := probe.h.Read(probe.v)
 			if err != nil {

@@ -158,6 +158,11 @@ func writeMetrics(w io.Writer, s obs.MetricsSnapshot, nodes int) {
 			}
 		}
 	}
+	fmt.Fprintf(w, "gauges:\n")
+	for id := obs.GaugeID(0); id < obs.NumGauges; id++ {
+		g := s.Gauges[id]
+		fmt.Fprintf(w, "  %-16s %d (max %d)\n", id, g.Value, g.Max)
+	}
 	fmt.Fprintf(w, "events:\n")
 	for t := obs.EventType(0); t < obs.NumEventTypes; t++ {
 		if n := s.Events[t]; n > 0 {

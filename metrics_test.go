@@ -25,7 +25,7 @@ func TestWriteFastPathAllocs(t *testing.T) {
 			opts = append(opts, WithTracing(0))
 		}
 		c, g, m, v := newTestCluster(t, 3, opts...)
-		h := c.Handle(1)
+		h := c.MustHandle(1)
 		free := g.Int("free")
 		if err := h.Write(free, 0); err != nil { // warm the var's slot
 			t.Fatal(err)
@@ -65,7 +65,7 @@ func TestMetricsUnderContendedLoad(t *testing.T) {
 	for {
 		var wg sync.WaitGroup
 		for i := 0; i < 3; i++ {
-			h := c.Handle(i)
+			h := c.MustHandle(i)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()

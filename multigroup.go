@@ -12,22 +12,30 @@ import (
 // each other, and ReleaseAll returns them in the reverse order, keeping
 // each lock's data writes sequenced before its release at its own root.
 
-// sortMutexes returns the locks in canonical acquisition order,
-// rejecting duplicates.
-func sortMutexes(mutexes []*Mutex) ([]*Mutex, error) {
-	ms := append([]*Mutex(nil), mutexes...)
+// sortLocks returns the locks in canonical acquisition order, rejecting
+// duplicates. The ordering is shared by every lock kind — a section
+// mixing Mutex and SessionLock acquisitions still sorts into one global
+// order, so it cannot deadlock against any other multi-lock section.
+func sortLocks[L Lock](locks []L) ([]L, error) {
+	ms := append([]L(nil), locks...)
 	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].g.id != ms[j].g.id {
-			return ms[i].g.id < ms[j].g.id
+		if ms[i].Group().id != ms[j].Group().id {
+			return ms[i].Group().id < ms[j].Group().id
 		}
-		return ms[i].id < ms[j].id
+		return ms[i].lockID() < ms[j].lockID()
 	})
 	for i := 1; i < len(ms); i++ {
-		if ms[i].g.id == ms[i-1].g.id && ms[i].id == ms[i-1].id {
-			return nil, fmt.Errorf("optsync: duplicate mutex %q in multi-group acquisition", ms[i].name)
+		if ms[i].Group().id == ms[i-1].Group().id && ms[i].lockID() == ms[i-1].lockID() {
+			return nil, fmt.Errorf("optsync: duplicate lock %q in multi-group acquisition", ms[i].Name())
 		}
 	}
 	return ms, nil
+}
+
+// sortMutexes returns the mutexes in canonical acquisition order,
+// rejecting duplicates.
+func sortMutexes(mutexes []*Mutex) ([]*Mutex, error) {
+	return sortLocks(mutexes)
 }
 
 // AcquireAll blocks until this node holds every given mutex, acquiring in
@@ -72,6 +80,57 @@ func (h *Handle) DoAll(body func() error, mutexes ...*Mutex) error {
 	}
 	bodyErr := body()
 	if err := h.ReleaseAll(mutexes...); err != nil {
+		return err
+	}
+	return bodyErr
+}
+
+// EnterAll blocks until this node holds an entry in the given session of
+// every listed session lock, entering in the canonical order (group ID,
+// then lock ID) regardless of argument order — the same global order
+// AcquireAll uses, so mixed Mutex/SessionLock sections cannot deadlock
+// on each other. On error, entries already taken are left.
+func (h *Handle) EnterAll(session uint32, locks ...*SessionLock) error {
+	ls, err := sortLocks(locks)
+	if err != nil {
+		return err
+	}
+	for i, l := range ls {
+		if err := h.Enter(l, session); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				_ = h.Leave(ls[j])
+			}
+			return fmt.Errorf("optsync: multi-group enter %q: %w", l.name, err)
+		}
+	}
+	return nil
+}
+
+// LeaveAll gives up this node's entries in every listed session lock, in
+// reverse canonical order.
+func (h *Handle) LeaveAll(locks ...*SessionLock) error {
+	ls, err := sortLocks(locks)
+	if err != nil {
+		return err
+	}
+	var first error
+	for i := len(ls) - 1; i >= 0; i-- {
+		if err := h.Leave(ls[i]); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SessionDoAll runs body with an entry held in the given session of
+// every listed lock — group mutual exclusion across multiple sharing
+// groups, each entry granted by its own group root.
+func (h *Handle) SessionDoAll(session uint32, body func() error, locks ...*SessionLock) error {
+	if err := h.EnterAll(session, locks...); err != nil {
+		return err
+	}
+	bodyErr := body()
+	if err := h.LeaveAll(locks...); err != nil {
 		return err
 	}
 	return bodyErr

@@ -32,12 +32,12 @@ func newTwoGroupCluster(t *testing.T, n int) (*Cluster, *Mutex, *Var, *Mutex, *V
 
 func TestAcquireAllBothHeld(t *testing.T) {
 	c, ma, _, mb, _ := newTwoGroupCluster(t, 3)
-	h := c.Handle(1)
+	h := c.MustHandle(1)
 	if err := h.AcquireAll(ma, mb); err != nil {
 		t.Fatal(err)
 	}
 	// Another node must not get either lock while we hold both.
-	other := c.Handle(2)
+	other := c.MustHandle(2)
 	got := make(chan struct{})
 	go func() {
 		_ = other.Acquire(ma)
@@ -61,7 +61,7 @@ func TestAcquireAllBothHeld(t *testing.T) {
 
 func TestAcquireAllRejectsDuplicates(t *testing.T) {
 	c, ma, _, _, _ := newTwoGroupCluster(t, 2)
-	if err := c.Handle(0).AcquireAll(ma, ma); err == nil {
+	if err := c.MustHandle(0).AcquireAll(ma, ma); err == nil {
 		t.Error("duplicate mutex accepted")
 	}
 }
@@ -72,7 +72,7 @@ func TestAcquireAllRejectsDuplicates(t *testing.T) {
 func TestDoAllCrossGroupInvariant(t *testing.T) {
 	c, ma, va, mb, vb := newTwoGroupCluster(t, 4)
 	const initial = 1000
-	h0 := c.Handle(0)
+	h0 := c.MustHandle(0)
 	if err := h0.DoAll(func() error {
 		if err := h0.Write(va, initial); err != nil {
 			return err
@@ -85,7 +85,7 @@ func TestDoAllCrossGroupInvariant(t *testing.T) {
 	var wg sync.WaitGroup
 	for id := 0; id < 4; id++ {
 		id := id
-		h := c.Handle(id)
+		h := c.MustHandle(id)
 		// Half the nodes pass (ma, mb), half (mb, ma): canonical ordering
 		// must prevent deadlock.
 		locks := []*Mutex{ma, mb}
@@ -122,7 +122,7 @@ func TestDoAllCrossGroupInvariant(t *testing.T) {
 	// 40 transfers of 1: a=960, b=1040 on every node. The two groups
 	// sequence independently, so poll until both settle.
 	for i := 0; i < 4; i++ {
-		h := c.Handle(i)
+		h := c.MustHandle(i)
 		deadline := time.Now().Add(5 * time.Second)
 		for {
 			a, _ := h.Read(va)
@@ -141,19 +141,19 @@ func TestDoAllCrossGroupInvariant(t *testing.T) {
 
 func TestDoAllSingleLockDegenerate(t *testing.T) {
 	c, ma, va, _, _ := newTwoGroupCluster(t, 2)
-	h := c.Handle(1)
+	h := c.MustHandle(1)
 	if err := h.DoAll(func() error {
 		return h.Write(va, 5)
 	}, ma); err != nil {
 		t.Fatal(err)
 	}
-	waitRead(t, c.Handle(0), va, 5)
+	waitRead(t, c.MustHandle(0), va, 5)
 }
 
 func TestDoAllNoLocksJustRuns(t *testing.T) {
 	c, _, _, _, _ := newTwoGroupCluster(t, 2)
 	ran := false
-	if err := c.Handle(0).DoAll(func() error {
+	if err := c.MustHandle(0).DoAll(func() error {
 		ran = true
 		return nil
 	}); err != nil {

@@ -19,7 +19,7 @@
 //	m := g.Mutex("lock")
 //	balance := g.Int("balance", m)
 //
-//	h := c.Handle(2) // code running "on" node 2
+//	h := c.MustHandle(2) // code running "on" node 2
 //	_ = h.OptimisticDo(m, func(tx *optsync.Tx) error {
 //	    cur, _ := tx.Read(balance)
 //	    return tx.Write(balance, cur+100)
@@ -140,7 +140,8 @@ func WithRetransmitBuffer(n int) Option {
 // WithHistoryBuffer sets the root's retransmission buffer size.
 //
 // Deprecated: the name collided with WithHistory, which tunes an
-// unrelated mechanism. Use WithRetransmitBuffer.
+// unrelated mechanism. Use WithRetransmitBuffer. This shim will be
+// removed in the next major version (see README "Deprecations").
 func WithHistoryBuffer(n int) Option {
 	return WithRetransmitBuffer(n)
 }
@@ -227,16 +228,41 @@ func WithChaos() Option {
 	return optionFunc(func(o *options) { o.chaos = true })
 }
 
-// WithTimers tunes every node's maintenance interval (retries and root
-// heartbeats), the root-failure detection deadline, and the election
-// grace period during which the failover candidate collects peer state.
-// Zero values keep the defaults (50ms, 2s, 200ms).
-func WithTimers(retry, failAfter, electWait time.Duration) Option {
+// Timing collects the cluster's failure-handling clocks for WithTiming.
+// Zero fields keep their defaults.
+type Timing struct {
+	// Retry is every node's maintenance interval: control-plane retries
+	// and root heartbeats (default 50ms).
+	Retry time.Duration
+	// FailAfter is the root-failure detection deadline: how long a member
+	// goes without hearing its root before starting an election (default
+	// 2s).
+	FailAfter time.Duration
+	// ElectWait is the election grace period during which the failover
+	// candidate collects peer state reports (default 200ms).
+	ElectWait time.Duration
+}
+
+// WithTiming tunes the cluster's failure-handling clocks. Fields left
+// zero keep their defaults, so callers name only what they change:
+//
+//	optsync.WithTiming(optsync.Timing{FailAfter: 500 * time.Millisecond})
+func WithTiming(t Timing) Option {
 	return optionFunc(func(o *options) {
-		o.retryIn = retry
-		o.failAfter = failAfter
-		o.electWait = electWait
+		o.retryIn = t.Retry
+		o.failAfter = t.FailAfter
+		o.electWait = t.ElectWait
 	})
+}
+
+// WithTimers tunes the maintenance interval, the root-failure detection
+// deadline, and the election grace period. Zero values keep the
+// defaults (50ms, 2s, 200ms).
+//
+// Deprecated: the positional form is easy to mis-order. Use WithTiming,
+// which names each clock.
+func WithTimers(retry, failAfter, electWait time.Duration) Option {
+	return WithTiming(Timing{Retry: retry, FailAfter: failAfter, ElectWait: electWait})
 }
 
 // Cluster is a set of DSM nodes sharing groups of variables.
@@ -506,6 +532,7 @@ func (c *Cluster) NewGroup(name string, root int, opts ...GroupOption) (*Group, 
 		members:  members,
 		vars:     make(map[string]*Var),
 		mutexes:  make(map[string]*Mutex),
+		sessions: make(map[string]*SessionLock),
 		nextVar:  1,
 		nextLock: 1,
 	}
@@ -525,6 +552,7 @@ type Group struct {
 	mu       sync.Mutex
 	vars     map[string]*Var
 	mutexes  map[string]*Mutex
+	sessions map[string]*SessionLock
 	nextVar  gwc.VarID
 	nextLock gwc.LockID
 }
@@ -539,12 +567,15 @@ func (g *Group) Root() int { return g.root }
 func (g *Group) Members() []int { return append([]int(nil), g.members...) }
 
 // Mutex declares (or returns) a named queue-based lock managed by the
-// group's root.
+// group's root. The namespace is shared with SessionLock.
 func (g *Group) Mutex(name string) *Mutex {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if m, ok := g.mutexes[name]; ok {
 		return m
+	}
+	if _, ok := g.sessions[name]; ok {
+		panic(fmt.Sprintf("optsync: lock %q already declared as a SessionLock", name))
 	}
 	m := &Mutex{g: g, id: g.nextLock, name: name}
 	g.nextLock++
@@ -553,10 +584,12 @@ func (g *Group) Mutex(name string) *Mutex {
 }
 
 // Int declares (or returns) a named shared integer variable. Passing a
-// guard mutex puts the variable in that lock's mutex data group: the root
-// discards writes from non-holders and origins drop their echoes, which
-// is what makes optimistic execution safe for it.
-func (g *Group) Int(name string, guard ...*Mutex) *Var {
+// guard lock (a Mutex or a SessionLock) puts the variable in that lock's
+// mutex data group: the root discards writes from non-holders and
+// origins drop their echoes, which is what makes optimistic execution
+// safe for it. Under a SessionLock guard, every current session holder
+// counts as a holder.
+func (g *Group) Int(name string, guard ...Lock) *Var {
 	g.mu.Lock()
 	if v, ok := g.vars[name]; ok {
 		g.mu.Unlock()
@@ -570,7 +603,7 @@ func (g *Group) Int(name string, guard ...*Mutex) *Var {
 		for _, m := range g.members {
 			// Registration precedes first use, so the guard is in place
 			// on every member before any write can race it.
-			_ = g.c.nodes[m].SetGuard(g.id, v.id, guard[0].id)
+			_ = g.c.nodes[m].SetGuard(g.id, v.id, guard[0].lockID())
 		}
 		v.guard = guard[0]
 	}
@@ -582,7 +615,7 @@ type Var struct {
 	g     *Group
 	id    gwc.VarID
 	name  string
-	guard *Mutex
+	guard Lock
 }
 
 // Name reports the variable's name.
@@ -591,8 +624,19 @@ func (v *Var) Name() string { return v.name }
 // Group reports the sharing group the variable belongs to.
 func (v *Var) Group() *Group { return v.g }
 
-// Guard reports the mutex guarding the variable, or nil.
-func (v *Var) Guard() *Mutex { return v.guard }
+// Guard reports the lock guarding the variable, or nil.
+func (v *Var) Guard() Lock { return v.guard }
+
+// Lock is a root-managed lock within a sharing group — a *Mutex or a
+// *SessionLock. Either kind can guard variables (Group.Int) and
+// participate in multi-group acquisition ordering.
+type Lock interface {
+	// Name reports the lock's name.
+	Name() string
+	// Group reports the sharing group the lock belongs to.
+	Group() *Group
+	lockID() gwc.LockID
+}
 
 // Mutex is a queue-based lock within a group, managed by the group root.
 type Mutex struct {
@@ -606,6 +650,8 @@ func (m *Mutex) Name() string { return m.name }
 
 // Group reports the sharing group the mutex belongs to.
 func (m *Mutex) Group() *Group { return m.g }
+
+func (m *Mutex) lockID() gwc.LockID { return m.id }
 
 // NodeStats combines the per-node protocol and optimistic-engine
 // counters.
@@ -623,24 +669,34 @@ type Handle struct {
 	engine *core.Engine
 }
 
-// Handle returns node i's programming interface. It panics with a
-// descriptive message if i is out of range; use HandleErr to get an
-// error instead.
-func (c *Cluster) Handle(i int) *Handle {
-	h, err := c.HandleErr(i)
-	if err != nil {
-		panic(fmt.Sprintf("optsync: Handle(%d): %v", i, err))
-	}
-	return h
-}
-
-// HandleErr returns node i's programming interface, or an error wrapping
-// ErrNotMember if i is outside [0, Size()).
-func (c *Cluster) HandleErr(i int) (*Handle, error) {
+// Handle returns node i's programming interface, or an error wrapping
+// ErrNotMember if i is outside [0, Size()). Use MustHandle where an
+// out-of-range index is a programming error (tests, examples).
+func (c *Cluster) Handle(i int) (*Handle, error) {
 	if i < 0 || i >= len(c.nodes) {
 		return nil, fmt.Errorf("optsync: node %d out of range [0,%d): %w", i, len(c.nodes), ErrNotMember)
 	}
 	return &Handle{c: c, node: c.nodes[i], engine: c.engines[i]}, nil
+}
+
+// MustHandle returns node i's programming interface, panicking with a
+// descriptive message if i is out of range.
+func (c *Cluster) MustHandle(i int) *Handle {
+	h, err := c.Handle(i)
+	if err != nil {
+		panic(fmt.Sprintf("optsync: MustHandle(%d): %v", i, err))
+	}
+	return h
+}
+
+// HandleErr returns node i's programming interface, or an error if i is
+// out of range.
+//
+// Deprecated: Handle itself now returns an error (it used to panic);
+// HandleErr is a synonym kept for transition. Use Handle, or MustHandle
+// where panicking was the point.
+func (c *Cluster) HandleErr(i int) (*Handle, error) {
+	return c.Handle(i)
 }
 
 // NodeID reports which node this handle operates on.

@@ -88,11 +88,11 @@ func TestGroupIdempotentDeclarations(t *testing.T) {
 func TestWriteVisibleEverywhere(t *testing.T) {
 	c, g, _, _ := newTestCluster(t, 4)
 	free := g.Int("free") // unguarded
-	if err := c.Handle(2).Write(free, 7); err != nil {
+	if err := c.MustHandle(2).Write(free, 7); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		waitRead(t, c.Handle(i), free, 7)
+		waitRead(t, c.MustHandle(i), free, 7)
 	}
 }
 
@@ -101,7 +101,7 @@ func TestDoCounter(t *testing.T) {
 	const reps = 6
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
-		h := c.Handle(i)
+		h := c.MustHandle(i)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -123,7 +123,7 @@ func TestDoCounter(t *testing.T) {
 	}
 	wg.Wait()
 	for i := 0; i < 4; i++ {
-		waitRead(t, c.Handle(i), v, 4*reps)
+		waitRead(t, c.MustHandle(i), v, 4*reps)
 	}
 }
 
@@ -132,7 +132,7 @@ func TestOptimisticDoCounter(t *testing.T) {
 	const reps = 6
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
-		h := c.Handle(i)
+		h := c.MustHandle(i)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -153,13 +153,13 @@ func TestOptimisticDoCounter(t *testing.T) {
 	}
 	wg.Wait()
 	for i := 0; i < 4; i++ {
-		waitRead(t, c.Handle(i), v, 4*reps)
+		waitRead(t, c.MustHandle(i), v, 4*reps)
 	}
 }
 
 func TestOptimisticCommitsWithoutContention(t *testing.T) {
 	c, _, m, v := newTestCluster(t, 3)
-	h := c.Handle(2)
+	h := c.MustHandle(2)
 	if err := h.OptimisticDo(m, func(tx *Tx) error {
 		return tx.Write(v, 42)
 	}); err != nil {
@@ -169,7 +169,7 @@ func TestOptimisticCommitsWithoutContention(t *testing.T) {
 	if s.Optimistic.Commits != 1 || s.Optimistic.Rollbacks != 0 {
 		t.Errorf("optimistic stats = %+v, want one clean commit", s.Optimistic)
 	}
-	waitRead(t, c.Handle(0), v, 42)
+	waitRead(t, c.MustHandle(0), v, 42)
 }
 
 func TestWaitGE(t *testing.T) {
@@ -177,10 +177,10 @@ func TestWaitGE(t *testing.T) {
 	sig := g.Int("sig")
 	done := make(chan error, 1)
 	go func() {
-		done <- c.Handle(2).WaitGE(sig, 10)
+		done <- c.MustHandle(2).WaitGE(sig, 10)
 	}()
 	time.Sleep(10 * time.Millisecond)
-	if err := c.Handle(1).Write(sig, 10); err != nil {
+	if err := c.MustHandle(1).Write(sig, 10); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -200,7 +200,7 @@ func TestCrossGroupTxRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	foreign := other.Int("x")
-	err = c.Handle(0).OptimisticDo(m, func(tx *Tx) error {
+	err = c.MustHandle(0).OptimisticDo(m, func(tx *Tx) error {
 		return tx.Write(foreign, 1)
 	})
 	if err == nil {
@@ -210,7 +210,7 @@ func TestCrossGroupTxRejected(t *testing.T) {
 
 func TestNestedOptimisticDoFails(t *testing.T) {
 	c, _, m, _ := newTestCluster(t, 2)
-	h := c.Handle(1)
+	h := c.MustHandle(1)
 	err := h.OptimisticDo(m, func(tx *Tx) error {
 		return h.OptimisticDo(m, func(*Tx) error { return nil })
 	})
@@ -221,7 +221,7 @@ func TestNestedOptimisticDoFails(t *testing.T) {
 
 func TestBodyErrorPropagatesAndLockRecovers(t *testing.T) {
 	c, _, m, v := newTestCluster(t, 2)
-	h := c.Handle(1)
+	h := c.MustHandle(1)
 	boom := errors.New("boom")
 	if err := h.OptimisticDo(m, func(tx *Tx) error { return boom }); !errors.Is(err, boom) {
 		t.Errorf("got %v, want boom", err)
@@ -229,7 +229,7 @@ func TestBodyErrorPropagatesAndLockRecovers(t *testing.T) {
 	if err := h.Do(m, func() error { return h.Write(v, 1) }); err != nil {
 		t.Fatal(err)
 	}
-	waitRead(t, c.Handle(0), v, 1)
+	waitRead(t, c.MustHandle(0), v, 1)
 }
 
 func TestLossyNetworkStillConverges(t *testing.T) {
@@ -237,7 +237,7 @@ func TestLossyNetworkStillConverges(t *testing.T) {
 	const reps = 5
 	var wg sync.WaitGroup
 	for i := 1; i <= 2; i++ {
-		h := c.Handle(i)
+		h := c.MustHandle(i)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -258,20 +258,20 @@ func TestLossyNetworkStillConverges(t *testing.T) {
 	}
 	wg.Wait()
 	for i := 0; i < 3; i++ {
-		waitRead(t, c.Handle(i), v, 2*reps)
+		waitRead(t, c.MustHandle(i), v, 2*reps)
 	}
 }
 
 func TestTCPCluster(t *testing.T) {
 	c, _, m, v := newTestCluster(t, 3, WithTCP([]string{"127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"}))
-	h := c.Handle(2)
+	h := c.MustHandle(2)
 	if err := h.OptimisticDo(m, func(tx *Tx) error {
 		return tx.Write(v, 11)
 	}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		waitRead(t, c.Handle(i), v, 11)
+		waitRead(t, c.MustHandle(i), v, 11)
 	}
 }
 
@@ -305,7 +305,7 @@ func TestCounterSumProperty(t *testing.T) {
 		for i := 0; i < 3; i++ {
 			reps := int(counts[i]) % 6
 			total += reps
-			h := c.Handle(i)
+			h := c.MustHandle(i)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -323,12 +323,12 @@ func TestCounterSumProperty(t *testing.T) {
 		wg.Wait()
 		deadline := time.Now().Add(5 * time.Second)
 		for time.Now().Before(deadline) {
-			if got, _ := c.Handle(0).Read(v); got == int64(total) {
+			if got, _ := c.MustHandle(0).Read(v); got == int64(total) {
 				return true
 			}
 			time.Sleep(time.Millisecond)
 		}
-		got, _ := c.Handle(0).Read(v)
+		got, _ := c.MustHandle(0).Read(v)
 		t.Logf("counter = %d, want %d", got, total)
 		return false
 	}
@@ -351,7 +351,7 @@ func TestTreeFanoutGroup(t *testing.T) {
 	v := g.Int("counter", m)
 	var wg sync.WaitGroup
 	for i := 0; i < 9; i++ {
-		h := c.Handle(i)
+		h := c.MustHandle(i)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -369,7 +369,7 @@ func TestTreeFanoutGroup(t *testing.T) {
 	}
 	wg.Wait()
 	for i := 0; i < 9; i++ {
-		waitRead(t, c.Handle(i), v, 9)
+		waitRead(t, c.MustHandle(i), v, 9)
 	}
 }
 
@@ -384,13 +384,13 @@ func TestCloseDuringBlockedSection(t *testing.T) {
 	}
 	m := g.Mutex("lock")
 	v := g.Int("counter", m)
-	if err := c.Handle(1).Acquire(m); err != nil {
+	if err := c.MustHandle(1).Acquire(m); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
 	go func() {
 		// Blocks queued behind node 1, then the cluster shuts down.
-		done <- c.Handle(2).OptimisticDo(m, func(tx *Tx) error {
+		done <- c.MustHandle(2).OptimisticDo(m, func(tx *Tx) error {
 			return tx.Write(v, 1)
 		})
 	}()
@@ -421,7 +421,7 @@ func TestNoGoroutineLeakAfterClose(t *testing.T) {
 		}
 		m := g.Mutex("lock")
 		v := g.Int("n", m)
-		h := c.Handle(2)
+		h := c.MustHandle(2)
 		if err := h.OptimisticDo(m, func(tx *Tx) error { return tx.Write(v, 1) }); err != nil {
 			t.Fatal(err)
 		}

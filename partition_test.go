@@ -21,7 +21,7 @@ import (
 func TestChaosPartitionMinorityNeverCommits(t *testing.T) {
 	const nodes = 5
 	c, err := NewCluster(nodes, WithChaos(), WithQuorumAcks(),
-		WithTimers(15*time.Millisecond, 90*time.Millisecond, 40*time.Millisecond))
+		WithTiming(Timing{Retry: 15 * time.Millisecond, FailAfter: 90 * time.Millisecond, ElectWait: 40 * time.Millisecond}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestChaosPartitionMinorityNeverCommits(t *testing.T) {
 				}
 				_ = h.Release(m)
 			}
-		}(c.Handle(i))
+		}(c.MustHandle(i))
 	}
 	waitAcked := func(min int64, what string) {
 		t.Helper()
@@ -89,7 +89,7 @@ func TestChaosPartitionMinorityNeverCommits(t *testing.T) {
 		t.Helper()
 		deadline := time.Now().Add(10 * time.Second)
 		for time.Now().Before(deadline) {
-			if get(c.Handle(node).Stats()) >= want {
+			if get(c.MustHandle(node).Stats()) >= want {
 				return
 			}
 			time.Sleep(2 * time.Millisecond)
@@ -103,7 +103,7 @@ func TestChaosPartitionMinorityNeverCommits(t *testing.T) {
 	c.Chaos().Partition([]int{0, 1}, []int{2, 3, 4})
 	waitStat(0, "fenced reigns", func(s NodeStats) int { return s.GWC.Fenced }, 1)
 	waitStat(2, "failovers", func(s NodeStats) int { return s.GWC.Failovers }, 1)
-	grantsAtFence := c.Handle(0).Stats().GWC.LockGrants
+	grantsAtFence := c.MustHandle(0).Stats().GWC.LockGrants
 
 	// The majority reign keeps committing; the fenced minority must not
 	// grant a single lock. Holding the partition open well past the sync
@@ -112,7 +112,7 @@ func TestChaosPartitionMinorityNeverCommits(t *testing.T) {
 	mid := atomic.LoadInt64(&acked)
 	waitAcked(mid+5, "under the majority reign")
 	time.Sleep(400 * time.Millisecond)
-	if got := c.Handle(0).Stats().GWC.LockGrants; got != grantsAtFence {
+	if got := c.MustHandle(0).Stats().GWC.LockGrants; got != grantsAtFence {
 		t.Errorf("fenced root granted %d locks", got-grantsAtFence)
 	}
 
@@ -127,7 +127,7 @@ func TestChaosPartitionMinorityNeverCommits(t *testing.T) {
 	crashed := atomic.LoadInt64(&acked)
 	waitAcked(crashed+3, "with a member down")
 	c.Chaos().Revive(4)
-	if err := c.Handle(4).Rejoin(g); err != nil {
+	if err := c.MustHandle(4).Rejoin(g); err != nil {
 		t.Fatal(err)
 	}
 	waitStat(4, "rejoins", func(s NodeStats) int { return s.GWC.Rejoins }, 1)
@@ -145,7 +145,7 @@ func TestChaosPartitionMinorityNeverCommits(t *testing.T) {
 		vals := make([]int64, nodes)
 		agreed := true
 		for i := range vals {
-			got, err := c.Handle(i).Read(v)
+			got, err := c.MustHandle(i).Read(v)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -175,13 +175,13 @@ func TestChaosPartitionMinorityNeverCommits(t *testing.T) {
 	if n := checker.Len(); int64(n) != atomic.LoadInt64(&acked) {
 		t.Errorf("checker recorded %d increments, workers acknowledged %d", n, acked)
 	}
-	if e := c.Handle(2).Stats().GWC.Elections; e < 1 {
+	if e := c.MustHandle(2).Stats().GWC.Elections; e < 1 {
 		t.Errorf("promoted node entered %d elections, want >= 1", e)
 	}
-	if r := c.Handle(2).Stats().GWC.Rejoins; r < 1 {
+	if r := c.MustHandle(2).Stats().GWC.Rejoins; r < 1 {
 		t.Errorf("reigning root re-admitted %d members, want >= 1", r)
 	}
-	if w := c.Handle(2).Stats().GWC.QuorumAckWaits; w < 1 {
+	if w := c.MustHandle(2).Stats().GWC.QuorumAckWaits; w < 1 {
 		t.Errorf("reigning root deferred %d quorum waits, want >= 1", w)
 	}
 }
@@ -194,7 +194,7 @@ func TestChaosRejoinUnderBatchedLoad(t *testing.T) {
 	const nodes = 4
 	c, err := NewCluster(nodes, WithChaos(),
 		WithBatching(2*time.Millisecond, 16),
-		WithTimers(15*time.Millisecond, 90*time.Millisecond, 40*time.Millisecond))
+		WithTiming(Timing{Retry: 15 * time.Millisecond, FailAfter: 90 * time.Millisecond, ElectWait: 40 * time.Millisecond}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestChaosRejoinUnderBatchedLoad(t *testing.T) {
 					time.Sleep(time.Millisecond)
 				}
 			}
-		}(i, c.Handle(i))
+		}(i, c.MustHandle(i))
 	}
 	waitPast := func(min int64) {
 		t.Helper()
@@ -251,14 +251,14 @@ func TestChaosRejoinUnderBatchedLoad(t *testing.T) {
 	c.Chaos().Crash(3)
 	waitPast(150)
 	c.Chaos().Revive(3)
-	if err := c.Handle(3).Rejoin(g); err != nil {
+	if err := c.MustHandle(3).Rejoin(g); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(10 * time.Second)
-	for c.Handle(3).Stats().GWC.Rejoins < 1 && time.Now().Before(deadline) {
+	for c.MustHandle(3).Stats().GWC.Rejoins < 1 && time.Now().Before(deadline) {
 		time.Sleep(2 * time.Millisecond)
 	}
-	if c.Handle(3).Stats().GWC.Rejoins < 1 {
+	if c.MustHandle(3).Stats().GWC.Rejoins < 1 {
 		t.Fatal("rejoin handshake never completed under load")
 	}
 	waitPast(250)
@@ -272,12 +272,12 @@ func TestChaosRejoinUnderBatchedLoad(t *testing.T) {
 	for i, v := range vars {
 		want := atomic.LoadInt64(&progress[i])
 		for nd := 0; nd < nodes; nd++ {
-			if err := c.Handle(nd).WaitGEContext(ctx, v, want); err != nil {
+			if err := c.MustHandle(nd).WaitGEContext(ctx, v, want); err != nil {
 				t.Fatalf("node %d never reached %s=%d: %v", nd, v.Name(), want, err)
 			}
 		}
 	}
-	if b := c.Handle(0).Stats().GWC.Batches; b == 0 {
+	if b := c.MustHandle(0).Stats().GWC.Batches; b == 0 {
 		t.Error("workload ran without a single batch frame; load was not batched")
 	}
 }

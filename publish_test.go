@@ -47,7 +47,7 @@ func TestPublishedRejectsForeignAndGuardedVars(t *testing.T) {
 
 func TestPublishSnapshotRoundTrip(t *testing.T) {
 	c, p, x, y := newPubCluster(t, 3)
-	writer := c.Handle(1)
+	writer := c.MustHandle(1)
 	if err := writer.Publish(p, func() error {
 		if err := writer.Write(x, 10); err != nil {
 			return err
@@ -56,7 +56,7 @@ func TestPublishSnapshotRoundTrip(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	reader := c.Handle(2)
+	reader := c.MustHandle(2)
 	vals, err := reader.SnapshotAfter(p, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +71,7 @@ func TestPublishSnapshotRoundTrip(t *testing.T) {
 
 func TestPublishInFlightDetected(t *testing.T) {
 	c, p, _, _ := newPubCluster(t, 2)
-	h := c.Handle(0)
+	h := c.MustHandle(0)
 	err := h.Publish(p, func() error {
 		// A second publish from inside the first must be refused: the
 		// version is odd.
@@ -90,7 +90,7 @@ func TestPublishInFlightDetected(t *testing.T) {
 // y = 2x; no snapshot may ever observe anything else.
 func TestSnapshotNeverTearsPairs(t *testing.T) {
 	c, p, x, y := newPubCluster(t, 3)
-	writer := c.Handle(0) // the group root: its writes sequence locally first
+	writer := c.MustHandle(0) // the group root: its writes sequence locally first
 	const pubs = 200
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -112,7 +112,7 @@ func TestSnapshotNeverTearsPairs(t *testing.T) {
 	}()
 	stop := make(chan struct{})
 	for r := 1; r <= 2; r++ {
-		reader := c.Handle(r)
+		reader := c.MustHandle(r)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -146,7 +146,7 @@ func TestSnapshotNeverTearsPairs(t *testing.T) {
 		t.Fatal("publication test hung")
 	}
 	// Final state visible everywhere.
-	final, err := c.Handle(2).SnapshotAfter(p, int64(2*pubs))
+	final, err := c.MustHandle(2).SnapshotAfter(p, int64(2*pubs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func wgWriterWait(wg *sync.WaitGroup, stop chan struct{}) {
 
 func TestSnapshotWaitsOutInFlightPublication(t *testing.T) {
 	c, p, x, _ := newPubCluster(t, 2)
-	writer, reader := c.Handle(0), c.Handle(1)
+	writer, reader := c.MustHandle(0), c.MustHandle(1)
 	started := make(chan struct{})
 	finish := make(chan struct{})
 	go func() {
@@ -227,7 +227,7 @@ func TestPublishFromNonRootWriter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	writer := c.Handle(3) // far from the root
+	writer := c.MustHandle(3) // far from the root
 	for i := int64(1); i <= 30; i++ {
 		i := i
 		if err := writer.Publish(p, func() error {
@@ -240,7 +240,7 @@ func TestPublishFromNonRootWriter(t *testing.T) {
 		}
 	}
 	for id := 0; id < 4; id++ {
-		vals, err := c.Handle(id).SnapshotAfter(p, 60)
+		vals, err := c.MustHandle(id).SnapshotAfter(p, 60)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -46,6 +46,8 @@ func (h *Handle) Watch(v *Var) (values <-chan int64, cancel func(), err error) {
 // cancellation the pending request is disowned: if the root grants it
 // later, a background release hands the lock straight back, so the lock
 // never wedges.
+//
+// Deprecated: use AcquireContext, the standard-library spelling.
 func (h *Handle) AcquireCtx(ctx context.Context, m *Mutex) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -70,6 +72,8 @@ func (h *Handle) AcquireCtx(ctx context.Context, m *Mutex) error {
 }
 
 // WaitGECtx is WaitGE that gives up when ctx is cancelled.
+//
+// Deprecated: use WaitGEContext, the standard-library spelling.
 func (h *Handle) WaitGECtx(ctx context.Context, v *Var, min int64) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -89,6 +93,8 @@ func (h *Handle) WaitGECtx(ctx context.Context, v *Var, min int64) error {
 // DoCtx is Do with a cancellable acquisition. Once the lock is held the
 // body runs to completion regardless of ctx (a half-applied critical
 // section would corrupt the shared data).
+//
+// Deprecated: use DoContext, the standard-library spelling.
 func (h *Handle) DoCtx(ctx context.Context, m *Mutex, body func() error) error {
 	if err := h.AcquireCtx(ctx, m); err != nil {
 		return err

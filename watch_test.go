@@ -10,12 +10,12 @@ import (
 func TestWatchReceivesUpdates(t *testing.T) {
 	c, g, _, _ := newTestCluster(t, 3)
 	v := g.Int("watched")
-	values, cancel, err := c.Handle(2).Watch(v)
+	values, cancel, err := c.MustHandle(2).Watch(v)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cancel()
-	if err := c.Handle(1).Write(v, 5); err != nil {
+	if err := c.MustHandle(1).Write(v, 5); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -31,13 +31,13 @@ func TestWatchReceivesUpdates(t *testing.T) {
 func TestWatchCoalescesToLatest(t *testing.T) {
 	c, g, _, _ := newTestCluster(t, 2)
 	v := g.Int("burst")
-	values, cancel, err := c.Handle(1).Watch(v)
+	values, cancel, err := c.MustHandle(1).Watch(v)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cancel()
 	for i := 1; i <= 50; i++ {
-		if err := c.Handle(0).Write(v, int64(i)); err != nil {
+		if err := c.MustHandle(0).Write(v, int64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -61,7 +61,7 @@ func TestWatchCoalescesToLatest(t *testing.T) {
 func TestWatchCancelClosesChannel(t *testing.T) {
 	c, g, _, _ := newTestCluster(t, 2)
 	v := g.Int("w")
-	values, cancel, err := c.Handle(1).Watch(v)
+	values, cancel, err := c.MustHandle(1).Watch(v)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestWatchCancelClosesChannel(t *testing.T) {
 		t.Error("channel not closed after cancel")
 	}
 	// Writes after cancel must not panic (hook unregistered).
-	if err := c.Handle(0).Write(v, 9); err != nil {
+	if err := c.MustHandle(0).Write(v, 9); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(20 * time.Millisecond)
@@ -84,13 +84,13 @@ func TestWatchCancelClosesChannel(t *testing.T) {
 
 func TestAcquireCtxCancelled(t *testing.T) {
 	c, _, m, _ := newTestCluster(t, 3)
-	holder := c.Handle(1)
+	holder := c.MustHandle(1)
 	if err := holder.Acquire(m); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	err := c.Handle(2).AcquireCtx(ctx, m)
+	err := c.MustHandle(2).AcquireCtx(ctx, m)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("AcquireCtx = %v, want deadline exceeded", err)
 	}
@@ -101,13 +101,13 @@ func TestAcquireCtxCancelled(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- c.Handle(0).Acquire(m) }()
+	go func() { done <- c.MustHandle(0).Acquire(m) }()
 	select {
 	case err := <-done:
 		if err != nil {
 			t.Fatal(err)
 		}
-		_ = c.Handle(0).Release(m)
+		_ = c.MustHandle(0).Release(m)
 	case <-time.After(10 * time.Second):
 		t.Fatal("lock wedged after cancelled acquisition")
 	}
@@ -116,10 +116,10 @@ func TestAcquireCtxCancelled(t *testing.T) {
 func TestAcquireCtxImmediateWhenFree(t *testing.T) {
 	c, _, m, _ := newTestCluster(t, 2)
 	ctx := context.Background()
-	if err := c.Handle(1).AcquireCtx(ctx, m); err != nil {
+	if err := c.MustHandle(1).AcquireCtx(ctx, m); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Handle(1).Release(m); err != nil {
+	if err := c.MustHandle(1).Release(m); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -128,7 +128,7 @@ func TestAcquireCtxPreCancelled(t *testing.T) {
 	c, _, m, _ := newTestCluster(t, 2)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := c.Handle(1).AcquireCtx(ctx, m); !errors.Is(err, context.Canceled) {
+	if err := c.MustHandle(1).AcquireCtx(ctx, m); !errors.Is(err, context.Canceled) {
 		t.Errorf("pre-cancelled AcquireCtx = %v", err)
 	}
 }
@@ -138,30 +138,30 @@ func TestWaitGECtx(t *testing.T) {
 	v := g.Int("wv")
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	if err := c.Handle(1).WaitGECtx(ctx, v, 100); !errors.Is(err, context.DeadlineExceeded) {
+	if err := c.MustHandle(1).WaitGECtx(ctx, v, 100); !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("WaitGECtx on unsatisfied condition = %v, want deadline", err)
 	}
 	// Satisfied case.
-	if err := c.Handle(0).Write(v, 100); err != nil {
+	if err := c.MustHandle(0).Write(v, 100); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Handle(1).WaitGECtx(context.Background(), v, 100); err != nil {
+	if err := c.MustHandle(1).WaitGECtx(context.Background(), v, 100); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestDoCtx(t *testing.T) {
 	c, _, m, v := newTestCluster(t, 2)
-	h := c.Handle(1)
+	h := c.MustHandle(1)
 	if err := h.DoCtx(context.Background(), m, func() error {
 		return h.Write(v, 3)
 	}); err != nil {
 		t.Fatal(err)
 	}
-	waitRead(t, c.Handle(0), v, 3)
+	waitRead(t, c.MustHandle(0), v, 3)
 
 	// Cancellation during a blocked acquisition.
-	holder := c.Handle(0)
+	holder := c.MustHandle(0)
 	if err := holder.Acquire(m); err != nil {
 		t.Fatal(err)
 	}
@@ -183,18 +183,18 @@ func TestWatchGuardedVarSkipsOwnEchoes(t *testing.T) {
 	// on the WRITING node only fires for other nodes' committed writes; a
 	// watch on any other node sees everything.
 	c, _, m, v := newTestCluster(t, 3)
-	ownValues, cancelOwn, err := c.Handle(1).Watch(v)
+	ownValues, cancelOwn, err := c.MustHandle(1).Watch(v)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cancelOwn()
-	otherValues, cancelOther, err := c.Handle(2).Watch(v)
+	otherValues, cancelOther, err := c.MustHandle(2).Watch(v)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cancelOther()
 
-	h := c.Handle(1)
+	h := c.MustHandle(1)
 	if err := h.Do(m, func() error { return h.Write(v, 5) }); err != nil {
 		t.Fatal(err)
 	}
