@@ -26,6 +26,13 @@ import (
 // local copy's staleness bound exceeds what the caller tolerates.
 var ErrTooStale = errors.New("local copy too stale")
 
+// ErrDiverged marks reads refused because an anti-entropy digest
+// comparison convicted the local copy (integrity.go): unlike a merely
+// stale copy, a diverged one may hold values that were never true at
+// any time, so no staleness bound makes it servable. The conviction
+// clears when the corrective snapshot re-bases the copy.
+var ErrDiverged = errors.New("local copy diverged")
+
 // ReadStale returns the local copy of v along with an upper bound on
 // its staleness, serving even while the node is degraded (fenced root,
 // electing / rejoining / resyncing member). If maxStale is positive and
@@ -40,6 +47,12 @@ func (n *Node) ReadStale(gid GroupID, v VarID, maxStale time.Duration) (int64, t
 	g, err := n.group(gid)
 	if err != nil {
 		return 0, 0, err
+	}
+	if g.diverged {
+		// A diverged copy is wrong, not old: staleness bounds do not
+		// apply, and the read is refused until the repair snapshot
+		// lands.
+		return 0, 0, fmt.Errorf("gwc: node %d group %d var %d: %w", n.id, gid, v, ErrDiverged)
 	}
 	now := n.clock.Now()
 	var stale time.Duration
@@ -78,6 +91,7 @@ type Health struct {
 	Electing      int // member groups running a root-failure election
 	Rejoining     int // member groups awaiting re-admission
 	Syncing       int // member groups awaiting a catch-up snapshot
+	Diverged      int // member groups whose copy failed a digest comparison and awaits repair
 	WatchdogStuck int // cumulative stuck-operation watchdog trips
 }
 
@@ -87,7 +101,8 @@ type Health struct {
 // a symptom counter, and the condition that tripped is already
 // reflected in the other fields when it affects service.
 func (h Health) Serving() bool {
-	return h.Fenced == 0 && h.Electing == 0 && h.Rejoining == 0 && h.Syncing == 0
+	return h.Fenced == 0 && h.Electing == 0 && h.Rejoining == 0 && h.Syncing == 0 &&
+		h.Diverged == 0
 }
 
 // Health snapshots the node's serving state under the node mutex, so
@@ -114,6 +129,12 @@ func (n *Node) Health() Health {
 			h.Rejoining++
 		case g.snapWanted:
 			h.Syncing++
+		}
+		// Divergence is orthogonal to the recovery phases above: the
+		// conviction stands (and gates Serving) until the repair
+		// snapshot actually lands, whichever phase delivers it.
+		if g.diverged {
+			h.Diverged++
 		}
 	}
 	return h

@@ -197,6 +197,11 @@ func (n *Node) adoptEpoch(g *memberGroup, epoch uint32, root int) {
 	g.rejoining = false
 	g.acked = 0
 	g.resetRetrySchedules()
+	// The digest restarts with the reign; the snapshot's TSnapDone
+	// re-anchors it to the new root's sum, which also clears any
+	// divergence conviction from the old reign.
+	g.digest.Reset()
+	g.diverged = false
 	// The old spanning tree was rooted at the old root; failover reigns
 	// use direct fanout.
 	g.children = nil
@@ -449,6 +454,11 @@ func (n *Node) promote(gid GroupID, g *memberGroup) {
 	g.acked = 0
 	g.children = nil
 	g.resetRetrySchedules()
+	// The reign's digest starts empty (the merged base state is not
+	// folded, on either side), so the member copy restarts in agreement
+	// with the fresh rootGroup digest.
+	g.digest.Reset()
+	g.diverged = false
 	for _, v := range sortedKeys(auth) {
 		n.applyVarValue(g, v, auth[v])
 	}
@@ -729,6 +739,12 @@ func (n *Node) snapApply(g *memberGroup, m wire.Message) {
 			n.applyLockValue(g, l, s.val, s.epoch, 0)
 		}
 		g.nextSeq = m.Seq + 1
+		// Re-anchor the integrity digest to the root's sum at the
+		// snapshot watermark (carried on TSnapDone). The replayed
+		// pending messages below fold on top, exactly as they folded on
+		// the root — and a diverged copy is now repaired.
+		g.digest.Rebase(uint64(m.Val))
+		g.diverged = false
 		for s := range g.pending {
 			if s < g.nextSeq {
 				delete(g.pending, s)
@@ -849,6 +865,10 @@ func (n *Node) rootSnapSend(r *rootGroup, to int) {
 	}
 	done := base
 	done.Type = wire.TSnapDone
+	// The root's digest at the snapshot watermark rides on the final
+	// frame, so the receiver re-anchors its own digest to it (snapApply)
+	// and the next anti-entropy sweep compares cleanly.
+	done.Val = int64(r.digest.Sum())
 	msgs = append(msgs, done)
 	n.sendStream(to, r.cfg.ID, r.epoch, msgs)
 }

@@ -134,6 +134,11 @@ type Stats struct {
 	Batches      int          // batch frames sent (member flushes, root fan-out, streams)
 	Coalesced    int          // member: writes combined into a queued write in-window
 	FlushReasons FlushReasons // member: batch flushes by trigger
+
+	// State integrity / anti-entropy (integrity.go).
+	DigestSweeps int // root: anti-entropy digest sweeps initiated
+	Divergences  int // state-digest mismatches detected (root: per acked watermark; member: self-check or repair directive)
+	EagerResends int // member: unconfirmed guarded writes re-shipped to the root (up-path loss recovery)
 }
 
 // Node is one processor's memory-sharing interface: it owns the local
@@ -184,6 +189,19 @@ type Node struct {
 	// wdBudget is the stuck-operation watchdog's liveness budget
 	// (watchdog.go; zero means 4x failAfter, derived at use).
 	wdBudget time.Duration
+
+	// integrityEvery is the anti-entropy sweep interval: every such
+	// period a reign this node roots compares member state digests at a
+	// sequence watermark and repairs divergence (integrity.go). Zero
+	// disables the sweep; frame checksums are always on.
+	integrityEvery time.Duration
+
+	// misapply, when set, mutates sequenced data frames just before the
+	// member applies them — a test-only fault hook modeling bit rot past
+	// the frame checksum (memory corruption, an apply-path bug). The
+	// corrupted triple is both folded and applied, so the anti-entropy
+	// sweep must convict the member. Called with n.mu held.
+	misapply func(*wire.Message)
 
 	// metrics holds the node's latency histograms and event tracer
 	// (internal/obs). Histograms are always on — recording is a few
@@ -266,6 +284,31 @@ func (n *Node) SetQuorumAcks(on bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.quorumAcks = on
+}
+
+// SetIntegrity enables the root-driven anti-entropy sweep: every
+// interval, each reign this node roots sends its state digest at the
+// current sequence watermark to every member (TDigestReq piggybacked
+// on the maintenance tick), compares the TDigestAck replies against
+// its digest checkpoint ring, and re-drives any diverged member
+// through the rejoin/snapshot catch-up path. Zero disables sweeping.
+// All nodes of a group should enable it so a member that inherits the
+// reign keeps sweeping.
+func (n *Node) SetIntegrity(interval time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.integrityEvery = interval
+}
+
+// SetMisapply installs a test-only fault hook that may mutate each
+// sequenced data frame just before the member applies it, modeling
+// corruption past the frame checksum (bad RAM, an apply bug). The hook
+// runs with the node lock held and must not call back into the node.
+// Pass nil to remove.
+func (n *Node) SetMisapply(f func(*wire.Message)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.misapply = f
 }
 
 // interval reads the maintenance interval under the lock.
@@ -526,6 +569,29 @@ func (n *Node) tick() {
 				})
 			}
 		}
+		// Re-ship due eager stores whose echo never came back. The update
+		// hop is the protocol's one unacknowledged send, so a lost (or
+		// checksum-discarded) carrier frame would otherwise lose the write
+		// silently. Skipped while detached from the reign: a rejoin resets
+		// the eager store, a pending snapshot supersedes it, and an
+		// election's merge carries lone eager writes into the new reign
+		// itself. The epoch is refreshed so a reign change does not doom
+		// the frame to the stale-epoch filter; the grant-epoch tag (Seq)
+		// is kept, so the root's speculation gate judges the re-send
+		// exactly as it would have judged the original.
+		if !g.rejoining && !g.snapWanted && !g.electing {
+			for _, v := range sortedKeys(g.eagerMsg) {
+				b := g.eagerB[v]
+				if b == nil || !b.ready(now) {
+					continue
+				}
+				n.arm(b, now, n.boBase(), n.boCap())
+				m := g.eagerMsg[v]
+				m.Epoch = g.epoch
+				n.stats.EagerResends++
+				n.send(g.rootID, m)
+			}
+		}
 		// Re-send due sync barriers; the root dedupes by token.
 		for _, tok := range sortedKeys(g.syncPending) {
 			sw := g.syncPending[tok]
@@ -548,6 +614,7 @@ func (n *Node) tick() {
 		n.checkFence(r, now)
 		n.watchRoot(gid, r, now)
 		n.heartbeat(gid, r)
+		n.sweepDigests(gid, r, now)
 	}
 }
 
@@ -557,7 +624,7 @@ func (n *Node) handle(m wire.Message) {
 	defer n.mu.Unlock()
 	switch m.Type {
 	case wire.TUpdate, wire.TLockReq, wire.TLockRel, wire.TNack, wire.TLockCancel, wire.TSnapReq,
-		wire.TAck, wire.TSyncReq:
+		wire.TAck, wire.TSyncReq, wire.TDigestAck:
 		r, ok := n.roots[GroupID(m.Group)]
 		if !ok {
 			if g, member := n.groups[GroupID(m.Group)]; member {
@@ -610,6 +677,13 @@ func (n *Node) handle(m wire.Message) {
 			return
 		}
 		n.handleSnap(g, m)
+	case wire.TDigestReq:
+		g, ok := n.groups[GroupID(m.Group)]
+		if !ok {
+			n.protoErr("gwc: node %d got %v for unknown group %d", n.id, m.Type, m.Group)
+			return
+		}
+		n.handleDigestReq(g, m)
 	case wire.TBatch:
 		n.handleBatch(m)
 	default:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"optsync/internal/integrity"
 	"optsync/internal/obs"
 	"optsync/internal/topo"
 	"optsync/internal/vclock"
@@ -76,6 +77,23 @@ type memberGroup struct {
 	// the write, so applyData consults this map and lets the newest own
 	// echo through instead of suppressing it (see applyData).
 	eager map[VarID]int64
+	// eagerMsg keeps the original carrier frame of each pending eager
+	// store and eagerB its re-send schedule. The member-to-root update
+	// hop is the protocol's one unacknowledged send: every other loss is
+	// repaired by NACKs, probes, or per-request retries, but a dropped
+	// (or checksum-discarded) update frame would lose the write silently.
+	// The maintenance tick re-ships due frames until the echo lands,
+	// which deletes all three entries. Duplicate sequencing is harmless —
+	// the value is identical and hardware blocking drops the extra echo —
+	// and the root's grant-epoch gate still judges a late re-send exactly
+	// as it would have judged the original.
+	eagerMsg map[VarID]wire.Message
+	eagerB   map[VarID]*backoff
+	// storeSeq stamps every guarded update with a per-group nonce
+	// (carried in the frame's otherwise-unused Deadline field) so the
+	// root can tell a loss-recovery re-send from a fresh store and
+	// disposition each store exactly once (see rootUpdate).
+	storeSeq uint64
 	// grantEpoch counts grants observed for each lock; releases quote it
 	// so the root can discard stale duplicates.
 	grantEpoch map[LockID]uint32
@@ -200,6 +218,17 @@ type memberGroup struct {
 	// real queueing delay a coalesced write experienced.
 	batchFirst time.Time
 
+	// digest accumulates every sequenced data apply — the member's half
+	// of the anti-entropy protocol (integrity.go). It is reset on every
+	// wholesale re-base (new reign, rejoin, snapshot) and re-anchored to
+	// the root's sum carried on TSnapDone.
+	digest integrity.Digest
+	// diverged marks that a digest comparison convicted this member's
+	// copy: the value plane cannot be trusted until the corrective
+	// snapshot re-bases it. Health counts it and ReadStale refuses to
+	// serve from it.
+	diverged bool
+
 	data *notifyList
 	lock *notifyList
 }
@@ -222,6 +251,8 @@ func newMemberGroup(id int, cfg GroupConfig, now time.Time) *memberGroup {
 		mem:         make(map[VarID]int64),
 		lockVal:     make(map[LockID]int64),
 		eager:       make(map[VarID]int64),
+		eagerMsg:    make(map[VarID]wire.Message),
+		eagerB:      make(map[VarID]*backoff),
 		grantEpoch:  make(map[LockID]uint32),
 		lockDone:    make(map[LockID]uint32),
 		nextSeq:     1,
@@ -415,6 +446,14 @@ func (n *Node) maybeSendAck(g *memberGroup) {
 func (n *Node) applySeq(g *memberGroup, m wire.Message) {
 	switch m.Type {
 	case wire.TSeqUpdate:
+		if n.misapply != nil {
+			// Test-only corruption past the wire checksum: whatever the
+			// hook mutates is what this member folds and applies, so the
+			// digest faithfully reflects the (corrupted) local state and
+			// the root's sweep must catch the mismatch.
+			n.misapply(&m)
+		}
+		g.digest.Fold(m.Var, m.Seq, m.Val)
 		if g.suspended {
 			// Insharing suspension: hold data back until the rollback
 			// finishes so restored values are not clobbered.
@@ -565,6 +604,7 @@ func (n *Node) applyData(g *memberGroup, m wire.Message) {
 		want, ok := g.eager[v]
 		if ok && want == m.Val {
 			delete(g.eager, v)
+			delete(g.eagerMsg, v) // confirmed: stop re-shipping (the backoff struct is reused)
 			if g.mem[v] != m.Val {
 				n.stats.EchoRestored++
 				n.emit(obs.EvEchoRestored, g.cfg.ID, int64(v), 0)
@@ -627,10 +667,30 @@ func (n *Node) Write(gid GroupID, v VarID, val int64) error {
 		// queued grant — a hole the paper's unconditional critical
 		// sections never exposed.
 		msg.Seq = uint64(g.grantEpoch[guard])
+		// Per-store nonce (in the Deadline field, unused by updates):
+		// lets the root disposition this store exactly once even when
+		// the up-path loss recovery re-ships its frame.
+		g.storeSeq++
+		msg.Deadline = int64(g.storeSeq)
 		// Remember the newest eager store so applyData can tell this
 		// write's echo apart from echoes of older, superseded stores —
 		// and restore it if a failover snapshot rolled the copy back.
+		// The frame itself is kept too, with a re-send schedule: if this
+		// one unacknowledged hop loses the frame, the maintenance tick
+		// re-ships it until the echo confirms sequencing.
 		g.eager[v] = val
+		g.eagerMsg[v] = msg
+		// The backoff struct is allocated once per var and reused for
+		// every later store (the write path must stay allocation-free);
+		// only an eagerMsg entry marks a frame as pending re-send.
+		b := g.eagerB[v]
+		if b == nil {
+			b = &backoff{}
+			g.eagerB[v] = b
+		} else {
+			b.reset()
+		}
+		n.arm(b, n.clock.Now(), n.boBase(), n.boCap())
 	}
 	if n.batchMax >= 2 {
 		// Batched plane: queue for a size/delay/release flush instead of
@@ -1138,6 +1198,13 @@ func (n *Node) RestoreLocal(gid GroupID, saved map[VarID]int64) error {
 	}
 	for v, val := range saved {
 		g.mem[v] = val
+		// The rolled-back section's stores are withdrawn: the root
+		// suppresses them (or already has), so their echoes will never
+		// come and their carrier frames must stop re-shipping — a
+		// re-send would just be re-suppressed, and the eager entry
+		// must not let a later same-value echo through as our own.
+		delete(g.eager, v)
+		delete(g.eagerMsg, v)
 	}
 	g.data.notifyAll()
 	return nil

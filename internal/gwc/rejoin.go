@@ -69,6 +69,8 @@ func (n *Node) Rejoin(gid GroupID) error {
 	}
 	g.mem = make(map[VarID]int64)
 	g.eager = make(map[VarID]int64)
+	g.eagerMsg = make(map[VarID]wire.Message)
+	g.eagerB = make(map[VarID]*backoff)
 	g.lockVal = make(map[LockID]int64)
 	g.grantEpoch = make(map[LockID]uint32)
 	g.lockDone = make(map[LockID]uint32)
@@ -92,6 +94,10 @@ func (n *Node) Rejoin(gid GroupID) error {
 	}
 	g.children = nil
 	g.lastRoot = n.clock.Now()
+	// The discarded copy takes its digest (and any divergence verdict)
+	// with it; the admission snapshot re-anchors both.
+	g.digest.Reset()
+	g.diverged = false
 	g.rejoining = true
 	// Each attempt mints a fresh rejoin token, carried in Seq: the root
 	// remembers the last token it served and answers duplicates of the
@@ -209,6 +215,8 @@ func (n *Node) handleJoinAck(g *memberGroup, m wire.Message) {
 	g.nextSeq = 1
 	g.pending = make(map[uint64]wire.Message)
 	g.acked = 0
+	g.digest.Reset()
+	g.diverged = false
 	delete(g.suspected, g.rootID)
 	if g.cfg.TreeFanout && g.rootID == g.cfg.Root {
 		// Still the founding reign: resume this node's relay duties in the

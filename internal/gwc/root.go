@@ -3,6 +3,7 @@ package gwc
 import (
 	"time"
 
+	"optsync/internal/integrity"
 	"optsync/internal/obs"
 	"optsync/internal/wire"
 )
@@ -58,6 +59,25 @@ type rootGroup struct {
 	acks      map[int]uint64
 	commit    uint64
 	waitSyncs []syncBarrier
+
+	// Anti-entropy digest state (integrity.go): digest accumulates every
+	// sequenced data message this reign multicast, and digestRing[(s-1)%len]
+	// checkpoints the cumulative digest as of sequence s (parallel to the
+	// history ring), so a member's TDigestAck at any buffered watermark
+	// can be compared without replay. lastSweep paces the sweep.
+	digest     integrity.Digest
+	digestRing []uint64
+	lastSweep  time.Time
+
+	// storeSeen is the highest guarded-store nonce dispositioned per
+	// (origin, var). Members stamp every guarded update with a
+	// monotonically increasing per-group nonce so the up-path
+	// loss-recovery re-sends (the eager re-ship in tick) are idempotent
+	// here: a nonce at or below the recorded one is a duplicate — or a
+	// superseded older store that a delay fault reordered — of a frame
+	// this reign already sequenced or suppressed, and is dropped without
+	// sequencing the same value twice or double-counting a suppression.
+	storeSeen map[[2]uint32]uint64
 }
 
 // syncBarrier is a deferred TSyncReq: answered once the commit watermark
@@ -192,14 +212,17 @@ func (ls *lockState) parked(node int) bool {
 
 func newRootGroup(cfg GroupConfig, now time.Time) *rootGroup {
 	r := &rootGroup{
-		cfg:       cfg,
-		auth:      make(map[VarID]int64),
-		history:   make([]wire.Message, cfg.HistorySize),
-		locks:     make(map[LockID]*lockState),
-		quorum:    len(cfg.Members)/2 + 1,
-		lastHeard: make(map[int]time.Time),
-		acks:      make(map[int]uint64),
-		joinSeen:  make(map[int]uint64),
+		cfg:        cfg,
+		auth:       make(map[VarID]int64),
+		history:    make([]wire.Message, cfg.HistorySize),
+		locks:      make(map[LockID]*lockState),
+		quorum:     len(cfg.Members)/2 + 1,
+		lastHeard:  make(map[int]time.Time),
+		acks:       make(map[int]uint64),
+		joinSeen:   make(map[int]uint64),
+		digestRing: make([]uint64, cfg.HistorySize),
+		lastSweep:  now,
+		storeSeen:  make(map[[2]uint32]uint64),
 	}
 	// Every member starts "recently heard": the lease must observe a full
 	// failAfter of silence before fencing a fresh reign. (The acting root
@@ -294,6 +317,11 @@ func (n *Node) rootHandle(r *rootGroup, m wire.Message) {
 		n.rootSyncReq(r, m)
 	case wire.TSnapReq:
 		n.rootSnapSend(r, int(m.Src))
+	case wire.TDigestAck:
+		// Digest comparisons only read already-sequenced state, so they
+		// flow while fenced — a member that rotted during the fence is
+		// found, and its repair snapshot serves committed state only.
+		n.rootDigestAck(r, m)
 	}
 }
 
@@ -303,6 +331,21 @@ func (n *Node) rootHandle(r *rootGroup, m wire.Message) {
 // within the group", so improper changes never enter the group.
 func (n *Node) rootUpdate(r *rootGroup, m wire.Message) {
 	if m.Guarded {
+		// Idempotence against the origin's loss-recovery re-sends: a
+		// nonce at or below the highest dispositioned one for this
+		// (origin, var) is a duplicate — or a delay-reordered older
+		// store the origin has since superseded — of a frame this reign
+		// already sequenced or suppressed. Re-sequencing it would let an
+		// old value overtake a newer one, and re-suppressing it would
+		// double-count one rollback.
+		if m.Deadline != 0 {
+			k := [2]uint32{uint32(m.Origin), m.Var}
+			nonce := uint64(m.Deadline)
+			if nonce <= r.storeSeen[k] {
+				return
+			}
+			r.storeSeen[k] = nonce
+		}
 		guard, ok := r.cfg.Guards[VarID(m.Var)]
 		if !ok {
 			n.stats.Suppressed++
@@ -685,6 +728,14 @@ func (n *Node) multicast(r *rootGroup, m wire.Message) {
 	m.Seq = r.seq
 	m.Epoch = r.epoch
 	r.history[(r.seq-1)%uint64(len(r.history))] = m
+	// Fold data messages into the reign digest and checkpoint the
+	// cumulative sum at every sequence number (lock traffic folds
+	// nothing but still claims a checkpoint slot), so any watermark a
+	// member acks within the history window is comparable directly.
+	if m.Type == wire.TSeqUpdate {
+		r.digest.Fold(m.Var, m.Seq, m.Val)
+	}
+	r.digestRing[(r.seq-1)%uint64(len(r.digestRing))] = r.digest.Sum()
 	if r.collecting {
 		// Batch collection window: park the stamped message for the single
 		// fan-out frame and advance the root's own member state now (tree

@@ -1,0 +1,144 @@
+package integrity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestOrderInsensitive folds the same triple set in two random orders
+// and expects identical sums — the core anti-entropy property.
+func TestOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	type triple struct {
+		v   uint32
+		seq uint64
+		val int64
+	}
+	var triples []triple
+	for i := 0; i < 200; i++ {
+		triples = append(triples, triple{
+			v:   rng.Uint32() % 16,
+			seq: uint64(i + 1),
+			val: rng.Int63() - rng.Int63(),
+		})
+	}
+	var a Digest
+	for _, tr := range triples {
+		a.Fold(tr.v, tr.seq, tr.val)
+	}
+	var b Digest
+	for _, i := range rng.Perm(len(triples)) {
+		tr := triples[i]
+		b.Fold(tr.v, tr.seq, tr.val)
+	}
+	if a.Sum() != b.Sum() {
+		t.Fatalf("permuted fold order changed sum: %x vs %x", a.Sum(), b.Sum())
+	}
+	if a.Sum() == 0 {
+		t.Fatal("200 folds summed to the empty digest")
+	}
+}
+
+// TestFieldSensitivity checks that perturbing any single field of any
+// single triple changes the sum — no field is ignored by the mix.
+func TestFieldSensitivity(t *testing.T) {
+	base := func() Digest {
+		var d Digest
+		d.Fold(3, 10, 42)
+		d.Fold(4, 11, -7)
+		return d
+	}
+	want := base().Sum()
+	perturbed := []func(d *Digest){
+		func(d *Digest) { d.Fold(5, 10, 42); d.Fold(4, 11, -7) },                    // var
+		func(d *Digest) { d.Fold(3, 12, 42); d.Fold(4, 11, -7) },                    // seq
+		func(d *Digest) { d.Fold(3, 10, 43); d.Fold(4, 11, -7) },                    // val
+		func(d *Digest) { d.Fold(3, 10, -42); d.Fold(4, 11, -7) },                   // val sign
+		func(d *Digest) { d.Fold(3, 10, 42) },                                       // missing triple
+		func(d *Digest) { d.Fold(3, 10, 42); d.Fold(4, 11, -7); d.Fold(4, 12, -7) }, // extra triple
+	}
+	for i, p := range perturbed {
+		var d Digest
+		p(&d)
+		if d.Sum() == want {
+			t.Errorf("perturbation %d did not change the sum", i)
+		}
+	}
+}
+
+// TestSwapResistance pins that swapping values between two triples (a
+// classic XOR-of-values collision) is caught, because seq is chained
+// into the mix before the value.
+func TestSwapResistance(t *testing.T) {
+	var a, b Digest
+	a.Fold(1, 1, 100)
+	a.Fold(1, 2, 200)
+	b.Fold(1, 1, 200)
+	b.Fold(1, 2, 100)
+	if a.Sum() == b.Sum() {
+		t.Fatal("value swap between seqs collided")
+	}
+}
+
+// TestResetRebase pins the re-base semantics used by snapshot apply:
+// Rebase installs the root's sum, and replayed folds extend it exactly
+// as they extended the root's own digest.
+func TestResetRebase(t *testing.T) {
+	var root Digest
+	root.Fold(1, 1, 10)
+	root.Fold(2, 2, 20)
+	checkpoint := root.Sum()
+	root.Fold(3, 3, 30)
+
+	var member Digest
+	member.Fold(9, 99, 999) // diverged garbage
+	member.Rebase(checkpoint)
+	member.Fold(3, 3, 30)
+	if member.Sum() != root.Sum() {
+		t.Fatalf("rebase+replay diverged: %x vs %x", member.Sum(), root.Sum())
+	}
+
+	member.Reset()
+	if member.Sum() != 0 {
+		t.Fatalf("Reset left sum %x", member.Sum())
+	}
+	var empty Digest
+	if member.Sum() != empty.Sum() {
+		t.Fatal("Reset is not the empty state")
+	}
+}
+
+// TestFoldIsSelfInverse pins the XOR property the watermark comparison
+// relies on: folding the same triple twice cancels it.
+func TestFoldIsSelfInverse(t *testing.T) {
+	var d Digest
+	d.Fold(7, 42, -1)
+	d.Fold(7, 42, -1)
+	if d.Sum() != 0 {
+		t.Fatalf("double fold did not cancel: %x", d.Sum())
+	}
+}
+
+// TestZeroAlloc keeps the apply-path discipline honest: Fold and Sum
+// must not allocate.
+func TestZeroAlloc(t *testing.T) {
+	var d Digest
+	allocs := testing.AllocsPerRun(1000, func() {
+		d.Fold(1, 2, 3)
+		_ = d.Sum()
+	})
+	if allocs != 0 {
+		t.Fatalf("Fold/Sum allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkFold(b *testing.B) {
+	var d Digest
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Fold(uint32(i), uint64(i), int64(i))
+	}
+	if d.Sum() == 1 {
+		b.Log("unreachable; defeats dead-code elimination")
+	}
+}

@@ -52,6 +52,9 @@ const (
 	EvSessOpen  // a session opened (first entry granted); A=lock, B=session
 	EvSessClose // the open session's last holder left; A=lock, B=session
 
+	// State integrity (anti-entropy sweep).
+	EvDivergence // a member's state digest diverged from the root's; A=diverged node, B=watermark seq
+
 	NumEventTypes // sentinel; always last
 )
 
@@ -86,6 +89,7 @@ var evNames = [NumEventTypes]string{
 	EvLockParked: "lock-parked", EvWatchdogStuck: "watchdog-stuck",
 	EvDegradedRead: "degraded-read",
 	EvSessOpen:     "sess-open", EvSessClose: "sess-close",
+	EvDivergence: "divergence",
 }
 
 func (t EventType) String() string {

@@ -20,6 +20,15 @@ type FaultPlan struct {
 	// DelayRate holds a message back for Delay before delivery,
 	// reordering it behind later traffic.
 	DelayRate float64
+	// CorruptRate flips one random bit in a message's encoded payload
+	// before delivery, modeling transport-level bit rot. The corrupted
+	// bytes are run back through the wire codec: a decode error counts
+	// as caught (the frame is discarded like a drop, and the receiver's
+	// NACK/retry machinery recovers it); a successful decode counts as
+	// missed and the corrupted message is delivered — with CRC-trailed
+	// frames that should never happen, which is exactly what the chaos
+	// tests assert.
+	CorruptRate float64
 	// Delay is how long a delayed message is held.
 	Delay time.Duration
 	// Seed makes the fault sequence reproducible.
@@ -97,6 +106,10 @@ type Flaky struct {
 	duplicated int
 	delayed    int
 	isolated   int // messages cut by crash/partition
+
+	corrupted     int // bit-flips injected
+	corruptCaught int // rejected by the codec checksum
+	corruptMissed int // decoded cleanly and delivered corrupt
 }
 
 var _ Network = (*Flaky)(nil)
@@ -136,6 +149,25 @@ func (f *Flaky) Stats() (dropped, duplicated, delayed int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.dropped, f.duplicated, f.delayed
+}
+
+// Corrupt sets the bit-flip corruption rate at runtime, so a soak can
+// turn corruption on mid-workload (or off for a clean wind-down).
+func (f *Flaky) Corrupt(rate float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plan.CorruptRate = rate
+}
+
+// CorruptStats reports the corruption outcomes: injected bit-flips,
+// frames the codec checksum caught (discarded and recovered by retry),
+// and frames that decoded cleanly despite the flip (delivered corrupt
+// — silent acceptance, which checksummed frames should make
+// impossible).
+func (f *Flaky) CorruptStats() (injected, caught, missed int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.corrupted, f.corruptCaught, f.corruptMissed
 }
 
 // Isolated reports how many messages were cut by crashes or partitions.
@@ -239,6 +271,14 @@ func (f *Flaky) roll() float64 {
 	return f.rng.Float64()
 }
 
+// corruptRate reads the corruption rate under the lock; unlike the
+// other plan fields it is mutable at runtime via Corrupt.
+func (f *Flaky) corruptRate() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.plan.CorruptRate
+}
+
 type flakyEndpoint struct {
 	net   *Flaky
 	id    int
@@ -285,6 +325,9 @@ func (e *flakyEndpoint) Send(to int, m wire.Message) error {
 		f.mu.Unlock()
 		return nil
 	}
+	if r := f.corruptRate(); r > 0 && f.roll() < r {
+		return e.corrupt(to, m)
+	}
 	if err := e.deliver(to, m); err != nil {
 		return err
 	}
@@ -295,6 +338,35 @@ func (e *flakyEndpoint) Send(to int, m wire.Message) error {
 		return e.deliver(to, m)
 	}
 	return nil
+}
+
+// corrupt encodes m, flips one random bit, and runs the bytes back
+// through the codec — faithfully modeling what a receiver would see on
+// a byte-stream transport even when the underlying Network passes
+// structs around (InProc, detsim). A decode error means the checksum
+// caught the flip: the frame is discarded like a drop and the usual
+// retry machinery recovers it. A clean decode means silent acceptance:
+// the corrupted message is delivered, and the corruptMissed counter
+// convicts the codec.
+func (e *flakyEndpoint) corrupt(to int, m wire.Message) error {
+	f := e.net
+	buf := wire.Encode(nil, m)
+	f.mu.Lock()
+	bit := f.rng.Intn(len(buf) * 8)
+	f.corrupted++
+	f.mu.Unlock()
+	buf[bit/8] ^= 1 << (bit % 8)
+	dm, err := wire.Decode(buf)
+	if err != nil {
+		f.mu.Lock()
+		f.corruptCaught++
+		f.mu.Unlock()
+		return nil
+	}
+	f.mu.Lock()
+	f.corruptMissed++
+	f.mu.Unlock()
+	return e.deliver(to, dm)
 }
 
 func (e *flakyEndpoint) Recv() (wire.Message, bool) { return e.inner.Recv() }

@@ -16,6 +16,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
 )
@@ -82,10 +83,19 @@ const (
 	TSyncReq
 	// TSyncAck answers a TSyncReq; Seq echoes the request's token.
 	TSyncAck
+	// TDigestReq is the root's anti-entropy probe: Seq is the watermark
+	// sequence number and Val the root's state digest at that watermark.
+	// Var == 1 marks a repair directive — the root found the receiver's
+	// digest diverged and a corrective snapshot follows on the same link.
+	TDigestReq
+	// TDigestAck answers a TDigestReq: Seq is the member's highest
+	// contiguously applied sequence number and Val its state digest
+	// there. The root compares it against its digest checkpoint ring.
+	TDigestAck
 )
 
 // typeMax is the highest valid message type, used by decode validation.
-const typeMax = TSyncAck
+const typeMax = TDigestAck
 
 // String implements fmt.Stringer.
 func (t Type) String() string {
@@ -126,6 +136,10 @@ func (t Type) String() string {
 		return "sync-req"
 	case TSyncAck:
 		return "sync-ack"
+	case TDigestReq:
+		return "digest-req"
+	case TDigestAck:
+		return "digest-ack"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -174,9 +188,22 @@ type Message struct {
 	Batch []Message
 }
 
+// payloadSize is the fixed layout of one message's fields, before the
+// trailing checksum.
+const payloadSize = 1 + 1 + 4 + 4 + 4 + 8 + 4 + 4 + 8 + 4 + 8 + 4
+
 // EncodedSize is the fixed wire size of one non-batch message (and of a
-// batch frame's header; each inner message adds EncodedSize more).
-const EncodedSize = 1 + 1 + 4 + 4 + 4 + 8 + 4 + 4 + 8 + 4 + 8 + 4
+// batch frame's header; each inner message adds EncodedSize more): the
+// field layout plus a CRC32C trailer. Each encoded unit — a scalar
+// message, a batch header, or one inner message of a batch — carries
+// its own checksum, so a bit flip anywhere in a frame is localized and
+// rejected at decode; the sender's retransmit path (NACK or retry)
+// then recovers the frame as if it had been dropped.
+const EncodedSize = payloadSize + 4
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on
+// amd64/arm64 by the standard library.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // MaxBatch bounds the inner messages of one batch frame, so a corrupt or
 // hostile length prefix cannot force an oversized allocation.
@@ -200,6 +227,7 @@ func encodeOne(buf []byte, m Message) []byte {
 	binary.BigEndian.PutUint32(tmp[38:], m.Epoch)
 	binary.BigEndian.PutUint64(tmp[42:], uint64(m.Deadline))
 	binary.BigEndian.PutUint32(tmp[50:], m.Session)
+	binary.BigEndian.PutUint32(tmp[payloadSize:], crc32.Checksum(tmp[:payloadSize], crcTable))
 	return append(buf, tmp[:]...)
 }
 
@@ -232,6 +260,9 @@ func Encode(buf []byte, m Message) []byte {
 func decodeOne(b []byte) (Message, error) {
 	if len(b) < EncodedSize {
 		return Message{}, fmt.Errorf("wire: short message: %d bytes, want %d", len(b), EncodedSize)
+	}
+	if got, want := binary.BigEndian.Uint32(b[payloadSize:]), crc32.Checksum(b[:payloadSize], crcTable); got != want {
+		return Message{}, fmt.Errorf("wire: checksum mismatch: frame carries %08x, payload sums to %08x", got, want)
 	}
 	m := Message{
 		Type:     Type(b[0]),
@@ -337,6 +368,11 @@ func ReadFrom(r io.Reader) (Message, error) {
 	}
 	if Type(hdr[0]) != TBatch {
 		return Decode(hdr[:])
+	}
+	// Verify the header checksum before trusting the count: a corrupted
+	// length prefix would otherwise desynchronize the stream framing.
+	if got, want := binary.BigEndian.Uint32(hdr[payloadSize:]), crc32.Checksum(hdr[:payloadSize], crcTable); got != want {
+		return Message{}, fmt.Errorf("wire: checksum mismatch: batch header carries %08x, payload sums to %08x", got, want)
 	}
 	count := int64(binary.BigEndian.Uint64(hdr[30:]))
 	if count < 1 || count > MaxBatch {

@@ -31,6 +31,9 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		{Type: TJoinAck, Group: 2, Src: 0, Seq: 120, Val: 1, Epoch: 3},
 		{Type: TSyncReq, Group: 2, Src: 4, Seq: 9, Epoch: 3},
 		{Type: TSyncAck, Group: 2, Src: 0, Seq: 9, Epoch: 3},
+		{Type: TDigestReq, Group: 2, Src: 0, Seq: 130, Val: -1 << 55, Epoch: 3},
+		{Type: TDigestReq, Group: 2, Src: 0, Seq: 130, Val: 7, Var: 1, Epoch: 3},
+		{Type: TDigestAck, Group: 2, Src: 4, Seq: 129, Val: 1 << 62, Epoch: 3},
 	}
 	for _, m := range tests {
 		buf := Encode(nil, m)
@@ -52,7 +55,7 @@ func TestRoundTripProperty(t *testing.T) {
 	kinds := []Type{
 		TUpdate, TLockReq, TLockRel, TSeqUpdate, TSeqLock, TNack,
 		THeartbeat, TSnapReq, TSnapVar, TSnapLock, TSnapDone, TLockCancel,
-		TAck, TJoinReq, TJoinAck, TSyncReq, TSyncAck,
+		TAck, TJoinReq, TJoinAck, TSyncReq, TSyncAck, TDigestReq, TDigestAck,
 	}
 	prop := func(g uint32, src, origin int32, seq uint64, v, l uint32, val int64, guarded bool, kind uint8, epoch uint32, deadline int64, session uint32) bool {
 		m := Message{
@@ -204,6 +207,8 @@ func FuzzDecode(f *testing.F) {
 	f.Add(Encode(nil, Message{Type: TJoinAck, Group: 2, Src: 0, Seq: 120, Val: 1, Epoch: 3}))
 	f.Add(Encode(nil, Message{Type: TSyncReq, Group: 2, Src: 4, Seq: 9, Epoch: 3}))
 	f.Add(Encode(nil, Message{Type: TSyncAck, Group: 2, Src: 0, Seq: 9, Epoch: 3}))
+	f.Add(Encode(nil, Message{Type: TDigestReq, Group: 2, Src: 0, Seq: 130, Val: -1, Epoch: 3}))
+	f.Add(Encode(nil, Message{Type: TDigestAck, Group: 2, Src: 4, Seq: 129, Val: 55, Epoch: 3}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {
@@ -225,17 +230,19 @@ func FuzzDecode(f *testing.F) {
 }
 
 // FuzzReignFrames fuzzes the reign-control frames by field: the quorum
-// ack, the rejoin handshake (TJoinReq/TJoinAck), and the durable-write
-// sync barrier (TSyncReq/TSyncAck). Every field combination must
-// survive both the flat and the stream codec unchanged — these frames
-// carry sequence watermarks and epoch fences, so a single corrupted
-// field silently un-fences a reign — and a corrupted type byte must
-// never decode at all.
+// ack, the rejoin handshake (TJoinReq/TJoinAck), the durable-write
+// sync barrier (TSyncReq/TSyncAck), and the anti-entropy sweep
+// (TDigestReq/TDigestAck). Every field combination must survive both
+// the flat and the stream codec unchanged — these frames carry
+// sequence watermarks, epoch fences, and state digests, so a single
+// corrupted field silently un-fences a reign or fakes a divergence
+// verdict — and a corrupted type byte, a flipped checksum, or a
+// truncated frame must never decode at all.
 func FuzzReignFrames(f *testing.F) {
 	f.Add(uint8(0), uint32(2), int32(4), uint64(120), int64(0), uint32(3))
 	f.Add(uint8(2), uint32(1), int32(0), uint64(1)<<40, int64(1), uint32(7))
 	f.Add(uint8(4), uint32(9), int32(-1), uint64(9), int64(-5), uint32(0))
-	kinds := []Type{TAck, TJoinReq, TJoinAck, TSyncReq, TSyncAck}
+	kinds := []Type{TAck, TJoinReq, TJoinAck, TSyncReq, TSyncAck, TDigestReq, TDigestAck}
 	f.Fuzz(func(t *testing.T, kind uint8, group uint32, src int32, seq uint64, val int64, epoch uint32) {
 		m := Message{
 			Type:  kinds[int(kind)%len(kinds)],
@@ -269,7 +276,68 @@ func FuzzReignFrames(f *testing.F) {
 		if _, err := Decode(bad); err == nil {
 			t.Fatalf("decode of corrupted type byte succeeded")
 		}
+		bad = append(bad[:0], buf...)
+		bad[len(bad)-1] ^= 0x01 // flip one CRC bit
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("decode of flipped-CRC frame succeeded")
+		}
+		if _, err := Decode(buf[:len(buf)-1]); err == nil {
+			t.Fatalf("decode of truncated frame succeeded")
+		}
 	})
+}
+
+// TestChecksumCatchesEveryBitFlip flips every single bit of an encoded
+// scalar frame and of a batch frame — payload and CRC trailer alike —
+// and requires the decoder to reject each corruption. This is the
+// wire-level half of the end-to-end integrity story: any one-bit
+// transport fault surfaces as a decode error and is recovered by the
+// NACK/retransmit path instead of being applied.
+func TestChecksumCatchesEveryBitFlip(t *testing.T) {
+	frames := [][]byte{
+		Encode(nil, Message{Type: TSeqUpdate, Group: 1, Src: 0, Origin: 5, Seq: 9, Var: 3, Val: -77, Epoch: 2}),
+		Encode(nil, testBatch()),
+	}
+	for fi, frame := range frames {
+		for bit := 0; bit < len(frame)*8; bit++ {
+			bad := append([]byte(nil), frame...)
+			bad[bit/8] ^= 1 << (bit % 8)
+			if _, err := Decode(bad); err == nil {
+				t.Fatalf("frame %d: decode succeeded with bit %d flipped", fi, bit)
+			}
+		}
+		// Unflipped control: the frame itself must decode.
+		if _, err := Decode(frame); err != nil {
+			t.Fatalf("frame %d: control decode failed: %v", fi, err)
+		}
+	}
+}
+
+// TestDigestFrameRoundTrip pins the anti-entropy frames through both
+// codecs, including the repair-directive Var bit and full-width
+// digest values (the digest is a uint64 carried in the int64 Val).
+func TestDigestFrameRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{Type: TDigestReq, Group: 3, Src: 0, Seq: 1 << 40, Val: int64(^uint64(0) >> 1), Epoch: 9},
+		{Type: TDigestReq, Group: 3, Src: 0, Seq: 12, Val: -1, Var: 1, Epoch: 9},
+		{Type: TDigestAck, Group: 3, Src: 2, Seq: 11, Val: int64(-2401053092342382579), Epoch: 9}, // 0xdeadbeefcafef00d reinterpreted
+	}
+	var stream bytes.Buffer
+	for _, m := range msgs {
+		got, err := Decode(Encode(nil, m))
+		if err != nil || !Equal(got, m) {
+			t.Fatalf("flat round trip: got %+v (err %v), want %+v", got, err, m)
+		}
+		if err := WriteTo(&stream, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadFrom(&stream)
+		if err != nil || !Equal(got, want) {
+			t.Fatalf("stream round trip: got %+v (err %v), want %+v", got, err, want)
+		}
+	}
 }
 
 // FuzzSessionFrames fuzzes the lock-protocol frames that carry a
@@ -368,6 +436,8 @@ func TestTypeString(t *testing.T) {
 		{TJoinAck, "join-ack"},
 		{TSyncReq, "sync-req"},
 		{TSyncAck, "sync-ack"},
+		{TDigestReq, "digest-req"},
+		{TDigestAck, "digest-ack"},
 		{Type(99), "type(99)"},
 	}
 	for _, tt := range tests {

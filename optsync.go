@@ -71,6 +71,12 @@ var (
 	// ErrTooStale marks degraded reads (Handle.ReadStale) whose local
 	// copy's staleness bound exceeds what the caller tolerates.
 	ErrTooStale = gwc.ErrTooStale
+	// ErrDiverged marks degraded reads refused because an anti-entropy
+	// digest comparison convicted the node's local copy (WithIntegrity):
+	// a diverged copy may hold values that were never true at any time,
+	// so no staleness bound makes it servable. It clears once the
+	// corrective snapshot re-bases the copy.
+	ErrDiverged = gwc.ErrDiverged
 )
 
 // options collects cluster construction settings.
@@ -90,6 +96,7 @@ type options struct {
 	boBase     time.Duration
 	boCap      time.Duration
 	wdBudget   time.Duration
+	integrity  time.Duration
 
 	traced      bool
 	traceCap    int
@@ -209,6 +216,22 @@ func WithBackoff(base, max time.Duration) Option {
 // keeps the default of 4x the failure-detection deadline.
 func WithWatchdog(budget time.Duration) Option {
 	return optionFunc(func(o *options) { o.wdBudget = budget })
+}
+
+// WithIntegrity enables end-to-end state-integrity checking with the
+// given anti-entropy sweep interval. Every sequenced data apply folds
+// into an incremental per-group digest, and every interval each group
+// root compares member digests at a sequence watermark (TDigestReq /
+// TDigestAck frames piggybacked on the maintenance schedule). A member
+// whose digest diverges — bit rot past the frame checksums, a
+// misapplied frame — is counted (Stats().GWC.Divergences), traced
+// (EvDivergence), quarantined (Health reports it, /healthz fails,
+// ReadStale returns ErrDiverged) and self-healed by re-driving it
+// through the snapshot catch-up path. Wire-frame CRC32C checksums are
+// always on and need no option; the sweep costs two small frames per
+// member per interval. Zero (the default) disables sweeping.
+func WithIntegrity(interval time.Duration) Option {
+	return optionFunc(func(o *options) { o.integrity = interval })
 }
 
 // WithMaxStaleness bounds the cluster's degraded reads: Handle.ReadStale
@@ -341,6 +364,7 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		c.nodes[i].SetQuorumAcks(o.quorumAcks)
 		c.nodes[i].SetBackoff(o.boBase, o.boCap)
 		c.nodes[i].SetWatchdog(o.wdBudget)
+		c.nodes[i].SetIntegrity(o.integrity)
 		c.engines[i] = core.NewEngine(c.nodes[i], o.history)
 	}
 	if o.traced || o.metricsAddr != "" {
@@ -395,6 +419,19 @@ func (ch *Chaos) Heal() { ch.f.Heal() }
 
 // Isolated reports how many messages crashes and partitions have cut.
 func (ch *Chaos) Isolated() int { return ch.f.Isolated() }
+
+// Corrupt sets the probability (in [0,1]) that a delivered message has
+// one random bit of its encoded payload flipped — transport-level bit
+// rot. The wire codec's CRC32C trailer catches the flip at decode, the
+// frame is discarded, and the usual NACK/retry machinery recovers it;
+// CorruptStats reports the outcomes. Zero turns corruption off.
+func (ch *Chaos) Corrupt(rate float64) { ch.f.Corrupt(rate) }
+
+// CorruptStats reports corruption outcomes: bit-flips injected, frames
+// the checksum caught (discarded and recovered by retransmission), and
+// frames that decoded cleanly despite the flip (delivered corrupt —
+// which the CRC trailer should make impossible).
+func (ch *Chaos) CorruptStats() (injected, caught, missed int) { return ch.f.CorruptStats() }
 
 // Size reports the number of nodes.
 func (c *Cluster) Size() int { return len(c.nodes) }
