@@ -291,6 +291,53 @@ func BenchmarkLiveLock(b *testing.B) {
 	}
 }
 
+// BenchmarkLeasedReacquire measures the leased fast path: once the root
+// has leased the lock to this member, an uncontended Acquire/Release
+// pair is a purely local decision — zero wire messages, zero
+// allocations — versus BenchmarkLiveLock's three-message round trip.
+func BenchmarkLeasedReacquire(b *testing.B) {
+	c, err := NewCluster(4, WithIntegrity(50*time.Millisecond), WithLeases(time.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = c.Close() })
+	g, err := c.NewGroup("bench", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := g.Mutex("lock")
+	h := c.MustHandle(1)
+	// Warm until a re-acquire goes local: the first grant races the
+	// unicast lease frame, and a Release that beats it drops the lease.
+	warmed := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if err := h.Acquire(m); err != nil {
+			b.Fatal(err)
+		}
+		warmed = h.Stats().GWC.LeaseLocal > 0
+		if err := h.Release(m); err != nil {
+			b.Fatal(err)
+		}
+		if warmed {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !warmed {
+		b.Fatalf("lease never warmed up: %+v", h.Stats().GWC)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Acquire(m); err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Release(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLiveSection compares a full read-modify-write critical section
 // on the regular versus the optimistic path with no contention — the
 // live-runtime analogue of the Figure 8 headline.

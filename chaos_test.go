@@ -344,6 +344,224 @@ func TestChaosCorruptionSoak(t *testing.T) {
 	}
 }
 
+// TestChaosLeasedSoak runs a lease-enabled lock workload under 1%
+// transport bit rot plus a rolling partition schedule, and checks that
+// the lease fast path and the chaos machinery compose: local re-entries
+// and peer handoffs keep happening, the CRC trailer still catches every
+// flip, no node is ever convicted of divergence, no operation wedges
+// past the stuck-op watchdog, and the cluster converges with every
+// confirmed increment intact. Partition windows are kept shorter than
+// the failure deadline, so the soak also pins that lease churn plus
+// frame loss alone never manufactures a reign change.
+func TestChaosLeasedSoak(t *testing.T) {
+	const nodes = 5
+	c, err := NewCluster(nodes, WithChaos(),
+		WithIntegrity(60*time.Millisecond),
+		WithLeases(250*time.Millisecond),
+		WithTiming(Timing{Retry: 15 * time.Millisecond, FailAfter: 300 * time.Millisecond, ElectWait: 40 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	g, err := c.NewGroup("soak", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Mutex("lock")
+	v := g.Int("counter", m)
+
+	var (
+		confirmed int64 // increments whose sequenced echo reached the root
+		expect    int64 // highest confirmed counter value (mutated only under m)
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+	)
+	// One section: catch up past corruption-induced staleness, increment,
+	// and hold the lock until the root's copy proves the write sequenced
+	// (the same acquire/sync/modify shape as the corruption soak).
+	section := func(h *Handle) {
+		ok, err := h.TryLockFor(m, 300*time.Millisecond)
+		if err != nil || !ok {
+			return // outage or corrupted control frames: retry later
+		}
+		defer func() { _ = h.Release(m) }()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		caughtUp := h.WaitGEContext(ctx, v, atomic.LoadInt64(&expect)) == nil
+		cancel()
+		if !caughtUp {
+			return
+		}
+		cur, rerr := h.Read(v)
+		if rerr != nil {
+			return
+		}
+		if werr := h.Write(v, cur+1); werr != nil {
+			return
+		}
+		wait := time.Now().Add(2 * time.Second)
+		for time.Now().Before(wait) {
+			if got, gerr := c.MustHandle(0).Read(v); gerr == nil && got >= cur+1 {
+				atomic.AddInt64(&confirmed, 1)
+				atomic.StoreInt64(&expect, cur+1)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Node 1 bursts: back-to-back sections with no pause, so whenever the
+	// queue drains it gets the lock leased and re-enters locally. Nodes
+	// 2-4 poke with short sleeps: their requests force revokes and put
+	// waiters in the queue, which is what arms the handoff hints.
+	wg.Add(1)
+	go func(h *Handle) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			section(h)
+		}
+	}(c.MustHandle(1))
+	for i := 2; i < nodes; i++ {
+		wg.Add(1)
+		go func(h *Handle, pause time.Duration) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				section(h)
+				time.Sleep(pause)
+			}
+		}(c.MustHandle(i), time.Duration(10+5*i)*time.Millisecond)
+	}
+
+	// Establish the workload and the lease fast path on a clean network.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if atomic.LoadInt64(&confirmed) >= 3 && c.MustHandle(1).Stats().GWC.LeaseLocal >= 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if atomic.LoadInt64(&confirmed) < 3 {
+		t.Fatal("workload never got going before the chaos")
+	}
+	if c.MustHandle(1).Stats().GWC.LeaseLocal < 1 {
+		t.Fatal("burst worker never re-entered locally; the soak would not exercise leasing")
+	}
+
+	// Chaos on: bit rot for the whole soak, partitions in rolling windows
+	// shorter than the 300ms failure deadline, so isolated minorities
+	// stall and recover without ever starting an election.
+	c.Chaos().Corrupt(0.01)
+	pre := atomic.LoadInt64(&confirmed)
+	cuts := [][]int{{4}, {3, 4}}
+	for cycle := 0; cycle < 8; cycle++ {
+		minority := cuts[cycle%2]
+		iso := map[int]bool{}
+		for _, n := range minority {
+			iso[n] = true
+		}
+		var majority []int
+		for n := 0; n < nodes; n++ {
+			if !iso[n] {
+				majority = append(majority, n)
+			}
+		}
+		c.Chaos().Partition(majority, minority)
+		time.Sleep(200 * time.Millisecond)
+		c.Chaos().Heal()
+		time.Sleep(300 * time.Millisecond)
+	}
+	// Keep soaking on the healed-but-corrupt network until the claims
+	// below are non-vacuous.
+	deadline = time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		injected, _, _ := c.Chaos().CorruptStats()
+		if atomic.LoadInt64(&confirmed) >= pre+20 && injected >= 25 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Chaos().Corrupt(0)
+	close(stop)
+	wg.Wait()
+
+	injected, caught, missed := c.Chaos().CorruptStats()
+	if injected < 25 {
+		t.Fatalf("soak injected only %d bit-flips; the workload stalled under chaos", injected)
+	}
+	if missed != 0 || caught != injected {
+		t.Errorf("checksums caught %d of %d corrupted frames (%d delivered corrupt)", caught, injected, missed)
+	}
+	want := atomic.LoadInt64(&confirmed)
+	if want < pre+20 {
+		t.Errorf("only %d increments confirmed under chaos (want >= 20 past the %d pre-soak)", want-pre, pre)
+	}
+
+	// Convergence with nothing lost.
+	var final int64 = -1
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		vals := make([]int64, 0, nodes)
+		for i := 0; i < nodes; i++ {
+			got, err := c.MustHandle(i).Read(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals = append(vals, got)
+		}
+		agreed := true
+		for _, got := range vals[1:] {
+			if got != vals[0] {
+				agreed = false
+			}
+		}
+		if agreed {
+			final = vals[0]
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("cluster never converged after the soak: counters %v", vals)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if final < want {
+		t.Errorf("final counter %d lost confirmed increments (%d confirmed)", final, want)
+	}
+
+	// The core soak contract, now with leasing in the mix: corruption and
+	// short partitions must stay invisible above the codec and below the
+	// watchdog on every node, and must never have manufactured a reign
+	// change.
+	leaseLocal, leaseGrants := 0, 0
+	for i := 0; i < nodes; i++ {
+		s := c.MustHandle(i).Stats().GWC
+		if s.Divergences != 0 {
+			t.Errorf("node %d: %d divergence convictions during the leased soak", i, s.Divergences)
+		}
+		if s.WatchdogStuck != 0 {
+			t.Errorf("node %d: stuck-operation watchdog tripped %d times during the leased soak", i, s.WatchdogStuck)
+		}
+		if s.Failovers != 0 || s.Elections != 0 {
+			t.Errorf("node %d: %d failovers / %d elections from partitions shorter than the failure deadline", i, s.Failovers, s.Elections)
+		}
+		leaseLocal += s.LeaseLocal
+		leaseGrants += s.LeaseGrants
+	}
+	if leaseGrants < 1 || leaseLocal < 1 {
+		t.Errorf("lease machinery went vacuous mid-soak (grants=%d, local=%d)", leaseGrants, leaseLocal)
+	}
+	if s := c.MustHandle(0).Stats().GWC; s.DigestSweeps == 0 {
+		t.Error("integrity was enabled but the root never swept")
+	}
+}
+
 // TestChaosAcquireExpiredDeadline checks that a dead deadline fails fast
 // even when the root is unreachable.
 func TestChaosAcquireExpiredDeadline(t *testing.T) {

@@ -2,7 +2,9 @@
 # Performance snapshot for the PR record.
 #
 # Runs the write-plane benchmarks (BenchmarkLiveWrite, plus the
-# unbatched/batched halves of BenchmarkBatchedWrites) and a contended
+# unbatched/batched halves of BenchmarkBatchedWrites), the lock-plane
+# pair (BenchmarkLiveLock's classic root round trip next to
+# BenchmarkLeasedReacquire's local leased re-entry) and a contended
 # live workload whose lock-acquire latency distribution comes from the
 # internal/obs histograms (via cmd/optsim's /metrics-format dump), and
 # assembles the figures into one JSON document on stdout.
@@ -21,7 +23,7 @@ bench=$(mktemp)
 live=$(mktemp)
 trap 'rm -f "$bench" "$live"' EXIT
 
-go test . -run '^$' -bench 'BenchmarkLiveWrite$|BenchmarkBatchedWrites' \
+go test . -run '^$' -bench 'BenchmarkLiveWrite$|BenchmarkBatchedWrites|BenchmarkLiveLock$|BenchmarkLeasedReacquire$' \
 	-benchmem -benchtime 2000x >"$bench"
 go run ./cmd/optsim -workload live -n 4 >"$live"
 
@@ -62,6 +64,8 @@ out=$(cat <<EOF
   "go": "$(go env GOVERSION)",
   "benchtime": "2000x",
   "live_write": $(benchfields BenchmarkLiveWrite),
+  "live_lock": $(benchfields BenchmarkLiveLock),
+  "leased_reacquire": $(benchfields BenchmarkLeasedReacquire),
   "batched_writes": {
     "unbatched": $(benchfields 'BenchmarkBatchedWrites/unbatched'),
     "batched": $(benchfields 'BenchmarkBatchedWrites/batched')

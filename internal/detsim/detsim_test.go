@@ -75,6 +75,8 @@ func TestExplore(t *testing.T) {
 		SessionFairnessChurn(),
 		SessionFailoverMultiHolder(),
 		DivergenceRepair(),
+		LeaseExpiryVsFailover(),
+		HandoffChainConvoy(),
 	} {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {

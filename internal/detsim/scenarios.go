@@ -53,6 +53,7 @@ type clusterCfg struct {
 	history    int
 	guards     map[gwc.VarID]gwc.LockID
 	electWait  time.Duration
+	leases     time.Duration // lock-lease TTL; zero leaves leasing off
 }
 
 func setup(e *Env, c clusterCfg) (gwc.GroupConfig, error) {
@@ -77,6 +78,9 @@ func setup(e *Env, c clusterCfg) (gwc.GroupConfig, error) {
 		n.SetQuorumAcks(c.quorumAcks)
 		if c.batch {
 			n.SetBatching(3*time.Millisecond, 8)
+		}
+		if c.leases > 0 {
+			n.SetLeases(c.leases)
 		}
 		// Event tracing is pure bookkeeping (atomics into a per-node
 		// ring, stamped with virtual time), so it cannot perturb the

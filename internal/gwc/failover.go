@@ -197,6 +197,9 @@ func (n *Node) adoptEpoch(g *memberGroup, epoch uint32, root int) {
 	g.rejoining = false
 	g.acked = 0
 	g.resetRetrySchedules()
+	// Leases and handoff hints were claims against the deposed reign's
+	// lock manager; none survive a reign change (lease.go).
+	n.dropLeases(g)
 	// The digest restarts with the reign; the snapshot's TSnapDone
 	// re-anchors it to the new root's sum, which also clears any
 	// divergence conviction from the old reign.
@@ -299,6 +302,10 @@ func (n *Node) reportQuorum(g *memberGroup) bool {
 // candidate. It is re-sent every tick while the election runs, so a lost
 // report only delays, never prevents, reconstruction. Caller holds n.mu.
 func (n *Node) sendReport(g *memberGroup, to int) {
+	// Reporting state to a would-be reign forfeits every lease first
+	// (idempotent): an idle cached lock reports as free, so the rebuilt
+	// manager cannot resurrect a holder that would never release.
+	n.dropLeases(g)
 	base := wire.Message{
 		Group: uint32(g.cfg.ID),
 		Src:   int32(n.id),
@@ -365,6 +372,9 @@ func (n *Node) sendReport(g *memberGroup, to int) {
 // reconstructing the authoritative state from its own copy and the peer
 // reports collected during the grace period. Caller holds n.mu.
 func (n *Node) promote(gid GroupID, g *memberGroup) {
+	// The new reign starts with a clean lease slate; our own idle cached
+	// locks free themselves before the merge below reads lockVal.
+	n.dropLeases(g)
 	epoch := g.electEpoch
 	own := newSnapReport(g.nextSeq - 1)
 	for v, val := range g.mem {
@@ -472,7 +482,7 @@ func (n *Node) promote(gid GroupID, g *memberGroup) {
 		if h := ls.soleHolder(); h != -1 {
 			val = GrantValue(h)
 		}
-		n.applyLockValue(g, l, val, ls.epoch, 0)
+		n.applyLockValue(g, l, val, ls.epoch, 0, 0)
 	}
 	// Free locks with survivors queued move on immediately; everyone
 	// else learns the holder from the grant multicast or the snapshot.
@@ -736,7 +746,7 @@ func (n *Node) snapApply(g *memberGroup, m wire.Message) {
 				n.installSessionView(g, l, s.session, s.holders, s.epoch)
 				continue
 			}
-			n.applyLockValue(g, l, s.val, s.epoch, 0)
+			n.applyLockValue(g, l, s.val, s.epoch, 0, 0)
 		}
 		g.nextSeq = m.Seq + 1
 		// Re-anchor the integrity digest to the root's sum at the

@@ -108,6 +108,16 @@ func (n *Node) checkFence(r *rootGroup, now time.Time) {
 			r.fenceWatch = now
 			n.stats.Fenced++
 			n.emit(obs.EvFence, r.cfg.ID, int64(reach), int64(r.epoch))
+			// Demand every outstanding lease back: a fenced root cannot
+			// vouch for leased re-entries it no longer observes. Records
+			// stay — the demand loop (tickRootLeases re-sends while
+			// fenced) must keep running, and only a validated return,
+			// release, or the holder's rejoin retires a lease.
+			for _, l := range sortedKeys(r.locks) {
+				if ls := r.locks[l]; ls.leaseTo >= 0 {
+					n.sendLeaseRevoke(r, l, ls, now)
+				}
+			}
 		}
 		return
 	}

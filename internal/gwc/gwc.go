@@ -139,6 +139,15 @@ type Stats struct {
 	DigestSweeps int // root: anti-entropy digest sweeps initiated
 	Divergences  int // state-digest mismatches detected (root: per acked watermark; member: self-check or repair directive)
 	EagerResends int // member: unconfirmed guarded writes re-shipped to the root (up-path loss recovery)
+
+	// Lock leasing and peer handoff (lease.go).
+	LeaseGrants    int // root: leases issued or extended
+	LeaseReturns   int // root: leases returned by their holders
+	LeaseRevokes   int // root: revoke demands sent to leaseholders
+	LeaseLocal     int // member: leased re-acquires decided locally, zero wire messages
+	LeaseRenewals  int // member: lease renewal requests sent
+	Handoffs       int // member: direct holder-to-waiter transfers sent
+	HandoffCommits int // root: direct transfers observed and committed
 }
 
 // Node is one processor's memory-sharing interface: it owns the local
@@ -189,6 +198,12 @@ type Node struct {
 	// wdBudget is the stuck-operation watchdog's liveness budget
 	// (watchdog.go; zero means 4x failAfter, derived at use).
 	wdBudget time.Duration
+
+	// leaseTTL enables lock leasing and peer handoff (lease.go) when
+	// positive: grants to sole contenders come with a lease of this
+	// duration, and grants with queued waiters carry a direct-handoff
+	// hint. Ignored while quorumAcks is on.
+	leaseTTL time.Duration
 
 	// integrityEvery is the anti-entropy sweep interval: every such
 	// period a reign this node roots compares member state digests at a
@@ -580,6 +595,9 @@ func (n *Node) tick() {
 		// is kept, so the root's speculation gate judges the re-send
 		// exactly as it would have judged the original.
 		if !g.rejoining && !g.snapWanted && !g.electing {
+			// Lease clocks and handoff notices (lease.go) first: a lease
+			// return or renewal should beat this tick's failure detector.
+			n.tickLeases(gid, g, now)
 			for _, v := range sortedKeys(g.eagerMsg) {
 				b := g.eagerB[v]
 				if b == nil || !b.ready(now) {
@@ -615,6 +633,7 @@ func (n *Node) tick() {
 		n.watchRoot(gid, r, now)
 		n.heartbeat(gid, r)
 		n.sweepDigests(gid, r, now)
+		n.tickRootLeases(r, now)
 	}
 }
 
@@ -624,7 +643,7 @@ func (n *Node) handle(m wire.Message) {
 	defer n.mu.Unlock()
 	switch m.Type {
 	case wire.TUpdate, wire.TLockReq, wire.TLockRel, wire.TNack, wire.TLockCancel, wire.TSnapReq,
-		wire.TAck, wire.TSyncReq, wire.TDigestAck:
+		wire.TAck, wire.TSyncReq, wire.TDigestAck, wire.TLeaseRet:
 		r, ok := n.roots[GroupID(m.Group)]
 		if !ok {
 			if g, member := n.groups[GroupID(m.Group)]; member {
@@ -684,6 +703,27 @@ func (n *Node) handle(m wire.Message) {
 			return
 		}
 		n.handleDigestReq(g, m)
+	case wire.TLeaseGrant:
+		g, ok := n.groups[GroupID(m.Group)]
+		if !ok {
+			n.protoErr("gwc: node %d got %v for unknown group %d", n.id, m.Type, m.Group)
+			return
+		}
+		n.handleLeaseGrant(g, m)
+	case wire.THandoff:
+		// Dual-purpose frame: the direct grant lands at a member, the
+		// asynchronous notice at the root. A deposed ex-root routes it to
+		// its member half, where the grant-value check rejects notices.
+		if r, ok := n.roots[GroupID(m.Group)]; ok {
+			n.rootHandle(r, m)
+			return
+		}
+		g, ok := n.groups[GroupID(m.Group)]
+		if !ok {
+			n.protoErr("gwc: node %d got %v for unknown group %d", n.id, m.Type, m.Group)
+			return
+		}
+		n.handleHandoff(g, m)
 	case wire.TBatch:
 		n.handleBatch(m)
 	default:

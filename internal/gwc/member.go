@@ -187,6 +187,15 @@ type memberGroup struct {
 	// node inside a section the root already handed to someone else.
 	reqToken map[LockID]uint32
 
+	// Lock leasing and peer handoff (lease.go): lease holds this node's
+	// cached lock claims; hint the handoff target the root designated on
+	// each grant; pendingHandoff the unacknowledged root-bound notices;
+	// handoffIn direct grants parked on their sequence watermark.
+	lease          map[LockID]*memberLease
+	hint           map[LockID]handoffHint
+	pendingHandoff map[LockID]*handoffNotice
+	handoffIn      map[LockID]wire.Message
+
 	// Insharing suspension (optimistic rollback window): data updates are
 	// parked, lock updates still flow.
 	suspended bool
@@ -265,6 +274,10 @@ func newMemberGroup(id int, cfg GroupConfig, now time.Time) *memberGroup {
 		reqSession:  make(map[LockID]uint32),
 		reqToken:    make(map[LockID]uint32),
 		reqSince:    make(map[LockID]time.Time),
+		lease:       make(map[LockID]*memberLease),
+		hint:        make(map[LockID]handoffHint),
+		pendingHandoff: make(map[LockID]*handoffNotice),
+		handoffIn:      make(map[LockID]wire.Message),
 		lockHooks:   make(map[LockID]map[uint64]LockHook),
 		sessHooks:   make(map[LockID]map[uint64]SessionHook),
 		varHooks:    make(map[VarID]map[uint64]func(int64)),
@@ -286,6 +299,12 @@ func (g *memberGroup) resetRetrySchedules() {
 	g.probeSeq = g.nextSeq
 	for _, sw := range g.syncPending {
 		sw.bo.reset()
+	}
+	for _, le := range g.lease {
+		le.renewB.reset()
+	}
+	for _, ph := range g.pendingHandoff {
+		ph.bo.reset()
 	}
 }
 
@@ -385,6 +404,9 @@ func (n *Node) ingestFwd(g *memberGroup, m wire.Message, forward bool) {
 		n.applySeq(g, next)
 		g.nextSeq++
 	}
+	// The prefix advanced: direct handoff grants parked on a sequence
+	// watermark may be deliverable now.
+	n.deliverHandoffs(g)
 }
 
 // maybeNack asks the root to retransmit the missing range, rate-limited
@@ -470,7 +492,7 @@ func (n *Node) applySeq(g *memberGroup, m wire.Message) {
 			n.applySessionLock(g, m)
 			return
 		}
-		n.applyLockValue(g, LockID(m.Lock), m.Val, m.Var, uint32(m.Origin))
+		n.applyLockValue(g, LockID(m.Lock), m.Val, m.Var, uint32(m.Origin), m.Deadline)
 	}
 }
 
@@ -480,8 +502,16 @@ func (n *Node) applySeq(g *memberGroup, m wire.Message) {
 // outstanding request; one arriving for a lock this node no longer
 // wants, or answering a since-cancelled request, is released on the
 // spot, and the local copy stays free so a later acquisition cannot
-// mistake the stale grant for its own. Caller holds n.mu.
-func (n *Node) applyLockValue(g *memberGroup, l LockID, val int64, grantEpoch uint32, token uint32) {
+// mistake the stale grant for its own. hint is the packed handoff hint
+// from the grant multicast's Deadline field (0 = none): when this node
+// wins, it names the queued waiter the root designated as the direct
+// handoff target (lease.go). Caller holds n.mu.
+func (n *Node) applyLockValue(g *memberGroup, l LockID, val int64, grantEpoch uint32, token uint32, hint int64) {
+	if ph, ok := g.pendingHandoff[l]; ok && grantEpoch >= ph.doneEpoch {
+		// The root's lock epoch caught up with (or passed) this node's
+		// handoff: the transfer is committed and the notice can stop.
+		delete(g.pendingHandoff, l)
+	}
 	sessNotified := false
 	if sv, ok := g.sess[l]; ok && len(sv.holders) > 0 {
 		// An exclusive-protocol frame for this lock is sequenced after the
@@ -561,6 +591,27 @@ func (n *Node) applyLockValue(g *memberGroup, l LockID, val int64, grantEpoch ui
 	if val == GrantValue(n.id) {
 		// Acquisition complete: stop the watchdog's clock on it.
 		delete(g.reqSince, l)
+		// Capture (or clear) the handoff target the root designated for
+		// this grant. A re-announce without a hint clears a stale one:
+		// the queue the old hint peeked no longer exists.
+		delete(g.hint, l)
+		if hint != 0 && n.leasing() {
+			if wn := int(uint32(hint)) - 1; wn >= 0 && wn != n.id {
+				g.hint[l] = handoffHint{node: wn, token: uint32(hint >> 32)}
+			}
+		}
+	} else {
+		delete(g.hint, l)
+		if le := g.lease[l]; le != nil {
+			// The sequenced stream says someone else holds (or the lock is
+			// free): any cached claim is dead. Mid-section the Release in
+			// progress returns it; idle it just evaporates.
+			if le.held {
+				le.revoked = true
+			} else {
+				delete(g.lease, l)
+			}
+		}
 	}
 	for _, hook := range g.lockHooks[l] {
 		if hook(val) == HookSuspend {
@@ -893,6 +944,7 @@ func (n *Node) waitLockF(ctx context.Context, gid GroupID, l LockID, cond func(g
 	// first resend waits out a full base delay.
 	var bo backoff
 	lastEpoch := g.epoch
+	lastGrant := g.grantEpoch[l]
 	if resend {
 		n.arm(&bo, n.clock.Now(), n.boBase(), n.boCap())
 	}
@@ -919,6 +971,16 @@ func (n *Node) waitLockF(ctx context.Context, gid GroupID, l LockID, cond func(g
 		if resend {
 			if g.epoch != lastEpoch {
 				lastEpoch = g.epoch
+				bo.reset()
+			}
+			if ge := g.grantEpoch[l]; ge != lastGrant {
+				// The lock moved — a grant, handoff, or lease-backed
+				// re-announce landed since the schedule was armed. The delay
+				// was sized against a world that no longer exists (e.g. a
+				// lease granted mid-retry means the next change is the revoke
+				// answer, which deserves a prompt re-register), so the next
+				// retry fires at base cadence again.
+				lastGrant = ge
 				bo.reset()
 			}
 			now := n.clock.Now()
@@ -1016,6 +1078,11 @@ func (n *Node) AcquireContext(ctx context.Context, gid GroupID, l LockID) error 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if n.TryLeaseEnter(gid, l) {
+		// Leased fast path: the lock is cached here from the previous
+		// hold, so re-entry is a local decision — zero wire messages.
+		return nil
+	}
 	start := n.clock.Now()
 	if err := n.sendLockRequest(gid, l, ctxDeadline(ctx)); err != nil {
 		return err
@@ -1099,6 +1166,12 @@ func (n *Node) Release(gid GroupID, l LockID) error {
 	// before the release does, so every member still sees the data before
 	// the lock changes hands (the paper's GWC ordering guarantee).
 	n.flushWrites(g, flushRelease)
+	// Lease/handoff fast paths (lease.go): a hinted waiter may take the
+	// lock directly, and a live lease keeps it cached here instead of
+	// going back to the root.
+	if handled, err := n.leaseRelease(gid, g, l); handled {
+		return err
+	}
 	epoch := g.grantEpoch[l]
 	g.lockVal[l] = Free
 	g.lockDone[l] = epoch

@@ -80,6 +80,10 @@ func (n *Node) Rejoin(gid GroupID) error {
 	g.want = make(map[LockID]bool)
 	g.sess = make(map[LockID]*sessView)
 	g.reqSession = make(map[LockID]uint32)
+	g.lease = make(map[LockID]*memberLease)
+	g.hint = make(map[LockID]handoffHint)
+	g.pendingHandoff = make(map[LockID]*handoffNotice)
+	g.handoffIn = make(map[LockID]wire.Message)
 	g.electing = false
 	g.snapWanted = false
 	g.snapBuf = nil

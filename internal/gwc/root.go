@@ -179,6 +179,23 @@ type lockState struct {
 	// this lock (watchdog.go): re-stamped whenever the lock looks healthy
 	// or the watchdog trips, so a trip re-fires per budget, not per tick.
 	watchAt time.Time
+
+	// Lease bookkeeping (lease.go): leaseTo is the member the lock is
+	// leased to (-1 none), leaseEpoch/leaseToken the entry the lease was
+	// issued against, leaseExpiry when the member's clock runs it out
+	// (advisory here — the root frees only on a return, release, or the
+	// holder's rejoin), and revokeB the revoke demand's re-send schedule.
+	leaseTo     int
+	leaseExpiry time.Time
+	leaseEpoch  uint32
+	leaseToken  uint32
+	revokeB     backoff
+	// hintNode/hintToken name the head queued waiter the newest grant
+	// designated as its holder's direct-handoff target (-1 none). The
+	// waiter stays queued: a committed handoff dequeues it, anything
+	// else leaves the classic churn to serve it.
+	hintNode  int
+	hintToken uint32
 }
 
 // free reports whether no critical section is open.
@@ -240,6 +257,8 @@ func (r *rootGroup) lock(l LockID) *lockState {
 			holders:     make(map[int]uint32),
 			entryEpochs: make(map[int]uint32),
 			lastWinner:  -1,
+			leaseTo:     -1,
+			hintNode:    -1,
 		}
 		r.locks[l] = ls
 	}
@@ -285,7 +304,8 @@ func (n *Node) rootHandle(r *rootGroup, m wire.Message) {
 	}
 	if r.fenced {
 		switch m.Type {
-		case wire.TUpdate, wire.TLockReq, wire.TLockRel, wire.TLockCancel, wire.TSyncReq:
+		case wire.TUpdate, wire.TLockReq, wire.TLockRel, wire.TLockCancel, wire.TSyncReq,
+			wire.TLeaseRet, wire.THandoff:
 			// A fenced root must not sequence, grant, or promise anything
 			// new; park the traffic until quorum contact returns (or the
 			// reign is deposed, which drops the queue — nothing in it was
@@ -317,6 +337,10 @@ func (n *Node) rootHandle(r *rootGroup, m wire.Message) {
 		n.rootSyncReq(r, m)
 	case wire.TSnapReq:
 		n.rootSnapSend(r, int(m.Src))
+	case wire.TLeaseRet:
+		n.rootLeaseRet(r, m)
+	case wire.THandoff:
+		n.rootHandoff(r, m)
 	case wire.TDigestAck:
 		// Digest comparisons only read already-sequenced state, so they
 		// flow while fenced — a member that rotted during the fence is
@@ -364,9 +388,16 @@ func (n *Node) rootUpdate(r *rootGroup, m wire.Message) {
 		// here would suppress the writes of a legitimately committed
 		// section.
 		if !ls.holds(int(m.Origin)) {
-			n.stats.Suppressed++
-			n.emit(obs.EvSuppressed, r.cfg.ID, int64(m.Var), obs.ReasonNotHolder)
-			return
+			// Not a holder on the books — unless its tagged epoch is exactly
+			// the one the newest handoff hint reserved, in which case this
+			// write is proof the peer transfer happened and the notice is
+			// still in flight: commit the handoff first (lease.go), then
+			// judge the write against the updated record.
+			if !n.inferHandoff(r, guard, ls, int(m.Origin), uint32(m.Seq)) {
+				n.stats.Suppressed++
+				n.emit(obs.EvSuppressed, r.cfg.ID, int64(m.Var), obs.ReasonNotHolder)
+				return
+			}
 		}
 		if m.Seq < uint64(ls.foreignEpoch) {
 			n.stats.Suppressed++
@@ -414,6 +445,31 @@ func (n *Node) rootLockReq(r *rootGroup, m wire.Message) {
 			// watermark. serviceQuorum sends it when commit catches up.
 			return
 		}
+		if n.leasing() && ls.leaseTo == origin && m.Var != 0 &&
+			m.Var == ls.leaseEpoch && ls.holders[origin] == token {
+			// Lease renewal: the holder quotes its lease's grant epoch in
+			// Var (ordinary retries carry zero) and its granted token.
+			// Extend while nobody waits; with waiters the answer is the
+			// revoke demand, re-sent here in case the original was lost.
+			now := n.clock.Now()
+			if len(ls.queue) == 0 {
+				ls.leaseExpiry = now.Add(n.leaseTTL)
+				n.stats.LeaseGrants++
+				n.send(origin, wire.Message{
+					Type:     wire.TLeaseGrant,
+					Group:    uint32(r.cfg.ID),
+					Src:      int32(n.id),
+					Origin:   int32(ls.leaseToken),
+					Lock:     uint32(l),
+					Var:      ls.leaseEpoch,
+					Deadline: int64(n.leaseTTL),
+					Epoch:    r.epoch,
+				})
+			} else {
+				n.sendLeaseRevoke(r, l, ls, now)
+			}
+			return
+		}
 		// Re-announce with the granted request's token, not the retry's:
 		// if they differ the member has moved on to a new acquisition and
 		// must decline this entry (its decline releases it here and its
@@ -456,6 +512,12 @@ func (n *Node) rootLockReq(r *rootGroup, m wire.Message) {
 		}
 		ls.queue = append(ls.queue, lockWaiter{origin, token, m.Deadline, sess})
 		n.emit(obs.EvLockQueued, r.cfg.ID, int64(l), int64(origin))
+		if ls.leaseTo >= 0 {
+			// The lock is leased out and now has a waiter: demand it back.
+			// The demand re-sends from the lease tick until the return (or
+			// the holder's release) lands.
+			n.sendLeaseRevoke(r, l, ls, n.clock.Now())
+		}
 		return
 	}
 	// A free lock always designates the requester immediately; grant
@@ -473,7 +535,16 @@ func (n *Node) rootLockRel(r *rootGroup, m wire.Message) {
 	ls := r.lock(l)
 	origin := int(m.Origin)
 	if !ls.holds(origin) || ls.entryEpochs[origin] != m.Var {
-		return // stale or duplicate release
+		// A release quoting exactly the epoch the newest handoff hint
+		// reserved is the new holder already leaving a section this
+		// manager has not committed yet (the notice is in flight): commit
+		// the transfer first, then re-validate (lease.go).
+		if !n.inferHandoff(r, l, ls, origin, m.Var) {
+			return // stale or duplicate release
+		}
+		if !ls.holds(origin) || ls.entryEpochs[origin] != m.Var {
+			return
+		}
 	}
 	n.leaveLock(r, l, ls, origin)
 }
@@ -494,6 +565,13 @@ func (n *Node) rootLockCancel(r *rootGroup, m wire.Message) {
 	for i, q := range ls.queue {
 		if q.node == origin {
 			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			if ls.hintNode == origin {
+				// The designated handoff target withdrew. The holder may
+				// still transfer to it (its hint is already out); the
+				// notice path re-validates and the decline machinery
+				// returns the lock if the waiter is truly gone.
+				ls.hintNode = -1
+			}
 			return
 		}
 	}
@@ -522,6 +600,9 @@ func (n *Node) leaveLock(r *rootGroup, l LockID, ls *lockState, origin int) {
 	delete(ls.holders, origin)
 	delete(ls.entryEpochs, origin)
 	n.metrics.Gauge(obs.GaugeSessHolders).Add(-1)
+	if ls.leaseTo == origin {
+		ls.leaseTo = -1 // the leaseholder leaving retires its lease
+	}
 	sess := ls.session
 	if !ls.free() {
 		// The session stays open; tell the group this holder is out so
@@ -619,6 +700,9 @@ func (n *Node) admitSession(r *rootGroup, l LockID, ls *lockState) {
 // speculation committing into it would be suppressed not-holder.
 func (n *Node) grant(r *rootGroup, l LockID, ls *lockState, w lockWaiter) {
 	winner := w.node
+	// A classic grant supersedes whatever handoff target the previous
+	// grant designated; sendGrant re-reserves from the live queue.
+	ls.hintNode = -1
 	if ls.free() {
 		// Opening a new critical section. The entry is foreign — it rolls
 		// other nodes' speculative sections back — unless it re-extends
@@ -679,7 +763,7 @@ func (n *Node) sendGrant(r *rootGroup, l LockID, ls *lockState, winner int) {
 		ls.deferredAt = time.Time{}
 	}
 	n.emit(obs.EvLockGrant, r.cfg.ID, int64(l), int64(winner))
-	n.multicast(r, wire.Message{
+	msg := wire.Message{
 		Type:    wire.TSeqLock,
 		Group:   uint32(r.cfg.ID),
 		Src:     int32(n.id),
@@ -688,7 +772,16 @@ func (n *Node) sendGrant(r *rootGroup, l LockID, ls *lockState, winner int) {
 		Var:     ls.entryEpochs[winner],
 		Val:     GrantValue(winner),
 		Session: ls.session,
-	})
+	}
+	// Piggyback the head waiter as the winner's direct-handoff target
+	// (lease.go); with nobody queued, lease the lock to the winner
+	// instead. Deadline is unused by classic grants, so old members
+	// ignore the packing.
+	if h := n.reserveHint(r, ls, winner); h != 0 {
+		msg.Deadline = h
+	}
+	n.multicast(r, msg)
+	n.maybeLease(r, l, ls, winner)
 }
 
 // rootNack retransmits the sequenced range [m.Seq, m.Val] to the

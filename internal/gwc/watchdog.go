@@ -126,7 +126,8 @@ func (n *Node) watchRoot(gid GroupID, r *rootGroup, now time.Time) {
 	service := false
 	for _, l := range sortedKeys(r.locks) {
 		ls := r.locks[l]
-		stuck := len(ls.pending) > 0 || (ls.free() && len(ls.queue) > 0)
+		leased := ls.leaseTo >= 0 && len(ls.queue) > 0
+		stuck := len(ls.pending) > 0 || (ls.free() && len(ls.queue) > 0) || leased
 		if !stuck {
 			ls.watchAt = now
 			continue
@@ -141,12 +142,22 @@ func (n *Node) watchRoot(gid GroupID, r *rootGroup, now time.Time) {
 		ls.watchAt = now
 		n.stats.WatchdogStuck++
 		n.stats.WatchdogReissues++
-		if len(ls.pending) > 0 {
+		switch {
+		case len(ls.pending) > 0:
 			n.emit(obs.EvWatchdogStuck, gid, obs.WatchParked, int64(l))
-		} else {
+			service = true
+		case leased:
+			// A leaseholder is sitting on a revoke demand past budget. The
+			// root never force-frees a leased lock (that could mint two
+			// exclusive holders); the re-drive is the demand itself, at
+			// full cadence again. A crashed leaseholder is freed by its
+			// rejoin; a partitioned one by this reign's deposition.
+			n.emit(obs.EvWatchdogStuck, gid, obs.WatchLease, int64(l))
+			ls.revokeB.reset()
+		default:
 			n.emit(obs.EvWatchdogStuck, gid, obs.WatchHolderless, int64(l))
+			service = true
 		}
-		service = true
 	}
 	if service {
 		n.serviceQuorum(r)

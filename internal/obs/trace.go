@@ -55,6 +55,12 @@ const (
 	// State integrity (anti-entropy sweep).
 	EvDivergence // a member's state digest diverged from the root's; A=diverged node, B=watermark seq
 
+	// Lock leasing and peer handoff.
+	EvLeaseGrant  // root leased a lock to its holder; A=lock, B=holder
+	EvLeaseReturn // a lease came back to the root; A=lock, B=holder
+	EvLeaseLocal  // a leased re-acquire was decided locally, no wire traffic; A=lock
+	EvHandoff     // a releasing holder handed the lock directly to a waiter; A=lock, B=new holder
+
 	NumEventTypes // sentinel; always last
 )
 
@@ -66,6 +72,7 @@ const (
 	WatchFence                       // root: reign fenced past budget
 	WatchParked                      // root: grant parked on the quorum watermark past budget
 	WatchHolderless                  // root: holderless lock with waiters past budget
+	WatchLease                       // root: leased lock with waiters past budget, revoke unanswered
 )
 
 // Abort / suppression reason codes carried in Event.B.
@@ -90,6 +97,8 @@ var evNames = [NumEventTypes]string{
 	EvDegradedRead: "degraded-read",
 	EvSessOpen:     "sess-open", EvSessClose: "sess-close",
 	EvDivergence: "divergence",
+	EvLeaseGrant: "lease-grant", EvLeaseReturn: "lease-return",
+	EvLeaseLocal: "lease-local", EvHandoff: "handoff",
 }
 
 func (t EventType) String() string {

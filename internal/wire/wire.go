@@ -92,10 +92,32 @@ const (
 	// contiguously applied sequence number and Val its state digest
 	// there. The root compares it against its digest checkpoint ring.
 	TDigestAck
+	// TLeaseGrant is the root's lock-lease message to the current holder:
+	// Deadline is the lease duration in nanoseconds (a fresh grant or an
+	// extension), or 0 — a revoke demand asking the holder to return the
+	// lease as soon as it is out of its section. Var carries the holder's
+	// grant epoch and Origin its request token, so a stale lease from a
+	// previous acquisition cannot be mistaken for the current one.
+	TLeaseGrant
+	// TLeaseRet returns a lease to the root: the member has released the
+	// lock locally (or answered a revoke demand) and the root should run
+	// its normal release path. Var quotes the grant epoch the lease was
+	// issued under, like TLockRel.
+	TLeaseRet
+	// THandoff transfers a lock directly from a releasing holder to the
+	// next queued waiter the root hinted at grant time. Sent twice by the
+	// holder: to the waiter as a direct grant (Val = the waiter's grant
+	// value, Var = the root-reserved grant epoch, Origin = the waiter's
+	// request token) and to the root as an asynchronous notice (Var = the
+	// holder's own grant epoch, Seq = the reserved epoch, Val = the
+	// waiter's grant value) so the root can record the transfer. The root
+	// stays the arbiter: a notice that no longer matches its lock state is
+	// discarded and the holder's release falls back to the normal path.
+	THandoff
 )
 
 // typeMax is the highest valid message type, used by decode validation.
-const typeMax = TDigestAck
+const typeMax = THandoff
 
 // String implements fmt.Stringer.
 func (t Type) String() string {
@@ -140,6 +162,12 @@ func (t Type) String() string {
 		return "digest-req"
 	case TDigestAck:
 		return "digest-ack"
+	case TLeaseGrant:
+		return "lease-grant"
+	case TLeaseRet:
+		return "lease-ret"
+	case THandoff:
+		return "handoff"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}

@@ -34,6 +34,10 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		{Type: TDigestReq, Group: 2, Src: 0, Seq: 130, Val: -1 << 55, Epoch: 3},
 		{Type: TDigestReq, Group: 2, Src: 0, Seq: 130, Val: 7, Var: 1, Epoch: 3},
 		{Type: TDigestAck, Group: 2, Src: 4, Seq: 129, Val: 1 << 62, Epoch: 3},
+		{Type: TLeaseGrant, Group: 2, Src: 0, Origin: 7, Lock: 1, Var: 6, Deadline: int64(5e9), Epoch: 3},
+		{Type: TLeaseGrant, Group: 2, Src: 0, Origin: 7, Lock: 1, Var: 6, Epoch: 3}, // revoke demand: zero deadline
+		{Type: TLeaseRet, Group: 2, Src: 4, Origin: 4, Lock: 1, Var: 6, Epoch: 3},
+		{Type: THandoff, Group: 2, Src: 4, Origin: 9, Seq: 55, Lock: 1, Var: 7, Val: 3, Epoch: 3},
 	}
 	for _, m := range tests {
 		buf := Encode(nil, m)
@@ -56,6 +60,7 @@ func TestRoundTripProperty(t *testing.T) {
 		TUpdate, TLockReq, TLockRel, TSeqUpdate, TSeqLock, TNack,
 		THeartbeat, TSnapReq, TSnapVar, TSnapLock, TSnapDone, TLockCancel,
 		TAck, TJoinReq, TJoinAck, TSyncReq, TSyncAck, TDigestReq, TDigestAck,
+		TLeaseGrant, TLeaseRet, THandoff,
 	}
 	prop := func(g uint32, src, origin int32, seq uint64, v, l uint32, val int64, guarded bool, kind uint8, epoch uint32, deadline int64, session uint32) bool {
 		m := Message{
@@ -209,6 +214,9 @@ func FuzzDecode(f *testing.F) {
 	f.Add(Encode(nil, Message{Type: TSyncAck, Group: 2, Src: 0, Seq: 9, Epoch: 3}))
 	f.Add(Encode(nil, Message{Type: TDigestReq, Group: 2, Src: 0, Seq: 130, Val: -1, Epoch: 3}))
 	f.Add(Encode(nil, Message{Type: TDigestAck, Group: 2, Src: 4, Seq: 129, Val: 55, Epoch: 3}))
+	f.Add(Encode(nil, Message{Type: TLeaseGrant, Group: 2, Src: 0, Origin: 7, Lock: 1, Var: 6, Deadline: int64(5e9), Epoch: 3}))
+	f.Add(Encode(nil, Message{Type: TLeaseRet, Group: 2, Src: 4, Origin: 4, Lock: 1, Var: 6, Epoch: 3}))
+	f.Add(Encode(nil, Message{Type: THandoff, Group: 2, Src: 4, Origin: 9, Seq: 55, Lock: 1, Var: 7, Val: 3, Epoch: 3}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {
@@ -242,7 +250,13 @@ func FuzzReignFrames(f *testing.F) {
 	f.Add(uint8(0), uint32(2), int32(4), uint64(120), int64(0), uint32(3))
 	f.Add(uint8(2), uint32(1), int32(0), uint64(1)<<40, int64(1), uint32(7))
 	f.Add(uint8(4), uint32(9), int32(-1), uint64(9), int64(-5), uint32(0))
-	kinds := []Type{TAck, TJoinReq, TJoinAck, TSyncReq, TSyncAck, TDigestReq, TDigestAck}
+	kinds := []Type{
+		TAck, TJoinReq, TJoinAck, TSyncReq, TSyncAck, TDigestReq, TDigestAck,
+		// The lease/handoff frames are reign-fenced control traffic too:
+		// a lease grant or a handoff notice that survives corruption
+		// would mint a phantom exclusive holder.
+		TLeaseGrant, TLeaseRet, THandoff,
+	}
 	f.Fuzz(func(t *testing.T, kind uint8, group uint32, src int32, seq uint64, val int64, epoch uint32) {
 		m := Message{
 			Type:  kinds[int(kind)%len(kinds)],
@@ -283,6 +297,80 @@ func FuzzReignFrames(f *testing.F) {
 		}
 		if _, err := Decode(buf[:len(buf)-1]); err == nil {
 			t.Fatalf("decode of truncated frame succeeded")
+		}
+	})
+}
+
+// FuzzLeaseFrames fuzzes the lease/handoff frames by field, over the
+// full set of fields they actually use: Origin carries a token or
+// node, Var a grant epoch, Seq a sequence watermark (THandoff) or
+// nothing, Deadline a TTL (grant), zero (revoke demand), or a packed
+// handoff hint (on grants), and Session stays zero — exclusive-only
+// protocols. Beyond the round trip, every frame must fail to decode
+// with a flipped CRC bit or a truncated buffer, and the layout must be
+// byte-identical to the established lock frames (same offsets, only
+// the type byte and the CRC trailer differ) so the new types cannot
+// have grown a divergent encoding.
+func FuzzLeaseFrames(f *testing.F) {
+	f.Add(uint8(0), uint32(2), int32(0), int32(7), uint64(0), uint32(1), uint32(6), int64(0), int64(5e9), uint32(3))
+	f.Add(uint8(1), uint32(1), int32(4), int32(4), uint64(9), uint32(0), uint32(8), int64(0), int64(0), uint32(7))
+	f.Add(uint8(2), uint32(9), int32(4), int32(9), uint64(1)<<40, uint32(2), uint32(1<<31), int64(-3), int64(1)<<33|5, uint32(0))
+	kinds := []Type{TLeaseGrant, TLeaseRet, THandoff}
+	f.Fuzz(func(t *testing.T, kind uint8, group uint32, src, origin int32, seq uint64, lock, v uint32, val, deadline int64, epoch uint32) {
+		m := Message{
+			Type:     kinds[int(kind)%len(kinds)],
+			Group:    group,
+			Src:      src,
+			Origin:   origin,
+			Seq:      seq,
+			Lock:     lock,
+			Var:      v,
+			Val:      val,
+			Deadline: deadline,
+			Epoch:    epoch,
+		}
+		buf := Encode(nil, m)
+		if len(buf) != EncodedSize {
+			t.Fatalf("%v: encoded %d bytes, want %d", m.Type, len(buf), EncodedSize)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Type, err)
+		}
+		if !Equal(got, m) {
+			t.Fatalf("round trip changed frame:\n got %+v\nwant %+v", got, m)
+		}
+		if got.Session != 0 {
+			t.Fatalf("session field materialized from nowhere: %d", got.Session)
+		}
+		var stream bytes.Buffer
+		if err := WriteTo(&stream, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err = ReadFrom(&stream)
+		if err != nil || !Equal(got, m) {
+			t.Fatalf("stream round trip: %+v (err %v), want %+v", got, err, m)
+		}
+		// Corruption must never decode.
+		bad := append([]byte(nil), buf...)
+		bad[len(bad)-1] ^= 0x01 // flip one CRC bit
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("decode of flipped-CRC frame succeeded")
+		}
+		for _, cut := range []int{len(buf) - 1, len(buf) / 2, 1} {
+			if _, err := Decode(buf[:cut]); err == nil {
+				t.Fatalf("decode of frame truncated to %d bytes succeeded", cut)
+			}
+		}
+		// Layout compatibility: re-encode the same fields as an
+		// established lock frame; everything but the type byte and the
+		// CRC trailer must match byte for byte.
+		ref := m
+		ref.Type = TSeqLock
+		refBuf := Encode(nil, ref)
+		if !bytes.Equal(buf[1:len(buf)-4], refBuf[1:len(refBuf)-4]) {
+			t.Fatalf("%v payload layout diverged from TSeqLock:\n got  %x\n want %x",
+				m.Type, buf[1:len(buf)-4], refBuf[1:len(refBuf)-4])
 		}
 	})
 }
@@ -438,6 +526,9 @@ func TestTypeString(t *testing.T) {
 		{TSyncAck, "sync-ack"},
 		{TDigestReq, "digest-req"},
 		{TDigestAck, "digest-ack"},
+		{TLeaseGrant, "lease-grant"},
+		{TLeaseRet, "lease-ret"},
+		{THandoff, "handoff"},
 		{Type(99), "type(99)"},
 	}
 	for _, tt := range tests {

@@ -97,6 +97,7 @@ type options struct {
 	boCap      time.Duration
 	wdBudget   time.Duration
 	integrity  time.Duration
+	leases     time.Duration
 
 	traced      bool
 	traceCap    int
@@ -234,6 +235,26 @@ func WithIntegrity(interval time.Duration) Option {
 	return optionFunc(func(o *options) { o.integrity = interval })
 }
 
+// WithLeases enables lock leasing and peer-to-peer handoff with the
+// given lease TTL. When a lock is granted with nobody queued behind it,
+// the group root leases it to the winner: re-acquiring it there is a
+// purely local decision while the lease holds — zero wire messages,
+// down from the three-message root round trip — with in-use leases
+// renewed on the adaptive-retry schedule and idle ones returned at
+// expiry. When a lock is granted with waiters queued, the grant carries
+// the head waiter's identity and the releasing holder hands the lock to
+// it directly (one frame on the critical path), notifying the root
+// asynchronously; the root stays the arbiter and every conflict falls
+// back to the classic queue. Leases never survive a reign change, a
+// fenced root demands them back, and the root frees a leased lock only
+// on an explicit return, release, or the holder's rejoin — never on
+// expiry alone — so a slow clock cannot mint two exclusive holders.
+// Ignored under WithQuorumAcks: direct transfers would bypass the
+// durability watermark. Zero (the default) disables leasing.
+func WithLeases(ttl time.Duration) Option {
+	return optionFunc(func(o *options) { o.leases = ttl })
+}
+
 // WithMaxStaleness bounds the cluster's degraded reads: Handle.ReadStale
 // serves a node's local copy even while the node cannot reach a live
 // reign (fenced root, member mid-election or mid-rejoin), and this
@@ -365,6 +386,7 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		c.nodes[i].SetBackoff(o.boBase, o.boCap)
 		c.nodes[i].SetWatchdog(o.wdBudget)
 		c.nodes[i].SetIntegrity(o.integrity)
+		c.nodes[i].SetLeases(o.leases)
 		c.engines[i] = core.NewEngine(c.nodes[i], o.history)
 	}
 	if o.traced || o.metricsAddr != "" {
