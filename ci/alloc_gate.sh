@@ -21,6 +21,8 @@ trap 'rm -f "$out"' EXIT
 
 go test . -run '^$' -bench 'BenchmarkLiveWrite$|BenchmarkLiveRead$' \
 	-benchmem -benchtime 2000x | tee "$out"
+go test ./internal/wire -run '^$' -bench 'BenchmarkWireEncodeBatch$|BenchmarkWireDecodeBatch$' \
+	-benchmem -benchtime 2000x | tee -a "$out"
 
 fail=0
 while read -r name base; do

@@ -23,7 +23,7 @@ bench=$(mktemp)
 live=$(mktemp)
 trap 'rm -f "$bench" "$live"' EXIT
 
-go test . -run '^$' -bench 'BenchmarkLiveWrite$|BenchmarkBatchedWrites|BenchmarkLiveLock$|BenchmarkLeasedReacquire$' \
+go test . -run '^$' -bench 'BenchmarkLiveWrite$|BenchmarkBatchedWrites|BenchmarkTCPBatchedWrites$|BenchmarkLiveLock$|BenchmarkLeasedReacquire$' \
 	-benchmem -benchtime 2000x >"$bench"
 go run ./cmd/optsim -workload live -n 4 >"$live"
 
@@ -37,6 +37,13 @@ benchfields() {
 		}
 		printf "{\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", ns, bytes, allocs
 		exit
+	}' "$bench"
+}
+
+# Pull one custom -ReportMetric value (e.g. "writes/s") for a benchmark.
+benchmetric() {
+	awk -v b="$1" -v u="$2" '$1 ~ "^"b"(-[0-9]+)?$" {
+		for (i = 2; i < NF; i++) if ($(i+1) == u) { printf "%s", $i; exit }
 	}' "$bench"
 }
 
@@ -68,7 +75,14 @@ out=$(cat <<EOF
   "leased_reacquire": $(benchfields BenchmarkLeasedReacquire),
   "batched_writes": {
     "unbatched": $(benchfields 'BenchmarkBatchedWrites/unbatched'),
-    "batched": $(benchfields 'BenchmarkBatchedWrites/batched')
+    "unbatched_writes_s": $(benchmetric 'BenchmarkBatchedWrites/unbatched' writes/s),
+    "batched": $(benchfields 'BenchmarkBatchedWrites/batched'),
+    "batched_writes_s": $(benchmetric 'BenchmarkBatchedWrites/batched' writes/s)
+  },
+  "tcp_batched_writes": {
+    "pipelined": $(benchfields BenchmarkTCPBatchedWrites),
+    "writes_s": $(benchmetric BenchmarkTCPBatchedWrites writes/s),
+    "frames_per_syscall": $(benchmetric BenchmarkTCPBatchedWrites frames/syscall)
   },
   "lock_acquire": {
     "source": "internal/obs HistLockAcquire, cmd/optsim -workload live -n 4",

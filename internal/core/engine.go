@@ -260,12 +260,6 @@ func (e *Engine) optimistic(ctx context.Context, k lockKey, body func(tx *Tx) er
 	self := e.node.ID()
 	grant := gwc.GrantValue(self)
 
-	e.mu.Lock()
-	e.stats.Optimistic++
-	e.mu.Unlock()
-	e.node.Emit(obs.EvSpecStart, gid, int64(l), 0)
-	specStart := e.node.Now()
-
 	// Arm the interrupt before speculating: if the lock goes to another
 	// CPU, suspend insharing atomically with the observation.
 	var rolled, decided atomic.Bool
@@ -283,6 +277,44 @@ func (e *Engine) optimistic(ctx context.Context, k lockKey, body func(tx *Tx) er
 		return err
 	}
 	defer unregister()
+
+	// Re-check under the armed hook: a foreign grant applied between
+	// DoContext's sample and the registration above fired no hook and
+	// never will — and once that holder leaves, the root can hand the
+	// lock straight to us, so the next transition the hook sees may be
+	// our own grant. An open session is the sneakier shape of the same
+	// hazard: session entries leave the lock *value* Free, only a fresh
+	// SessEnter fires the classic hooks, and a session that is already
+	// open can drain without ever showing this hook a foreign grant —
+	// the close reports Free and the next value it sees is our own
+	// grant. Speculating through either window would "commit" a section
+	// whose writes the root already suppressed as not-holder (a lost
+	// update). Nothing has been sent yet, so detach the hook (its
+	// suspend action must not fire inside a regular section) and take
+	// the regular path instead.
+	val, err := e.node.LockValue(gid, l)
+	if err != nil {
+		return err
+	}
+	si, err := e.node.SessionState(gid, l)
+	if err != nil {
+		return err
+	}
+	if (val != gwc.Free && val != grant) || si.Holders > 0 {
+		unregister()
+		e.bumpHistory(k)
+		e.mu.Lock()
+		e.stats.Regular++
+		e.mu.Unlock()
+		e.node.Emit(obs.EvRegular, gid, int64(l), 0)
+		return e.regular(ctx, gid, l, body)
+	}
+
+	e.mu.Lock()
+	e.stats.Optimistic++
+	e.mu.Unlock()
+	e.node.Emit(obs.EvSpecStart, gid, int64(l), 0)
+	specStart := e.node.Now()
 
 	if err := e.node.SendLockRequest(gid, l); err != nil {
 		return err
@@ -457,12 +489,6 @@ func (e *Engine) optimisticSession(ctx context.Context, k lockKey, session uint3
 	gid, l := k.g, k.l
 	self := e.node.ID()
 
-	e.mu.Lock()
-	e.stats.Optimistic++
-	e.mu.Unlock()
-	e.node.Emit(obs.EvSpecStart, gid, int64(l), int64(session))
-	specStart := e.node.Now()
-
 	// Arm the interrupt before speculating: any entry into a different
 	// session (session 0 — an exclusive grant — included) means an
 	// incompatible section was sequenced ahead of our join, so our
@@ -482,6 +508,46 @@ func (e *Engine) optimisticSession(ctx context.Context, k lockKey, session uint3
 		return err
 	}
 	defer unregister()
+
+	// Re-check under the armed hook (see optimistic): an incompatible
+	// entry applied between DoSessionContext's sample and the
+	// registration above fired no hook and never will, so speculating
+	// now could commit a section whose writes the root suppressed.
+	// Nothing has been sent yet — detach the hook and enter regularly.
+	val, err := e.node.LockValue(gid, l)
+	if err != nil {
+		return err
+	}
+	si, err := e.node.SessionState(gid, l)
+	if err != nil {
+		return err
+	}
+	stillOpenJoin := si.Holders > 0 && si.Session == session
+	conflicted := (val != gwc.Free && val != gwc.GrantValue(self)) ||
+		(si.Holders > 0 && si.Session != session)
+	if !stillOpenJoin && conflicted {
+		unregister()
+		e.bumpHistory(k)
+		e.mu.Lock()
+		e.stats.Regular++
+		e.mu.Unlock()
+		e.node.Emit(obs.EvRegular, gid, int64(l), int64(session))
+		if err := e.node.EnterSessionContext(ctx, gid, l, session); err != nil {
+			return err
+		}
+		tx := &Tx{eng: e, gid: gid}
+		bodyErr := body(tx)
+		if err := e.node.LeaveSession(gid, l); err != nil {
+			return err
+		}
+		return bodyErr
+	}
+
+	e.mu.Lock()
+	e.stats.Optimistic++
+	e.mu.Unlock()
+	e.node.Emit(obs.EvSpecStart, gid, int64(l), int64(session))
+	specStart := e.node.Now()
 
 	if err := e.node.SendSessionRequest(gid, l, session); err != nil {
 		return err

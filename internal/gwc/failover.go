@@ -107,7 +107,7 @@ func (n *Node) heartbeat(gid GroupID, r *rootGroup) {
 			Type:  wire.THeartbeat,
 			Group: uint32(gid),
 			Src:   int32(n.id),
-			Seq:   r.seq,
+			Seq:   r.ring.seq(),
 			Val:   int64(n.id),
 			Epoch: r.epoch,
 		})
@@ -837,7 +837,7 @@ func (n *Node) rootSnapSend(r *rootGroup, to int) {
 	base := wire.Message{
 		Group: uint32(r.cfg.ID),
 		Src:   int32(n.id),
-		Seq:   r.seq,
+		Seq:   r.ring.seq(),
 		Epoch: r.epoch,
 	}
 	msgs := make([]wire.Message, 0, len(r.auth)+len(r.locks)+1)

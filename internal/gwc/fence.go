@@ -26,7 +26,7 @@ import (
 //   - a *quorum-ack watermark* for durable writes: members continuously
 //     acknowledge the sequenced prefix they applied (resync probes carry
 //     it for free, TAck frames carry it eagerly), and the root tracks
-//     commit = the quorum-th highest ack, counting itself at r.seq.
+//     commit = the quorum-th highest ack, counting itself at r.ring.seq().
 //     Under SetQuorumAcks, a released lock is handed to the next waiter
 //     only once commit covers the releaser's data, and Sync barriers
 //     (TSyncReq/TSyncAck) answer only once commit covers everything
@@ -143,10 +143,10 @@ func (n *Node) rootAck(r *rootGroup, src int, seq uint64) {
 	if src == n.id || !r.cfg.memberOf(src) {
 		return
 	}
-	if seq > r.seq {
+	if seq > r.ring.seq() {
 		// An ack beyond the reign's sequence space is from a confused or
 		// rebased sender; clamp it so it cannot inflate the watermark.
-		seq = r.seq
+		seq = r.ring.seq()
 	}
 	if seq <= r.acks[src] {
 		return
@@ -163,7 +163,7 @@ func (n *Node) advanceCommit(r *rootGroup) {
 	vals := make([]uint64, 0, len(r.cfg.Members))
 	for _, m := range r.cfg.Members {
 		if m == n.id {
-			vals = append(vals, r.seq)
+			vals = append(vals, r.ring.seq())
 		} else {
 			vals = append(vals, r.acks[m])
 		}
@@ -243,7 +243,7 @@ func (n *Node) rootSyncReq(r *rootGroup, m wire.Message) {
 			return // retry of a barrier already pending
 		}
 	}
-	if !n.quorumAcks || r.commit >= r.seq {
+	if !n.quorumAcks || r.commit >= r.ring.seq() {
 		n.send(src, wire.Message{
 			Type:  wire.TSyncAck,
 			Group: uint32(r.cfg.ID),
@@ -254,5 +254,5 @@ func (n *Node) rootSyncReq(r *rootGroup, m wire.Message) {
 		return
 	}
 	n.stats.QuorumAckWaits++
-	r.waitSyncs = append(r.waitSyncs, syncBarrier{src: src, token: tok, needSeq: r.seq})
+	r.waitSyncs = append(r.waitSyncs, syncBarrier{src: src, token: tok, needSeq: r.ring.seq()})
 }

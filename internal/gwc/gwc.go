@@ -162,7 +162,15 @@ type Node struct {
 	// virtual one.
 	clock vclock.Clock
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// msgNow is the dispatch timestamp: stamped once per lock hold at the
+	// top of handle and tick, then reused by the per-message liveness
+	// bookkeeping (rootHandle's lastHeard, ingestFwd's lastRoot) instead
+	// of a clock read per message. A batch frame's thousands of inner
+	// messages land within one dispatch, so one timestamp is exactly as
+	// informative — and the clock read was the dominant per-message cost
+	// once encoding went flat. Guarded by n.mu.
+	msgNow  time.Time
 	groups  map[GroupID]*memberGroup
 	roots   map[GroupID]*rootGroup
 	stats   Stats
@@ -242,6 +250,7 @@ func NewNodeClock(id int, ep transport.Endpoint, clock vclock.Clock) *Node {
 		id:        id,
 		ep:        ep,
 		clock:     clock,
+		msgNow:    clock.Now(),
 		groups:    make(map[GroupID]*memberGroup),
 		roots:     make(map[GroupID]*rootGroup),
 		stop:      make(chan struct{}),
@@ -523,6 +532,7 @@ func (n *Node) tick() {
 	now := n.clock.Now()
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.msgNow = now
 	for _, gid := range sortedKeys(n.groups) {
 		g := n.groups[gid]
 		if g.rootID == n.id {
@@ -558,28 +568,37 @@ func (n *Node) tick() {
 				})
 			}
 		default:
-			// Open-ended resync probe: if this member is behind — even when
-			// the trailing messages of a burst were lost, which gap detection
-			// alone cannot notice — the root retransmits everything from the
-			// next expected sequence number. An up-to-date member costs one
-			// small message per due interval and triggers no response. The
-			// probe doubles as the member's cumulative ack (Seq-1 is applied)
-			// and as root-side proof of contact for the fencing lease, so its
-			// backoff cap is clamped to a fraction of failAfter (probeCap)
-			// and its schedule resets whenever the stream moves — a member
-			// with a gap to repair probes at full cadence.
-			if len(g.pending) > 0 || g.nextSeq != g.probeSeq {
+			// Resync probe. The probe doubles as the member's cumulative ack
+			// (Seq-1 is applied) and as root-side proof of contact for the
+			// fencing lease, so its backoff cap is clamped to a fraction of
+			// failAfter (probeCap) and its schedule resets whenever the
+			// stream moves — a member with a gap to repair probes at full
+			// cadence. The requested range depends on what the member can
+			// prove: while the stream is moving gaplessly, delivery is
+			// demonstrably working, so the probe asks for nothing (an empty
+			// range — pure ack). Only when the stream has stalled — which is
+			// how a silently lost burst tail looks, the one loss gap
+			// detection cannot notice — or a gap is open does it request
+			// everything from the next expected sequence number. Without
+			// that distinction every probe under load re-requests the whole
+			// in-flight suffix and the root floods members with duplicates.
+			moved := g.nextSeq != g.probeSeq
+			if len(g.pending) > 0 || moved {
 				g.probeB.reset()
 				g.probeSeq = g.nextSeq
 			}
 			if g.probeB.ready(now) {
 				n.arm(&g.probeB, now, n.boBase(), n.probeCap())
+				want := int64(math.MaxInt64)
+				if moved && len(g.pending) == 0 {
+					want = int64(g.nextSeq) - 1 // nextSeq >= 1 always
+				}
 				n.send(g.rootID, wire.Message{
 					Type:  wire.TNack,
 					Group: uint32(gid),
 					Src:   int32(n.id),
 					Seq:   g.nextSeq,
-					Val:   int64(math.MaxInt64),
+					Val:   want,
 					Epoch: g.epoch,
 				})
 			}
@@ -641,6 +660,7 @@ func (n *Node) tick() {
 func (n *Node) handle(m wire.Message) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.msgNow = n.clock.Now()
 	switch m.Type {
 	case wire.TUpdate, wire.TLockReq, wire.TLockRel, wire.TNack, wire.TLockCancel, wire.TSnapReq,
 		wire.TAck, wire.TSyncReq, wire.TDigestAck, wire.TLeaseRet:

@@ -15,7 +15,7 @@ package gwc
 //     ring parallel to the retransmission history.
 //
 //   - Every integrityEvery, the root multicasts TDigestReq carrying
-//     its digest at the current watermark (Seq = r.seq, Val = digest).
+//     its digest at the current watermark (Seq = r.ring.seq(), Val = digest).
 //     A member that is exactly at the watermark compares on the spot;
 //     any member answers TDigestAck with its own applied position and
 //     digest, which the root compares against the checkpoint ring —
@@ -54,7 +54,7 @@ func (n *Node) sweepDigests(gid GroupID, r *rootGroup, now time.Time) {
 		Type:  wire.TDigestReq,
 		Group: uint32(gid),
 		Src:   int32(n.id),
-		Seq:   r.seq,
+		Seq:   r.ring.seq(),
 		Val:   int64(r.digest.Sum()),
 		Epoch: r.epoch,
 	}
@@ -146,17 +146,16 @@ func (n *Node) rootDigestAck(r *rootGroup, m wire.Message) {
 		return
 	}
 	seq := m.Seq
-	if seq > r.seq {
+	if seq > r.ring.seq() {
 		return // claims state from the future; let retries converge
 	}
 	var want uint64
-	switch {
-	case seq == 0:
-		want = 0 // the empty state digests to zero
-	case r.seq-seq < uint64(len(r.digestRing)):
-		want = r.digestRing[(seq-1)%uint64(len(r.digestRing))]
-	default:
-		return // watermark fell out of the checkpoint window; next sweep
+	if seq != 0 { // the empty state digests to zero
+		var ok bool
+		want, ok = r.ring.digestAt(seq)
+		if !ok {
+			return // watermark fell out of the checkpoint window; next sweep
+		}
 	}
 	if uint64(m.Val) == want {
 		return

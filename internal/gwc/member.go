@@ -255,35 +255,35 @@ func newMemberGroup(id int, cfg GroupConfig, now time.Time) *memberGroup {
 		children = tree.Children[id]
 	}
 	return &memberGroup{
-		children:    children,
-		cfg:         cfg,
-		mem:         make(map[VarID]int64),
-		lockVal:     make(map[LockID]int64),
-		eager:       make(map[VarID]int64),
-		eagerMsg:    make(map[VarID]wire.Message),
-		eagerB:      make(map[VarID]*backoff),
-		grantEpoch:  make(map[LockID]uint32),
-		lockDone:    make(map[LockID]uint32),
-		nextSeq:     1,
-		pending:     make(map[uint64]wire.Message),
-		rootID:      cfg.Root,
-		lastRoot:    now,
-		suspected:   make(map[int]bool),
-		want:        make(map[LockID]bool),
-		sess:        make(map[LockID]*sessView),
-		reqSession:  make(map[LockID]uint32),
-		reqToken:    make(map[LockID]uint32),
-		reqSince:    make(map[LockID]time.Time),
-		lease:       make(map[LockID]*memberLease),
-		hint:        make(map[LockID]handoffHint),
+		children:       children,
+		cfg:            cfg,
+		mem:            make(map[VarID]int64),
+		lockVal:        make(map[LockID]int64),
+		eager:          make(map[VarID]int64),
+		eagerMsg:       make(map[VarID]wire.Message),
+		eagerB:         make(map[VarID]*backoff),
+		grantEpoch:     make(map[LockID]uint32),
+		lockDone:       make(map[LockID]uint32),
+		nextSeq:        1,
+		pending:        make(map[uint64]wire.Message),
+		rootID:         cfg.Root,
+		lastRoot:       now,
+		suspected:      make(map[int]bool),
+		want:           make(map[LockID]bool),
+		sess:           make(map[LockID]*sessView),
+		reqSession:     make(map[LockID]uint32),
+		reqToken:       make(map[LockID]uint32),
+		reqSince:       make(map[LockID]time.Time),
+		lease:          make(map[LockID]*memberLease),
+		hint:           make(map[LockID]handoffHint),
 		pendingHandoff: make(map[LockID]*handoffNotice),
 		handoffIn:      make(map[LockID]wire.Message),
-		lockHooks:   make(map[LockID]map[uint64]LockHook),
-		sessHooks:   make(map[LockID]map[uint64]SessionHook),
-		varHooks:    make(map[VarID]map[uint64]func(int64)),
-		syncPending: make(map[uint64]*syncWaiter),
-		data:        newNotifyList(),
-		lock:        newNotifyList(),
+		lockHooks:      make(map[LockID]map[uint64]LockHook),
+		sessHooks:      make(map[LockID]map[uint64]SessionHook),
+		varHooks:       make(map[VarID]map[uint64]func(int64)),
+		syncPending:    make(map[uint64]*syncWaiter),
+		data:           newNotifyList(),
+		lock:           newNotifyList(),
 	}
 }
 
@@ -358,8 +358,15 @@ func (n *Node) ingestFwd(g *memberGroup, m wire.Message, forward bool) {
 			return // adoption declined (e.g. hearsay self-promotion)
 		}
 	}
-	// Sequenced traffic from the current root is proof of life.
-	g.lastRoot = n.clock.Now()
+	// Sequenced traffic from the current root is proof of life; the
+	// dispatch timestamp (stamped once per handle/tick lock hold) stands
+	// in for a per-message clock read. The root applying its own
+	// multicast locally skips the stamp — it never failure-detects
+	// itself, and that apply can run outside a dispatch (a write API
+	// call), where msgNow would be stale.
+	if g.rootID != n.id {
+		g.lastRoot = n.msgNow
+	}
 	g.electing = false
 	switch {
 	case m.Seq < g.nextSeq:
@@ -472,8 +479,13 @@ func (n *Node) applySeq(g *memberGroup, m wire.Message) {
 			// Test-only corruption past the wire checksum: whatever the
 			// hook mutates is what this member folds and applies, so the
 			// digest faithfully reflects the (corrupted) local state and
-			// the root's sweep must catch the mismatch.
-			n.misapply(&m)
+			// the root's sweep must catch the mismatch. The copy dance
+			// keeps &m out of the common path: taking m's address directly
+			// would heap-allocate every message this hot path applies even
+			// with the hook unset.
+			mm := m
+			n.misapply(&mm)
+			m = mm
 		}
 		g.digest.Fold(m.Var, m.Seq, m.Val)
 		if g.suspended {

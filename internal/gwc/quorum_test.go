@@ -189,7 +189,7 @@ func TestQuorumWatermarkDefersHandoffUntilMajorityAck(t *testing.T) {
 	ls.entryEpochs[3] = 1
 	ls.epoch = 1
 	ls.queue = []lockWaiter{{node: 4}}
-	seqBefore := r.seq
+	seqBefore := r.ring.seq()
 	root.leaveLock(r, tLock, ls, 3)
 	if !ls.holds(4) || len(ls.queue) != 0 {
 		t.Fatalf("next holder not designated at release: holders=%v queue=%v", ls.holders, ls.queue)
@@ -197,8 +197,8 @@ func TestQuorumWatermarkDefersHandoffUntilMajorityAck(t *testing.T) {
 	if len(ls.pending) == 0 {
 		t.Fatal("grant multicast not deferred behind the watermark")
 	}
-	if r.seq != seqBefore {
-		t.Fatalf("deferred grant was multicast anyway: seq %d -> %d", seqBefore, r.seq)
+	if r.ring.seq() != seqBefore {
+		t.Fatalf("deferred grant was multicast anyway: seq %d -> %d", seqBefore, r.ring.seq())
 	}
 	if w := root.stats.QuorumAckWaits; w != 1 {
 		t.Fatalf("QuorumAckWaits = %d, want 1", w)
@@ -219,14 +219,14 @@ func TestQuorumWatermarkDefersHandoffUntilMajorityAck(t *testing.T) {
 	}
 
 	// The second member ack completes the majority and sends the parked
-	// multicast (which advances r.seq past the watermark again — the
+	// multicast (which advances r.ring.seq() past the watermark again — the
 	// next section's data, not yet quorum-held).
 	root.rootAck(r, 2, 1)
 	if r.commit != seqBefore {
 		t.Fatalf("commit = %d after majority ack, want %d", r.commit, seqBefore)
 	}
-	if len(ls.pending) != 0 || r.seq != seqBefore+1 {
-		t.Fatalf("deferred grant not serviced: pending=%v seq=%d", ls.pending, r.seq)
+	if len(ls.pending) != 0 || r.ring.seq() != seqBefore+1 {
+		t.Fatalf("deferred grant not serviced: pending=%v seq=%d", ls.pending, r.ring.seq())
 	}
 	if g := root.stats.LockGrants; g != 1 {
 		t.Fatalf("LockGrants = %d after the watermark advanced, want 1", g)
@@ -289,7 +289,7 @@ func TestSyncBarrierWaitsForQuorumCommit(t *testing.T) {
 	}
 	c.nodes[0].mu.Lock()
 	r := c.nodes[0].roots[tGroup]
-	commit, seq := r.commit, r.seq
+	commit, seq := r.commit, r.ring.seq()
 	c.nodes[0].mu.Unlock()
 	if commit < seq {
 		t.Fatalf("commit watermark %d below sequence %d after sync", commit, seq)

@@ -305,7 +305,7 @@ func TestRootSequencesAcrossManyVariables(t *testing.T) {
 		})
 	}
 	n.mu.Lock()
-	seq := n.roots[tGroup].seq
+	seq := n.roots[tGroup].ring.seq()
 	n.mu.Unlock()
 	if seq != 100 {
 		t.Errorf("root sequence = %d, want 100", seq)

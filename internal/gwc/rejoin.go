@@ -184,7 +184,7 @@ func (n *Node) handleJoinReq(m wire.Message) {
 			Type:  wire.TJoinAck,
 			Group: uint32(gid),
 			Src:   int32(n.id),
-			Seq:   r.seq,
+			Seq:   r.ring.seq(),
 			Val:   int64(n.id),
 			Epoch: r.epoch,
 		})

@@ -18,13 +18,14 @@ type rootGroup struct {
 	// reigns in epoch 0, each failover promotion starts a higher one.
 	epoch uint32
 
-	seq  uint64
 	auth map[VarID]int64
 
-	// history retains the last HistorySize sequenced messages for
-	// NACK-driven retransmission; history[(s-1)%len] holds seq s when
-	// still buffered.
-	history []wire.Message
+	// ring is the reign's sequencer and retransmission window: the
+	// sequence counter is an atomic logical clock and the last
+	// HistorySize sequenced messages (with digest checkpoints) live in
+	// stamped ring slots — see seqring.go for the single-writer
+	// protocol. r.ring.seq() is the watermark the old r.seq field held.
+	ring *seqRing
 
 	locks map[LockID]*lockState
 
@@ -53,7 +54,7 @@ type rootGroup struct {
 
 	// Quorum-ack watermark (fence.go): acks[m] is the highest sequence
 	// number member m cumulatively acknowledged, commit the quorum-th
-	// highest of those (counting the root at r.seq). Sync barriers and,
+	// highest of those (counting the root at r.ring.seq()). Sync barriers and,
 	// under SetQuorumAcks, lock handoffs wait for commit to reach the
 	// prefix they depend on.
 	acks      map[int]uint64
@@ -61,13 +62,13 @@ type rootGroup struct {
 	waitSyncs []syncBarrier
 
 	// Anti-entropy digest state (integrity.go): digest accumulates every
-	// sequenced data message this reign multicast, and digestRing[(s-1)%len]
-	// checkpoints the cumulative digest as of sequence s (parallel to the
-	// history ring), so a member's TDigestAck at any buffered watermark
-	// can be compared without replay. lastSweep paces the sweep.
-	digest     integrity.Digest
-	digestRing []uint64
-	lastSweep  time.Time
+	// sequenced data message this reign multicast, and the ring
+	// checkpoints the cumulative digest as of each sequence number
+	// (alongside the retained message), so a member's TDigestAck at any
+	// buffered watermark can be compared without replay. lastSweep paces
+	// the sweep.
+	digest    integrity.Digest
+	lastSweep time.Time
 
 	// storeSeen is the highest guarded-store nonce dispositioned per
 	// (origin, var). Members stamp every guarded update with a
@@ -229,17 +230,16 @@ func (ls *lockState) parked(node int) bool {
 
 func newRootGroup(cfg GroupConfig, now time.Time) *rootGroup {
 	r := &rootGroup{
-		cfg:        cfg,
-		auth:       make(map[VarID]int64),
-		history:    make([]wire.Message, cfg.HistorySize),
-		locks:      make(map[LockID]*lockState),
-		quorum:     len(cfg.Members)/2 + 1,
-		lastHeard:  make(map[int]time.Time),
-		acks:       make(map[int]uint64),
-		joinSeen:   make(map[int]uint64),
-		digestRing: make([]uint64, cfg.HistorySize),
-		lastSweep:  now,
-		storeSeen:  make(map[[2]uint32]uint64),
+		cfg:       cfg,
+		auth:      make(map[VarID]int64),
+		ring:      newSeqRing(cfg.HistorySize),
+		locks:     make(map[LockID]*lockState),
+		quorum:    len(cfg.Members)/2 + 1,
+		lastHeard: make(map[int]time.Time),
+		acks:      make(map[int]uint64),
+		joinSeen:  make(map[int]uint64),
+		lastSweep: now,
+		storeSeen: make(map[[2]uint32]uint64),
 	}
 	// Every member starts "recently heard": the lease must observe a full
 	// failAfter of silence before fencing a fresh reign. (The acting root
@@ -280,8 +280,10 @@ func (ls *lockState) queued(id int) bool {
 func (n *Node) rootHandle(r *rootGroup, m wire.Message) {
 	if src := int(m.Src); src != n.id && r.cfg.memberOf(src) {
 		// Any up-traffic from a configured member proves connectivity for
-		// the fencing lease, whatever epoch the sender believes in.
-		r.lastHeard[src] = n.clock.Now()
+		// the fencing lease, whatever epoch the sender believes in. The
+		// dispatch timestamp stands in for a per-message clock read: every
+		// inner message of a batch frame arrived in the same dispatch.
+		r.lastHeard[src] = n.msgNow
 	}
 	if m.Epoch != r.epoch {
 		if m.Epoch < r.epoch {
@@ -293,7 +295,7 @@ func (n *Node) rootHandle(r *rootGroup, m wire.Message) {
 				Type:  wire.THeartbeat,
 				Group: uint32(r.cfg.ID),
 				Src:   int32(n.id),
-				Seq:   r.seq,
+				Seq:   r.ring.seq(),
 				Val:   int64(n.id),
 				Epoch: r.epoch,
 			})
@@ -623,7 +625,7 @@ func (n *Node) leaveLock(r *rootGroup, l LockID, ls *lockState, origin int) {
 		n.emit(obs.EvSessClose, r.cfg.ID, int64(l), int64(sess))
 	}
 	if n.quorumAcks {
-		ls.needSeq = r.seq
+		ls.needSeq = r.ring.seq()
 	}
 	next, ok := n.popWaiter(ls)
 	if !ok {
@@ -785,21 +787,17 @@ func (n *Node) sendGrant(r *rootGroup, l LockID, ls *lockState, winner int) {
 }
 
 // rootNack retransmits the sequenced range [m.Seq, m.Val] to the
-// requester, as far back as the history buffer still reaches.
+// requester, as far back as the ring's retained window still reaches.
 func (n *Node) rootNack(r *rootGroup, m wire.Message) {
 	from, to := m.Seq, uint64(m.Val)
-	if to > r.seq {
-		to = r.seq
+	if to > r.ring.seq() {
+		to = r.ring.seq()
 	}
 	var out []wire.Message
 	for s := from; s <= to; s++ {
-		if r.seq > uint64(len(r.history)) && s <= r.seq-uint64(len(r.history)) {
-			// Older than the retained window.
-			n.stats.LostHistory++
-			continue
-		}
-		h := r.history[(s-1)%uint64(len(r.history))]
-		if h.Seq != s {
+		h, ok := r.ring.lookup(s)
+		if !ok {
+			// Overwritten — older than the retained window.
 			n.stats.LostHistory++
 			continue
 		}
@@ -817,18 +815,16 @@ func (n *Node) rootNack(r *rootGroup, m wire.Message) {
 // onward in ingest). The root applies locally through the same path, so
 // its own member state stays in order.
 func (n *Node) multicast(r *rootGroup, m wire.Message) {
-	r.seq++
-	m.Seq = r.seq
+	m.Seq = r.ring.tick()
 	m.Epoch = r.epoch
-	r.history[(r.seq-1)%uint64(len(r.history))] = m
 	// Fold data messages into the reign digest and checkpoint the
 	// cumulative sum at every sequence number (lock traffic folds
 	// nothing but still claims a checkpoint slot), so any watermark a
-	// member acks within the history window is comparable directly.
+	// member acks within the retained window is comparable directly.
 	if m.Type == wire.TSeqUpdate {
 		r.digest.Fold(m.Var, m.Seq, m.Val)
 	}
-	r.digestRing[(r.seq-1)%uint64(len(r.digestRing))] = r.digest.Sum()
+	r.ring.publish(m, r.digest.Sum())
 	if r.collecting {
 		// Batch collection window: park the stamped message for the single
 		// fan-out frame and advance the root's own member state now (tree

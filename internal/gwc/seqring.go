@@ -1,0 +1,116 @@
+package gwc
+
+import (
+	"sync/atomic"
+
+	"optsync/internal/wire"
+)
+
+// seqClock is the sequencer's logical clock: a bare atomic counter in
+// the classic LogicalClock shape — Tick advances and returns the new
+// value, Tock observes without advancing, Leap rebases. The root is the
+// clock's single writer (Tick/Leap run only under its dispatch), but
+// because every access is atomic, any goroutine may Tock a consistent
+// watermark without the node lock.
+type seqClock struct{ v atomic.Uint64 }
+
+func (c *seqClock) Tick() uint64   { return c.v.Add(1) }
+func (c *seqClock) Tock() uint64   { return c.v.Load() }
+func (c *seqClock) Leap(to uint64) { c.v.Store(to) }
+
+// seqRing is the root's sequencer and retransmission window in one
+// structure: a power-of-two ring of the most recently sequenced
+// messages, each slot stamped with the sequence number it holds, plus
+// the reign's cumulative digest checkpoint at that sequence.
+//
+// Single-writer invariant: exactly one goroutine — the root's message
+// dispatch — calls tick and publish, so slots need no lock and the
+// stamp order (invalidate, fill, stamp) is a plain release protocol.
+// Readers (NACK retransmission, digest comparison, heartbeat watermarks)
+// validate a slot by reloading its stamp around the copy, so they never
+// act on a half-overwritten entry even if they someday run outside the
+// node lock. A batch frame's messages are stamped by consecutive ticks
+// inside one collection window, so each frame occupies one contiguous
+// sequence range with no lock hold backing that contiguity — the atomic
+// counter alone orders the reign.
+type seqRing struct {
+	clk   seqClock
+	mask  uint64
+	slots []seqSlot
+}
+
+// seqSlot holds one sequenced message and the reign digest checkpoint
+// as of that message. stamp is the publication word: it carries the
+// sequence number the slot currently holds, and is zero while the slot
+// is being rewritten.
+type seqSlot struct {
+	stamp  atomic.Uint64
+	msg    wire.Message
+	digest uint64
+}
+
+// newSeqRing builds a ring retaining at least `size` sequenced messages
+// (rounded up to a power of two so slot indexing is a mask, not a
+// division).
+func newSeqRing(size int) *seqRing {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &seqRing{mask: uint64(n - 1), slots: make([]seqSlot, n)}
+}
+
+// seq is the current sequence watermark (the last stamped number).
+func (r *seqRing) seq() uint64 { return r.clk.Tock() }
+
+// tick reserves and returns the next sequence number. Single writer
+// only.
+func (r *seqRing) tick() uint64 { return r.clk.Tick() }
+
+// publish records a stamped message (m.Seq must come from tick) and the
+// cumulative digest at that sequence into the ring, overwriting the
+// slot that held m.Seq-len(slots). Single writer only.
+func (r *seqRing) publish(m wire.Message, digest uint64) {
+	s := &r.slots[(m.Seq-1)&r.mask]
+	s.stamp.Store(0) // invalidate: readers must not trust a torn slot
+	s.msg = m
+	s.digest = digest
+	s.stamp.Store(m.Seq)
+}
+
+// lookup returns the retained message for sequence number q, or ok =
+// false when q has been overwritten (fell out of the window), was never
+// stamped, or is mid-rewrite.
+func (r *seqRing) lookup(q uint64) (wire.Message, bool) {
+	if q == 0 || q > r.seq() {
+		return wire.Message{}, false
+	}
+	s := &r.slots[(q-1)&r.mask]
+	if s.stamp.Load() != q {
+		return wire.Message{}, false
+	}
+	m := s.msg
+	// Re-validate after the copy: if the writer lapped us mid-read, the
+	// stamp has changed (or is zero) and the copy is torn.
+	if s.stamp.Load() != q {
+		return wire.Message{}, false
+	}
+	return m, true
+}
+
+// digestAt returns the reign's cumulative digest checkpoint as of
+// sequence q, with the same retention and tearing rules as lookup.
+func (r *seqRing) digestAt(q uint64) (uint64, bool) {
+	if q == 0 || q > r.seq() {
+		return 0, false
+	}
+	s := &r.slots[(q-1)&r.mask]
+	if s.stamp.Load() != q {
+		return 0, false
+	}
+	d := s.digest
+	if s.stamp.Load() != q {
+		return 0, false
+	}
+	return d, true
+}

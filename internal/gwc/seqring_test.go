@@ -1,0 +1,150 @@
+package gwc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"optsync/internal/wire"
+)
+
+func ringMsg(seq uint64) wire.Message {
+	return wire.Message{Type: wire.TSeqUpdate, Seq: seq, Var: 7, Val: int64(seq) * 3}
+}
+
+func TestSeqRingStampAndLookup(t *testing.T) {
+	r := newSeqRing(8)
+	if got := r.seq(); got != 0 {
+		t.Fatalf("fresh ring watermark = %d, want 0", got)
+	}
+	for i := 0; i < 5; i++ {
+		s := r.tick()
+		if s != uint64(i+1) {
+			t.Fatalf("tick %d returned %d", i, s)
+		}
+		r.publish(ringMsg(s), s*100)
+	}
+	if got := r.seq(); got != 5 {
+		t.Fatalf("watermark = %d, want 5", got)
+	}
+	for s := uint64(1); s <= 5; s++ {
+		m, ok := r.lookup(s)
+		if !ok || m.Seq != s || m.Val != int64(s)*3 {
+			t.Fatalf("lookup(%d) = %+v, %v", s, m, ok)
+		}
+		d, ok := r.digestAt(s)
+		if !ok || d != s*100 {
+			t.Fatalf("digestAt(%d) = %d, %v", s, d, ok)
+		}
+	}
+	// Out-of-range queries: zero, future, and never-stamped slots.
+	if _, ok := r.lookup(0); ok {
+		t.Fatal("lookup(0) succeeded")
+	}
+	if _, ok := r.lookup(6); ok {
+		t.Fatal("lookup past the watermark succeeded")
+	}
+	if _, ok := r.digestAt(9); ok {
+		t.Fatal("digestAt past the watermark succeeded")
+	}
+}
+
+func TestSeqRingRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{{1, 1}, {2, 2}, {3, 4}, {8, 8}, {100, 128}, {1000, 1024}} {
+		r := newSeqRing(tc.ask)
+		if len(r.slots) != tc.want {
+			t.Errorf("newSeqRing(%d) holds %d slots, want %d", tc.ask, len(r.slots), tc.want)
+		}
+	}
+}
+
+func TestSeqRingWraparound(t *testing.T) {
+	r := newSeqRing(8) // exactly 8 slots
+	for s := r.tick(); s <= 20; s = r.tick() {
+		r.publish(ringMsg(s), s)
+	}
+	// Watermark is 21 (the loop's last tick published 20, then ticked 21
+	// without publishing — simulate the in-flight stamp by publishing it).
+	r.publish(ringMsg(21), 21)
+	for s := uint64(1); s <= 13; s++ {
+		if _, ok := r.lookup(s); ok {
+			t.Fatalf("lookup(%d) returned an overwritten entry", s)
+		}
+		if _, ok := r.digestAt(s); ok {
+			t.Fatalf("digestAt(%d) returned an overwritten checkpoint", s)
+		}
+	}
+	for s := uint64(14); s <= 21; s++ {
+		m, ok := r.lookup(s)
+		if !ok || m.Seq != s {
+			t.Fatalf("retained lookup(%d) = %+v, %v", s, m, ok)
+		}
+	}
+}
+
+// TestSeqRingFreshReign pins the failover contract: promotion builds a
+// fresh rootGroup, so each reign's ring starts at zero and retains
+// nothing from the deposed sequencer.
+func TestSeqRingFreshReign(t *testing.T) {
+	old := newSeqRing(8)
+	for i := 0; i < 5; i++ {
+		s := old.tick()
+		old.publish(ringMsg(s), s)
+	}
+	r := newRootGroup(GroupConfig{ID: 1, Members: []int{0, 1}, HistorySize: 8}, time.Now())
+	if got := r.ring.seq(); got != 0 {
+		t.Fatalf("fresh reign watermark = %d, want 0", got)
+	}
+	if _, ok := r.ring.lookup(3); ok {
+		t.Fatal("fresh reign retained a deposed reign's entry")
+	}
+}
+
+// TestSeqRingConcurrentReaders hammers lookups and digest reads while
+// the single writer laps the ring, under the race detector: readers must
+// only ever observe fully published entries whose contents match their
+// stamp.
+func TestSeqRingConcurrentReaders(t *testing.T) {
+	r := newSeqRing(16)
+	const total = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hi := r.seq()
+				if hi == 0 {
+					continue
+				}
+				for q := hi; q > 0 && q+32 > hi; q-- {
+					if m, ok := r.lookup(q); ok {
+						if m.Seq != q || m.Val != int64(q)*3 {
+							t.Errorf("torn read: asked %d got seq=%d val=%d", q, m.Seq, m.Val)
+							return
+						}
+					}
+					if d, ok := r.digestAt(q); ok && d != q {
+						t.Errorf("torn digest: asked %d got %d", q, d)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		s := r.tick()
+		r.publish(ringMsg(s), s)
+	}
+	close(stop)
+	wg.Wait()
+	if r.seq() != total {
+		t.Fatalf("watermark = %d, want %d", r.seq(), total)
+	}
+}

@@ -147,12 +147,58 @@ func (g *GaugeSnapshot) Merge(o GaugeSnapshot) {
 	}
 }
 
+// TransportStats is a point-in-time copy of the transport layer's
+// counters, filled in by the cluster when the underlying network exposes
+// them (the TCP transport does; in-process delivery has nothing to
+// count). Everything is cumulative since the network came up.
+type TransportStats struct {
+	// FramesSent and BytesSent count wire frames (a batch frame is one)
+	// and encoded bytes shipped to remote peers.
+	FramesSent uint64
+	BytesSent  uint64
+	// Writevs counts vectored write batches: each is one drained outbox
+	// shipped by a single writev, so FramesSent/Writevs is the
+	// frames-per-syscall amortization of the send path.
+	Writevs uint64
+	// FramesRecv counts wire frames decoded off inbound connections.
+	FramesRecv uint64
+	// DecodeErrors counts inbound frames the codec rejected (checksum,
+	// type, or framing violations — transport-level corruption).
+	DecodeErrors uint64
+	// ConnResets counts connections the reader proactively reset because
+	// a decode error left the stream framing untrustworthy; the remote
+	// redials and retry/NACK recovery repairs the gap.
+	ConnResets uint64
+	// SendDrops counts frames shed from a full peer outbox (drop-oldest
+	// bounding); the GWC layer recovers them like network loss.
+	SendDrops uint64
+	// Dials counts successful outbound connection establishments;
+	// LinksAdopted counts inbound connections adopted as the shared
+	// duplex link to a peer instead of dialing one back.
+	Dials        uint64
+	LinksAdopted uint64
+}
+
+// Merge folds another transport snapshot in (all counters sum).
+func (t *TransportStats) Merge(o TransportStats) {
+	t.FramesSent += o.FramesSent
+	t.BytesSent += o.BytesSent
+	t.Writevs += o.Writevs
+	t.FramesRecv += o.FramesRecv
+	t.DecodeErrors += o.DecodeErrors
+	t.ConnResets += o.ConnResets
+	t.SendDrops += o.SendDrops
+	t.Dials += o.Dials
+	t.LinksAdopted += o.LinksAdopted
+}
+
 // MetricsSnapshot is a point-in-time copy of a node's Metrics,
 // mergeable across nodes.
 type MetricsSnapshot struct {
-	Hists  [NumHists]HistSnapshot
-	Events [NumEventTypes]uint64
-	Gauges [NumGauges]GaugeSnapshot
+	Hists     [NumHists]HistSnapshot
+	Events    [NumEventTypes]uint64
+	Gauges    [NumGauges]GaugeSnapshot
+	Transport TransportStats
 }
 
 // Merge folds another snapshot into this one.
@@ -166,4 +212,5 @@ func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
 	for i := range s.Gauges {
 		s.Gauges[i].Merge(o.Gauges[i])
 	}
+	s.Transport.Merge(o.Transport)
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"optsync/internal/obs"
 	"optsync/internal/wire"
 )
 
@@ -149,6 +150,15 @@ func (f *Flaky) Stats() (dropped, duplicated, delayed int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.dropped, f.duplicated, f.delayed
+}
+
+// TransportStats surfaces the wrapped network's transport counters when
+// it keeps any (the TCP mesh does); a zero snapshot otherwise.
+func (f *Flaky) TransportStats() obs.TransportStats {
+	if ts, ok := f.inner.(interface{ TransportStats() obs.TransportStats }); ok {
+		return ts.TransportStats()
+	}
+	return obs.TransportStats{}
 }
 
 // Corrupt sets the bit-flip corruption rate at runtime, so a soak can
@@ -340,14 +350,25 @@ func (e *flakyEndpoint) Send(to int, m wire.Message) error {
 	return nil
 }
 
-// corrupt encodes m, flips one random bit, and runs the bytes back
-// through the codec — faithfully modeling what a receiver would see on
-// a byte-stream transport even when the underlying Network passes
-// structs around (InProc, detsim). A decode error means the checksum
-// caught the flip: the frame is discarded like a drop and the usual
-// retry machinery recovers it. A clean decode means silent acceptance:
-// the corrupted message is delivered, and the corruptMissed counter
-// convicts the codec.
+// rawSender is the transport back door fault injection uses to put
+// literal bytes on the wire: the TCP endpoints implement it, so a
+// corrupted frame really crosses the socket and the remote reader's
+// decode path — not a local simulation of it.
+type rawSender interface {
+	SendEncoded(to int, frame []byte) error
+}
+
+// corrupt encodes m, flips one random bit, and ships the damage. When
+// the inner endpoint exposes a raw-bytes path (TCP), the corrupt frame
+// is sent verbatim over the real wire and the receiver's decoder — with
+// its DecodeErrors accounting and skip-or-reset classification — deals
+// with it end to end. Otherwise (InProc, detsim pass structs around)
+// the bytes are run back through the codec locally, faithfully modeling
+// what a byte-stream receiver would see. Either way a decode error
+// means the checksum caught the flip: the frame is discarded like a
+// drop and the usual retry machinery recovers it. A clean decode means
+// silent acceptance: the corrupted message is delivered, and the
+// corruptMissed counter convicts the codec.
 func (e *flakyEndpoint) corrupt(to int, m wire.Message) error {
 	f := e.net
 	buf := wire.Encode(nil, m)
@@ -356,16 +377,24 @@ func (e *flakyEndpoint) corrupt(to int, m wire.Message) error {
 	f.corrupted++
 	f.mu.Unlock()
 	buf[bit/8] ^= 1 << (bit % 8)
+	// Classify locally either way, so CorruptStats stays comparable
+	// between transports.
 	dm, err := wire.Decode(buf)
 	if err != nil {
 		f.mu.Lock()
 		f.corruptCaught++
 		f.mu.Unlock()
+	} else {
+		f.mu.Lock()
+		f.corruptMissed++
+		f.mu.Unlock()
+	}
+	if rs, ok := e.inner.(rawSender); ok {
+		return rs.SendEncoded(to, buf)
+	}
+	if err != nil {
 		return nil
 	}
-	f.mu.Lock()
-	f.corruptMissed++
-	f.mu.Unlock()
 	return e.deliver(to, dm)
 }
 

@@ -2,13 +2,18 @@ package transport
 
 import (
 	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"optsync/internal/obs"
 	"optsync/internal/wire"
 )
 
@@ -16,9 +21,16 @@ import (
 // created within one process (use Join to attach a node from its own
 // process). Listener addresses may use port 0; the actual ports are
 // resolved before any endpoint is returned.
+//
+// Links are multiplexed per node pair, not per group: one writer
+// goroutine and (at most) one connection carry every group's traffic
+// between two nodes, and a dialed connection identifies itself with a
+// hello preamble so the acceptor can adopt it as the shared duplex link
+// instead of dialing a second socket back.
 type TCPNet struct {
 	addrs []string
 	eps   []*tcpEndpoint
+	stats *tcpStats
 }
 
 var _ Network = (*TCPNet)(nil)
@@ -41,9 +53,10 @@ func NewTCP(addrs []string) (*TCPNet, error) {
 		listeners[i] = ln
 		actual[i] = ln.Addr().String()
 	}
-	n := &TCPNet{addrs: actual, eps: make([]*tcpEndpoint, len(addrs))}
+	stats := &tcpStats{}
+	n := &TCPNet{addrs: actual, eps: make([]*tcpEndpoint, len(addrs)), stats: stats}
 	for i, ln := range listeners {
-		n.eps[i] = newTCPEndpoint(i, ln, actual)
+		n.eps[i] = newTCPEndpoint(i, ln, actual, stats)
 	}
 	return n, nil
 }
@@ -58,7 +71,7 @@ func Join(id int, addrs []string) (Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addrs[id], err)
 	}
-	return newTCPEndpoint(id, ln, addrs), nil
+	return newTCPEndpoint(id, ln, addrs, &tcpStats{}), nil
 }
 
 // Size implements Network.
@@ -83,12 +96,88 @@ func (t *TCPNet) Close() error {
 	return first
 }
 
+// TransportStats snapshots the mesh-wide transport counters.
+func (t *TCPNet) TransportStats() obs.TransportStats { return t.stats.snapshot() }
+
+// tcpStats are the transport's live counters, shared by every endpoint
+// of one Network (a Join endpoint carries its own).
+type tcpStats struct {
+	framesSent   atomic.Uint64
+	bytesSent    atomic.Uint64
+	writevs      atomic.Uint64
+	framesRecv   atomic.Uint64
+	decodeErrors atomic.Uint64
+	connResets   atomic.Uint64
+	sendDrops    atomic.Uint64
+	dials        atomic.Uint64
+	linksAdopted atomic.Uint64
+}
+
+func (s *tcpStats) snapshot() obs.TransportStats {
+	return obs.TransportStats{
+		FramesSent:   s.framesSent.Load(),
+		BytesSent:    s.bytesSent.Load(),
+		Writevs:      s.writevs.Load(),
+		FramesRecv:   s.framesRecv.Load(),
+		DecodeErrors: s.decodeErrors.Load(),
+		ConnResets:   s.connResets.Load(),
+		SendDrops:    s.sendDrops.Load(),
+		Dials:        s.dials.Load(),
+		LinksAdopted: s.linksAdopted.Load(),
+	}
+}
+
+// The hello preamble a dialer writes before its first frame: magic,
+// version, the dialer's node id, and a CRC32C over the rest. It lets the
+// acceptor attribute the connection to a peer and adopt it as the
+// shared duplex link (multiplexing), and rejects strangers that happen
+// to connect to the port.
+const helloSize = 8 + 4 + 4
+
+var (
+	helloMagic = [8]byte{'o', 'p', 't', 's', 'y', 'n', 'c', '2'}
+	helloTable = crc32.MakeTable(crc32.Castagnoli)
+)
+
+func putHello(b *[helloSize]byte, id int) {
+	copy(b[:8], helloMagic[:])
+	binary.BigEndian.PutUint32(b[8:], uint32(id))
+	binary.BigEndian.PutUint32(b[12:], crc32.Checksum(b[:12], helloTable))
+}
+
+func parseHello(b *[helloSize]byte) (id int, ok bool) {
+	if [8]byte(b[:8]) != helloMagic {
+		return 0, false
+	}
+	if binary.BigEndian.Uint32(b[12:]) != crc32.Checksum(b[:12], helloTable) {
+		return 0, false
+	}
+	return int(binary.BigEndian.Uint32(b[8:])), true
+}
+
+// defaultOutboxBound caps a peer's outbox. A slow-but-alive peer sheds
+// the oldest frames (counted as SendDrops) instead of growing resident
+// memory without limit; the GWC layer's sequence numbers and NACK/retry
+// recovery repair the shed frames exactly like network loss. The bound
+// comfortably covers the root's retransmit window (wire.MaxBatch).
+const defaultOutboxBound = 2 * wire.MaxBatch
+
+// outMsg is one outbox entry: a message for the writer to encode, or —
+// on the raw path fault injectors use — a pre-encoded frame shipped
+// verbatim.
+type outMsg struct {
+	m   wire.Message
+	raw []byte
+}
+
 // tcpEndpoint is one node's listener, inbox, and outgoing peer links.
 type tcpEndpoint struct {
-	id    int
-	addrs []string
-	ln    net.Listener
-	inbox *mailbox
+	id       int
+	addrs    []string
+	ln       net.Listener
+	inbox    *mailbox[wire.Message]
+	stats    *tcpStats
+	outBound int // outbox cap for newly created peers (tests shrink it)
 
 	mu      sync.Mutex
 	peers   map[int]*tcpPeer
@@ -97,13 +186,15 @@ type tcpEndpoint struct {
 	wg      sync.WaitGroup
 }
 
-func newTCPEndpoint(id int, ln net.Listener, addrs []string) *tcpEndpoint {
+func newTCPEndpoint(id int, ln net.Listener, addrs []string, stats *tcpStats) *tcpEndpoint {
 	ep := &tcpEndpoint{
-		id:    id,
-		addrs: append([]string(nil), addrs...),
-		ln:    ln,
-		inbox: newMailbox(),
-		peers: make(map[int]*tcpPeer),
+		id:       id,
+		addrs:    append([]string(nil), addrs...),
+		ln:       ln,
+		inbox:    newMailbox[wire.Message](),
+		stats:    stats,
+		outBound: defaultOutboxBound,
+		peers:    make(map[int]*tcpPeer),
 	}
 	ep.wg.Add(1)
 	go ep.acceptLoop()
@@ -111,8 +202,8 @@ func newTCPEndpoint(id int, ln net.Listener, addrs []string) *tcpEndpoint {
 }
 
 // acceptLoop turns every inbound connection into a frame reader feeding
-// the inbox. The sender's identity travels in each message's Src field,
-// so no handshake is needed.
+// the inbox. The dialer's hello preamble names the remote node, so the
+// connection can double as the outgoing link to that peer (adoption).
 func (ep *tcpEndpoint) acceptLoop() {
 	defer ep.wg.Done()
 	for {
@@ -129,26 +220,104 @@ func (ep *tcpEndpoint) acceptLoop() {
 		ep.inbound = append(ep.inbound, conn)
 		ep.mu.Unlock()
 		ep.wg.Add(1)
+		go ep.readLoop(conn)
+	}
+}
+
+// readLoop drives one inbound connection: validate the hello, offer the
+// connection to the peer's writer as the shared duplex link, then decode
+// frames until the connection dies — or until a decode error proves the
+// stream framing can no longer be trusted, in which case the reader
+// resets the link proactively (ConnResets) so the remote redials at
+// once instead of black-holing frames into a dead socket. Frame-local
+// corruption (wire.ErrCorruptFrame) only skips the one frame: the
+// framing is still synchronized, later frames on the connection are
+// fine, and the GWC layer recovers the skipped frame via NACK/retry.
+func (ep *tcpEndpoint) readLoop(conn net.Conn) {
+	defer ep.wg.Done()
+	defer func() { _ = conn.Close() }()
+	r := bufio.NewReader(conn)
+	var hello [helloSize]byte
+	if _, err := io.ReadFull(r, hello[:]); err != nil {
+		return
+	}
+	from, ok := parseHello(&hello)
+	if !ok {
+		return // a stranger, not a cluster peer
+	}
+	if from >= 0 && from < len(ep.addrs) && from != ep.id {
+		ep.adopt(from, conn)
+	}
+	ep.frameLoop(r, conn)
+}
+
+// frameLoop decodes frames off a connection — inbound or dialed (a
+// dialed connection carries the peer's traffic back once the remote
+// adopts it) — until it dies or the framing desynchronizes.
+func (ep *tcpEndpoint) frameLoop(r *bufio.Reader, conn net.Conn) {
+	for {
+		m, err := wire.ReadFrom(r)
+		if err != nil {
+			if errors.Is(err, wire.ErrCorruptFrame) {
+				ep.stats.decodeErrors.Add(1)
+				continue
+			}
+			if !isConnError(err) {
+				// Desync-class decode failure on a live connection:
+				// count it and reset the link (the deferred close in our
+				// caller); the remote's next write fails immediately and
+				// it redials.
+				ep.stats.decodeErrors.Add(1)
+				ep.stats.connResets.Add(1)
+			}
+			return
+		}
+		ep.stats.framesRecv.Add(1)
+		if err := ep.inbox.put(m); err != nil {
+			return // endpoint closed
+		}
+	}
+}
+
+// isConnError reports whether err is connection death (remote close,
+// torn frame on a dying socket, local shutdown) rather than a decode
+// failure on a live stream.
+func isConnError(err error) bool {
+	var ne net.Error
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.As(err, &ne)
+}
+
+// adopt offers an identified inbound connection to the peer's writer as
+// the outgoing link, creating the peer if the first contact was inbound.
+func (ep *tcpEndpoint) adopt(from int, conn net.Conn) {
+	p, err := ep.peer(from)
+	if err != nil {
+		return
+	}
+	if p.offer(conn) {
+		ep.stats.linksAdopted.Add(1)
+	}
+}
+
+// peer returns the writer for node `to`, creating it on first use.
+func (ep *tcpEndpoint) peer(to int) (*tcpPeer, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return nil, ErrClosed
+	}
+	p, ok := ep.peers[to]
+	if !ok {
+		p = newTCPPeer(ep, to)
+		ep.peers[to] = p
+		ep.wg.Add(1)
 		go func() {
 			defer ep.wg.Done()
-			defer func() { _ = conn.Close() }()
-			r := bufio.NewReader(conn)
-			for {
-				m, err := wire.ReadFrom(r)
-				if err != nil {
-					if err != io.EOF {
-						// A torn frame on a dying connection; the GWC
-						// layer recovers lost messages via NACK.
-						_ = err
-					}
-					return
-				}
-				if err := ep.inbox.put(m); err != nil {
-					return // endpoint closed
-				}
-			}
+			p.writeLoop()
 		}()
 	}
+	return p, nil
 }
 
 // Send implements Endpoint, dialing peers lazily and writing through a
@@ -160,24 +329,41 @@ func (ep *tcpEndpoint) Send(to int, m wire.Message) error {
 	if to < 0 || to >= len(ep.addrs) {
 		return fmt.Errorf("transport: send to %d out of range [0,%d)", to, len(ep.addrs))
 	}
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
-		return ErrClosed
+	p, err := ep.peer(to)
+	if err != nil {
+		return err
 	}
-	peer, ok := ep.peers[to]
-	if !ok {
-		peer = &tcpPeer{addr: ep.addrs[to], out: newMailbox()}
-		ep.peers[to] = peer
-		ep.wg.Add(1)
-		go func() {
-			defer ep.wg.Done()
-			peer.writeLoop()
-		}()
-	}
-	ep.mu.Unlock()
-	return peer.out.put(m)
+	return p.out.put(outMsg{m: m})
 }
+
+// SendEncoded ships a pre-encoded frame verbatim — fault injectors use
+// it to put genuinely corrupt bytes on the real wire, something Send
+// cannot do because it re-encodes. The frame is copied (the caller may
+// reuse its buffer). A self-send runs through the decoder like a remote
+// reader would, dropping (and counting) undecodable frames.
+func (ep *tcpEndpoint) SendEncoded(to int, frame []byte) error {
+	if to == ep.id {
+		m, err := wire.Decode(frame)
+		if err != nil {
+			ep.stats.decodeErrors.Add(1)
+			return nil
+		}
+		ep.stats.framesRecv.Add(1)
+		return ep.inbox.put(m)
+	}
+	if to < 0 || to >= len(ep.addrs) {
+		return fmt.Errorf("transport: send to %d out of range [0,%d)", to, len(ep.addrs))
+	}
+	p, err := ep.peer(to)
+	if err != nil {
+		return err
+	}
+	return p.out.put(outMsg{raw: append([]byte(nil), frame...)})
+}
+
+// TransportStats snapshots the endpoint's transport counters (shared
+// with the whole mesh when the endpoint came from NewTCP).
+func (ep *tcpEndpoint) TransportStats() obs.TransportStats { return ep.stats.snapshot() }
 
 // Recv implements Endpoint.
 func (ep *tcpEndpoint) Recv() (wire.Message, bool) { return ep.inbox.get() }
@@ -221,28 +407,72 @@ const (
 	dialBackoffMax  = 2 * time.Second
 )
 
-// tcpPeer is one outgoing link: an unbounded outbox drained by a writer
-// goroutine.
+// chunkSize bounds one pooled writev chunk. A drained outbox encodes
+// into as few chunks as fit — frames laid flat, contiguous end-to-end —
+// and the chunk list ships as one vectored write.
+const chunkSize = 64 << 10
+
+// chunkPool recycles writev chunk buffers across peers.
+var chunkPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, chunkSize)
+	return &b
+}}
+
+// tcpPeer is one outgoing link: a bounded outbox drained whole by a
+// writer goroutine into vectored writes.
 type tcpPeer struct {
+	ep   *tcpEndpoint
+	to   int
 	addr string
-	out  *mailbox
+	out  *mailbox[outMsg]
 
-	mu   sync.Mutex
-	conn net.Conn
+	// conn is shared between the writer goroutine, link adoption (the
+	// acceptor installing an inbound connection), and close; it lives
+	// under mu. Everything below the RNG line is reconnect state owned
+	// exclusively by the writer goroutine — dial and its backoff
+	// bookkeeping only ever run on writeLoop's stack, so they need no
+	// lock, but they must never migrate under mu-free access from
+	// another goroutine.
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
 
-	// Reconnect state, only touched by the writer goroutine.
+	// rng drives the dial jitter: per-peer and deterministically seeded
+	// (like the gwc retry backoff's per-node rng), so reconnect storms
+	// decorrelate without contending on the global math/rand lock.
+	rng      *rand.Rand
 	fails    int
 	nextDial time.Time
 }
 
-// writeLoop drains the outbox onto the connection, dialing on demand
-// with exponential backoff. Messages that arrive while the link is down
-// and still backing off are dropped; the GWC layer's retry timers and
-// sequence numbers detect and repair the loss.
+func newTCPPeer(ep *tcpEndpoint, to int) *tcpPeer {
+	// Seeded like the gwc retry backoff's per-node rng (Knuth
+	// multiplicative hash of the identity), folded over both ends of the
+	// link so every peer pair jitters differently but reproducibly.
+	seed := (int64(ep.id)*2654435761+int64(to))*2654435761 + 1
+	return &tcpPeer{
+		ep:   ep,
+		to:   to,
+		addr: ep.addrs[to],
+		out:  newBoundedMailbox[outMsg](ep.outBound, &ep.stats.sendDrops),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// writeLoop drains the whole outbox per wakeup, encodes the drained
+// frames flat into pooled chunks, and ships the chunk list as one
+// vectored write (writev) — no per-message syscalls, no lingering
+// userspace buffer to hide a dead connection behind: a write error
+// surfaces on the very batch that hit it and resets the link. Messages
+// drained while the link is down and still backing off are dropped; the
+// GWC layer's retry timers and sequence numbers detect and repair the
+// loss.
 func (p *tcpPeer) writeLoop() {
-	var w *bufio.Writer
+	var spare []outMsg
+	var owned []*[]byte  // pooled chunk buffers of the current batch
+	var bufs net.Buffers // writev view of owned (consumed by WriteTo)
 	for {
-		m, ok := p.out.get()
+		batch, ok := p.out.drain(spare)
 		if !ok {
 			p.mu.Lock()
 			if p.conn != nil {
@@ -251,25 +481,63 @@ func (p *tcpPeer) writeLoop() {
 			p.mu.Unlock()
 			return
 		}
-		if p.connLocked() == nil {
-			if err := p.dial(); err != nil {
-				continue // drop; retry/NACK recovery handles it
+		spare = batch
+		conn := p.connLocked()
+		if conn == nil {
+			var err error
+			if conn, err = p.dial(); err != nil {
+				continue // drop the batch; retry/NACK recovery handles it
 			}
-			w = bufio.NewWriter(p.connLocked())
 		}
-		if err := wire.WriteTo(w, m); err != nil {
+
+		// Lay the batch out flat: frames contiguous end-to-end within
+		// each chunk, a new chunk only when the current one is full.
+		var frames, nbytes uint64
+		cur := chunkPool.Get().(*[]byte)
+		for i := range batch {
+			om := &batch[i]
+			need := len(om.raw)
+			if om.raw == nil {
+				need = wire.EncodedLen(om.m)
+			}
+			if len(*cur)+need > cap(*cur) && len(*cur) > 0 {
+				owned = append(owned, cur)
+				cur = chunkPool.Get().(*[]byte)
+			}
+			if om.raw != nil {
+				*cur = append(*cur, om.raw...)
+				om.raw = nil // recycled via spare; release the bytes
+			} else {
+				*cur = wire.Encode(*cur, om.m)
+			}
+			frames++
+			nbytes += uint64(need)
+		}
+		owned = append(owned, cur)
+
+		bufs = bufs[:0]
+		for _, c := range owned {
+			if len(*c) > 0 {
+				bufs = append(bufs, *c)
+			}
+		}
+		var err error
+		if len(bufs) > 0 {
+			_, err = bufs.WriteTo(conn)
+		}
+		for i, c := range owned {
+			*c = (*c)[:0]
+			chunkPool.Put(c)
+			owned[i] = nil
+		}
+		owned = owned[:0]
+		if err != nil {
 			p.resetConn()
-			w = nil
 			continue
 		}
-		// Flush when the outbox drains so batches of messages share
-		// syscalls but nothing lingers.
-		if p.out.len() == 0 {
-			if err := w.Flush(); err != nil {
-				p.resetConn()
-				w = nil
-			}
-		}
+		p.ep.stats.writevs.Add(1)
+		p.ep.stats.framesSent.Add(frames)
+		p.ep.stats.bytesSent.Add(nbytes)
 	}
 }
 
@@ -277,6 +545,18 @@ func (p *tcpPeer) connLocked() net.Conn {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.conn
+}
+
+// offer installs an adopted inbound connection as the outgoing link if
+// the peer has none, multiplexing both directions over one socket.
+func (p *tcpPeer) offer(conn net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.conn != nil {
+		return false
+	}
+	p.conn = conn
+	return true
 }
 
 func (p *tcpPeer) resetConn() {
@@ -290,19 +570,53 @@ func (p *tcpPeer) resetConn() {
 
 // dial attempts one connection, honouring the exponential backoff from
 // previous failures. While the backoff window is open it fails fast so a
-// down peer cannot stall the writer behind one-second dial timeouts.
-func (p *tcpPeer) dial() error {
+// down peer cannot stall the writer behind one-second dial timeouts. A
+// successful dial writes the hello preamble so the acceptor can adopt
+// the connection for its own traffic back to us.
+func (p *tcpPeer) dial() (net.Conn, error) {
 	if !p.nextDial.IsZero() && time.Now().Before(p.nextDial) {
-		return fmt.Errorf("transport: dial %s: backing off", p.addr)
+		return nil, fmt.Errorf("transport: dial %s: backing off", p.addr)
 	}
 	conn, err := net.DialTimeout("tcp", p.addr, time.Second)
+	if err == nil {
+		var hello [helloSize]byte
+		putHello(&hello, p.ep.id)
+		if _, werr := conn.Write(hello[:]); werr != nil {
+			_ = conn.Close()
+			err = werr
+		}
+	}
 	if err == nil {
 		p.fails = 0
 		p.nextDial = time.Time{}
 		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			return nil, ErrClosed
+		}
+		if p.conn != nil {
+			// Link adoption raced the dial and won; keep the adopted
+			// duplex link and discard the fresh socket.
+			adopted := p.conn
+			p.mu.Unlock()
+			_ = conn.Close()
+			return adopted, nil
+		}
 		p.conn = conn
 		p.mu.Unlock()
-		return nil
+		p.ep.stats.dials.Add(1)
+		// The link is duplex: the remote adopts it for its traffic back
+		// to us, so the dialer reads frames off it too. (The wg.Add is
+		// safe against Close's Wait because the writer goroutine calling
+		// dial is itself wg-tracked, holding the counter above zero.)
+		p.ep.wg.Add(1)
+		go func() {
+			defer p.ep.wg.Done()
+			defer func() { _ = conn.Close() }()
+			p.ep.frameLoop(bufio.NewReader(conn), conn)
+		}()
+		return conn, nil
 	}
 	backoff := dialBackoffBase << p.fails
 	if backoff > dialBackoffMax {
@@ -312,18 +626,20 @@ func (p *tcpPeer) dial() error {
 	}
 	// Jitter up to 25% so a mesh of reconnecting peers does not dial a
 	// recovering node in lockstep.
-	backoff += time.Duration(rand.Int63n(int64(backoff)/4 + 1))
+	backoff += time.Duration(p.rng.Int63n(int64(backoff)/4 + 1))
 	p.nextDial = time.Now().Add(backoff)
-	return fmt.Errorf("transport: dial %s: %w", p.addr, err)
+	return nil, fmt.Errorf("transport: dial %s: %w", p.addr, err)
 }
 
 func (p *tcpPeer) close() {
+	p.mu.Lock()
+	p.closed = true
+	if p.conn != nil {
+		// Unblock a writer stalled mid-write against a wedged peer; its
+		// WriteTo fails immediately and writeLoop exits via the closed
+		// outbox. (writeLoop's own exit path tolerates the double close.)
+		_ = p.conn.Close()
+	}
+	p.mu.Unlock()
 	p.out.close()
-}
-
-// len reports the queue depth (used to decide when to flush).
-func (mb *mailbox) len() int {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	return len(mb.queue)
 }

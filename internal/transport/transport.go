@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"optsync/internal/wire"
 )
@@ -50,50 +51,124 @@ type Network interface {
 	Close() error
 }
 
-// mailbox is an unbounded FIFO with blocking receive. The unbounded
-// buffer is deliberate: the group root multicasts every sequenced write
-// to every member, and bounding the queue would let one slow member block
-// the sequencer for the whole group (the paper's hardware interfaces
-// buffer in memory for the same reason).
-type mailbox struct {
+// mailbox is a FIFO with blocking receive, unbounded by default. The
+// unbounded default is deliberate: the group root multicasts every
+// sequenced write to every member, and blocking the producer on a full
+// queue would let one slow member block the sequencer for the whole
+// group (the paper's hardware interfaces buffer in memory for the same
+// reason). Where unbounded growth is a liability instead — a TCP peer's
+// outbox behind a dead-slow link — newBoundedMailbox caps the queue and
+// sheds the oldest entries, which the GWC layer's NACK/retry recovery
+// treats exactly like network loss. "A slow peer never blocks the
+// caller" holds either way; only the memory story differs.
+type mailbox[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []wire.Message
 	closed bool
+
+	// The live entries are queue[head:]. Popping advances head instead
+	// of re-slicing the front (queue = queue[1:] permanently forfeits
+	// the popped slot's capacity, so a steady-state consumer would
+	// reallocate the backing array on every lap); put compacts the live
+	// tail down to index 0 only when append would otherwise grow the
+	// array, which amortizes to O(1) copies per element.
+	queue []T
+	head  int
+
+	// bound caps the live entry count (0 = unbounded); overflow evicts
+	// the oldest entries and counts them into drops.
+	bound int
+	drops *atomic.Uint64
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{}
+func newMailbox[T any]() *mailbox[T] {
+	mb := &mailbox[T]{}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
 
-func (mb *mailbox) put(m wire.Message) error {
+// newBoundedMailbox builds a mailbox that holds at most bound entries,
+// dropping the oldest on overflow and counting each eviction into drops.
+func newBoundedMailbox[T any](bound int, drops *atomic.Uint64) *mailbox[T] {
+	mb := newMailbox[T]()
+	mb.bound = bound
+	mb.drops = drops
+	return mb
+}
+
+func (mb *mailbox[T]) put(m T) error {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	if mb.closed {
 		return ErrClosed
+	}
+	if live := len(mb.queue) - mb.head; mb.bound > 0 && live >= mb.bound {
+		// Shed an eighth of the queue at once so the eviction cost
+		// amortizes to O(1) per put even when the queue stays saturated.
+		evict := max(1, mb.bound/8)
+		if evict > live {
+			evict = live
+		}
+		var zero T
+		for i := mb.head; i < mb.head+evict; i++ {
+			mb.queue[i] = zero
+		}
+		mb.head += evict
+		mb.drops.Add(uint64(evict))
+	}
+	if len(mb.queue) == cap(mb.queue) && mb.head > 0 {
+		// Reclaim the popped prefix before append would grow the array.
+		n := copy(mb.queue, mb.queue[mb.head:])
+		clear(mb.queue[n:])
+		mb.queue = mb.queue[:n]
+		mb.head = 0
 	}
 	mb.queue = append(mb.queue, m)
 	mb.cond.Signal()
 	return nil
 }
 
-func (mb *mailbox) get() (wire.Message, bool) {
+func (mb *mailbox[T]) get() (T, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for len(mb.queue) == 0 && !mb.closed {
+	for mb.head == len(mb.queue) && !mb.closed {
 		mb.cond.Wait()
 	}
-	if len(mb.queue) == 0 {
-		return wire.Message{}, false
+	var zero T
+	if mb.head == len(mb.queue) {
+		return zero, false
 	}
-	m := mb.queue[0]
-	mb.queue = mb.queue[1:]
+	m := mb.queue[mb.head]
+	mb.queue[mb.head] = zero // release any references the slot held
+	mb.head++
+	if mb.head == len(mb.queue) {
+		mb.queue = mb.queue[:0]
+		mb.head = 0
+	}
 	return m, true
 }
 
-func (mb *mailbox) close() {
+// drain blocks until the mailbox is non-empty (or closed), then hands
+// the caller the whole queue in one swap. spare becomes the new backing
+// queue, so a consumer that recycles the previous batch keeps the
+// steady state allocation-free. ok is false once the mailbox is closed
+// and emptied.
+func (mb *mailbox[T]) drain(spare []T) (batch []T, ok bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for mb.head == len(mb.queue) && !mb.closed {
+		mb.cond.Wait()
+	}
+	if mb.head == len(mb.queue) {
+		return nil, false
+	}
+	batch = mb.queue[mb.head:]
+	mb.queue = spare[:0]
+	mb.head = 0
+	return batch, true
+}
+
+func (mb *mailbox[T]) close() {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	mb.closed = true
@@ -103,7 +178,7 @@ func (mb *mailbox) close() {
 // InProc is an in-process network: node i's sends go straight into node
 // j's mailbox.
 type InProc struct {
-	boxes []*mailbox
+	boxes []*mailbox[wire.Message]
 }
 
 var _ Network = (*InProc)(nil)
@@ -113,9 +188,9 @@ func NewInProc(n int) (*InProc, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("transport: in-proc network needs >= 1 node, got %d", n)
 	}
-	boxes := make([]*mailbox, n)
+	boxes := make([]*mailbox[wire.Message], n)
 	for i := range boxes {
-		boxes[i] = newMailbox()
+		boxes[i] = newMailbox[wire.Message]()
 	}
 	return &InProc{boxes: boxes}, nil
 }

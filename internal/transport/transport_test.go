@@ -389,7 +389,7 @@ func TestTCPReconnectBackoff(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs := []string{lnA.Addr().String(), addr}
-	a := newTCPEndpoint(0, lnA, addrs)
+	a := newTCPEndpoint(0, lnA, addrs, &tcpStats{})
 	defer func() { _ = a.Close() }()
 
 	// Sends while the peer is down are dropped after failed dials.
@@ -402,7 +402,7 @@ func TestTCPReconnectBackoff(t *testing.T) {
 	if err != nil {
 		t.Skipf("could not re-bind reserved port %s: %v", addr, err)
 	}
-	b := newTCPEndpoint(1, lnB, addrs)
+	b := newTCPEndpoint(1, lnB, addrs, &tcpStats{})
 	defer func() { _ = b.Close() }()
 
 	// Keep sending; once the backoff window expires the dial succeeds.

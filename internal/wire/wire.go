@@ -15,11 +15,25 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"sync"
 )
+
+// ErrCorruptFrame marks decode failures confined to one fully-delimited
+// frame: the reader consumed the frame's exact wire length, so a
+// byte-stream transport may drop the frame and keep reading the same
+// connection — framing is still synchronized. It wraps corruption inside
+// a batch whose header checksum validated (a bad inner checksum, type,
+// group, or a nested batch) and scalar frames whose checksum validated
+// but whose type byte is out of range. Decode errors that do NOT match
+// this sentinel — a failed header or scalar checksum, an out-of-range
+// batch count — mean the frame boundary itself cannot be trusted: the
+// corrupted byte could have hidden a batch header, so the stream may be
+// desynchronized and the connection must be reset.
+var ErrCorruptFrame = errors.New("corrupt frame")
 
 // Type discriminates message kinds.
 type Type uint8
@@ -237,62 +251,85 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // hostile length prefix cannot force an oversized allocation.
 const MaxBatch = 4096
 
-// encodeOne appends one fixed-layout message (batch header included) to
-// buf and returns the result.
-func encodeOne(buf []byte, m Message) []byte {
-	var tmp [EncodedSize]byte
-	tmp[0] = byte(m.Type)
+// putOne writes one fixed-layout message (batch header included) into
+// b[0:EncodedSize], checksum trailer computed in place. The caller has
+// already reserved the space, so a frame assembles directly inside the
+// destination buffer — no staging array, no copy. Every payload byte is
+// written, so a recycled dirty buffer never leaks stale bytes.
+func putOne(b []byte, m Message) {
+	_ = b[EncodedSize-1] // one bounds check for the whole layout
+	b[0] = byte(m.Type)
 	if m.Guarded {
-		tmp[1] = 1
+		b[1] = 1
+	} else {
+		b[1] = 0
 	}
-	binary.BigEndian.PutUint32(tmp[2:], m.Group)
-	binary.BigEndian.PutUint32(tmp[6:], uint32(m.Src))
-	binary.BigEndian.PutUint32(tmp[10:], uint32(m.Origin))
-	binary.BigEndian.PutUint64(tmp[14:], m.Seq)
-	binary.BigEndian.PutUint32(tmp[22:], m.Var)
-	binary.BigEndian.PutUint32(tmp[26:], m.Lock)
-	binary.BigEndian.PutUint64(tmp[30:], uint64(m.Val))
-	binary.BigEndian.PutUint32(tmp[38:], m.Epoch)
-	binary.BigEndian.PutUint64(tmp[42:], uint64(m.Deadline))
-	binary.BigEndian.PutUint32(tmp[50:], m.Session)
-	binary.BigEndian.PutUint32(tmp[payloadSize:], crc32.Checksum(tmp[:payloadSize], crcTable))
-	return append(buf, tmp[:]...)
+	binary.BigEndian.PutUint32(b[2:], m.Group)
+	binary.BigEndian.PutUint32(b[6:], uint32(m.Src))
+	binary.BigEndian.PutUint32(b[10:], uint32(m.Origin))
+	binary.BigEndian.PutUint64(b[14:], m.Seq)
+	binary.BigEndian.PutUint32(b[22:], m.Var)
+	binary.BigEndian.PutUint32(b[26:], m.Lock)
+	binary.BigEndian.PutUint64(b[30:], uint64(m.Val))
+	binary.BigEndian.PutUint32(b[38:], m.Epoch)
+	binary.BigEndian.PutUint64(b[42:], uint64(m.Deadline))
+	binary.BigEndian.PutUint32(b[50:], m.Session)
+	binary.BigEndian.PutUint32(b[payloadSize:], crc32.Checksum(b[:payloadSize], crcTable))
+}
+
+// grow extends buf by n bytes in one reallocation at most and returns
+// the extended slice; the new bytes are writable scratch.
+func grow(buf []byte, n int) []byte {
+	if cap(buf)-len(buf) >= n {
+		return buf[: len(buf)+n : cap(buf)]
+	}
+	nb := make([]byte, len(buf)+n)
+	copy(nb, buf)
+	return nb
 }
 
 // Encode appends the message's wire form to buf and returns the result.
 // A TBatch frame encodes as its header (Val = inner count) followed by
-// the inner messages back to back. Batches that are empty, oversized, or
-// nested are programming errors and panic; Decode, by contrast, returns
-// errors for any malformed input.
+// the inner messages back to back; the whole frame is laid out flat into
+// buf with one grow and per-unit checksums computed in place. Batches
+// that are empty, oversized, or nested are programming errors and panic;
+// Decode, by contrast, returns errors for any malformed input.
 func Encode(buf []byte, m Message) []byte {
+	n := len(buf)
 	if m.Type != TBatch {
-		return encodeOne(buf, m)
+		buf = grow(buf, EncodedSize)
+		putOne(buf[n:], m)
+		return buf
 	}
 	if len(m.Batch) == 0 || len(m.Batch) > MaxBatch {
 		panic(fmt.Sprintf("wire: batch of %d messages outside [1,%d]", len(m.Batch), MaxBatch))
 	}
+	buf = grow(buf, (1+len(m.Batch))*EncodedSize)
 	hdr := m
 	hdr.Val = int64(len(m.Batch))
-	buf = encodeOne(buf, hdr)
-	for _, im := range m.Batch {
-		if im.Type == TBatch {
+	putOne(buf[n:], hdr)
+	off := n + EncodedSize
+	for i := range m.Batch {
+		if m.Batch[i].Type == TBatch {
 			panic("wire: nested batch frame")
 		}
-		buf = encodeOne(buf, im)
+		putOne(buf[off:], m.Batch[i])
+		off += EncodedSize
 	}
 	return buf
 }
 
-// decodeOne parses one fixed-layout message from b, which must hold at
-// least EncodedSize bytes.
-func decodeOne(b []byte) (Message, error) {
+// decodeInto parses one fixed-layout message from b straight into *m —
+// batch elements decode directly into their slot of the frame's message
+// array, with no intermediate Message copies.
+func decodeInto(b []byte, m *Message) error {
 	if len(b) < EncodedSize {
-		return Message{}, fmt.Errorf("wire: short message: %d bytes, want %d", len(b), EncodedSize)
+		return fmt.Errorf("wire: short message: %d bytes, want %d", len(b), EncodedSize)
 	}
 	if got, want := binary.BigEndian.Uint32(b[payloadSize:]), crc32.Checksum(b[:payloadSize], crcTable); got != want {
-		return Message{}, fmt.Errorf("wire: checksum mismatch: frame carries %08x, payload sums to %08x", got, want)
+		return fmt.Errorf("wire: checksum mismatch: frame carries %08x, payload sums to %08x", got, want)
 	}
-	m := Message{
+	*m = Message{
 		Type:     Type(b[0]),
 		Guarded:  b[1] != 0,
 		Group:    binary.BigEndian.Uint32(b[2:]),
@@ -307,17 +344,20 @@ func decodeOne(b []byte) (Message, error) {
 		Session:  binary.BigEndian.Uint32(b[50:]),
 	}
 	if m.Type < TUpdate || m.Type > typeMax {
-		return Message{}, fmt.Errorf("wire: unknown message type %d", b[0])
+		// The checksum validated, so the frame really was delimited at
+		// EncodedSize — the garbage type is confined to this frame.
+		return fmt.Errorf("wire: unknown message type %d: %w", b[0], ErrCorruptFrame)
 	}
-	return m, nil
+	return nil
 }
 
 // Decode parses one message from b. A TBatch header must be followed in
 // b by its full payload; truncated, oversized, or nested batch frames
-// return an error (never panic).
+// return an error (never panic). Errors matching ErrCorruptFrame are
+// confined to a fully-delimited frame; see the sentinel's contract.
 func Decode(b []byte) (Message, error) {
-	m, err := decodeOne(b)
-	if err != nil || m.Type != TBatch {
+	var m Message
+	if err := decodeInto(b, &m); err != nil || m.Type != TBatch {
 		return m, err
 	}
 	count := m.Val
@@ -328,21 +368,30 @@ func Decode(b []byte) (Message, error) {
 	if len(b) < need {
 		return Message{}, fmt.Errorf("wire: short batch: %d bytes, want %d", len(b), need)
 	}
+	// The header checksum validated, so the frame's extent on the wire is
+	// trustworthy: any inner-element failure from here on is confined to
+	// this frame and wraps ErrCorruptFrame.
 	m.Batch = make([]Message, count)
 	for i := range m.Batch {
-		im, err := decodeOne(b[(i+1)*EncodedSize:])
-		if err != nil {
-			return Message{}, err
+		if err := decodeInto(b[(i+1)*EncodedSize:], &m.Batch[i]); err != nil {
+			return Message{}, fmt.Errorf("wire: batch index %d: %w", i, corrupt(err))
 		}
-		if im.Type == TBatch {
-			return Message{}, fmt.Errorf("wire: nested batch frame at index %d", i)
+		if m.Batch[i].Type == TBatch {
+			return Message{}, fmt.Errorf("wire: nested batch frame at index %d: %w", i, ErrCorruptFrame)
 		}
-		if im.Group != m.Group {
-			return Message{}, fmt.Errorf("wire: batch for group %d holds message for group %d", m.Group, im.Group)
+		if m.Batch[i].Group != m.Group {
+			return Message{}, fmt.Errorf("wire: batch for group %d holds message for group %d: %w", m.Group, m.Batch[i].Group, ErrCorruptFrame)
 		}
-		m.Batch[i] = im
 	}
 	return m, nil
+}
+
+// corrupt stamps err with ErrCorruptFrame unless it already matches.
+func corrupt(err error) error {
+	if errors.Is(err, ErrCorruptFrame) {
+		return err
+	}
+	return fmt.Errorf("%v: %w", err, ErrCorruptFrame)
 }
 
 // EncodedLen reports the wire size of m: EncodedSize for one message,
@@ -388,13 +437,19 @@ func WriteTo(w io.Writer, m Message) error {
 }
 
 // ReadFrom reads one message (or one whole batch frame) from r in wire
-// form.
+// form. Decode failures that wrap ErrCorruptFrame consumed the frame's
+// exact wire length — the caller may skip the frame and keep reading;
+// any other decode error means the stream may be desynchronized and the
+// connection should be reset.
 func ReadFrom(r io.Reader) (Message, error) {
 	var hdr [EncodedSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Message{}, err
 	}
 	if Type(hdr[0]) != TBatch {
+		// A checksum failure here is desync-class: the corrupted type
+		// byte could have hidden a batch header, in which case only the
+		// header of a longer frame was consumed.
 		return Decode(hdr[:])
 	}
 	// Verify the header checksum before trusting the count: a corrupted
@@ -418,8 +473,9 @@ func ReadFrom(r io.Reader) (Message, error) {
 	_, err := io.ReadFull(r, buf[EncodedSize:])
 	var m Message
 	if err == nil {
-		// Decode copies the inner messages out, so the buffer can be
-		// recycled as soon as it returns.
+		// Decode fills the frame's message array straight from the read
+		// buffer (no per-element staging copies) and aliases nothing, so
+		// the buffer can be recycled as soon as it returns.
 		m, err = Decode(buf)
 	}
 	*bp = buf[:0]

@@ -43,13 +43,18 @@ func WithMetricsAddr(addr string) Option {
 // Metrics returns the cluster-wide observability snapshot: every node's
 // latency histograms (lock acquire, speculative section, rollback cost,
 // batch flush, quorum wait, failover) merged into one distribution per
-// metric, plus the per-event-type counts. Histograms record always;
-// event counts are zero unless tracing is on (WithTracing or
-// WithMetricsAddr).
+// metric, plus the per-event-type counts and — when the cluster runs a
+// transport that counts (TCP, with or without fault injection) — the
+// transport counters (frames, writev batches, decode errors, link
+// resets, outbox drops). Histograms record always; event counts are
+// zero unless tracing is on (WithTracing or WithMetricsAddr).
 func (c *Cluster) Metrics() obs.MetricsSnapshot {
 	var s obs.MetricsSnapshot
 	for _, n := range c.nodes {
 		s.Merge(n.Metrics().Snapshot())
+	}
+	if ts, ok := c.net.(interface{ TransportStats() obs.TransportStats }); ok {
+		s.Transport = ts.TransportStats()
 	}
 	return s
 }
@@ -168,5 +173,20 @@ func writeMetrics(w io.Writer, s obs.MetricsSnapshot, nodes int) {
 		if n := s.Events[t]; n > 0 {
 			fmt.Fprintf(w, "  %-16s %d\n", t, n)
 		}
+	}
+	if t := s.Transport; t != (obs.TransportStats{}) {
+		fmt.Fprintf(w, "transport:\n")
+		fmt.Fprintf(w, "  frames_sent      %d\n", t.FramesSent)
+		fmt.Fprintf(w, "  bytes_sent       %d\n", t.BytesSent)
+		fmt.Fprintf(w, "  writevs          %d\n", t.Writevs)
+		if t.Writevs > 0 {
+			fmt.Fprintf(w, "  frames_per_writev %.2f\n", float64(t.FramesSent)/float64(t.Writevs))
+		}
+		fmt.Fprintf(w, "  frames_recv      %d\n", t.FramesRecv)
+		fmt.Fprintf(w, "  decode_errors    %d\n", t.DecodeErrors)
+		fmt.Fprintf(w, "  conn_resets      %d\n", t.ConnResets)
+		fmt.Fprintf(w, "  send_drops       %d\n", t.SendDrops)
+		fmt.Fprintf(w, "  dials            %d\n", t.Dials)
+		fmt.Fprintf(w, "  links_adopted    %d\n", t.LinksAdopted)
 	}
 }
